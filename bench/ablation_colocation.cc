@@ -1,0 +1,47 @@
+// Ablation — the §3.4 two-step co-location heuristic.
+//
+// Compares three modes on 128 nodes / 32 groups over several runs:
+//   none        — every atom is its own sequencing node,
+//   subset_only — step 1 (subset rule) only,
+//   full        — the paper's two-step heuristic.
+// Reports the number of sequencing nodes (machines needed) and the mean
+// stretch achieved when each variant is placed by the same §3.4 machine
+// heuristic.
+//
+// Output rows: ablation_colocation,<mode>,<mean_seq_nodes>,<mean_stretch>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/stretch.h"
+#include "metrics/structure.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Ablation: co-location heuristic (none / subset_only / full)\n");
+  std::printf("series,mode,seq_nodes,mean_stretch\n");
+  const std::uint64_t seed = bench::base_seed();
+  const struct {
+    const char* name;
+    placement::ColocationMode mode;
+  } modes[] = {
+      {"none", placement::ColocationMode::kNone},
+      {"subset_only", placement::ColocationMode::kSubsetOnly},
+      {"full", placement::ColocationMode::kFull},
+  };
+  for (const auto& mode : modes) {
+    auto config = bench::paper_config(seed);
+    config.colocation.mode = mode.mode;
+    pubsub::PubSubSystem system(config);
+    Rng workload_rng(seed + 32);
+    bench::install_zipf_groups(system, workload_rng, 32);
+
+    const std::size_t seq_nodes =
+        system.colocation().num_overlap_nodes(system.graph());
+    const auto run = metrics::measure_stretch(system);
+    const auto per_dest = metrics::stretch_per_destination(
+        run.samples, system.membership().num_nodes());
+    std::printf("ablation_colocation,%s,%zu,%.3f\n", mode.name, seq_nodes,
+                mean(per_dest));
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation — machine-assignment strategy (paper §3.4 opening claim:
+// "randomly scattering sequencing atoms throughout the network would lead
+// to poor performance").
+//
+// Compares the §3.4 proximity heuristic against fully random placement of
+// sequencing nodes, on the Fig 3 workload (128 nodes, 32 groups): latency
+// stretch per destination under each strategy.
+//
+// Output rows: ablation_placement,<strategy>,<mean>,<p50>,<p90>,<max>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/stretch.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Ablation: §3.4 proximity heuristic vs random machine placement\n");
+  std::printf("series,strategy,mean,p50,p90,max\n");
+  const std::uint64_t seed = bench::base_seed();
+  const struct {
+    const char* name;
+    placement::AssignmentMode mode;
+  } strategies[] = {
+      {"heuristic", placement::AssignmentMode::kPaperHeuristic},
+      {"random", placement::AssignmentMode::kAllRandom},
+  };
+  for (const auto& strategy : strategies) {
+    auto config = bench::paper_config(seed);
+    config.assignment.mode = strategy.mode;
+    pubsub::PubSubSystem system(config);
+    Rng workload_rng(seed + 32);
+    bench::install_zipf_groups(system, workload_rng, 32);
+    const auto run = metrics::measure_stretch(system);
+    const auto per_dest = metrics::stretch_per_destination(
+        run.samples, system.membership().num_nodes());
+    const Summary s = summarize(per_dest);
+    std::printf("ablation_placement,%s,%.3f,%.3f,%.3f,%.3f\n", strategy.name,
+                s.mean, s.p50, s.p90, s.max);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation — sequencing-graph shape: shared chain vs greedy tree.
+//
+// The paper's arrangement is any loop-free graph satisfying C1; this
+// library's default lays each component out as a chain (always valid),
+// while BuildStrategy::kGreedyTree grows a genuine tree so unrelated
+// groups can branch around each other's atoms. This bench compares, on the
+// paper workload (128 nodes, 8..64 groups):
+//
+//   * total path length (atoms visited per message, incl. transit),
+//   * transit share (visited atoms that do not stamp),
+//   * end-to-end latency stretch.
+//
+// Output rows: ablation_tree,<groups>,<strategy>,<mean_path>,
+//              <transit_share>,<mean_stretch>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/stretch.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Ablation: chain vs greedy-tree sequencing graph\n");
+  std::printf("series,workload,groups,strategy,mean_path_atoms,transit_share,mean_stretch,layout\n");
+  const std::uint64_t seed = bench::base_seed();
+  const struct {
+    const char* name;
+    seqgraph::BuildStrategy strategy;
+  } strategies[] = {
+      {"chain", seqgraph::BuildStrategy::kChain},
+      {"greedy_tree", seqgraph::BuildStrategy::kGreedyTree},
+  };
+  const struct {
+    const char* name;
+    membership::MemberSelection selection;
+  } workloads[] = {
+      // Dense overlap structure (the paper's regime): groups overlap nearly
+      // pairwise, so tree construction mostly falls back to the chain.
+      {"dense", membership::MemberSelection::kZipfPopularity},
+      // Sparse overlaps (uniform members): components are small and
+      // tree-shaped, where the greedy tree can branch.
+      {"sparse", membership::MemberSelection::kUniform},
+  };
+  for (const auto& workload : workloads) {
+  for (const std::size_t num_groups : {8u, 32u, 64u}) {
+    for (const auto& s : strategies) {
+      auto config = bench::paper_config(seed);
+      config.graph.strategy = s.strategy;
+      pubsub::PubSubSystem system(config);
+      Rng workload_rng(seed + num_groups);
+      const auto params = [&] {
+        auto p = bench::zipf_params(128, num_groups);
+        p.selection = workload.selection;
+        return p;
+      }();
+      {
+        const auto snapshot = membership::zipf_membership(params, workload_rng);
+        std::vector<std::vector<NodeId>> lists;
+        for (const GroupId g : snapshot.live_groups()) {
+          lists.push_back(snapshot.members(g));
+        }
+        system.create_groups(std::move(lists));
+      }
+
+      // Path statistics over (subscriber, group) messages.
+      double path_sum = 0.0, transit_sum = 0.0, visited_sum = 0.0;
+      std::size_t samples = 0;
+      for (const GroupId g : system.membership().live_groups()) {
+        const auto& path = system.graph().path(g);
+        std::size_t stamping = 0;
+        for (const AtomId a : path) {
+          if (system.graph().atom(a).stamps(g)) ++stamping;
+        }
+        const std::size_t members = system.membership().members(g).size();
+        path_sum += static_cast<double>(path.size() * members);
+        transit_sum += static_cast<double>((path.size() - stamping) * members);
+        visited_sum += static_cast<double>(path.size() * members);
+        samples += members;
+      }
+
+      const auto run = metrics::measure_stretch(system);
+      const auto per_dest = metrics::stretch_per_destination(
+          run.samples, system.membership().num_nodes());
+      std::printf(
+          "ablation_tree,%s,%zu,%s,%.2f,%.3f,%.3f,trees=%zu/chains=%zu\n",
+          workload.name, num_groups, s.name,
+          path_sum / static_cast<double>(samples),
+          visited_sum > 0 ? transit_sum / visited_sum : 0.0, mean(per_dest),
+          system.graph().tree_components(),
+          system.graph().chain_components());
+    }
+  }
+  }
+  return 0;
+}

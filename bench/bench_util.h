@@ -1,0 +1,88 @@
+// Shared setup for the figure-reproduction benches.
+//
+// All experiment binaries use the paper's configuration (§4.1): a
+// 10,000-router GT-ITM-style transit-stub topology, hosts grouped into
+// similar-size clusters dropped uniformly at random, Zipf(1) group sizes,
+// and the §3.4 placement heuristics. Each binary prints CSV-style rows so
+// its figure can be regenerated (and eyeballed) directly from stdout.
+//
+// Environment knobs:
+//   DECSEQ_BENCH_RUNS  — override the number of runs for multi-run sweeps
+//   DECSEQ_BENCH_SEED  — override the base seed
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "membership/generators.h"
+#include "pubsub/system.h"
+
+namespace decseq::bench {
+
+inline std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::uint64_t base_seed() {
+  return env_or("DECSEQ_BENCH_SEED", 20060101);  // Middleware 2006
+}
+
+/// The paper's experimental configuration: 10k-router topology, 128 hosts
+/// in similar-size clusters (32 clusters of 4 — small enough that close
+/// pairs stay rare, the regime the paper's Fig 3 averages imply).
+inline pubsub::SystemConfig paper_config(std::uint64_t seed,
+                                         std::size_t num_hosts = 128,
+                                         std::size_t num_clusters = 32) {
+  pubsub::SystemConfig config;
+  config.seed = seed;
+  config.hosts.num_hosts = num_hosts;
+  config.hosts.num_clusters = num_clusters;
+  return config;  // topology defaults = 10,000 routers
+}
+
+/// The paper's Zipf(1) group-size workload over `num_hosts` nodes.
+inline membership::ZipfWorkloadParams zipf_params(std::size_t num_hosts,
+                                                  std::size_t num_groups) {
+  return {.num_nodes = num_hosts,
+          .num_groups = num_groups,
+          .exponent = 1.0,
+          .scale = 1.0};
+}
+
+/// Install a Zipf membership into a fresh system (groups created in rank
+/// order so GroupId == rank - 1).
+inline void install_zipf_groups(pubsub::PubSubSystem& system, Rng& rng,
+                                std::size_t num_groups) {
+  const auto params =
+      zipf_params(system.membership().num_nodes(), num_groups);
+  const auto snapshot = membership::zipf_membership(params, rng);
+  std::vector<std::vector<NodeId>> lists;
+  for (const GroupId g : snapshot.live_groups()) {
+    lists.push_back(snapshot.members(g));
+  }
+  system.create_groups(std::move(lists));
+}
+
+/// Print a compact CDF (one row per ~percent) as "<label>,<x>,<P(X<=x)>".
+inline void print_cdf(const std::string& label, std::vector<double> samples) {
+  const auto cdf = empirical_cdf(std::move(samples));
+  const std::size_t step = cdf.size() > 100 ? cdf.size() / 100 : 1;
+  for (std::size_t i = 0; i < cdf.size(); i += step) {
+    std::printf("%s,%.4f,%.4f\n", label.c_str(), cdf[i].value,
+                cdf[i].fraction);
+  }
+  if (!cdf.empty()) {
+    std::printf("%s,%.4f,%.4f\n", label.c_str(), cdf.back().value,
+                cdf.back().fraction);
+  }
+}
+
+}  // namespace decseq::bench

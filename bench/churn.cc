@@ -1,0 +1,83 @@
+// Churn — the paper's §5 future-work question: how much does the
+// sequencing graph change when group membership changes incrementally?
+//
+// Starting from 128 nodes / 32 Zipf groups, applies a stream of random
+// subscription joins/leaves and group creations/removals through the
+// incremental manager, recording per operation how many atoms were created
+// or retired and how many pre-existing groups had their sequencing path
+// rearranged.
+//
+// Output rows: churn,<operation>,<count>,<mean_atoms_created>,
+//              <mean_atoms_retired>,<mean_groups_repathed>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "seqgraph/incremental.h"
+
+int main() {
+  using namespace decseq;
+  const std::size_t ops = bench::env_or("DECSEQ_BENCH_RUNS", 400);
+  const std::uint64_t seed = bench::base_seed();
+  std::printf("# Churn: incremental membership operations, 128 nodes, "
+              "32 initial groups, %zu ops\n", ops);
+  Rng rng(seed);
+  const auto initial =
+      membership::zipf_membership(bench::zipf_params(128, 32), rng);
+  seqgraph::SequencingGraphManager manager(initial);
+
+  struct Acc {
+    std::size_t count = 0;
+    double created = 0, retired = 0, repathed = 0;
+    void add(const seqgraph::ChangeStats& s) {
+      ++count;
+      created += static_cast<double>(s.atoms_created);
+      retired += static_cast<double>(s.atoms_retired);
+      repathed += static_cast<double>(s.groups_repathed);
+    }
+  };
+  std::map<std::string, Acc> acc;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    seqgraph::ChangeStats stats;
+    const auto groups = manager.membership().live_groups();
+    const auto kind = rng.next_below(10);
+    if (kind < 4 && !groups.empty()) {
+      //
+
+      // Join: random node joins a random group it is not in.
+      const GroupId g = rng.pick(groups);
+      NodeId node(static_cast<unsigned>(rng.next_below(128)));
+      if (manager.membership().is_member(g, node)) continue;
+      manager.add_subscription(g, node, &stats);
+      acc["join"].add(stats);
+    } else if (kind < 8 && !groups.empty()) {
+      // Leave: random member leaves a random group.
+      const GroupId g = rng.pick(groups);
+      const auto& members = manager.membership().members(g);
+      const NodeId node = rng.pick(members);
+      manager.remove_subscription(g, node, &stats);
+      acc["leave"].add(stats);
+    } else if (kind == 8) {
+      // New group of 2-8 random nodes.
+      std::vector<NodeId> all;
+      for (unsigned n = 0; n < 128; ++n) all.push_back(NodeId(n));
+      rng.shuffle(all);
+      all.resize(2 + rng.next_below(7));
+      manager.add_group(all, &stats);
+      acc["create_group"].add(stats);
+    } else if (!groups.empty()) {
+      manager.remove_group(rng.pick(groups), &stats);
+      acc["remove_group"].add(stats);
+    }
+  }
+
+  std::printf("series,op,count,atoms_created,atoms_retired,groups_repathed\n");
+  for (const auto& [name, a] : acc) {
+    const double n = static_cast<double>(a.count);
+    std::printf("churn,%s,%zu,%.2f,%.2f,%.2f\n", name.c_str(), a.count,
+                a.created / n, a.retired / n, a.repathed / n);
+  }
+  return 0;
+}

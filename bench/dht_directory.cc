@@ -1,0 +1,84 @@
+// Extension experiment — the membership directory as a DHT (paper §3: the
+// membership matrix "can be kept in a distributed data store such as a
+// DHT") versus a centralized registry.
+//
+// Every node fetches the membership of every group it belongs to (what a
+// node needs to compute its relevant sequencing atoms). We report Chord
+// ring hops (expected ~½·log2 n) and end-to-end fetch latency, against a
+// registry server placed at the median host (best case for
+// centralization).
+//
+// Output rows: dht,<metric>,<scheme>,<value>
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "bench/bench_util.h"
+#include "dht/directory.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Membership directory: Chord DHT vs centralized registry\n");
+  const std::uint64_t seed = bench::base_seed();
+  pubsub::PubSubSystem system(bench::paper_config(seed));
+  Rng rng(seed + 32);
+  bench::install_zipf_groups(system, rng, 32);
+
+  dht::MembershipDirectory directory(system.membership(), system.hosts(),
+                                     system.oracle());
+
+  std::vector<double> hops, dht_latency;
+  for (std::size_t n = 0; n < system.membership().num_nodes(); ++n) {
+    const NodeId querier(static_cast<unsigned>(n));
+    for (const GroupId g : system.membership().groups_of(querier)) {
+      const auto fetch = directory.fetch(g, querier);
+      hops.push_back(static_cast<double>(fetch.hops));
+      dht_latency.push_back(fetch.latency_ms);
+    }
+  }
+
+  // Centralized registry at the median host: query there and back.
+  std::vector<double> central_latency;
+  {
+    auto& oracle = system.oracle();
+    NodeId registry;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < system.membership().num_nodes(); ++c) {
+      double sum = 0.0;
+      for (std::size_t n = 0; n < system.membership().num_nodes(); ++n) {
+        sum += system.hosts().unicast_delay(
+            NodeId(static_cast<unsigned>(c)),
+            NodeId(static_cast<unsigned>(n)), oracle);
+      }
+      if (sum < best) {
+        best = sum;
+        registry = NodeId(static_cast<unsigned>(c));
+      }
+    }
+    for (std::size_t n = 0; n < system.membership().num_nodes(); ++n) {
+      const NodeId querier(static_cast<unsigned>(n));
+      const double rtt =
+          2.0 * system.hosts().unicast_delay(querier, registry, oracle);
+      for (std::size_t q = 0;
+           q < system.membership().groups_of(querier).size(); ++q) {
+        central_latency.push_back(rtt);
+      }
+    }
+  }
+
+  const Summary h = summarize(hops);
+  std::printf("dht,lookup_hops,chord_mean,%.2f\n", h.mean);
+  std::printf("dht,lookup_hops,chord_p90,%.1f\n", h.p90);
+  std::printf("dht,lookup_hops,chord_max,%.0f\n", h.max);
+  std::printf("dht,fetch_latency_ms,chord_mean,%.1f\n", mean(dht_latency));
+  std::printf("dht,fetch_latency_ms,chord_max,%.1f\n",
+              summarize(dht_latency).max);
+  std::printf("dht,fetch_latency_ms,central_registry_mean,%.1f\n",
+              mean(central_latency));
+  std::printf("dht,queries,total,%zu\n", dht_latency.size());
+  std::printf("# DHT spreads directory state/load across all %zu nodes at "
+              "~%.1fx the latency of an ideally placed central registry\n",
+              system.membership().num_nodes(),
+              mean(dht_latency) / mean(central_latency));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension experiment — distribution-phase network cost.
+//
+// The paper's §3 hands messages leaving the sequencing network to "a
+// delivery tree"; the evaluation, focused on the ordering layer, uses
+// shortest unicast paths. This bench quantifies what the delivery tree
+// buys: for the Fig 3 workload (every subscriber sends to each of its
+// groups), it compares distributing each message with per-member unicasts
+// versus one shortest-path multicast tree per (egress, group):
+//
+//   * links crossed per message (network cost),
+//   * maximum per-link stress,
+//
+// while latency is identical by construction (tree edges follow the same
+// shortest paths).
+//
+// Output rows: distribution,<groups>,<scheme>,<links_per_msg>,<max_stress>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "placement/assignment.h"
+#include "topology/multicast_tree.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Distribution phase: unicast star vs shortest-path tree\n");
+  std::printf("series,groups,scheme,links_per_msg,max_link_stress\n");
+  const std::uint64_t seed = bench::base_seed();
+  for (const std::size_t num_groups : {8u, 32u}) {
+    pubsub::PubSubSystem system(bench::paper_config(seed));
+    Rng workload_rng(seed + num_groups);
+    bench::install_zipf_groups(system, workload_rng, num_groups);
+
+    topology::LinkStress tree_stress, unicast_stress;
+    std::size_t tree_links = 0, unicast_links = 0, messages = 0;
+
+    for (const GroupId g : system.membership().live_groups()) {
+      // Egress machine: the last sequencing node on the group's path.
+      const auto snp = placement::seq_node_path(system.graph(),
+                                                system.colocation(), g);
+      const RouterId egress = system.assignment().machine_of(snp.back());
+      std::vector<RouterId> member_routers;
+      for (const NodeId member : system.membership().members(g)) {
+        member_routers.push_back(system.hosts().router_of(member));
+      }
+      const topology::MulticastTree tree(system.topology_graph(), egress,
+                                         member_routers);
+      // Every subscriber of g sends one message to g (Fig 3 workload), so
+      // the tree carries |members| messages in this run.
+      const std::size_t sends = member_routers.size();
+      for (std::size_t i = 0; i < sends; ++i) {
+        tree_stress.add_tree(tree);
+        tree_links += tree.num_links();
+        unicast_links += tree.unicast_links();
+        ++messages;
+      }
+      // Unicast stress: each member's shortest path crossed once per
+      // message (tree paths == unicast paths, so reuse the tree's chains).
+      for (const RouterId dest : member_routers) {
+        const auto path = tree.path_edges(dest);
+        for (std::size_t i = 0; i < sends; ++i) {
+          for (const auto& [from, to] : path) unicast_stress.add(from, to);
+        }
+      }
+    }
+    std::printf("distribution,%zu,unicast_star,%.1f,%zu\n", num_groups,
+                static_cast<double>(unicast_links) /
+                    static_cast<double>(messages),
+                unicast_stress.max_stress());
+    std::printf("distribution,%zu,multicast_tree,%.1f,%zu\n", num_groups,
+                static_cast<double>(tree_links) /
+                    static_cast<double>(messages),
+                tree_stress.max_stress());
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// End-to-end dynamic membership experiment — the paper's §5 question
+// ("whether sequencing networks perform well even when incrementally
+// updated as groups and nodes join and leave") played out through the whole
+// stack:
+//
+//   epoch loop: traffic flows -> membership changes arrive (join/leave/
+//   create/remove) -> gossip disseminates the new matrix to all nodes ->
+//   the system reconfigures at a drain point -> traffic resumes.
+//
+// Reported per epoch: how much of the graph changed (atoms created/retired,
+// groups repathed — via the incremental manager fingerprints), gossip
+// convergence time for the change batch, and the latency of traffic in the
+// following epoch (does churn degrade service?).
+//
+// Output rows: dynamic,<epoch>,<ops>,<atoms_created>,<atoms_retired>,
+//              <repathed>,<gossip_ms>,<mean_latency_ms>
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gossip/gossip.h"
+#include "seqgraph/incremental.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Dynamic membership: churn -> gossip -> reconfigure -> traffic\n");
+  std::printf("series,epoch,ops,atoms_created,atoms_retired,repathed,"
+              "gossip_ms,mean_latency_ms\n");
+  const std::uint64_t seed = bench::base_seed();
+  pubsub::PubSubSystem system(bench::paper_config(seed));
+  Rng rng(seed + 32);
+  bench::install_zipf_groups(system, rng, 16);
+
+  // Shadow manager tracks graph churn across the same membership history.
+  seqgraph::SequencingGraphManager shadow(system.membership());
+
+  const std::size_t epochs = bench::env_or("DECSEQ_BENCH_RUNS", 6);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // --- Traffic for this epoch. ---
+    auto& sim = system.simulator();
+    const std::size_t log_before = system.deliveries().size();
+    const double start = sim.now();
+    const auto groups = system.membership().live_groups();
+    for (int i = 0; i < 40; ++i) {
+      const GroupId g = rng.pick(groups);
+      const NodeId sender = rng.pick(system.membership().members(g));
+      sim.schedule_at(start + rng.next_double() * 500.0,
+                      [&system, sender, g] { system.publish(sender, g); });
+    }
+    system.run();
+    std::vector<double> latency;
+    for (std::size_t i = log_before; i < system.deliveries().size(); ++i) {
+      const auto& d = system.deliveries()[i];
+      latency.push_back(d.delivered_at - d.sent_at);
+    }
+
+    // --- A batch of membership changes. ---
+    std::vector<pubsub::PubSubSystem::MembershipChange> batch;
+    seqgraph::ChangeStats stats;
+    const std::size_t ops = 4 + rng.next_below(5);
+    for (std::size_t op = 0; op < ops; ++op) {
+      const auto live = system.membership().live_groups();
+      const auto kind = rng.next_below(10);
+      if (kind < 5 && !live.empty()) {
+        const GroupId g = rng.pick(live);
+        const NodeId node(static_cast<unsigned>(rng.next_below(128)));
+        if (!system.membership().is_member(g, node)) {
+          batch.push_back(pubsub::PubSubSystem::MembershipChange::join(g, node));
+          shadow.add_subscription(g, node, &stats);
+        }
+      } else if (kind < 9 && !live.empty()) {
+        const GroupId g = rng.pick(live);
+        if (system.membership().members(g).size() > 2) {
+          const NodeId node = rng.pick(system.membership().members(g));
+          batch.push_back(
+              pubsub::PubSubSystem::MembershipChange::leave(g, node));
+          shadow.remove_subscription(g, node, &stats);
+        }
+      } else {
+        std::vector<NodeId> members;
+        for (int m = 0; m < 4; ++m) {
+          members.push_back(NodeId(static_cast<unsigned>(rng.next_below(128))));
+        }
+        std::sort(members.begin(), members.end());
+        members.erase(std::unique(members.begin(), members.end()),
+                      members.end());
+        if (members.size() >= 2) {
+          batch.push_back(
+              pubsub::PubSubSystem::MembershipChange::create(members));
+          shadow.add_group(members, &stats);
+        }
+      }
+    }
+
+    // --- Disseminate the batch by gossip (how long until everyone knows). ---
+    double gossip_ms = 0.0;
+    {
+      sim::Simulator gossip_sim;
+      Rng gossip_rng(seed + epoch);
+      gossip::GossipMesh mesh(gossip_sim, gossip_rng, system.hosts(),
+                              system.oracle(), {.fanout = 2});
+      for (const GroupId g : system.membership().live_groups()) {
+        mesh.seed_update(NodeId(0), g, system.membership().members(g));
+      }
+      mesh.start();
+      gossip_sim.run();
+      gossip_ms = mesh.convergence_time().value_or(-1.0);
+    }
+
+    // --- Apply at the epoch boundary. ---
+    system.reconfigure(std::move(batch));
+
+    std::printf("dynamic,%zu,%zu,%zu,%zu,%zu,%.0f,%.1f\n", epoch,
+                ops, stats.atoms_created, stats.atoms_retired,
+                stats.groups_repathed, gossip_ms, mean(latency));
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 3 — cumulative distribution of latency stretch for 128 subscriber
+// nodes, varying the number of groups (8, 16, 32, 64).
+//
+// Workload (paper §4.2): each node sends one message to each group it
+// subscribes to, through the sequencing network and, for reference, on the
+// direct unicast path; stretch is the ratio of the two delays, averaged per
+// destination. Paper shape: stretch <= ~2.5 at 8 groups, growing
+// sub-linearly to < ~8 at 64 groups.
+//
+// Output rows: fig3,<groups>,<stretch>,<cdf_fraction>
+//              fig3_summary,<groups>,<mean>,<p50>,<p90>,<max>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/stretch.h"
+
+int main() {
+  using namespace decseq;
+  // DECSEQ_BENCH_RUNS > 1 repeats each point over that many independent
+  // topology/workload seeds and reports the across-seed spread of the mean.
+  const std::size_t runs = bench::env_or("DECSEQ_BENCH_RUNS", 1);
+  std::printf("# Figure 3: latency stretch CDF, 128 nodes (%zu seed%s)\n",
+              runs, runs == 1 ? "" : "s");
+  std::printf("series,stretch,cdf\n");
+  const std::uint64_t seed = bench::base_seed();
+  for (const std::size_t num_groups : {8u, 16u, 32u, 64u}) {
+    std::vector<double> all_samples;
+    std::vector<double> per_seed_means;
+    for (std::size_t r = 0; r < runs; ++r) {
+      pubsub::PubSubSystem system(bench::paper_config(seed + r * 97));
+      Rng workload_rng(seed + r * 97 + num_groups);
+      bench::install_zipf_groups(system, workload_rng, num_groups);
+
+      const auto run = metrics::measure_stretch(system);
+      const auto per_dest = metrics::stretch_per_destination(
+          run.samples, system.membership().num_nodes());
+      all_samples.insert(all_samples.end(), per_dest.begin(), per_dest.end());
+      per_seed_means.push_back(mean(per_dest));
+    }
+    bench::print_cdf("fig3," + std::to_string(num_groups), all_samples);
+    const Summary s = summarize(all_samples);
+    std::printf("fig3_summary,%zu,mean=%.3f,p50=%.3f,p90=%.3f,max=%.3f\n",
+                num_groups, s.mean, s.p50, s.p90, s.max);
+    if (runs > 1) {
+      const Summary across = summarize(per_seed_means);
+      std::printf("fig3_seed_spread,%zu,mean_of_means=%.3f,min=%.3f,max=%.3f\n",
+                  num_groups, across.mean, across.min, across.max);
+    }
+  }
+  return 0;
+}

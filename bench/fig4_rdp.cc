@@ -1,0 +1,53 @@
+// Figure 4 — relative delay penalty (RDP) versus unicast delay for each
+// sender-destination pair, 128 subscribers in 64 groups (paper §4.2).
+//
+// Paper shape: the highest RDP values belong to pairs whose sender and
+// destination are very close to each other (a short direct path makes any
+// sequencing detour look expensive).
+//
+// Output rows: fig4,<unicast_delay_ms>,<rdp>
+//              fig4_summary,<bucket>,<mean_rdp>  (delay-decile buckets)
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/stretch.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Figure 4: RDP vs unicast delay, 128 nodes, 64 groups\n");
+  std::printf("series,unicast_ms,rdp\n");
+  const std::uint64_t seed = bench::base_seed();
+  pubsub::PubSubSystem system(bench::paper_config(seed));
+  Rng workload_rng(seed + 64);
+  bench::install_zipf_groups(system, workload_rng, 64);
+
+  const auto run = metrics::measure_stretch(system);
+  auto points = metrics::rdp_points(run.samples);
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) {
+              return a.unicast_delay_ms < b.unicast_delay_ms;
+            });
+  // Print every k-th point to keep output readable; all points feed the
+  // decile summary below.
+  const std::size_t step = points.size() > 400 ? points.size() / 400 : 1;
+  for (std::size_t i = 0; i < points.size(); i += step) {
+    std::printf("fig4,%.3f,%.3f\n", points[i].unicast_delay_ms,
+                points[i].rdp);
+  }
+
+  // Decile summary: mean RDP per unicast-delay decile. The paper's shape
+  // means the first deciles should dominate.
+  const std::size_t deciles = 10;
+  for (std::size_t d = 0; d < deciles; ++d) {
+    const std::size_t lo = points.size() * d / deciles;
+    const std::size_t hi = points.size() * (d + 1) / deciles;
+    std::vector<double> rdps;
+    for (std::size_t i = lo; i < hi; ++i) rdps.push_back(points[i].rdp);
+    if (rdps.empty()) continue;
+    std::printf("fig4_summary,decile%zu,unicast<=%.1fms,mean_rdp=%.3f,max_rdp=%.3f\n",
+                d + 1, points[hi - 1].unicast_delay_ms, mean(rdps),
+                *std::max_element(rdps.begin(), rdps.end()));
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 5 — average number of sequencing nodes (hosting non-ingress-only
+// sequencers) for 128 subscriber nodes, varying the number of groups from
+// 1 to 64; 100 runs per point, error bars at the 10th/90th percentiles
+// (paper §4.3).
+//
+// Paper shape: the count grows with the number of groups, then grows more
+// gradually past ~30 groups because new overlaps share members with
+// existing overlaps and map onto existing sequencing nodes.
+//
+// Output rows: fig5,<groups>,<mean_nodes>,<p10>,<p90>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/structure.h"
+
+int main() {
+  using namespace decseq;
+  const std::size_t runs = bench::env_or("DECSEQ_BENCH_RUNS", 100);
+  const std::uint64_t seed = bench::base_seed();
+  std::printf("# Figure 5: sequencing nodes vs groups, 128 nodes, %zu runs\n",
+              runs);
+  std::printf("series,groups,mean,p10,p90\n");
+  for (std::size_t num_groups = 1; num_groups <= 64; ++num_groups) {
+    std::vector<double> counts;
+    counts.reserve(runs);
+    for (std::size_t run = 0; run < runs; ++run) {
+      Rng rng(seed + run * 1000 + num_groups);
+      const auto membership = membership::zipf_membership(
+          bench::zipf_params(128, num_groups), rng);
+      const auto result = metrics::build_and_measure(membership, rng);
+      counts.push_back(static_cast<double>(result.num_sequencing_nodes));
+    }
+    const Summary s = summarize(counts);
+    std::printf("fig5,%zu,%.2f,%.1f,%.1f\n", num_groups, s.mean, s.p10,
+                s.p90);
+  }
+  return 0;
+}

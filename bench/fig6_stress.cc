@@ -1,0 +1,41 @@
+// Figure 6 — stress of sequencing nodes (groups a node forwards messages
+// for, divided by the total number of groups) for 128 subscribers, varying
+// the number of groups; average, 90th percentile, and maximum (paper §4.3).
+//
+// Paper shape: stress falls as groups (and sequencing nodes) are added,
+// stabilizes around 0.2, then rises slightly past ~30 groups when the node
+// count stops growing while groups keep arriving.
+//
+// Output rows: fig6,<groups>,<mean_stress>,<p90>,<max>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/structure.h"
+
+int main() {
+  using namespace decseq;
+  const std::size_t runs = bench::env_or("DECSEQ_BENCH_RUNS", 100);
+  const std::uint64_t seed = bench::base_seed();
+  std::printf("# Figure 6: sequencing-node stress vs groups, 128 nodes, %zu runs\n",
+              runs);
+  std::printf("series,groups,mean,p90,max\n");
+  for (std::size_t num_groups = 2; num_groups <= 64; ++num_groups) {
+    std::vector<double> all_stress;
+    for (std::size_t run = 0; run < runs; ++run) {
+      Rng rng(seed + run * 1000 + num_groups);
+      const auto membership = membership::zipf_membership(
+          bench::zipf_params(128, num_groups), rng);
+      const auto result = metrics::build_and_measure(membership, rng);
+      all_stress.insert(all_stress.end(), result.stress.begin(),
+                        result.stress.end());
+    }
+    if (all_stress.empty()) {
+      std::printf("fig6,%zu,0,0,0\n", num_groups);
+      continue;
+    }
+    const Summary s = summarize(all_stress);
+    std::printf("fig6,%zu,%.3f,%.3f,%.3f\n", num_groups, s.mean, s.p90,
+                s.max);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 7 — cumulative distribution of the ratio between the number of
+// sequencing atoms on a message's path (sequence numbers it must collect)
+// and the total number of nodes, for 128 subscribers at several group
+// counts (paper §4.4).
+//
+// Paper shape: worst case below one half — i.e. the per-message overhead of
+// the sequencing scheme stays under that of a system-wide vector timestamp
+// whenever nodes outnumber groups.
+//
+// Output rows: fig7,<groups>,<ratio>,<cdf_fraction>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/structure.h"
+
+int main() {
+  using namespace decseq;
+  const std::size_t runs = bench::env_or("DECSEQ_BENCH_RUNS", 20);
+  const std::uint64_t seed = bench::base_seed();
+  std::printf("# Figure 7: atoms-per-path ratio CDF, 128 nodes, %zu runs\n",
+              runs);
+  std::printf("series,ratio,cdf\n");
+  for (const std::size_t num_groups : {8u, 16u, 32u, 64u}) {
+    std::vector<double> ratios;
+    for (std::size_t run = 0; run < runs; ++run) {
+      Rng rng(seed + run * 1000 + num_groups);
+      const auto membership = membership::zipf_membership(
+          bench::zipf_params(128, num_groups), rng);
+      const auto result = metrics::build_and_measure(membership, rng);
+      ratios.insert(ratios.end(), result.atoms_per_path_ratio.begin(),
+                    result.atoms_per_path_ratio.end());
+    }
+    const Summary s = summarize(ratios);
+    bench::print_cdf("fig7," + std::to_string(num_groups), ratios);
+    std::printf("fig7_summary,%zu,mean=%.4f,max=%.4f (worst case %s 0.5)\n",
+                num_groups, s.mean, s.max, s.max < 0.5 ? "<" : ">=");
+  }
+  return 0;
+}

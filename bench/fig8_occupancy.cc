@@ -1,0 +1,43 @@
+// Figure 8 — number of sequencing nodes and double overlaps versus the
+// expected occupancy of groups, for 128 subscriber nodes and 32 groups
+// (paper §4.5).
+//
+// Paper shape: both counts rise until ~0.2 occupancy; past that, new
+// overlaps share members with existing ones, so the number of sequencing
+// nodes gradually falls — down to one when occupancy approaches 1 (every
+// overlap spans the whole population).
+//
+// Output rows: fig8,<occupancy>,<mean_overlaps>,<mean_seq_nodes>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "metrics/structure.h"
+
+int main() {
+  using namespace decseq;
+  const std::size_t runs = bench::env_or("DECSEQ_BENCH_RUNS", 30);
+  const std::uint64_t seed = bench::base_seed();
+  std::printf("# Figure 8: overlaps & sequencing nodes vs occupancy, "
+              "128 nodes, 32 groups, %zu runs\n", runs);
+  std::printf("series,occupancy,overlaps,seq_nodes\n");
+  for (int pct = 0; pct <= 100; pct += 5) {
+    const double occupancy = pct / 100.0;
+    std::vector<double> overlaps, nodes;
+    for (std::size_t run = 0; run < runs; ++run) {
+      Rng rng(seed + run * 7919 + static_cast<std::uint64_t>(pct));
+      const auto membership = membership::occupancy_membership(
+          {.num_nodes = 128, .num_groups = 32, .occupancy = occupancy}, rng);
+      if (membership.num_groups() == 0) {
+        overlaps.push_back(0);
+        nodes.push_back(0);
+        continue;
+      }
+      const auto result = metrics::build_and_measure(membership, rng);
+      overlaps.push_back(static_cast<double>(result.num_double_overlaps));
+      nodes.push_back(static_cast<double>(result.num_sequencing_nodes));
+    }
+    std::printf("fig8,%.2f,%.1f,%.2f\n", occupancy, mean(overlaps),
+                mean(nodes));
+  }
+  return 0;
+}

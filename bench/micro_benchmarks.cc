@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths —
+// overlap index construction, sequencing-graph build, co-location,
+// receiver delivery, channel transport, and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "membership/overlap.h"
+#include "placement/colocation.h"
+#include "dht/ring.h"
+#include "protocol/codec.h"
+#include "protocol/receiver.h"
+#include "seqgraph/graph.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+
+namespace decseq {
+namespace {
+
+membership::GroupMembership bench_membership(std::size_t groups) {
+  Rng rng(42);
+  return membership::zipf_membership(
+      {.num_nodes = 128, .num_groups = groups, .scale = 1.0}, rng);
+}
+
+void BM_OverlapIndexBuild(benchmark::State& state) {
+  const auto m = bench_membership(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    membership::OverlapIndex idx(m);
+    benchmark::DoNotOptimize(idx.num_overlaps());
+  }
+}
+BENCHMARK(BM_OverlapIndexBuild)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_SequencingGraphBuild(benchmark::State& state) {
+  const auto m = bench_membership(static_cast<std::size_t>(state.range(0)));
+  const membership::OverlapIndex idx(m);
+  for (auto _ : state) {
+    const auto graph = seqgraph::build_sequencing_graph(m, idx, {});
+    benchmark::DoNotOptimize(graph.num_atoms());
+  }
+}
+BENCHMARK(BM_SequencingGraphBuild)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Colocation(benchmark::State& state) {
+  const auto m = bench_membership(static_cast<std::size_t>(state.range(0)));
+  const membership::OverlapIndex idx(m);
+  const auto graph = seqgraph::build_sequencing_graph(m, idx, {});
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto c = placement::colocate_atoms(graph, idx, {}, rng);
+    benchmark::DoNotOptimize(c.num_nodes());
+  }
+}
+BENCHMARK(BM_Colocation)->Arg(32)->Arg(64);
+
+void BM_ReceiverInOrderDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::size_t delivered = 0;
+    protocol::Receiver r(NodeId(0), {GroupId(0)}, {},
+                         [&](const protocol::Message&, sim::Time) {
+                           ++delivered;
+                         });
+    std::vector<protocol::Message> msgs(1000);
+    for (unsigned i = 0; i < 1000; ++i) {
+      msgs[i].id = MsgId(i);
+      msgs[i].group = GroupId(0);
+      msgs[i].sender = NodeId(1);
+      msgs[i].group_seq = i + 1;
+    }
+    state.ResumeTiming();
+    for (auto& m : msgs) r.receive(m, 0.0);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReceiverInOrderDelivery);
+
+void BM_ChannelTransport(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    Rng rng(3);
+    sim::Channel<int> ch(sim, rng, 1.0);
+    std::size_t got = 0;
+    ch.set_receiver([&](int) { ++got; });
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) ch.send(i);
+    sim.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelTransport);
+
+void BM_CodecEncode(benchmark::State& state) {
+  protocol::Message m;
+  m.id = MsgId(90);
+  m.group = GroupId(3);
+  m.sender = NodeId(17);
+  m.group_seq = 12;
+  for (unsigned i = 0; i < 6; ++i) m.stamps.push_back({AtomId(i * 7), i + 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::encode_message(m));
+  }
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  protocol::Message m;
+  m.id = MsgId(90);
+  m.group = GroupId(3);
+  m.sender = NodeId(17);
+  m.group_seq = 12;
+  for (unsigned i = 0; i < 6; ++i) m.stamps.push_back({AtomId(i * 7), i + 1});
+  const auto wire = protocol::encode_message(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::decode_message(wire));
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_DhtLookup(benchmark::State& state) {
+  dht::ChordRing ring;
+  const auto nodes = static_cast<unsigned>(state.range(0));
+  for (unsigned n = 0; n < nodes; ++n) ring.join(NodeId(n));
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto result =
+        ring.lookup(rng(), NodeId(static_cast<unsigned>(rng.next_below(nodes))));
+    benchmark::DoNotOptimize(result.hops());
+  }
+}
+BENCHMARK(BM_DhtLookup)->Arg(128)->Arg(1024);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    Rng rng(5);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(rng.next_double() * 1000.0, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+}  // namespace decseq
+
+BENCHMARK_MAIN();

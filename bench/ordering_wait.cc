@@ -1,0 +1,58 @@
+// Extension experiment — the receiver-side cost of ordering under
+// concurrent load (not plotted in the paper, but implied by its §3.1
+// buffer-or-deliver design: the figures measure isolated messages; real
+// deployments interleave them).
+//
+// Workload: 128 nodes, 32 groups; publishers fire at random times inside a
+// window whose width controls contention. For each window we report how
+// long messages sat in receiver reorder buffers waiting for earlier
+// messages (the "ordering wait"), and the peak buffer occupancy.
+//
+// Expected shape: waits shrink as the window widens (less contention) and
+// vanish when messages are fully staggered — the guarantee itself costs
+// receiver time only under concurrency, never extra network traffic.
+//
+// Output rows: ordering_wait,<window_ms>,<msgs>,<mean_wait_ms>,
+//              <max_wait_ms>,<max_buffer_occupancy>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace decseq;
+  std::printf("# Ordering wait vs publish-window width, 128 nodes, 32 groups\n");
+  std::printf("series,window_ms,messages,total_wait_ms,mean_wait_ms,max_buffer\n");
+  const std::uint64_t seed = bench::base_seed();
+  for (const double window_ms : {0.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+    pubsub::PubSubSystem system(bench::paper_config(seed));
+    Rng rng(seed + static_cast<std::uint64_t>(window_ms));
+    bench::install_zipf_groups(system, rng, 32);
+
+    auto& sim = system.simulator();
+    std::size_t published = 0;
+    for (std::size_t n = 0; n < system.membership().num_nodes(); ++n) {
+      const NodeId sender(static_cast<unsigned>(n));
+      for (const GroupId g : system.membership().groups_of(sender)) {
+        const double at = rng.next_double() * window_ms;
+        sim.schedule_at(at,
+                        [&system, sender, g] { system.publish(sender, g); });
+        ++published;
+      }
+    }
+    system.run();
+
+    double total_wait = 0.0;
+    std::size_t max_buffer = 0;
+    for (std::size_t n = 0; n < system.membership().num_nodes(); ++n) {
+      const NodeId node(static_cast<unsigned>(n));
+      if (system.membership().groups_of(node).empty()) continue;
+      const auto& receiver = system.network().receiver(node);
+      total_wait += receiver.total_buffer_wait();
+      max_buffer = std::max(max_buffer, receiver.max_buffered());
+    }
+    std::printf("ordering_wait,%.0f,%zu,%.1f,%.4f,%zu\n", window_ms,
+                published, total_wait,
+                total_wait / static_cast<double>(published), max_buffer);
+  }
+  return 0;
+}

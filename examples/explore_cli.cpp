@@ -1,0 +1,252 @@
+// decseq explorer — run a configurable deployment from the command line and
+// print the sequencing structure plus end-to-end measurements. Handy for
+// exploring parameter regimes beyond the paper's figures.
+//
+// Usage:
+//   explore_cli [--nodes N] [--groups G] [--clusters C] [--seed S]
+//               [--zipf-scale X | --occupancy P | --membership FILE]
+//               [--uniform-members] [--loss P] [--messages M] [--waxman]
+//               [--no-heuristics] [--dot] [--log-out FILE]
+//               [--verify-log FILE] [--verbose]
+//
+// Examples:
+//   explore_cli --nodes 64 --groups 16
+//   explore_cli --occupancy 0.3 --groups 32
+//   explore_cli --membership my_groups.txt --messages 200 --log-out run.csv
+//   explore_cli --verify-log run.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "membership/generators.h"
+#include "membership/io.h"
+#include "metrics/logio.h"
+#include "metrics/stretch.h"
+#include "metrics/structure.h"
+#include "pubsub/system.h"
+#include "seqgraph/dot.h"
+
+using namespace decseq;
+
+namespace {
+
+struct Options {
+  std::size_t nodes = 128;
+  std::size_t groups = 16;
+  std::size_t clusters = 32;
+  std::uint64_t seed = 1;
+  double zipf_scale = 1.0;
+  double occupancy = -1.0;  // < 0: use Zipf sizes
+  bool uniform_members = false;
+  double loss = 0.0;
+  std::size_t messages = 0;  // 0: one per subscription (Fig 3 workload)
+  bool heuristics = true;
+  bool verbose = false;
+  bool dot = false;  // print the sequencing graph as Graphviz and exit
+  bool waxman = false;  // flat Waxman topology instead of transit-stub
+  std::string log_out;     // write the delivery log as CSV here
+  std::string verify_log;  // audit a saved log and exit
+  std::string membership_file;  // load the matrix instead of generating it
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes N] [--groups G] [--clusters C] [--seed S]\n"
+               "          [--zipf-scale X | --occupancy P | --membership F]\n"
+               "          [--uniform-members] [--loss P] [--messages M]\n"
+               "          [--waxman] [--no-heuristics] [--dot]\n"
+               "          [--log-out F] [--verify-log F] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--nodes") opt.nodes = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--groups") opt.groups = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--clusters") opt.clusters = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--zipf-scale") opt.zipf_scale = std::strtod(value(), nullptr);
+    else if (arg == "--occupancy") opt.occupancy = std::strtod(value(), nullptr);
+    else if (arg == "--uniform-members") opt.uniform_members = true;
+    else if (arg == "--loss") opt.loss = std::strtod(value(), nullptr);
+    else if (arg == "--messages") opt.messages = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--no-heuristics") opt.heuristics = false;
+    else if (arg == "--verbose") opt.verbose = true;
+    else if (arg == "--dot") opt.dot = true;
+    else if (arg == "--waxman") opt.waxman = true;
+    else if (arg == "--log-out") opt.log_out = value();
+    else if (arg == "--verify-log") opt.verify_log = value();
+    else if (arg == "--membership") opt.membership_file = value();
+    else usage(argv[0]);
+  }
+  if (opt.nodes < 2 || opt.groups < 1 || opt.clusters < 1) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.verbose) set_log_level(LogLevel::kDebug);
+
+  if (!opt.verify_log.empty()) {
+    std::ifstream in(opt.verify_log);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.verify_log.c_str());
+      return 2;
+    }
+    const auto log = metrics::read_delivery_log(in);
+    const auto violation = metrics::find_order_violation(log);
+    std::printf("%zu deliveries: %s\n", log.size(),
+                violation ? violation->c_str() : "order consistent");
+    return violation ? 1 : 0;
+  }
+
+  // A membership file overrides the generated workload; its population may
+  // enlarge the deployment.
+  std::optional<membership::GroupMembership> loaded;
+  std::size_t num_hosts = opt.nodes;
+  if (!opt.membership_file.empty()) {
+    std::ifstream in(opt.membership_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.membership_file.c_str());
+      return 2;
+    }
+    loaded = membership::read_membership(in, opt.nodes);
+    num_hosts = loaded->num_nodes();
+  }
+
+  pubsub::SystemConfig config;
+  config.seed = opt.seed;
+  if (opt.waxman) config.topology_model = pubsub::TopologyModel::kWaxman;
+  config.hosts.num_hosts = num_hosts;
+  config.hosts.num_clusters = opt.clusters;
+  config.network.channel.loss_probability = opt.loss;
+  if (!opt.heuristics) {
+    config.colocation.mode = placement::ColocationMode::kNone;
+    config.assignment.mode = placement::AssignmentMode::kAllRandom;
+  }
+  pubsub::PubSubSystem system(config);
+
+  // Membership.
+  Rng rng(opt.seed * 77 + 1);
+  membership::GroupMembership snapshot =
+      loaded.has_value() ? std::move(*loaded)
+      : opt.occupancy >= 0.0
+          ? membership::occupancy_membership(
+                {.num_nodes = opt.nodes,
+                 .num_groups = opt.groups,
+                 .occupancy = opt.occupancy},
+                rng)
+          : membership::zipf_membership(
+                {.num_nodes = opt.nodes,
+                 .num_groups = opt.groups,
+                 .scale = opt.zipf_scale,
+                 .selection = opt.uniform_members
+                                  ? membership::MemberSelection::kUniform
+                                  : membership::MemberSelection::kZipfPopularity},
+                rng);
+  std::vector<std::vector<NodeId>> lists;
+  for (const GroupId g : snapshot.live_groups()) {
+    lists.push_back(snapshot.members(g));
+  }
+  if (lists.empty()) {
+    std::printf("no non-empty groups generated; nothing to do\n");
+    return 0;
+  }
+  system.create_groups(std::move(lists));
+
+  if (opt.dot) {
+    std::vector<std::size_t> machine_of_atom(system.graph().num_atoms());
+    for (const auto& atom : system.graph().atoms()) {
+      machine_of_atom[atom.id.value()] =
+          system.colocation().node_of(atom.id).value();
+    }
+    std::fputs(seqgraph::to_dot(system.graph(), system.membership(),
+                                &machine_of_atom)
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  // --- Structure. ---
+  std::printf("== structure ==\n");
+  std::printf("nodes=%zu groups=%zu double_overlaps=%zu\n", num_hosts,
+              system.membership().num_groups(),
+              system.overlaps().num_overlaps());
+  std::printf("sequencing atoms=%zu (+%zu ingress-only) on %zu machines\n",
+              system.graph().num_overlap_atoms(),
+              system.graph().num_atoms() - system.graph().num_overlap_atoms(),
+              system.colocation().num_overlap_nodes(system.graph()));
+  const auto structure = metrics::measure_structure(
+      system.membership(), system.overlaps(), system.graph(),
+      system.colocation());
+  if (!structure.stress.empty()) {
+    std::printf("stress: %s\n", to_string(summarize(structure.stress)).c_str());
+  }
+  if (!structure.atoms_per_path_ratio.empty()) {
+    std::printf("stamps/message ratio: %s\n",
+                to_string(summarize(structure.atoms_per_path_ratio)).c_str());
+  }
+
+  // --- Traffic. ---
+  std::printf("\n== traffic ==\n");
+  if (opt.messages == 0) {
+    const auto run = metrics::measure_stretch(system);
+    const auto per_dest = metrics::stretch_per_destination(
+        run.samples, system.membership().num_nodes());
+    std::printf("workload: one message per subscription (%zu messages)\n",
+                run.messages_published);
+    std::printf("latency stretch per destination: %s\n",
+                to_string(summarize(per_dest)).c_str());
+  } else {
+    Rng traffic(opt.seed * 13 + 7);
+    const auto groups = system.membership().live_groups();
+    auto& sim = system.simulator();
+    for (std::size_t i = 0; i < opt.messages; ++i) {
+      const GroupId g = traffic.pick(groups);
+      const NodeId sender = traffic.pick(system.membership().members(g));
+      sim.schedule_at(traffic.next_double() * 1000.0,
+                      [&system, sender, g] { system.publish(sender, g); });
+    }
+    system.run();
+    std::printf("published %zu messages in a 1s window; %zu deliveries\n",
+                opt.messages, system.deliveries().size());
+    double total_wait = 0.0;
+    for (std::size_t n = 0; n < num_hosts; ++n) {
+      const NodeId node(static_cast<unsigned>(n));
+      if (system.membership().groups_of(node).empty()) continue;
+      total_wait += system.network().receiver(node).total_buffer_wait();
+    }
+    std::printf("total ordering wait across receivers: %.1f ms\n", total_wait);
+    std::size_t max_load = 0;
+    for (const std::size_t l : system.network().seqnode_load()) {
+      max_load = std::max(max_load, l);
+    }
+    std::printf("busiest sequencing machine handled %zu messages\n", max_load);
+  }
+
+  if (!opt.log_out.empty()) {
+    std::ofstream out(opt.log_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.log_out.c_str());
+      return 2;
+    }
+    metrics::write_delivery_log(system.deliveries(), out);
+    std::printf("delivery log (%zu rows) written to %s\n",
+                system.deliveries().size(), opt.log_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Network game example (paper §1.1, "Network games").
+//
+// The virtual world is a 4x4 grid of regions; each region is a group.
+// Every player subscribes to the 3x3 neighbourhood of regions around its
+// position — its area of interest — so players with overlapping areas form
+// double overlaps, and the sequencing network guarantees they see common
+// events in the same order ("if one player shoots and hits another, all
+// should see the events in order, else physical rules are violated").
+//
+// The example stages a firefight on the boundary between two squads'
+// territories and then *verifies* game-state consistency: every pair of
+// players replaying the events they both received applies them in the same
+// order, so nobody's client disagrees about who shot first.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pubsub/system.h"
+
+using namespace decseq;
+
+namespace {
+
+constexpr int kGridSize = 4;      // 4x4 regions
+constexpr int kNumPlayers = 24;
+
+int region_index(int x, int y) { return y * kGridSize + x; }
+
+struct Player {
+  NodeId node;
+  int x, y;  // position in the grid
+};
+
+/// Regions in the 3x3 area of interest around (x, y).
+std::vector<int> area_of_interest(int x, int y) {
+  std::vector<int> regions;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const int rx = x + dx, ry = y + dy;
+      if (rx >= 0 && rx < kGridSize && ry >= 0 && ry < kGridSize) {
+        regions.push_back(region_index(rx, ry));
+      }
+    }
+  }
+  return regions;
+}
+
+/// A game event, packed into the 64-bit message payload.
+enum class Action : std::uint64_t { kMove = 1, kShoot = 2, kHit = 3 };
+std::uint64_t pack(Action a, unsigned actor, unsigned target) {
+  return (static_cast<std::uint64_t>(a) << 32) | (actor << 16) | target;
+}
+std::string describe(std::uint64_t payload) {
+  const auto action = static_cast<Action>(payload >> 32);
+  const unsigned actor = (payload >> 16) & 0xffff;
+  const unsigned target = payload & 0xffff;
+  switch (action) {
+    case Action::kMove: return "player " + std::to_string(actor) + " moves";
+    case Action::kShoot:
+      return "player " + std::to_string(actor) + " shoots at " +
+             std::to_string(target);
+    case Action::kHit:
+      return "player " + std::to_string(target) + " is hit by " +
+             std::to_string(actor);
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  pubsub::SystemConfig config;
+  config.seed = 42;
+  config.topology.transit_domains = 3;
+  config.topology.routers_per_transit = 4;
+  config.topology.stubs_per_transit_router = 2;
+  config.topology.routers_per_stub = 10;
+  config.hosts.num_hosts = kNumPlayers;
+  config.hosts.num_clusters = 6;
+  pubsub::PubSubSystem system(config);
+
+  // Scatter players over the grid, two per cell-ish.
+  std::vector<Player> players;
+  for (int p = 0; p < kNumPlayers; ++p) {
+    players.push_back({NodeId(static_cast<unsigned>(p)),
+                       (p * 7) % kGridSize, (p * 5 / 2) % kGridSize});
+  }
+
+  // One group per region; members = players whose area of interest covers
+  // it (they can see events there). Created in bulk: one graph build.
+  // Regions nobody watches get no group.
+  std::vector<std::vector<NodeId>> region_members(kGridSize * kGridSize);
+  for (const Player& p : players) {
+    for (const int r : area_of_interest(p.x, p.y)) {
+      region_members[static_cast<std::size_t>(r)].push_back(p.node);
+    }
+  }
+  std::vector<GroupId> region_group(region_members.size());
+  std::vector<std::vector<NodeId>> populated;
+  std::vector<std::size_t> populated_region;
+  for (std::size_t r = 0; r < region_members.size(); ++r) {
+    if (!region_members[r].empty()) {
+      populated.push_back(std::move(region_members[r]));
+      populated_region.push_back(r);
+    }
+  }
+  const std::vector<GroupId> ids = system.create_groups(std::move(populated));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    region_group[populated_region[i]] = ids[i];
+  }
+
+  std::printf("world: %dx%d regions, %d players\n", kGridSize, kGridSize,
+              kNumPlayers);
+  std::printf("double overlaps (players sharing views): %zu -> %zu "
+              "sequencing atoms on %zu machines\n",
+              system.overlaps().num_overlaps(),
+              system.graph().num_overlap_atoms(),
+              system.colocation().num_overlap_nodes(system.graph()));
+
+  // --- Stage the firefight. Player 0 and player 1 exchange fire in the
+  //     region both occupy; bystanders move around concurrently. Shots and
+  //     hits are published causally: a hit is a *reaction* to observing the
+  //     shot, so publish_causal threads happens-before through the graph.
+  const Player& alice = players[0];  // at (0,0)
+  const Player& bob = players[8];    // also at (0,0): same battlefield
+  const GroupId battlefield =
+      region_group[static_cast<std::size_t>(region_index(alice.x, alice.y))];
+
+  system.publish_causal(alice.node, battlefield,
+                        pack(Action::kShoot, 0, 1));
+  system.publish_causal(alice.node, battlefield, pack(Action::kHit, 0, 1));
+  // Bob returns fire (concurrently with Alice's second volley).
+  const GroupId bobs_region =
+      region_group[static_cast<std::size_t>(region_index(bob.x, bob.y))];
+  system.publish_causal(bob.node, bobs_region, pack(Action::kShoot, 1, 0));
+  // Bystanders generate unrelated traffic in their own regions.
+  for (int p = 4; p < kNumPlayers; p += 3) {
+    const Player& bystander = players[static_cast<std::size_t>(p)];
+    system.publish(
+        bystander.node,
+        region_group[static_cast<std::size_t>(
+            region_index(bystander.x, bystander.y))],
+        pack(Action::kMove, static_cast<unsigned>(p), 0));
+  }
+  system.run();
+
+  // --- Replay: each player applies the events it received, in order.
+  std::map<NodeId, std::vector<std::uint64_t>> timeline;
+  for (const auto& d : system.deliveries()) {
+    timeline[d.receiver].push_back(d.payload);
+  }
+  std::printf("\nplayer 0's view of the fight:\n");
+  for (const std::uint64_t e : timeline[alice.node]) {
+    std::printf("  %s\n", describe(e).c_str());
+  }
+
+  // --- Consistency check: any two players agree on the relative order of
+  //     every pair of events they both saw.
+  std::size_t pairs_checked = 0;
+  for (const Player& a : players) {
+    for (const Player& b : players) {
+      if (a.node.value() >= b.node.value()) continue;
+      const auto& ta = timeline[a.node];
+      const auto& tb = timeline[b.node];
+      std::map<std::uint64_t, std::size_t> rank_b;
+      for (std::size_t i = 0; i < tb.size(); ++i) rank_b[tb[i]] = i;
+      std::size_t prev_rank = 0;
+      bool first = true;
+      for (const std::uint64_t e : ta) {
+        const auto it = rank_b.find(e);
+        if (it == rank_b.end()) continue;
+        if (!first && it->second < prev_rank) {
+          std::printf("INCONSISTENCY between players %u and %u!\n",
+                      a.node.value(), b.node.value());
+          return 1;
+        }
+        prev_rank = it->second;
+        first = false;
+        ++pairs_checked;
+      }
+    }
+  }
+  std::printf("\nchecked %zu shared-event orderings across all player "
+              "pairs: all consistent.\n", pairs_checked);
+  std::printf("every client that saw the shot and the hit saw the shot "
+              "first — physical rules hold on all screens.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the ordering layer in five minutes.
+//
+// Builds a small deployment, creates two groups that share subscribers,
+// publishes concurrently from both sides of the network, and shows that
+// every shared subscriber observes the messages in the same order — the
+// guarantee the library exists to provide. Also tours the introspection
+// API: the double overlaps found, the sequencing atoms created, and the
+// per-message sequence-number stamps.
+#include <cstdio>
+
+#include "pubsub/system.h"
+
+using namespace decseq;
+
+int main() {
+  // 1. Configure a deployment. The defaults build a 10,000-router
+  //    transit-stub topology; this example shrinks it for a fast start.
+  pubsub::SystemConfig config;
+  config.seed = 7;
+  config.topology.transit_domains = 2;
+  config.topology.routers_per_transit = 4;
+  config.topology.stubs_per_transit_router = 2;
+  config.topology.routers_per_stub = 8;
+  config.hosts.num_hosts = 8;
+  config.hosts.num_clusters = 4;
+  pubsub::PubSubSystem system(config);
+
+  // 2. Create groups. "news" and "sports" share two subscribers (1 and 2),
+  //    so their messages must be mutually ordered; "weather" is unrelated.
+  const GroupId news = system.create_group({NodeId(0), NodeId(1), NodeId(2)});
+  const GroupId sports =
+      system.create_group({NodeId(1), NodeId(2), NodeId(3)});
+  const GroupId weather = system.create_group({NodeId(4), NodeId(5)});
+
+  std::printf("== sequencing structure ==\n");
+  std::printf("double overlaps: %zu\n", system.overlaps().num_overlaps());
+  for (const auto& overlap : system.overlaps().overlaps()) {
+    std::printf("  groups %u and %u share %zu subscribers -> one sequencing "
+                "atom\n",
+                overlap.first.value(), overlap.second.value(),
+                overlap.members.size());
+  }
+  std::printf("sequencing atoms: %zu (+%zu ingress-only)\n",
+              system.graph().num_overlap_atoms(),
+              system.graph().num_atoms() -
+                  system.graph().num_overlap_atoms());
+
+  // 3. Publish concurrently to overlapping groups, from different hosts.
+  system.publish(NodeId(0), news, /*payload=*/100);
+  system.publish(NodeId(3), sports, /*payload=*/200);
+  system.publish(NodeId(0), news, /*payload=*/101);
+  system.publish(NodeId(3), sports, /*payload=*/201);
+  system.publish(NodeId(4), weather, /*payload=*/300);
+
+  // 4. Run the simulation to completion: everything is delivered.
+  const sim::Time done = system.run();
+  std::printf("\n== deliveries (finished at t=%.1f ms) ==\n", done);
+  for (const unsigned node : {1u, 2u}) {
+    std::printf("subscriber %u saw:", node);
+    for (const auto& d : system.deliveries_to(NodeId(node))) {
+      std::printf(" %llu", static_cast<unsigned long long>(d.payload));
+    }
+    std::printf("\n");
+  }
+  std::printf("subscribers 1 and 2 agree on the interleaving of news and "
+              "sports — that is the ordering guarantee.\n");
+
+  // 5. Inspect a message's collected sequence numbers.
+  const MsgId probe = system.publish(NodeId(1), news, 102);
+  system.run();
+  const auto& record = system.record(probe);
+  std::printf("\nmessage %u collected %zu stamp(s); ordering header = %zu "
+              "bytes (a 128-node vector timestamp would be %u bytes)\n",
+              probe.value(), record.stamps, record.header_bytes, 128 * 8);
+  (void)weather;
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Stock ticker example (paper §1.1, "Stock tickers").
+//
+// Messages are stock trades; consumers at different brokerage firms
+// subscribe to *filters* — by industry, by market cap, by listing venue —
+// expressed as content predicates. The ContentLayer maps each distinct
+// predicate to a group of the ordering layer ("the consumers will be
+// members of groups based on their subscriptions"), so overlapping filters
+// become double-overlapped groups and the sequencing network orders their
+// trades.
+//
+// Each consumer applies the trades it receives, in delivery order, to a
+// local last-price table. Because consumers that share filters deliver the
+// shared trades in the same order, their tables agree on every symbol both
+// track — the paper's "update operations result in consistent states"
+// property, checked explicitly at the end.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "filter/subscription_table.h"
+#include "pubsub/system.h"
+
+using namespace decseq;
+
+namespace {
+
+struct Symbol {
+  const char* ticker;
+  const char* industry;
+  bool large_cap;
+  bool us_listed;
+};
+
+constexpr Symbol kSymbols[] = {
+    {"AAPL", "tech", true, true},     {"TSM", "tech", true, false},
+    {"SHEL", "energy", true, false},  {"XOM", "energy", true, true},
+    {"JPM", "finance", true, true},   {"HOOD", "finance", false, true},
+    {"PLTR", "tech", false, true},    {"FLNC", "energy", false, true},
+};
+constexpr std::size_t kNumSymbols = sizeof(kSymbols) / sizeof(kSymbols[0]);
+
+std::uint64_t pack_trade(std::size_t symbol, std::uint64_t price_cents) {
+  return (static_cast<std::uint64_t>(symbol) << 48) | price_cents;
+}
+std::pair<std::size_t, std::uint64_t> unpack_trade(std::uint64_t payload) {
+  return {payload >> 48, payload & 0xffffffffffffULL};
+}
+
+filter::Event trade_event(const Symbol& s, std::size_t index,
+                          std::uint64_t price_cents) {
+  filter::Event e;
+  e.set("symbol", s.ticker)
+      .set("sym_index", static_cast<std::int64_t>(index))
+      .set("industry", s.industry)
+      .set("large_cap", s.large_cap ? 1 : 0)
+      .set("us_listed", s.us_listed ? 1 : 0)
+      .set("price", static_cast<std::int64_t>(price_cents));
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  pubsub::SystemConfig config;
+  config.seed = 99;
+  config.topology.transit_domains = 3;
+  config.topology.routers_per_transit = 3;
+  config.topology.stubs_per_transit_router = 2;
+  config.topology.routers_per_stub = 8;
+  config.hosts.num_hosts = 12;
+  config.hosts.num_clusters = 4;
+  pubsub::PubSubSystem system(config);
+  filter::ContentLayer filters(system);
+
+  // Hosts 0-2 are exchange feeds (publishers); 3-11 are brokerage-firm
+  // consumers, each subscribing to the filters its desks trade on.
+  const NodeId nyse(0), nasdaq(1), lse(2);
+
+  filter::Predicate tech, energy, finance, large_caps, us_listed;
+  tech.eq("industry", "tech");
+  energy.eq("industry", "energy");
+  finance.eq("industry", "finance");
+  large_caps.eq("large_cap", 1);
+  us_listed.eq("us_listed", 1);
+
+  filters.subscribe_all({
+      {NodeId(3), tech},      {NodeId(4), tech},      {NodeId(5), tech},
+      {NodeId(6), tech},      {NodeId(5), energy},    {NodeId(6), energy},
+      {NodeId(7), energy},    {NodeId(4), finance},   {NodeId(7), finance},
+      {NodeId(8), finance},   {NodeId(3), large_caps},{NodeId(5), large_caps},
+      {NodeId(8), large_caps},{NodeId(9), large_caps},{NodeId(4), us_listed},
+      {NodeId(6), us_listed}, {NodeId(9), us_listed}, {NodeId(10), us_listed},
+  });
+
+  std::printf("filters registered: %zu (tech, energy, finance, large_caps, "
+              "us_listed)\n", filters.num_predicates());
+  std::printf("double overlaps among filter groups: %zu; sequencing atoms: "
+              "%zu on %zu machines\n",
+              system.overlaps().num_overlaps(),
+              system.graph().num_overlap_atoms(),
+              system.colocation().num_overlap_nodes(system.graph()));
+
+  // The exchange that publishes trades for a symbol.
+  auto exchange_for = [&](const Symbol& s) {
+    return s.us_listed ? (std::string(s.industry) == "tech" ? nasdaq : nyse)
+                       : lse;
+  };
+
+  // --- A burst of trades, interleaved across exchanges. Each trade is
+  //     content-routed: the layer publishes one sequenced message per
+  //     matching filter group.
+  Rng prices(1234);
+  std::size_t notifications = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t sym = 0; sym < kNumSymbols; ++sym) {
+      const Symbol& s = kSymbols[sym];
+      const std::uint64_t price = 10'000 + prices.next_below(90'000);
+      const auto hit = filters.publish(exchange_for(s),
+                                       trade_event(s, sym, price),
+                                       pack_trade(sym, price));
+      notifications += hit.size();
+    }
+  }
+  system.run();
+  std::printf("published %zu trade notifications\n", notifications);
+
+  // --- Apply deliveries to per-consumer last-price tables.
+  std::map<NodeId, std::map<std::size_t, std::uint64_t>> last_price;
+  std::map<NodeId, std::map<std::size_t, std::size_t>> updates_seen;
+  for (const auto& d : system.deliveries()) {
+    const auto [sym, price] = unpack_trade(d.payload);
+    last_price[d.receiver][sym] = price;
+    ++updates_seen[d.receiver][sym];
+  }
+
+  // --- Consistency: consumers sharing a symbol through overlapping filters
+  //     must agree on the final price whenever both saw its full stream.
+  std::size_t agreements = 0;
+  bool consistent = true;
+  for (const auto& [a, table_a] : last_price) {
+    for (const auto& [b, table_b] : last_price) {
+      if (a.value() >= b.value()) continue;
+      for (const auto& [sym, price_a] : table_a) {
+        const auto it = table_b.find(sym);
+        if (it == table_b.end()) continue;
+        if (updates_seen[a][sym] != updates_seen[b][sym]) continue;
+        if (price_a != it->second) {
+          std::printf("STATE DIVERGENCE: %s at consumers %u vs %u\n",
+                      kSymbols[sym].ticker, a.value(), b.value());
+          consistent = false;
+        } else {
+          ++agreements;
+        }
+      }
+    }
+  }
+  std::printf("cross-checked %zu (consumer pair, symbol) final prices: %s\n",
+              agreements, consistent ? "all consistent" : "DIVERGED");
+
+  std::printf("\nconsumer 5 (tech + energy + large caps) final board:\n");
+  for (const auto& [sym, price] : last_price[NodeId(5)]) {
+    std::printf("  %-5s $%llu.%02llu\n", kSymbols[sym].ticker,
+                static_cast<unsigned long long>(price / 100),
+                static_cast<unsigned long long>(price % 100));
+  }
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure/experiment in one go.
+#
+#   scripts/run_all.sh [build-dir]
+#
+# Environment:
+#   DECSEQ_BENCH_RUNS / DECSEQ_BENCH_SEED — forwarded to the benches.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -G Ninja -S "$ROOT"
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo
+echo "== benches =="
+for b in "$BUILD_DIR"/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "--- $(basename "$b") ---"
+    "$b"
+    echo
+  fi
+done

@@ -1,0 +1,67 @@
+#include "baseline/centralized.h"
+
+#include <limits>
+
+namespace decseq::baseline {
+
+namespace {
+
+RouterId median_router(const topology::HostMap& hosts,
+                       topology::DistanceOracle& oracle,
+                       const topology::Graph& network) {
+  // Evaluate candidate routers: the hosts' own attachment routers are a good
+  // candidate set (evaluating all 10k routers would need all-pairs data).
+  RouterId best{};
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (const RouterId candidate : hosts.attachment_routers()) {
+    double sum = 0.0;
+    const auto& dist = oracle.distances_from(candidate);
+    for (const RouterId r : hosts.attachment_routers()) sum += dist[r.value()];
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = candidate;
+    }
+  }
+  DECSEQ_CHECK(best.valid());
+  (void)network;
+  return best;
+}
+
+}  // namespace
+
+CentralizedOrdering::CentralizedOrdering(
+    sim::Simulator& sim, const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, topology::DistanceOracle& oracle,
+    const topology::Graph& network, CentralizedOptions options, Rng& rng)
+    : sim_(&sim), membership_(&membership), hosts_(&hosts), oracle_(&oracle) {
+  switch (options.placement) {
+    case CentralizedOptions::Placement::kRandom:
+      sequencer_ = RouterId(static_cast<RouterId::underlying_type>(
+          rng.next_below(network.num_routers())));
+      break;
+    case CentralizedOptions::Placement::kMedian:
+      sequencer_ = median_router(hosts, oracle, network);
+      break;
+  }
+}
+
+MsgId CentralizedOrdering::publish(NodeId sender, GroupId group) {
+  const MsgId id(next_msg_++);
+  const double to_seq =
+      oracle_->distance(hosts_->router_of(sender), sequencer_);
+  sim_->schedule_after(to_seq, [this, id, group, sender] {
+    ++load_;
+    ++next_seq_;  // global total order; constant per-leg delays keep
+                  // per-receiver arrival order equal to sequence order
+    for (const NodeId member : membership_->members(group)) {
+      const double out =
+          oracle_->distance(sequencer_, hosts_->router_of(member));
+      sim_->schedule_after(out, [this, member, id, group, sender] {
+        if (on_delivery_) on_delivery_(member, id, group, sender, sim_->now());
+      });
+    }
+  });
+  return id;
+}
+
+}  // namespace decseq::baseline

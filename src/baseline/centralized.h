@@ -1,0 +1,64 @@
+// Baseline: a single centralized sequencer (paper §1.1, §2).
+//
+// Every message travels sender -> sequencer -> subscribers; the sequencer
+// assigns one global sequence number. This is the design the paper argues
+// against: it trivially provides total order but concentrates all message
+// load on one machine and adds a detour through it. The benches compare its
+// maximum node load and latency stretch against the decentralized scheme.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "membership/membership.h"
+#include "sim/simulator.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+
+namespace decseq::baseline {
+
+struct CentralizedOptions {
+  /// Pick the sequencer machine at random (paper-style strawman) or at the
+  /// router minimizing the sum of distances to all hosts (best case).
+  enum class Placement { kRandom, kMedian } placement = Placement::kRandom;
+};
+
+/// A centrally sequenced pub/sub deployment over the same topology and
+/// membership as the decentralized system.
+class CentralizedOrdering {
+ public:
+  using DeliveryFn = std::function<void(NodeId receiver, MsgId, GroupId,
+                                        NodeId sender, sim::Time)>;
+
+  CentralizedOrdering(sim::Simulator& sim,
+                      const membership::GroupMembership& membership,
+                      const topology::HostMap& hosts,
+                      topology::DistanceOracle& oracle,
+                      const topology::Graph& network,
+                      CentralizedOptions options, Rng& rng);
+
+  void set_delivery_callback(DeliveryFn fn) { on_delivery_ = std::move(fn); }
+
+  MsgId publish(NodeId sender, GroupId group);
+
+  /// Messages the sequencer machine has processed (its load).
+  [[nodiscard]] std::size_t sequencer_load() const { return load_; }
+  [[nodiscard]] RouterId sequencer_router() const { return sequencer_; }
+  [[nodiscard]] std::size_t published() const { return next_msg_; }
+
+ private:
+  sim::Simulator* sim_;
+  const membership::GroupMembership* membership_;
+  const topology::HostMap* hosts_;
+  topology::DistanceOracle* oracle_;
+  RouterId sequencer_;
+  SeqNo next_seq_ = 1;
+  std::size_t load_ = 0;
+  MsgId::underlying_type next_msg_ = 0;
+  DeliveryFn on_delivery_;
+};
+
+}  // namespace decseq::baseline

@@ -1,0 +1,34 @@
+#include "baseline/per_group.h"
+
+namespace decseq::baseline {
+
+PerGroupOrdering::PerGroupOrdering(
+    sim::Simulator& sim, const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, topology::DistanceOracle& oracle,
+    Rng& rng)
+    : sim_(&sim), membership_(&membership), hosts_(&hosts), oracle_(&oracle) {
+  for (const GroupId g : membership.live_groups()) {
+    sequencer_[g] = rng.pick(membership.members(g));
+    next_seq_[g] = 1;
+  }
+}
+
+MsgId PerGroupOrdering::publish(NodeId sender, GroupId group) {
+  const MsgId id(next_msg_++);
+  const NodeId seq_node = sequencer_.at(group);
+  const double to_seq = hosts_->unicast_delay(sender, seq_node, *oracle_);
+  sim_->schedule_after(to_seq, [this, id, group, sender, seq_node] {
+    const SeqNo seq = next_seq_.at(group)++;
+    for (const NodeId member : membership_->members(group)) {
+      const double out = hosts_->unicast_delay(seq_node, member, *oracle_);
+      sim_->schedule_after(out, [this, member, id, group, sender, seq] {
+        if (on_delivery_) {
+          on_delivery_(member, id, group, sender, seq, sim_->now());
+        }
+      });
+    }
+  });
+  return id;
+}
+
+}  // namespace decseq::baseline

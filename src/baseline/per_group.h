@@ -1,0 +1,59 @@
+// Baseline: independent per-group sequencers (paper §1: "simply elect a
+// node to give each message a sequence number").
+//
+// Each group elects one member as its sequencer; messages detour through it
+// and receive a group-local number. Within one group the order is
+// consistent, but two groups' messages can be observed in different orders
+// by different shared subscribers — the anomaly the paper's protocol
+// removes. This baseline is the latency lower bound for any
+// sequencer-based scheme (one detour, no cross-group path) and the
+// benches/tests use it to show the consistency gap.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "membership/membership.h"
+#include "sim/simulator.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+
+namespace decseq::baseline {
+
+class PerGroupOrdering {
+ public:
+  using DeliveryFn = std::function<void(NodeId receiver, MsgId, GroupId,
+                                        NodeId sender, SeqNo, sim::Time)>;
+
+  PerGroupOrdering(sim::Simulator& sim,
+                   const membership::GroupMembership& membership,
+                   const topology::HostMap& hosts,
+                   topology::DistanceOracle& oracle, Rng& rng);
+
+  void set_delivery_callback(DeliveryFn fn) { on_delivery_ = std::move(fn); }
+
+  MsgId publish(NodeId sender, GroupId group);
+
+  /// The member elected as sequencer for `group`.
+  [[nodiscard]] NodeId sequencer_of(GroupId group) const {
+    const auto it = sequencer_.find(group);
+    DECSEQ_CHECK(it != sequencer_.end());
+    return it->second;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  const membership::GroupMembership* membership_;
+  const topology::HostMap* hosts_;
+  topology::DistanceOracle* oracle_;
+  std::unordered_map<GroupId, NodeId> sequencer_;
+  std::unordered_map<GroupId, SeqNo> next_seq_;
+  MsgId::underlying_type next_msg_ = 0;
+  DeliveryFn on_delivery_;
+};
+
+}  // namespace decseq::baseline

@@ -1,0 +1,144 @@
+#include "baseline/propagation_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace decseq::baseline {
+
+PropagationGraphOrdering::PropagationGraphOrdering(
+    sim::Simulator& sim, const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, topology::DistanceOracle& oracle)
+    : sim_(&sim),
+      membership_(&membership),
+      hosts_(&hosts),
+      oracle_(&oracle),
+      load_(membership.num_nodes(), 0) {
+  // --- Components of the shares-a-member relation over groups. ---
+  const std::vector<GroupId> groups = membership.live_groups();
+  std::unordered_map<GroupId, std::size_t> component;
+  std::vector<std::vector<GroupId>> components;
+  for (const GroupId seed : groups) {
+    if (component.contains(seed)) continue;
+    std::vector<GroupId> frontier{seed};
+    component[seed] = components.size();
+    std::vector<GroupId> found;
+    while (!frontier.empty()) {
+      const GroupId g = frontier.back();
+      frontier.pop_back();
+      found.push_back(g);
+      for (const GroupId other : groups) {
+        if (component.contains(other)) continue;
+        if (!membership.intersect(g, other).empty()) {
+          component[other] = components.size();
+          frontier.push_back(other);
+        }
+      }
+    }
+    components.push_back(std::move(found));
+  }
+
+  // --- One tree per component. ---
+  for (const std::vector<GroupId>& comp : components) {
+    std::set<NodeId> member_set;
+    for (const GroupId g : comp) {
+      for (const NodeId n : membership.members(g)) member_set.insert(n);
+    }
+    std::vector<NodeId> members(member_set.begin(), member_set.end());
+    // Busiest subscribers first: the root is the node that subscribes to
+    // the most groups, GM's "destination that subscribes the most".
+    std::stable_sort(members.begin(), members.end(),
+                     [&](NodeId a, NodeId b) {
+                       return membership.subscription_count(a) >
+                              membership.subscription_count(b);
+                     });
+    const NodeId root = members.front();
+    roots_.push_back(root);
+    tree_[root] = {NodeId{}, {}, {}};
+    for (const GroupId g : comp) root_of_group_[g] = root;
+
+    // Greedy attachment: each node hangs off the placed node it shares the
+    // most groups with (ties: the earliest-placed), keeping group members
+    // near each other in the tree.
+    auto shared_groups = [&](NodeId a, NodeId b) {
+      std::size_t shared = 0;
+      for (const GroupId g : comp) {
+        if (membership.is_member(g, a) && membership.is_member(g, b)) {
+          ++shared;
+        }
+      }
+      return shared;
+    };
+    std::vector<NodeId> placed{root};
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const NodeId node = members[i];
+      NodeId best = placed.front();
+      std::size_t best_shared = 0;
+      for (const NodeId candidate : placed) {
+        const std::size_t s = shared_groups(node, candidate);
+        if (s > best_shared) {
+          best_shared = s;
+          best = candidate;
+        }
+      }
+      tree_[node] = {best, {}, {}};
+      tree_[best].children.push_back(node);
+      placed.push_back(node);
+    }
+
+    // Subtree group presence, bottom-up (members are already ordered so
+    // that parents precede children — children attach only to placed
+    // nodes — so a reverse sweep visits children first).
+    for (auto it = placed.rbegin(); it != placed.rend(); ++it) {
+      std::set<GroupId> present;
+      for (const GroupId g : comp) {
+        if (membership.is_member(g, *it)) present.insert(g);
+      }
+      for (const NodeId child : tree_[*it].children) {
+        const auto& cg = tree_[child].subtree_groups;
+        present.insert(cg.begin(), cg.end());
+      }
+      tree_[*it].subtree_groups.assign(present.begin(), present.end());
+    }
+  }
+}
+
+NodeId PropagationGraphOrdering::root_of(GroupId group) const {
+  const auto it = root_of_group_.find(group);
+  DECSEQ_CHECK_MSG(it != root_of_group_.end(), "unknown group " << group);
+  return it->second;
+}
+
+bool PropagationGraphOrdering::subtree_has(NodeId node, GroupId group) const {
+  const auto& groups = tree_.at(node).subtree_groups;
+  return std::find(groups.begin(), groups.end(), group) != groups.end();
+}
+
+MsgId PropagationGraphOrdering::publish(NodeId sender, GroupId group) {
+  const MsgId id(next_msg_++);
+  const NodeId root = root_of(group);
+  const double to_root = sender == root
+                             ? 0.0
+                             : hosts_->unicast_delay(sender, root, *oracle_);
+  sim_->schedule_after(to_root,
+                       [this, id, group, sender, root] {
+                         relay(root, id, group, sender);
+                       });
+  return id;
+}
+
+void PropagationGraphOrdering::relay(NodeId at, MsgId id, GroupId group,
+                                     NodeId sender) {
+  ++load_[at.value()];
+  if (membership_->is_member(group, at) && on_delivery_) {
+    on_delivery_(at, id, group, sender, sim_->now());
+  }
+  for (const NodeId child : tree_.at(at).children) {
+    if (!subtree_has(child, group)) continue;
+    const double hop = hosts_->unicast_delay(at, child, *oracle_);
+    sim_->schedule_after(hop, [this, child, id, group, sender] {
+      relay(child, id, group, sender);
+    });
+  }
+}
+
+}  // namespace decseq::baseline

@@ -1,0 +1,82 @@
+#include "baseline/vector_clock.h"
+
+namespace decseq::baseline {
+
+VcMessage VcNode::stamp(MsgId id, GroupId group, sim::Time now) {
+  ++clock_[self_.value()];
+  return VcMessage{id, self_, group, clock_, now};
+}
+
+bool VcNode::deliverable(const VcMessage& m) const {
+  // BSS condition: the message is the sender's next, and the sender had
+  // seen nothing we have not.
+  for (std::size_t k = 0; k < clock_.size(); ++k) {
+    if (k == m.sender.value()) {
+      if (m.clock[k] != clock_[k] + 1) return false;
+    } else if (m.clock[k] > clock_[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VcNode::deliver(const VcMessage& m, sim::Time now) {
+  clock_[m.sender.value()] = m.clock[m.sender.value()];
+  ++delivered_;
+  on_deliver_(m, now);
+}
+
+void VcNode::receive(const VcMessage& m, sim::Time now) {
+  if (!deliverable(m)) {
+    pending_.push_back(m);
+    return;
+  }
+  deliver(m, now);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (deliverable(*it)) {
+        VcMessage next = std::move(*it);
+        pending_.erase(it);
+        deliver(next, now);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+VectorClockBroadcast::VectorClockBroadcast(sim::Simulator& sim,
+                                           std::size_t num_nodes,
+                                           const topology::HostMap& hosts,
+                                           topology::DistanceOracle& oracle)
+    : sim_(&sim), num_nodes_(num_nodes), hosts_(&hosts), oracle_(&oracle) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    const NodeId id(static_cast<NodeId::underlying_type>(n));
+    nodes_.emplace_back(id, num_nodes,
+                        [this, id](const VcMessage& m, sim::Time at) {
+                          if (on_delivery_) on_delivery_(id, m, at);
+                        });
+  }
+}
+
+MsgId VectorClockBroadcast::publish(NodeId sender, GroupId group) {
+  const MsgId id(next_msg_++);
+  const VcMessage message =
+      nodes_[sender.value()].stamp(id, group, sim_->now());
+  // Broadcast to everyone else; the sender "receives" its own message
+  // implicitly through the clock increment in stamp().
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    if (n == sender.value()) continue;
+    const NodeId dest(static_cast<NodeId::underlying_type>(n));
+    const double delay = hosts_->unicast_delay(sender, dest, *oracle_);
+    sim_->schedule_after(delay, [this, dest, message] {
+      nodes_[dest.value()].receive(message, sim_->now());
+    });
+  }
+  return id;
+}
+
+}  // namespace decseq::baseline

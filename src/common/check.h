@@ -1,0 +1,49 @@
+// Always-on invariant checking.
+//
+// Protocol invariants (C1/C2 of the sequencing graph, gapless sequence
+// spaces, FIFO channel order) are cheap to verify and catastrophic to
+// violate silently, so checks stay enabled in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace decseq {
+
+/// Thrown when a DECSEQ_CHECK fails. Carries the failing expression and
+/// location so tests can assert on the message.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace decseq
+
+/// Verify `expr`; throws decseq::CheckFailure with location info otherwise.
+#define DECSEQ_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::decseq::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (false)
+
+/// Like DECSEQ_CHECK but appends a streamed message on failure.
+#define DECSEQ_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream decseq_os_;                                    \
+      decseq_os_ << msg;                                                \
+      ::decseq::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     decseq_os_.str());                 \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Off by default so benches stay quiet; tests and
+// examples can raise the level to trace protocol decisions.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace decseq {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component,
+              const std::string& message);
+}  // namespace detail
+
+/// Usage: DECSEQ_LOG(kDebug, "seqgraph", "built " << n << " atoms");
+#define DECSEQ_LOG(level, component, expr)                               \
+  do {                                                                   \
+    if (::decseq::LogLevel::level >= ::decseq::log_level()) {            \
+      std::ostringstream decseq_log_os_;                                 \
+      decseq_log_os_ << expr;                                            \
+      ::decseq::detail::log_line(::decseq::LogLevel::level, component,   \
+                                 decseq_log_os_.str());                  \
+    }                                                                    \
+  } while (false)
+
+}  // namespace decseq

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (topology generation, membership sampling,
+// placement tie-breaking) draw from an explicitly threaded Rng so that every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256** seeded through splitmix64, following the reference
+// implementations by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace decseq {
+
+/// splitmix64 step; used for seeding and cheap hashing of seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions if ever needed, but the members below
+/// cover everything the library uses.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bias-free via rejection sampling:
+  /// values below (2^64 mod bound) are rejected so each residue is equally
+  /// likely.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    DECSEQ_CHECK(bound > 0);
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    while (true) {
+      const std::uint64_t x = (*this)();
+      if (x >= threshold) return x % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    DECSEQ_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element; container must be non-empty.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    DECSEQ_CHECK(!v.empty());
+    return v[next_below(v.size())];
+  }
+
+  /// Derive an independent child generator, e.g. one per experiment run.
+  [[nodiscard]] Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace decseq

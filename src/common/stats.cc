@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace decseq {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double pct) {
+  DECSEQ_CHECK(!xs.empty());
+  DECSEQ_CHECK(pct >= 0.0 && pct <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(xs.size());
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cdf.push_back({xs[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.p10 = percentile(xs, 10.0);
+  s.p50 = percentile(xs, 50.0);
+  s.p90 = percentile(xs, 90.0);
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.min = *std::min_element(xs.begin(), xs.end());
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " p10=" << s.p10
+     << " p50=" << s.p50 << " p90=" << s.p90 << " min=" << s.min
+     << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace decseq

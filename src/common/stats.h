@@ -1,0 +1,47 @@
+// Small statistics toolkit shared by the experiment harnesses:
+// means, percentiles, and cumulative-distribution series like the ones the
+// paper plots (Figures 3, 7) and the percentile error bars (Figure 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace decseq {
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+/// Percentile in [0, 100] by linear interpolation between closest ranks.
+/// The sample need not be sorted. Checks that it is non-empty.
+[[nodiscard]] double percentile(std::vector<double> xs, double pct);
+
+/// One point on an empirical CDF.
+struct CdfPoint {
+  double value;     ///< x: the observed value
+  double fraction;  ///< y: P(X <= value)
+};
+
+/// Empirical CDF of the sample, one point per observation (sorted by value).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Summary statistics used by several figure harnesses.
+struct Summary {
+  double mean = 0.0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+/// Render a Summary as a short human-readable string (for bench output).
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace decseq

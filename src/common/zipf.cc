@@ -1,0 +1,55 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace decseq {
+
+double harmonic_number(std::size_t n, double s) {
+  double h = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) h += std::pow(static_cast<double>(k), -s);
+  return h;
+}
+
+std::vector<std::size_t> zipf_group_sizes(std::size_t num_groups,
+                                          std::size_t num_hosts,
+                                          std::size_t max_size, double s) {
+  DECSEQ_CHECK(num_hosts >= 2);
+  DECSEQ_CHECK(max_size >= 2 && max_size <= num_hosts);
+  const double h = harmonic_number(num_hosts, s);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(num_groups);
+  // Rank-1 share of the Zipf mass; all other ranks are scaled relative to it
+  // so that the most popular group has exactly max_size members.
+  const double top_share = 1.0 / h;
+  for (std::size_t r = 1; r <= num_groups; ++r) {
+    const double share = std::pow(static_cast<double>(r), -s) / h;
+    const double scaled =
+        static_cast<double>(max_size) * share / top_share;
+    auto size = static_cast<std::size_t>(std::lround(scaled));
+    size = std::clamp<std::size_t>(size, 2, num_hosts);
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  DECSEQ_CHECK(n >= 1);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace decseq

@@ -1,0 +1,42 @@
+// Zipf-distributed quantities.
+//
+// The paper (§4.1) sizes groups proportionally to r^{-1} / H_{n,1}, where r
+// is the popularity rank of the group, n the number of hosts, and H_{n,1}
+// the generalized harmonic number of order n. This header provides both the
+// harmonic numbers and a general Zipf rank sampler (exponent s).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace decseq {
+
+/// Generalized harmonic number H_{n,s} = sum_{k=1..n} k^{-s}.
+[[nodiscard]] double harmonic_number(std::size_t n, double s);
+
+/// Sizes for `num_groups` groups over `num_hosts` hosts, Zipf exponent `s`
+/// (paper uses s = 1): size(r) ∝ r^{-s} / H_{num_hosts,s}, scaled so the
+/// most popular group has `max_size` members and every group has ≥ 2
+/// (a singleton group produces no overlaps and no ordering work).
+[[nodiscard]] std::vector<std::size_t> zipf_group_sizes(
+    std::size_t num_groups, std::size_t num_hosts, std::size_t max_size,
+    double s = 1.0);
+
+/// Samples ranks in [1, n] with P(r) ∝ r^{-s}, by inverting the CDF with a
+/// precomputed prefix table (n is small in all our workloads).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [1, n].
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace decseq

@@ -1,0 +1,52 @@
+#include "dht/directory.h"
+
+namespace decseq::dht {
+
+MembershipDirectory::MembershipDirectory(
+    const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, topology::DistanceOracle& oracle,
+    std::size_t replication)
+    : hosts_(&hosts), oracle_(&oracle), replication_(replication) {
+  DECSEQ_CHECK(replication_ >= 1);
+  for (std::size_t n = 0; n < membership.num_nodes(); ++n) {
+    ring_.join(NodeId(static_cast<NodeId::underlying_type>(n)));
+  }
+  for (const GroupId g : membership.live_groups()) {
+    entries_[g] = membership.members(g);
+  }
+}
+
+DirectoryFetch MembershipDirectory::fetch(GroupId group,
+                                          NodeId querier) const {
+  const auto it = entries_.find(group);
+  DECSEQ_CHECK_MSG(it != entries_.end(), "group " << group
+                                                  << " not in directory");
+  const LookupResult route = ring_.lookup(hash_key(key_for(group)), querier);
+
+  DirectoryFetch fetch;
+  fetch.members = it->second;
+  fetch.hops = route.hops();
+  fetch.served_by = route.owner;
+  // Query travels hop by hop; the response returns directly.
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    fetch.latency_ms +=
+        hosts_->unicast_delay(route.path[i], route.path[i + 1], *oracle_);
+  }
+  fetch.latency_ms += hosts_->unicast_delay(route.owner, querier, *oracle_);
+  return fetch;
+}
+
+void MembershipDirectory::update(GroupId group,
+                                 const membership::GroupMembership& membership) {
+  if (membership.is_alive(group)) {
+    entries_[group] = membership.members(group);
+  } else {
+    entries_.erase(group);
+  }
+}
+
+std::vector<NodeId> MembershipDirectory::replicas(GroupId group) const {
+  return ring_.replicas_of(hash_key(key_for(group)), replication_);
+}
+
+}  // namespace decseq::dht

@@ -1,0 +1,66 @@
+// The membership directory: the group membership matrix stored in the DHT
+// (paper §3: "it can be kept in a distributed data store such as a DHT").
+//
+// Each group's member list lives at key "group:<id>", replicated on the
+// owner's successors. fetch() routes a Chord lookup from the querying host
+// and prices it with real topology distances (per-hop host-to-host unicast
+// delay, plus the response leg straight back to the querier), so the bench
+// can compare directory access against a centralized registry.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "dht/ring.h"
+#include "membership/membership.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+
+namespace decseq::dht {
+
+/// A fetched membership entry plus what it cost to get it.
+struct DirectoryFetch {
+  std::vector<NodeId> members;
+  std::size_t hops = 0;          ///< ring hops to reach the owner
+  double latency_ms = 0.0;       ///< query path + direct response
+  NodeId served_by;              ///< replica that answered
+};
+
+class MembershipDirectory {
+ public:
+  /// Build the directory over the hosts of `membership`: every node joins
+  /// the ring; every live group's member list is stored under its key with
+  /// `replication` copies.
+  MembershipDirectory(const membership::GroupMembership& membership,
+                      const topology::HostMap& hosts,
+                      topology::DistanceOracle& oracle,
+                      std::size_t replication = 3);
+
+  /// Look up a group's membership from `querier`.
+  [[nodiscard]] DirectoryFetch fetch(GroupId group, NodeId querier) const;
+
+  /// Re-store one group after a membership change (cheap: owners only).
+  void update(GroupId group, const membership::GroupMembership& membership);
+
+  /// The replica set currently holding `group`'s entry.
+  [[nodiscard]] std::vector<NodeId> replicas(GroupId group) const;
+
+  [[nodiscard]] const ChordRing& ring() const { return ring_; }
+
+  [[nodiscard]] static std::string key_for(GroupId group) {
+    return "group:" + std::to_string(group.value());
+  }
+
+ private:
+  ChordRing ring_;
+  const topology::HostMap* hosts_;
+  topology::DistanceOracle* oracle_;
+  std::size_t replication_;
+  /// Stored entries: by group, the member list (as replicated).
+  std::map<GroupId, std::vector<NodeId>> entries_;
+};
+
+}  // namespace decseq::dht

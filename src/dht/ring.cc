@@ -1,0 +1,119 @@
+#include "dht/ring.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace decseq::dht {
+
+RingKey hash_key(const std::string& key) {
+  // FNV-1a, then a splitmix64 finalization round for avalanche.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::uint64_t state = h;
+  return splitmix64(state);
+}
+
+RingKey hash_node(NodeId node) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL ^ node.value();
+  return splitmix64(state);
+}
+
+void ChordRing::join(NodeId node) {
+  DECSEQ_CHECK(node.valid());
+  const RingKey key = hash_node(node);
+  DECSEQ_CHECK_MSG(!key_of_.contains(node), "node " << node << " already in ring");
+  DECSEQ_CHECK_MSG(!by_key_.contains(key),
+                   "ring position collision for node " << node);
+  by_key_[key] = node;
+  key_of_[node] = key;
+}
+
+void ChordRing::leave(NodeId node) {
+  const auto it = key_of_.find(node);
+  DECSEQ_CHECK_MSG(it != key_of_.end(), "node " << node << " not in ring");
+  by_key_.erase(it->second);
+  key_of_.erase(it);
+}
+
+bool ChordRing::contains(NodeId node) const { return key_of_.contains(node); }
+
+NodeId ChordRing::successor_on_circle(RingKey key) const {
+  DECSEQ_CHECK_MSG(!by_key_.empty(), "empty ring");
+  const auto it = by_key_.lower_bound(key);
+  return it != by_key_.end() ? it->second : by_key_.begin()->second;
+}
+
+NodeId ChordRing::owner_of(RingKey key) const {
+  return successor_on_circle(key);
+}
+
+std::vector<NodeId> ChordRing::replicas_of(RingKey key,
+                                           std::size_t count) const {
+  DECSEQ_CHECK(!by_key_.empty());
+  count = std::min(count, by_key_.size());
+  std::vector<NodeId> replicas;
+  auto it = by_key_.lower_bound(key);
+  if (it == by_key_.end()) it = by_key_.begin();
+  while (replicas.size() < count) {
+    replicas.push_back(it->second);
+    ++it;
+    if (it == by_key_.end()) it = by_key_.begin();
+  }
+  return replicas;
+}
+
+LookupResult ChordRing::lookup(RingKey key, NodeId from) const {
+  DECSEQ_CHECK_MSG(key_of_.contains(from), "querier " << from
+                                                      << " not in ring");
+  LookupResult result;
+  result.owner = owner_of(key);
+  result.path.push_back(from);
+
+  NodeId current = from;
+  while (current != result.owner) {
+    const RingKey current_key = key_of_.at(current);
+    // The owner is current's immediate successor iff key lies in
+    // (current, successor]; otherwise forward to the farthest finger that
+    // does not overshoot the key.
+    const std::vector<NodeId> fingers = fingers_of(current);
+    NodeId next = result.owner;  // successor fallback ends the route
+    for (auto it = fingers.rbegin(); it != fingers.rend(); ++it) {
+      const RingKey fk = key_of_.at(*it);
+      // Forward to the finger furthest along the arc but strictly before
+      // the key (classic closest-preceding-finger rule).
+      if (*it != current && in_arc(fk, current_key, key - 1)) {
+        next = *it;
+        break;
+      }
+    }
+    if (next == current) break;  // safety: no progress possible
+    result.path.push_back(next);
+    current = next;
+    DECSEQ_CHECK_MSG(result.path.size() <= key_of_.size() + 1,
+                     "lookup did not converge");
+  }
+  if (result.path.back() != result.owner) result.path.push_back(result.owner);
+  return result;
+}
+
+std::vector<NodeId> ChordRing::fingers_of(NodeId node) const {
+  const auto it = key_of_.find(node);
+  DECSEQ_CHECK(it != key_of_.end());
+  std::vector<NodeId> fingers;
+  NodeId previous;
+  for (std::size_t i = 0; i < finger_bits_; ++i) {
+    const RingKey target = it->second + (i < 64 ? (1ULL << i) : 0);
+    const NodeId finger = successor_on_circle(target);
+    if (finger != node && finger != previous) {
+      fingers.push_back(finger);
+      previous = finger;
+    }
+  }
+  return fingers;
+}
+
+}  // namespace decseq::dht

@@ -1,0 +1,90 @@
+// Chord-style distributed hash table ring.
+//
+// The paper assumes the group membership matrix is globally known and notes
+// it "can be kept in a distributed data store such as a DHT" (§3). This
+// module supplies that store: a Chord-like ring over the end hosts with
+// consistent hashing, finger tables for O(log n) routing, and
+// successor-list replication. The simulation is structural — lookups
+// resolve instantly but report the hop path, which the directory layer
+// (directory.h) converts into latency using real topology distances.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace decseq::dht {
+
+/// Position on the 2^64 identifier circle.
+using RingKey = std::uint64_t;
+
+/// Stable hash of a string key onto the ring (FNV-1a folded through
+/// splitmix64 for avalanche).
+[[nodiscard]] RingKey hash_key(const std::string& key);
+
+/// Ring position of a node.
+[[nodiscard]] RingKey hash_node(NodeId node);
+
+/// The result of routing a lookup through the ring.
+struct LookupResult {
+  NodeId owner;              ///< node responsible for the key
+  std::vector<NodeId> path;  ///< nodes visited, starting at the querier
+  [[nodiscard]] std::size_t hops() const {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+/// A Chord ring over a set of member nodes. Join/leave rebuild the affected
+/// finger tables from global knowledge — the routing *structure* (who knows
+/// whom, how many hops a query takes) is faithful; the maintenance
+/// protocol's message cost is not modelled.
+class ChordRing {
+ public:
+  explicit ChordRing(std::size_t finger_bits = 64)
+      : finger_bits_(finger_bits) {
+    DECSEQ_CHECK(finger_bits >= 1 && finger_bits <= 64);
+  }
+
+  void join(NodeId node);
+  void leave(NodeId node);
+
+  [[nodiscard]] std::size_t size() const { return by_key_.size(); }
+  [[nodiscard]] bool contains(NodeId node) const;
+
+  /// The node whose arc covers `key` (its successor on the circle).
+  [[nodiscard]] NodeId owner_of(RingKey key) const;
+
+  /// The `count` distinct successors of the owner (replica set), starting
+  /// with the owner itself. count is clamped to the ring size.
+  [[nodiscard]] std::vector<NodeId> replicas_of(RingKey key,
+                                                std::size_t count) const;
+
+  /// Greedy Chord routing from `from` toward the owner of `key`: each hop
+  /// forwards to the finger closest to (but not past) the key, finishing at
+  /// the successor.
+  [[nodiscard]] LookupResult lookup(RingKey key, NodeId from) const;
+
+  /// A node's finger table: finger[i] = successor(node_key + 2^i),
+  /// deduplicated. Exposed for tests and diagnostics.
+  [[nodiscard]] std::vector<NodeId> fingers_of(NodeId node) const;
+
+ private:
+  [[nodiscard]] NodeId successor_on_circle(RingKey key) const;
+  /// True iff `x` lies on the clockwise arc (from, to].
+  [[nodiscard]] static bool in_arc(RingKey x, RingKey from, RingKey to) {
+    if (from == to) return false;
+    if (from < to) return x > from && x <= to;
+    return x > from || x <= to;  // arc wraps zero
+  }
+
+  std::size_t finger_bits_;
+  std::map<RingKey, NodeId> by_key_;  // ring order
+  std::map<NodeId, RingKey> key_of_;
+};
+
+}  // namespace decseq::dht

@@ -1,0 +1,94 @@
+#include "filter/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace decseq::filter {
+
+namespace {
+
+const char* op_name(Constraint::Op op) {
+  switch (op) {
+    case Constraint::Op::kEq: return "==";
+    case Constraint::Op::kNe: return "!=";
+    case Constraint::Op::kLt: return "<";
+    case Constraint::Op::kLe: return "<=";
+    case Constraint::Op::kGt: return ">";
+    case Constraint::Op::kGe: return ">=";
+    case Constraint::Op::kExists: return "exists";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool Constraint::matches(const Event& event) const {
+  const std::optional<Value> value = event.get(attribute);
+  if (op == Op::kExists) return value.has_value();
+  if (!value.has_value()) return op == Op::kNe;
+
+  if (value->kind != operand.kind) return op == Op::kNe;
+  if (value->kind == Value::Kind::kString) {
+    // Strings support equality tests only.
+    DECSEQ_CHECK_MSG(op == Op::kEq || op == Op::kNe,
+                     "ordered comparison on string attribute " << attribute);
+    return (op == Op::kEq) == (value->as_string == operand.as_string);
+  }
+  switch (op) {
+    case Op::kEq: return value->as_int == operand.as_int;
+    case Op::kNe: return value->as_int != operand.as_int;
+    case Op::kLt: return value->as_int < operand.as_int;
+    case Op::kLe: return value->as_int <= operand.as_int;
+    case Op::kGt: return value->as_int > operand.as_int;
+    case Op::kGe: return value->as_int >= operand.as_int;
+    case Op::kExists: return true;  // handled above
+  }
+  return false;
+}
+
+std::string Constraint::canonical() const {
+  std::ostringstream os;
+  os << attribute << ' ' << op_name(op);
+  if (op != Op::kExists) {
+    if (operand.kind == Value::Kind::kInt) {
+      os << ' ' << operand.as_int;
+    } else {
+      os << " \"" << operand.as_string << '"';
+    }
+  }
+  return os.str();
+}
+
+Predicate& Predicate::where(std::string attribute, Constraint::Op op,
+                            Value operand) {
+  constraints_.push_back({std::move(attribute), op, std::move(operand)});
+  return *this;
+}
+
+Predicate& Predicate::where_exists(std::string attribute) {
+  constraints_.push_back({std::move(attribute), Constraint::Op::kExists, {}});
+  return *this;
+}
+
+bool Predicate::matches(const Event& event) const {
+  return std::all_of(constraints_.begin(), constraints_.end(),
+                     [&](const Constraint& c) { return c.matches(event); });
+}
+
+std::string Predicate::canonical() const {
+  std::vector<std::string> parts;
+  parts.reserve(constraints_.size());
+  for (const Constraint& c : constraints_) parts.push_back(c.canonical());
+  std::sort(parts.begin(), parts.end());
+  // Duplicate constraints don't change semantics; drop them so that
+  // syntactically different but equal predicates share identity.
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << " && ";
+    os << parts[i];
+  }
+  return os.str();
+}
+
+}  // namespace decseq::filter

@@ -1,0 +1,117 @@
+// Content-based subscriptions.
+//
+// The paper's applications subscribe by *content*: stock consumers filter
+// "by company size, geography, or industry" (§1.1) and "consumers will be
+// members of groups based on their subscriptions". This module supplies
+// that front-end: events carry named attributes; a subscription is a
+// conjunction of attribute constraints; and subscription_table.h maps each
+// distinct predicate to a group of the ordering layer, so the sequencing
+// network below stays purely group-based.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace decseq::filter {
+
+/// An attribute value: integers cover prices/sizes/ranks; strings cover
+/// symbols/venues/industries.
+struct Value {
+  enum class Kind { kInt, kString } kind;
+  std::int64_t as_int = 0;
+  std::string as_string;
+
+  static Value of(std::int64_t v) { return {Kind::kInt, v, {}}; }
+  static Value of(std::string v) { return {Kind::kString, 0, std::move(v)}; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind != b.kind) return false;
+    return a.kind == Kind::kInt ? a.as_int == b.as_int
+                                : a.as_string == b.as_string;
+  }
+};
+
+/// One published event: a flat bag of named attributes.
+class Event {
+ public:
+  Event& set(std::string name, std::int64_t value) {
+    attributes_.push_back({std::move(name), Value::of(value)});
+    return *this;
+  }
+  Event& set(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), Value::of(std::move(value))});
+    return *this;
+  }
+
+  [[nodiscard]] std::optional<Value> get(const std::string& name) const {
+    for (const auto& [attr_name, value] : attributes_) {
+      if (attr_name == name) return value;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const { return attributes_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> attributes_;
+};
+
+/// One attribute constraint. String attributes support kEq/kNe only.
+struct Constraint {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kExists };
+  std::string attribute;
+  Op op;
+  Value operand;  // ignored for kExists
+
+  /// Whether `event` satisfies this constraint. A missing attribute fails
+  /// every op except kNe (absent != anything).
+  [[nodiscard]] bool matches(const Event& event) const;
+
+  /// Canonical text form ("price >= 100"); used for predicate identity.
+  [[nodiscard]] std::string canonical() const;
+};
+
+/// A conjunction of constraints. Two subscribers with the same predicate
+/// (same canonical form) share a group.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  Predicate& where(std::string attribute, Constraint::Op op, Value operand);
+  Predicate& where_exists(std::string attribute);
+
+  // Convenience builders.
+  Predicate& eq(std::string attribute, std::int64_t v) {
+    return where(std::move(attribute), Constraint::Op::kEq, Value::of(v));
+  }
+  Predicate& eq(std::string attribute, std::string v) {
+    return where(std::move(attribute), Constraint::Op::kEq,
+                 Value::of(std::move(v)));
+  }
+  Predicate& ge(std::string attribute, std::int64_t v) {
+    return where(std::move(attribute), Constraint::Op::kGe, Value::of(v));
+  }
+  Predicate& le(std::string attribute, std::int64_t v) {
+    return where(std::move(attribute), Constraint::Op::kLe, Value::of(v));
+  }
+
+  /// True iff every constraint holds (an empty predicate matches all).
+  [[nodiscard]] bool matches(const Event& event) const;
+
+  /// Canonical identity: constraints sorted and joined. Equal canonical
+  /// strings == same subscription == same group.
+  [[nodiscard]] std::string canonical() const;
+
+  [[nodiscard]] std::size_t num_constraints() const {
+    return constraints_.size();
+  }
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace decseq::filter

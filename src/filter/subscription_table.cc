@@ -1,0 +1,83 @@
+#include "filter/subscription_table.h"
+
+namespace decseq::filter {
+
+GroupId ContentLayer::subscribe(NodeId node, const Predicate& predicate) {
+  const std::string key = predicate.canonical();
+  const auto it = by_canonical_.find(key);
+  if (it == by_canonical_.end()) {
+    // First subscriber with this predicate: a new group is created (§3.2).
+    const GroupId group = system_->create_group({node});
+    by_canonical_.emplace(key, Entry{predicate, group, 1});
+    return group;
+  }
+  Entry& entry = it->second;
+  system_->join(entry.group, node);
+  ++entry.subscribers;
+  return entry.group;
+}
+
+void ContentLayer::subscribe_all(
+    const std::vector<std::pair<NodeId, Predicate>>& subscriptions) {
+  // Group the batch by canonical predicate, then create/extend groups with
+  // a single rebuild via create_groups where possible.
+  std::map<std::string, std::pair<Predicate, std::vector<NodeId>>> fresh;
+  for (const auto& [node, predicate] : subscriptions) {
+    const std::string key = predicate.canonical();
+    if (by_canonical_.contains(key)) {
+      // Existing predicate: incremental join (rebuilds, but rare in bulk
+      // loads, which typically register distinct predicates).
+      Entry& entry = by_canonical_.at(key);
+      system_->join(entry.group, node);
+      ++entry.subscribers;
+    } else {
+      auto& [pred, members] = fresh[key];
+      pred = predicate;
+      members.push_back(node);
+    }
+  }
+  std::vector<std::vector<NodeId>> lists;
+  std::vector<std::string> keys;
+  for (auto& [key, entry] : fresh) {
+    keys.push_back(key);
+    lists.push_back(entry.second);
+  }
+  if (lists.empty()) return;
+  const std::vector<GroupId> groups = system_->create_groups(std::move(lists));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto& [pred, members] = fresh.at(keys[i]);
+    by_canonical_.emplace(
+        keys[i], Entry{pred, groups[i], members.size()});
+  }
+}
+
+void ContentLayer::unsubscribe(NodeId node, const Predicate& predicate) {
+  const std::string key = predicate.canonical();
+  const auto it = by_canonical_.find(key);
+  DECSEQ_CHECK_MSG(it != by_canonical_.end(),
+                   "no subscription \"" << key << "\"");
+  Entry& entry = it->second;
+  system_->leave(entry.group, node);
+  if (--entry.subscribers == 0) by_canonical_.erase(it);
+}
+
+std::vector<GroupId> ContentLayer::publish(NodeId sender, const Event& event,
+                                           std::uint64_t payload) {
+  std::vector<GroupId> hit;
+  for (const auto& [key, entry] : by_canonical_) {
+    if (entry.predicate.matches(event)) {
+      system_->publish(sender, entry.group, payload);
+      hit.push_back(entry.group);
+    }
+  }
+  return hit;
+}
+
+std::optional<GroupId> ContentLayer::group_of(
+    const Predicate& predicate) const {
+  const auto it = by_canonical_.find(predicate.canonical());
+  if (it == by_canonical_.end()) return std::nullopt;
+  return it->second.group;
+}
+
+}  // namespace decseq::filter

@@ -1,0 +1,63 @@
+// Predicate -> group mapping over the ordering layer.
+//
+// "The consumers will be members of groups based on their subscriptions,
+// with every group receiving the same set of messages" (§1.1). The
+// ContentLayer realizes that sentence: subscribers register predicates; all
+// subscribers sharing a canonical predicate form one group of the ordering
+// layer; publishing an event sends one sequenced message to every group
+// whose predicate matches. Groups that overlap in membership are then
+// ordered by the sequencing network exactly as in the plain group API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "filter/predicate.h"
+#include "pubsub/system.h"
+
+namespace decseq::filter {
+
+class ContentLayer {
+ public:
+  /// Binds to a PubSubSystem; the layer owns the predicate bookkeeping,
+  /// the system owns groups and ordering.
+  explicit ContentLayer(pubsub::PubSubSystem& system) : system_(&system) {}
+
+  /// Register `node`'s interest in events matching `predicate`. Subscribers
+  /// with the same (canonical) predicate share a group. Returns the group.
+  GroupId subscribe(NodeId node, const Predicate& predicate);
+
+  /// Register many subscriptions with one sequencing-graph rebuild.
+  void subscribe_all(
+      const std::vector<std::pair<NodeId, Predicate>>& subscriptions);
+
+  /// Remove `node`'s subscription; a predicate's group dies with its last
+  /// subscriber (§3.2).
+  void unsubscribe(NodeId node, const Predicate& predicate);
+
+  /// Publish `event`: one sequenced message per matching predicate group.
+  /// Returns the groups the event was sent to (possibly none).
+  std::vector<GroupId> publish(NodeId sender, const Event& event,
+                               std::uint64_t payload = 0);
+
+  [[nodiscard]] std::size_t num_predicates() const { return by_canonical_.size(); }
+
+  /// The group serving `predicate`, if any subscriber registered it.
+  [[nodiscard]] std::optional<GroupId> group_of(
+      const Predicate& predicate) const;
+
+ private:
+  struct Entry {
+    Predicate predicate;
+    GroupId group;
+    std::size_t subscribers = 0;
+  };
+
+  pubsub::PubSubSystem* system_;
+  std::map<std::string, Entry> by_canonical_;
+};
+
+}  // namespace decseq::filter

@@ -1,0 +1,130 @@
+#include "gossip/gossip.h"
+
+#include <algorithm>
+
+namespace decseq::gossip {
+
+GossipMesh::GossipMesh(sim::Simulator& sim, Rng& rng,
+                       const topology::HostMap& hosts,
+                       topology::DistanceOracle& oracle, GossipParams params)
+    : sim_(&sim),
+      rng_(&rng),
+      hosts_(&hosts),
+      oracle_(&oracle),
+      params_(params),
+      views_(hosts.num_hosts()) {
+  DECSEQ_CHECK(params_.fanout >= 1);
+  DECSEQ_CHECK(params_.round_ms > 0.0);
+  DECSEQ_CHECK(hosts.num_hosts() >= 2);
+}
+
+void GossipMesh::seed_update(NodeId origin, GroupId group,
+                             std::vector<NodeId> members, bool dead) {
+  DECSEQ_CHECK(origin.valid() && origin.value() < views_.size());
+  std::sort(members.begin(), members.end());
+  View& view = views_[origin.value()];
+  const auto it = view.find(group);
+  const std::uint64_t version = it == view.end() ? 1 : it->second.version + 1;
+  view[group] = {group, version, std::move(members), dead};
+  converged_at_.reset();  // new information: convergence must be re-earned
+  // If the mesh had gone quiescent (converged and stopped scheduling
+  // rounds), wake it up so the new entry spreads.
+  if (started_ && !active_) {
+    active_ = true;
+    sim_->schedule_after(params_.round_ms, [this] { round(); });
+  }
+}
+
+void GossipMesh::start() {
+  DECSEQ_CHECK_MSG(!started_, "gossip already started");
+  started_ = true;
+  active_ = true;
+  sim_->schedule_after(params_.round_ms, [this] { round(); });
+}
+
+void GossipMesh::round() {
+  ++rounds_run_;
+  for (std::size_t n = 0; n < views_.size(); ++n) {
+    for (std::size_t f = 0; f < params_.fanout; ++f) {
+      auto peer = static_cast<std::size_t>(rng_->next_below(views_.size()));
+      if (peer == n) peer = (peer + 1) % views_.size();
+      exchange(NodeId(static_cast<NodeId::underlying_type>(n)),
+               NodeId(static_cast<NodeId::underlying_type>(peer)));
+    }
+  }
+  if (!converged_at_.has_value() && converged()) {
+    converged_at_ = sim_->now();
+  }
+  if (rounds_run_ < params_.max_rounds && !converged_at_.has_value()) {
+    sim_->schedule_after(params_.round_ms, [this] { round(); });
+  } else {
+    active_ = false;  // quiescent until the next seed_update
+  }
+}
+
+void GossipMesh::exchange(NodeId from, NodeId to) {
+  // Snapshot the sender's entries now; deliver after the network delay.
+  std::vector<GroupRecord> push;
+  for (const auto& [group, record] : views_[from.value()]) {
+    push.push_back(record);
+  }
+  ++messages_sent_;
+  entries_shipped_ += push.size();
+  const double delay = hosts_->unicast_delay(from, to, *oracle_);
+  sim_->schedule_after(delay, [this, from, to, push = std::move(push)] {
+    // Push half: the peer merges what we sent...
+    std::vector<GroupRecord> newer_at_peer =
+        merge(views_[to.value()], push);
+    // ...pull half: whatever the peer had newer comes back.
+    if (newer_at_peer.empty()) return;
+    ++messages_sent_;
+    entries_shipped_ += newer_at_peer.size();
+    const double back = hosts_->unicast_delay(to, from, *oracle_);
+    sim_->schedule_after(back,
+                         [this, from, reply = std::move(newer_at_peer)] {
+                           merge(views_[from.value()], reply);
+                         });
+  });
+}
+
+std::vector<GroupRecord> GossipMesh::merge(
+    View& view, const std::vector<GroupRecord>& incoming) {
+  std::vector<GroupRecord> newer_here;
+  for (const GroupRecord& record : incoming) {
+    const auto it = view.find(record.group);
+    if (it == view.end() || it->second.version < record.version) {
+      view[record.group] = record;
+    } else if (it->second.version > record.version) {
+      newer_here.push_back(it->second);
+    }
+  }
+  return newer_here;
+}
+
+std::optional<GroupRecord> GossipMesh::view_of(NodeId node,
+                                               GroupId group) const {
+  DECSEQ_CHECK(node.valid() && node.value() < views_.size());
+  const auto& view = views_[node.value()];
+  const auto it = view.find(group);
+  if (it == view.end()) return std::nullopt;
+  return it->second;
+}
+
+bool GossipMesh::converged() const {
+  for (std::size_t n = 1; n < views_.size(); ++n) {
+    const View& a = views_[0];
+    const View& b = views_[n];
+    if (a.size() != b.size()) return false;
+    for (auto ia = a.begin(), ib = b.begin(); ia != a.end(); ++ia, ++ib) {
+      if (ia->first != ib->first ||
+          ia->second.version != ib->second.version ||
+          ia->second.dead != ib->second.dead ||
+          ia->second.members != ib->second.members) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace decseq::gossip

@@ -1,0 +1,111 @@
+// Anti-entropy gossip for the membership matrix.
+//
+// The protocol assumes the membership matrix is globally known (§3). The
+// DHT (src/dht) stores it; this module keeps every node's *local copy*
+// converged: each node periodically pushes a digest (group -> version) to
+// a few random peers, and peers exchange the entries one of them is
+// missing or holds stale. Classic push-pull anti-entropy: updates reach
+// all n nodes in O(log n) rounds w.h.p.
+//
+// The bench measures convergence time and message cost against the fanout;
+// a test shows that once converged, every node derives the *identical*
+// sequencing graph from its local copy — the property the ordering layer
+// actually needs from "globally known".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+
+namespace decseq::gossip {
+
+/// One versioned entry of the replicated membership matrix. Higher version
+/// wins; a dead entry (group removed) is a tombstone that also propagates.
+struct GroupRecord {
+  GroupId group;
+  std::uint64_t version = 0;
+  std::vector<NodeId> members;  // sorted
+  bool dead = false;
+};
+
+struct GossipParams {
+  std::size_t fanout = 2;      ///< peers contacted per round
+  double round_ms = 100.0;     ///< gossip period
+  std::size_t max_rounds = 200;  ///< stop even if quiescence isn't detected
+};
+
+/// A mesh of gossiping replicas, one per end host, running over the
+/// simulator with real pairwise delays.
+class GossipMesh {
+ public:
+  GossipMesh(sim::Simulator& sim, Rng& rng, const topology::HostMap& hosts,
+             topology::DistanceOracle& oracle, GossipParams params = {});
+
+  // Scheduled rounds capture `this`; the mesh must stay put once started.
+  GossipMesh(const GossipMesh&) = delete;
+  GossipMesh& operator=(const GossipMesh&) = delete;
+
+  /// Apply a local mutation at `origin` (a subscription change it just
+  /// made): bumps the entry's version and lets gossip carry it.
+  void seed_update(NodeId origin, GroupId group, std::vector<NodeId> members,
+                   bool dead = false);
+
+  /// Start periodic gossip rounds at the current simulated time.
+  void start();
+
+  /// A node's current view of one group (nullopt if it has never heard of
+  /// it).
+  [[nodiscard]] std::optional<GroupRecord> view_of(NodeId node,
+                                                   GroupId group) const;
+
+  /// True iff every node holds identical entries.
+  [[nodiscard]] bool converged() const;
+
+  /// Simulated time at which convergence was first observed (checked at
+  /// round boundaries); nullopt if not yet converged.
+  [[nodiscard]] std::optional<sim::Time> convergence_time() const {
+    return converged_at_;
+  }
+
+  [[nodiscard]] std::size_t messages_sent() const { return messages_sent_; }
+  /// Membership entries shipped across the network (payload cost).
+  [[nodiscard]] std::size_t entries_shipped() const {
+    return entries_shipped_;
+  }
+  [[nodiscard]] std::size_t rounds_run() const { return rounds_run_; }
+
+ private:
+  using View = std::map<GroupId, GroupRecord>;
+
+  void round();
+  void exchange(NodeId from, NodeId to);
+  /// Merge `incoming` into `view`; returns entries `view` had newer (the
+  /// pull half of push-pull).
+  static std::vector<GroupRecord> merge(View& view,
+                                        const std::vector<GroupRecord>& incoming);
+
+  sim::Simulator* sim_;
+  Rng* rng_;
+  const topology::HostMap* hosts_;
+  topology::DistanceOracle* oracle_;
+  GossipParams params_;
+
+  std::vector<View> views_;  // one per node
+  std::size_t messages_sent_ = 0;
+  std::size_t entries_shipped_ = 0;
+  std::size_t rounds_run_ = 0;
+  bool started_ = false;
+  bool active_ = false;  ///< a round is scheduled
+  std::optional<sim::Time> converged_at_;
+};
+
+}  // namespace decseq::gossip

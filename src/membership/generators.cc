@@ -1,0 +1,87 @@
+#include "membership/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace decseq::membership {
+
+GroupMembership zipf_membership(const ZipfWorkloadParams& params, Rng& rng) {
+  DECSEQ_CHECK(params.num_nodes >= 2);
+  DECSEQ_CHECK(params.num_groups >= 1);
+  GroupMembership membership(params.num_nodes);
+
+  // size(r) = scale * n * r^{-s} / H_{n,s}, clamped to [2, n].
+  const double h = harmonic_number(params.num_nodes, params.exponent);
+  std::vector<NodeId> all_nodes(params.num_nodes);
+  for (std::size_t i = 0; i < params.num_nodes; ++i) {
+    all_nodes[i] = NodeId(static_cast<NodeId::underlying_type>(i));
+  }
+
+  const ZipfSampler popularity(params.num_nodes, params.exponent);
+  for (std::size_t r = 1; r <= params.num_groups; ++r) {
+    const double share =
+        std::pow(static_cast<double>(r), -params.exponent) / h;
+    const double raw =
+        params.scale * static_cast<double>(params.num_nodes) * share;
+    const auto size = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::lround(raw)), 2, params.num_nodes);
+
+    std::vector<NodeId> members;
+    if (params.selection == MemberSelection::kUniform) {
+      // Uniform sample without replacement: shuffle prefix of a copy.
+      rng.shuffle(all_nodes);
+      members.assign(all_nodes.begin(),
+                     all_nodes.begin() + static_cast<long>(size));
+    } else {
+      // Popularity-weighted sample without replacement: node of rank k is
+      // chosen with probability ∝ k^{-s}. Rejection sampling with a
+      // uniform-fill fallback keeps dense groups from stalling.
+      std::vector<bool> chosen(params.num_nodes, false);
+      std::size_t picked = 0, attempts = 0;
+      const std::size_t max_attempts = 50 * params.num_nodes;
+      while (picked < size && attempts < max_attempts) {
+        ++attempts;
+        const std::size_t rank = popularity.sample(rng);  // 1-based
+        if (!chosen[rank - 1]) {
+          chosen[rank - 1] = true;
+          ++picked;
+        }
+      }
+      for (std::size_t n = 0; picked < size && n < params.num_nodes; ++n) {
+        if (!chosen[n]) {
+          chosen[n] = true;
+          ++picked;
+        }
+      }
+      for (std::size_t n = 0; n < params.num_nodes; ++n) {
+        if (chosen[n]) {
+          members.push_back(NodeId(static_cast<NodeId::underlying_type>(n)));
+        }
+      }
+    }
+    membership.add_group(std::move(members));
+  }
+  return membership;
+}
+
+GroupMembership occupancy_membership(const OccupancyWorkloadParams& params,
+                                     Rng& rng) {
+  DECSEQ_CHECK(params.num_nodes >= 1);
+  DECSEQ_CHECK(params.occupancy >= 0.0 && params.occupancy <= 1.0);
+  GroupMembership membership(params.num_nodes);
+  for (std::size_t g = 0; g < params.num_groups; ++g) {
+    std::vector<NodeId> members;
+    for (std::size_t n = 0; n < params.num_nodes; ++n) {
+      if (rng.next_bool(params.occupancy)) {
+        members.push_back(NodeId(static_cast<NodeId::underlying_type>(n)));
+      }
+    }
+    // An empty group can't exist in the pub/sub system (§3.2); skip it.
+    if (!members.empty()) membership.add_group(std::move(members));
+  }
+  return membership;
+}
+
+}  // namespace decseq::membership

@@ -1,0 +1,57 @@
+// Workload generators for group membership, matching the paper's two
+// evaluation regimes:
+//  * Zipf-sized groups (§4.1): group sizes follow r^{-1}/H_{n,1}; members
+//    are drawn uniformly at random. Used for Figures 3–7.
+//  * Expected occupancy (§4.5): each (node, group) membership is an
+//    independent Bernoulli(p) trial; p sweeps 0..1. Used for Figure 8.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "membership/membership.h"
+
+namespace decseq::membership {
+
+/// How the members of each group are drawn.
+enum class MemberSelection {
+  /// Uniformly at random. Simple, but overlap structure stays sparse: two
+  /// small groups rarely share two members.
+  kUniform,
+  /// Node popularity is itself Zipf-distributed (node 0 most popular), so
+  /// the same popular users subscribe to most groups — the online-community
+  /// behaviour the paper's §4.1 cites [30, 31] and the regime its Figures
+  /// 6–7 magnitudes reflect (stress ≈ 0.2, stamp ratios approaching 1/2).
+  kZipfPopularity,
+};
+
+struct ZipfWorkloadParams {
+  std::size_t num_nodes = 128;
+  std::size_t num_groups = 32;
+  /// Zipf exponent; the paper uses 1.
+  double exponent = 1.0;
+  /// Scale applied to the raw Zipf share n·r^{-s}/H_{n,s} when converting to
+  /// a group size. 1.0 is the literal reading of §4.1.
+  double scale = 1.0;
+  MemberSelection selection = MemberSelection::kZipfPopularity;
+};
+
+/// Generate Zipf-sized groups with uniformly random membership. Every group
+/// has at least 2 members (smaller groups generate no ordering work).
+[[nodiscard]] GroupMembership zipf_membership(const ZipfWorkloadParams& params,
+                                              Rng& rng);
+
+struct OccupancyWorkloadParams {
+  std::size_t num_nodes = 128;
+  std::size_t num_groups = 32;
+  /// Probability that any given node subscribes to any given group.
+  double occupancy = 0.2;
+};
+
+/// Generate Bernoulli membership with the given expected occupancy. Groups
+/// that end up empty are still created then removed, so group count matches
+/// the parameter in expectation semantics of the paper.
+[[nodiscard]] GroupMembership occupancy_membership(
+    const OccupancyWorkloadParams& params, Rng& rng);
+
+}  // namespace decseq::membership

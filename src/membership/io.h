@@ -1,0 +1,31 @@
+// Membership matrix file format.
+//
+// One group per line: whitespace/comma-separated subscriber ids, `#`
+// comments, blank lines ignored. Example:
+//
+//   # three groups over nodes 0..5
+//   0 1 2
+//   1,2,3
+//   4 5
+//
+// Lets users run their own matrices through explore_cli --membership, and
+// snapshots generated workloads for exact reproduction.
+#pragma once
+
+#include <iosfwd>
+
+#include "membership/membership.h"
+
+namespace decseq::membership {
+
+/// Parse a membership file. `num_nodes` of the result is one past the
+/// largest node id seen (or the explicit minimum if larger). Throws
+/// CheckFailure on malformed input (non-numeric tokens, empty groups,
+/// duplicate members).
+[[nodiscard]] GroupMembership read_membership(std::istream& in,
+                                              std::size_t min_nodes = 0);
+
+/// Serialize live groups, one line per group, ids space-separated.
+void write_membership(const GroupMembership& membership, std::ostream& out);
+
+}  // namespace decseq::membership

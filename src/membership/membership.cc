@@ -1,0 +1,101 @@
+#include "membership/membership.h"
+
+#include <algorithm>
+
+namespace decseq::membership {
+
+GroupId GroupMembership::add_group(std::vector<NodeId> members) {
+  // A group exists because a subscriber registered its subscription (§3.2);
+  // an empty group cannot exist.
+  DECSEQ_CHECK_MSG(!members.empty(), "group must have at least one member");
+  std::sort(members.begin(), members.end());
+  DECSEQ_CHECK_MSG(
+      std::adjacent_find(members.begin(), members.end()) == members.end(),
+      "duplicate member in group");
+  for (const NodeId m : members) {
+    DECSEQ_CHECK_MSG(m.valid() && m.value() < num_nodes_,
+                     "member " << m << " out of range");
+  }
+  groups_.push_back({std::move(members), /*alive=*/true});
+  ++live_groups_;
+  return GroupId(static_cast<GroupId::underlying_type>(groups_.size() - 1));
+}
+
+void GroupMembership::remove_group(GroupId g) {
+  DECSEQ_CHECK(is_alive(g));
+  groups_[g.value()].members.clear();
+  groups_[g.value()].alive = false;
+  --live_groups_;
+}
+
+void GroupMembership::add_member(GroupId g, NodeId node) {
+  DECSEQ_CHECK(is_alive(g));
+  DECSEQ_CHECK(node.valid() && node.value() < num_nodes_);
+  auto& members = groups_[g.value()].members;
+  const auto it = std::lower_bound(members.begin(), members.end(), node);
+  DECSEQ_CHECK_MSG(it == members.end() || *it != node,
+                   "node " << node << " already in group " << g);
+  members.insert(it, node);
+}
+
+void GroupMembership::remove_member(GroupId g, NodeId node) {
+  DECSEQ_CHECK(is_alive(g));
+  auto& members = groups_[g.value()].members;
+  const auto it = std::lower_bound(members.begin(), members.end(), node);
+  DECSEQ_CHECK_MSG(it != members.end() && *it == node,
+                   "node " << node << " not in group " << g);
+  members.erase(it);
+  if (members.empty()) {
+    groups_[g.value()].alive = false;
+    --live_groups_;
+  }
+}
+
+const std::vector<NodeId>& GroupMembership::members(GroupId g) const {
+  return slot(g).members;
+}
+
+bool GroupMembership::is_member(GroupId g, NodeId node) const {
+  const auto& m = slot(g).members;
+  return std::binary_search(m.begin(), m.end(), node);
+}
+
+std::vector<GroupId> GroupMembership::groups_of(NodeId node) const {
+  std::vector<GroupId> result;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const GroupId g(static_cast<GroupId::underlying_type>(i));
+    if (groups_[i].alive && is_member(g, node)) result.push_back(g);
+  }
+  return result;
+}
+
+std::vector<GroupId> GroupMembership::live_groups() const {
+  std::vector<GroupId> result;
+  result.reserve(live_groups_);
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].alive) {
+      result.push_back(GroupId(static_cast<GroupId::underlying_type>(i)));
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> GroupMembership::intersect(GroupId a, GroupId b) const {
+  const auto& ma = slot(a).members;
+  const auto& mb = slot(b).members;
+  std::vector<NodeId> out;
+  std::set_intersection(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::size_t GroupMembership::subscription_count(NodeId node) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const GroupId g(static_cast<GroupId::underlying_type>(i));
+    if (groups_[i].alive && is_member(g, node)) ++count;
+  }
+  return count;
+}
+
+}  // namespace decseq::membership

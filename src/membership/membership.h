@@ -1,0 +1,84 @@
+// The group membership matrix: which end hosts subscribe to which groups.
+//
+// The paper assumes this matrix is globally known (kept in a DHT or provided
+// by the pub/sub layer, §3); graph construction and placement read it
+// directly. Members are kept sorted so intersections and subset tests are
+// linear merges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace decseq::membership {
+
+/// Immutable-by-convention snapshot of group memberships. Groups have dense
+/// ids [0, num_groups); removing a group leaves a tombstone (empty member
+/// list flagged dead) so existing GroupIds stay stable, matching the lazy
+/// retirement story in §3.2.
+class GroupMembership {
+ public:
+  explicit GroupMembership(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  /// Total group slots, including dead ones (iterate with is_alive()).
+  [[nodiscard]] std::size_t num_group_slots() const { return groups_.size(); }
+  /// Number of live groups.
+  [[nodiscard]] std::size_t num_groups() const { return live_groups_; }
+
+  /// Create a group with the given members (need not be sorted; duplicates
+  /// are rejected). Returns its id.
+  GroupId add_group(std::vector<NodeId> members);
+
+  /// Delete a group. Its id becomes dead; members are dropped.
+  void remove_group(GroupId g);
+
+  /// Add one subscriber to an existing group.
+  void add_member(GroupId g, NodeId node);
+
+  /// Remove one subscriber; removing the last member kills the group
+  /// (paper §3.2: a group with no subscribers is deleted).
+  void remove_member(GroupId g, NodeId node);
+
+  [[nodiscard]] bool is_alive(GroupId g) const {
+    return g.valid() && g.value() < groups_.size() && groups_[g.value()].alive;
+  }
+
+  /// Sorted member list of a live group.
+  [[nodiscard]] const std::vector<NodeId>& members(GroupId g) const;
+
+  [[nodiscard]] bool is_member(GroupId g, NodeId node) const;
+
+  /// All live groups that `node` subscribes to.
+  [[nodiscard]] std::vector<GroupId> groups_of(NodeId node) const;
+
+  /// All live group ids.
+  [[nodiscard]] std::vector<GroupId> live_groups() const;
+
+  /// Sorted intersection of two groups' member lists.
+  [[nodiscard]] std::vector<NodeId> intersect(GroupId a, GroupId b) const;
+
+  /// Number of live groups `node` subscribes to (its receive fan-in is
+  /// proportional to this — the receiver-load bound in the scalability
+  /// argument of §1.2).
+  [[nodiscard]] std::size_t subscription_count(NodeId node) const;
+
+ private:
+  struct Slot {
+    std::vector<NodeId> members;  // sorted
+    bool alive = false;
+  };
+
+  const Slot& slot(GroupId g) const {
+    DECSEQ_CHECK_MSG(is_alive(g), "group " << g << " is not alive");
+    return groups_[g.value()];
+  }
+
+  std::size_t num_nodes_;
+  std::size_t live_groups_ = 0;
+  std::vector<Slot> groups_;
+};
+
+}  // namespace decseq::membership

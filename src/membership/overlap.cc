@@ -1,0 +1,77 @@
+#include "membership/overlap.h"
+
+#include <limits>
+
+#include "common/bitset.h"
+
+namespace decseq::membership {
+
+OverlapIndex::OverlapIndex(const GroupMembership& membership) {
+  const std::vector<GroupId> groups = membership.live_groups();
+  by_group_.resize(membership.num_group_slots());
+  component_of_.assign(membership.num_group_slots(),
+                       std::numeric_limits<std::size_t>::max());
+
+  // Bitset per group: the pairwise scan is then word-parallel
+  // (O(G^2 * N/64)) and the member list is materialized only for actual
+  // double overlaps.
+  std::vector<DynamicBitset> member_bits;
+  member_bits.reserve(groups.size());
+  for (const GroupId g : groups) {
+    DynamicBitset bits(membership.num_nodes());
+    for (const NodeId m : membership.members(g)) bits.set(m.value());
+    member_bits.push_back(std::move(bits));
+  }
+
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      if (member_bits[i].intersection_count(member_bits[j]) < 2) continue;
+      std::vector<NodeId> shared;
+      for (const std::size_t bit :
+           member_bits[i].intersection_bits(member_bits[j])) {
+        shared.push_back(NodeId(static_cast<NodeId::underlying_type>(bit)));
+      }
+      const std::size_t idx = overlaps_.size();
+      overlaps_.push_back({groups[i], groups[j], std::move(shared)});
+      by_group_[groups[i].value()].push_back(idx);
+      by_group_[groups[j].value()].push_back(idx);
+    }
+  }
+
+  // Connected components over the group overlap graph via union-find-free
+  // BFS (the graph is tiny).
+  std::vector<bool> visited(membership.num_group_slots(), false);
+  for (const GroupId g : groups) {
+    if (visited[g.value()] || by_group_[g.value()].empty()) continue;
+    std::vector<GroupId> component;
+    std::vector<GroupId> frontier{g};
+    visited[g.value()] = true;
+    while (!frontier.empty()) {
+      const GroupId cur = frontier.back();
+      frontier.pop_back();
+      component.push_back(cur);
+      component_of_[cur.value()] = components_.size();
+      for (const std::size_t idx : by_group_[cur.value()]) {
+        const GroupId next = overlaps_[idx].other(cur);
+        if (!visited[next.value()]) {
+          visited[next.value()] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+    components_.push_back(std::move(component));
+  }
+}
+
+const std::vector<std::size_t>& OverlapIndex::overlaps_of(GroupId g) const {
+  DECSEQ_CHECK(g.valid());
+  if (g.value() >= by_group_.size()) return empty_;
+  return by_group_[g.value()];
+}
+
+std::size_t OverlapIndex::component_of(GroupId g) const {
+  DECSEQ_CHECK(g.valid() && g.value() < component_of_.size());
+  return component_of_[g.value()];
+}
+
+}  // namespace decseq::membership

@@ -1,0 +1,76 @@
+// Double-overlap index.
+//
+// The paper's core insight (§1, §3): only messages to groups that share two
+// or more subscribers can be observed to arrive out of order, so one
+// sequencing atom per *double-overlapped pair of groups* suffices. This
+// module computes those pairs, their shared members, the group-level
+// overlap graph, and its connected components (groups in different
+// components never need mutual ordering).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "membership/membership.h"
+
+namespace decseq::membership {
+
+/// One double overlap: an unordered pair of groups sharing >= 2 members.
+struct Overlap {
+  GroupId first;                 ///< smaller GroupId of the pair
+  GroupId second;                ///< larger GroupId of the pair
+  std::vector<NodeId> members;   ///< sorted shared subscribers (size >= 2)
+
+  [[nodiscard]] bool involves(GroupId g) const {
+    return g == first || g == second;
+  }
+  [[nodiscard]] GroupId other(GroupId g) const {
+    DECSEQ_CHECK(involves(g));
+    return g == first ? second : first;
+  }
+};
+
+/// Index over all double overlaps of a membership snapshot.
+class OverlapIndex {
+ public:
+  /// Build by intersecting every pair of live groups. O(G^2 * N) worst
+  /// case; trivially fast at the paper's scales (G <= 64, N <= 128).
+  explicit OverlapIndex(const GroupMembership& membership);
+
+  [[nodiscard]] std::size_t num_overlaps() const { return overlaps_.size(); }
+  [[nodiscard]] const std::vector<Overlap>& overlaps() const {
+    return overlaps_;
+  }
+  [[nodiscard]] const Overlap& overlap(std::size_t i) const {
+    DECSEQ_CHECK(i < overlaps_.size());
+    return overlaps_[i];
+  }
+
+  /// Indices (into overlaps()) of every overlap involving group g.
+  [[nodiscard]] const std::vector<std::size_t>& overlaps_of(GroupId g) const;
+
+  /// True if g participates in at least one double overlap.
+  [[nodiscard]] bool has_overlaps(GroupId g) const {
+    return !overlaps_of(g).empty();
+  }
+
+  /// Connected components of the group overlap graph (vertices: live groups
+  /// with >= 1 overlap; edges: double overlaps). Groups without overlaps are
+  /// not listed — they need only an ingress-only sequencer.
+  [[nodiscard]] const std::vector<std::vector<GroupId>>& components() const {
+    return components_;
+  }
+
+  /// Component index of a group, or SIZE_MAX if it has no overlaps.
+  [[nodiscard]] std::size_t component_of(GroupId g) const;
+
+ private:
+  std::vector<Overlap> overlaps_;
+  std::vector<std::vector<std::size_t>> by_group_;  // slot-indexed
+  std::vector<std::vector<GroupId>> components_;
+  std::vector<std::size_t> component_of_;           // slot-indexed
+  std::vector<std::size_t> empty_;
+};
+
+}  // namespace decseq::membership

@@ -1,0 +1,123 @@
+#include "metrics/logio.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace decseq::metrics {
+
+namespace {
+constexpr const char* kHeader =
+    "receiver,message,group,sender,payload,sent_at,delivered_at";
+}
+
+void write_delivery_log(const std::vector<pubsub::Delivery>& log,
+                        std::ostream& out) {
+  out << kHeader << '\n';
+  for (const pubsub::Delivery& d : log) {
+    out << d.receiver.value() << ',' << d.message.value() << ','
+        << d.group.value() << ',' << d.sender.value() << ',' << d.payload
+        << ',' << d.sent_at << ',' << d.delivered_at << '\n';
+  }
+}
+
+std::vector<pubsub::Delivery> read_delivery_log(std::istream& in) {
+  std::string line;
+  DECSEQ_CHECK_MSG(std::getline(in, line) && line == kHeader,
+                   "delivery log missing header");
+  std::vector<pubsub::Delivery> log;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    DECSEQ_CHECK_MSG(fields.size() == 7,
+                     "line " << line_number << ": expected 7 fields, got "
+                             << fields.size());
+    // stoul/stod throw std::invalid_argument on garbage; normalize every
+    // parse failure to CheckFailure with the offending line.
+    auto parse_u32 = [&](const std::string& s) {
+      try {
+        std::size_t pos = 0;
+        const unsigned long v = std::stoul(s, &pos);
+        DECSEQ_CHECK(pos == s.size());
+        return static_cast<std::uint32_t>(v);
+      } catch (const std::exception&) {
+        DECSEQ_CHECK_MSG(false, "bad integer \"" << s << "\" on line "
+                                                 << line_number);
+        throw;  // unreachable
+      }
+    };
+    auto parse_u64 = [&](const std::string& s) {
+      try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(s, &pos);
+        DECSEQ_CHECK(pos == s.size());
+        return static_cast<std::uint64_t>(v);
+      } catch (const std::exception&) {
+        DECSEQ_CHECK_MSG(false, "bad integer \"" << s << "\" on line "
+                                                 << line_number);
+        throw;
+      }
+    };
+    auto parse_double = [&](const std::string& s) {
+      try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        DECSEQ_CHECK(pos == s.size());
+        return v;
+      } catch (const std::exception&) {
+        DECSEQ_CHECK_MSG(false, "bad number \"" << s << "\" on line "
+                                                << line_number);
+        throw;
+      }
+    };
+    log.push_back({NodeId(parse_u32(fields[0])), MsgId(parse_u32(fields[1])),
+                   GroupId(parse_u32(fields[2])), NodeId(parse_u32(fields[3])),
+                   parse_u64(fields[4]), parse_double(fields[5]),
+                   parse_double(fields[6])});
+  }
+  return log;
+}
+
+std::optional<std::string> find_order_violation(
+    const std::vector<pubsub::Delivery>& log) {
+  // Per receiver: messages in delivery order.
+  std::map<NodeId, std::vector<MsgId>> order;
+  for (const pubsub::Delivery& d : log) order[d.receiver].push_back(d.message);
+
+  std::vector<NodeId> receivers;
+  receivers.reserve(order.size());
+  for (const auto& [node, msgs] : order) receivers.push_back(node);
+
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    for (std::size_t j = i + 1; j < receivers.size(); ++j) {
+      const auto& oa = order[receivers[i]];
+      const auto& ob = order[receivers[j]];
+      std::map<MsgId, std::size_t> rank_b;
+      for (std::size_t r = 0; r < ob.size(); ++r) rank_b[ob[r]] = r;
+      // Ranks in B of the common messages, in A's order, must increase.
+      std::optional<std::pair<MsgId, std::size_t>> prev;
+      for (const MsgId m : oa) {
+        const auto it = rank_b.find(m);
+        if (it == rank_b.end()) continue;
+        if (prev && it->second < prev->second) {
+          std::ostringstream os;
+          os << "receivers " << receivers[i] << " and " << receivers[j]
+             << " disagree on messages " << prev->first << " and " << m;
+          return os.str();
+        }
+        prev = {m, it->second};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace decseq::metrics

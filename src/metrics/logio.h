@@ -1,0 +1,36 @@
+// Delivery-log persistence and offline verification.
+//
+// Deployments debug ordering bugs from logs. This module writes a
+// PubSubSystem delivery log as CSV, reads it back, and re-checks the
+// paper's guarantee offline: every pair of receivers must observe their
+// common messages in the same relative order. The explore CLI exposes the
+// writer (--log-out) and the verifier (--verify-log) so a saved run can be
+// audited without re-simulating.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pubsub/system.h"
+
+namespace decseq::metrics {
+
+/// Write the log as CSV with a header row:
+/// receiver,message,group,sender,payload,sent_at,delivered_at
+void write_delivery_log(const std::vector<pubsub::Delivery>& log,
+                        std::ostream& out);
+
+/// Parse a CSV produced by write_delivery_log. Throws CheckFailure on any
+/// malformed row (wrong column count, non-numeric field, bad header).
+[[nodiscard]] std::vector<pubsub::Delivery> read_delivery_log(
+    std::istream& in);
+
+/// The pairwise order-consistency oracle (Theorem 1's observable): returns
+/// a description of the first violation found, or nullopt if every pair of
+/// receivers agrees on the relative order of their common messages.
+[[nodiscard]] std::optional<std::string> find_order_violation(
+    const std::vector<pubsub::Delivery>& log);
+
+}  // namespace decseq::metrics

@@ -1,0 +1,83 @@
+#include "metrics/stretch.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace decseq::metrics {
+
+StretchRunResult measure_stretch(pubsub::PubSubSystem& system) {
+  const auto& membership = system.membership();
+  auto& sim = system.simulator();
+  DECSEQ_CHECK_MSG(sim.idle(), "stretch run needs a quiescent system");
+
+  // Stagger publishes far enough apart that no two messages are ever in
+  // flight together (max end-to-end delay is bounded by path hops x max
+  // link delay; 1e6 ms is orders of magnitude beyond it).
+  constexpr sim::Time kSpacing = 1e6;
+  sim::Time at = sim.now() + kSpacing;
+  std::size_t published = 0;
+  for (std::size_t n = 0; n < membership.num_nodes(); ++n) {
+    const NodeId sender(static_cast<NodeId::underlying_type>(n));
+    for (const GroupId g : membership.groups_of(sender)) {
+      sim.schedule_at(at, [&system, sender, g] { system.publish(sender, g); });
+      at += kSpacing;
+      ++published;
+    }
+  }
+
+  const std::size_t log_start = system.deliveries().size();
+  system.run();
+
+  StretchRunResult result;
+  result.messages_published = published;
+  auto& oracle = system.oracle();
+  const auto& hosts = system.hosts();
+  for (std::size_t i = log_start; i < system.deliveries().size(); ++i) {
+    const pubsub::Delivery& d = system.deliveries()[i];
+    if (d.receiver == d.sender) continue;
+    const double unicast = hosts.unicast_delay(d.sender, d.receiver, oracle);
+    if (unicast <= 0.0) continue;  // co-located hosts: ratio undefined
+    result.samples.push_back({d.sender, d.receiver, d.group,
+                              d.delivered_at - d.sent_at, unicast});
+  }
+  return result;
+}
+
+std::vector<double> stretch_per_destination(
+    const std::vector<StretchSample>& samples, std::size_t num_nodes) {
+  std::vector<double> sum(num_nodes, 0.0);
+  std::vector<std::size_t> count(num_nodes, 0);
+  for (const StretchSample& s : samples) {
+    sum[s.destination.value()] += s.ratio();
+    ++count[s.destination.value()];
+  }
+  std::vector<double> result;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    if (count[n] > 0) {
+      result.push_back(sum[n] / static_cast<double>(count[n]));
+    }
+  }
+  return result;
+}
+
+std::vector<RdpPoint> rdp_points(const std::vector<StretchSample>& samples) {
+  std::map<std::pair<NodeId, NodeId>, std::pair<double, std::size_t>> acc;
+  std::map<std::pair<NodeId, NodeId>, double> unicast;
+  for (const StretchSample& s : samples) {
+    auto& [total, n] = acc[{s.sender, s.destination}];
+    total += s.ratio();
+    ++n;
+    unicast[{s.sender, s.destination}] = s.unicast_delay_ms;
+  }
+  std::vector<RdpPoint> points;
+  points.reserve(acc.size());
+  for (const auto& [pair, total_count] : acc) {
+    points.push_back({unicast[pair],
+                      total_count.first /
+                          static_cast<double>(total_count.second)});
+  }
+  return points;
+}
+
+}  // namespace decseq::metrics

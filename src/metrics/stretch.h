@@ -1,0 +1,53 @@
+// Latency-stretch experiment driver (paper §4.2, Figures 3 and 4).
+//
+// Workload: every node sends one message to each group it subscribes to,
+// once through the sequencing network and (analytically) once on the direct
+// unicast path. Publishes are staggered so messages never queue behind each
+// other — matching the paper's per-message measurement. Stretch is the
+// ratio sequenced-delay / unicast-delay; Figure 3 averages per destination,
+// Figure 4 plots the per-pair ratio (RDP) against the pair's unicast delay.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/system.h"
+
+namespace decseq::metrics {
+
+/// One (sender, destination) observation.
+struct StretchSample {
+  NodeId sender;
+  NodeId destination;
+  GroupId group;
+  double sequenced_delay_ms = 0.0;
+  double unicast_delay_ms = 0.0;
+
+  [[nodiscard]] double ratio() const {
+    return sequenced_delay_ms / unicast_delay_ms;
+  }
+};
+
+struct StretchRunResult {
+  std::vector<StretchSample> samples;
+  std::size_t messages_published = 0;
+};
+
+/// Run the workload on a quiescent system. Sender==destination pairs are
+/// skipped (their unicast delay is zero).
+[[nodiscard]] StretchRunResult measure_stretch(pubsub::PubSubSystem& system);
+
+/// Figure 3 series: stretch averaged over each destination's samples.
+[[nodiscard]] std::vector<double> stretch_per_destination(
+    const std::vector<StretchSample>& samples, std::size_t num_nodes);
+
+/// Figure 4 series: (unicast delay, RDP) per sender-destination pair,
+/// averaged over the groups connecting the pair.
+struct RdpPoint {
+  double unicast_delay_ms;
+  double rdp;
+};
+[[nodiscard]] std::vector<RdpPoint> rdp_points(
+    const std::vector<StretchSample>& samples);
+
+}  // namespace decseq::metrics

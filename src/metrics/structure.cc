@@ -1,0 +1,73 @@
+#include "metrics/structure.h"
+
+#include <unordered_set>
+
+#include "placement/assignment.h"
+
+namespace decseq::metrics {
+
+StructureResult measure_structure(
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& overlaps,
+    const seqgraph::SequencingGraph& graph,
+    const placement::Colocation& colocation) {
+  StructureResult result;
+  result.num_double_overlaps = overlaps.num_overlaps();
+  result.num_sequencing_nodes = colocation.num_overlap_nodes(graph);
+
+  // Stress: for each sequencing node hosting overlap atoms, the fraction of
+  // all groups whose messages it forwards (its seq-node path contains it).
+  const std::vector<GroupId> groups = membership.live_groups();
+  std::vector<std::size_t> groups_forwarded(colocation.num_nodes(), 0);
+  for (const GroupId g : groups) {
+    // A path may revisit a machine non-consecutively; each group counts at
+    // most once per sequencing node.
+    std::unordered_set<SeqNodeId> distinct;
+    for (const SeqNodeId n :
+         placement::seq_node_path(graph, colocation, g)) {
+      if (distinct.insert(n).second) ++groups_forwarded[n.value()];
+    }
+  }
+  for (std::size_t n = 0; n < colocation.num_nodes(); ++n) {
+    const SeqNodeId node(static_cast<SeqNodeId::underlying_type>(n));
+    const auto& atoms = colocation.atoms_of(node);
+    const bool overlap_node =
+        std::any_of(atoms.begin(), atoms.end(), [&](AtomId a) {
+          return !graph.atom(a).is_ingress_only();
+        });
+    if (overlap_node && !groups.empty()) {
+      result.stress.push_back(static_cast<double>(groups_forwarded[n]) /
+                              static_cast<double>(groups.size()));
+    }
+  }
+
+  // Atoms-per-path: one sample per (subscriber, group) message the Fig 3
+  // workload would send.
+  const auto num_nodes = static_cast<double>(membership.num_nodes());
+  for (const GroupId g : groups) {
+    const double stamping =
+        static_cast<double>(graph.stamping_atoms(g).size());
+    for ([[maybe_unused]] const NodeId member : membership.members(g)) {
+      result.atoms_per_path_ratio.push_back(stamping / num_nodes);
+    }
+  }
+  return result;
+}
+
+StructureResult build_and_measure(
+    const membership::GroupMembership& membership, Rng& rng,
+    const seqgraph::BuildOptions& graph_options,
+    const placement::ColocationOptions& colocation_options) {
+  const membership::OverlapIndex overlaps(membership);
+  const std::vector<std::size_t> labels =
+      placement::colocate_overlaps(overlaps, colocation_options, rng);
+  seqgraph::BuildOptions options = graph_options;
+  options.colocation_labels = &labels;
+  const seqgraph::SequencingGraph graph =
+      build_sequencing_graph(membership, overlaps, options);
+  const placement::Colocation colocation =
+      placement::apply_labels(graph, labels);
+  return measure_structure(membership, overlaps, graph, colocation);
+}
+
+}  // namespace decseq::metrics

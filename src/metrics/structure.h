@@ -1,0 +1,46 @@
+// Structural metrics of the sequencing graph (paper §4.3–4.5, Figures
+// 5–8). These need no packet simulation: they are functions of the
+// membership snapshot, the overlap index, the built graph, and the
+// co-location — so the 100-run sweeps stay fast.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "membership/membership.h"
+#include "membership/overlap.h"
+#include "placement/colocation.h"
+#include "seqgraph/graph.h"
+
+namespace decseq::metrics {
+
+/// Everything Figures 5–8 read off one membership snapshot.
+struct StructureResult {
+  std::size_t num_double_overlaps = 0;
+  /// Sequencing nodes hosting at least one overlap atom (Fig 5's count —
+  /// ingress-only sequencers are excluded, as in §4.3).
+  std::size_t num_sequencing_nodes = 0;
+  /// Per such sequencing node: groups it forwards messages for / total
+  /// groups (Fig 6's stress).
+  std::vector<double> stress;
+  /// Per (subscriber, group) message: stamping atoms on the message's path /
+  /// number of subscriber nodes (Fig 7's ratio).
+  std::vector<double> atoms_per_path_ratio;
+};
+
+[[nodiscard]] StructureResult measure_structure(
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& overlaps,
+    const seqgraph::SequencingGraph& graph,
+    const placement::Colocation& colocation);
+
+/// Convenience: build overlap index + graph + co-location for a snapshot
+/// and measure. `rng` drives the co-location heuristic's random choices.
+[[nodiscard]] StructureResult build_and_measure(
+    const membership::GroupMembership& membership, Rng& rng,
+    const seqgraph::BuildOptions& graph_options = {},
+    const placement::ColocationOptions& colocation_options = {});
+
+}  // namespace decseq::metrics

@@ -1,0 +1,112 @@
+#include "placement/assignment.h"
+
+#include <algorithm>
+
+namespace decseq::placement {
+
+std::vector<SeqNodeId> seq_node_path(const seqgraph::SequencingGraph& graph,
+                                     const Colocation& colocation,
+                                     GroupId g) {
+  std::vector<SeqNodeId> result;
+  for (const AtomId a : graph.path(g)) {
+    const SeqNodeId n = colocation.node_of(a);
+    if (result.empty() || result.back() != n) result.push_back(n);
+  }
+  return result;
+}
+
+Assignment assign_machines(const seqgraph::SequencingGraph& graph,
+                           const Colocation& colocation,
+                           const membership::GroupMembership& membership,
+                           const topology::HostMap& hosts,
+                           const topology::Graph& network,
+                           const AssignmentOptions& options, Rng& rng) {
+  std::vector<RouterId> machine(colocation.num_nodes(), RouterId{});
+
+  auto random_router = [&] {
+    return RouterId(static_cast<RouterId::underlying_type>(
+        rng.next_below(network.num_routers())));
+  };
+  // "Neighboring machine": the router adjacent to `at` over the cheapest
+  // link, so consecutive path hops stay one short link apart.
+  auto neighboring_router = [&](RouterId at) {
+    const auto& edges = network.neighbors(at);
+    if (edges.empty()) return at;
+    const auto best = std::min_element(
+        edges.begin(), edges.end(),
+        [](const topology::Edge& a, const topology::Edge& b) {
+          return a.delay_ms < b.delay_ms;
+        });
+    return best->to;
+  };
+
+  // Ingress-only sequencing nodes sit at a random member's attachment
+  // router regardless of mode.
+  for (const seqgraph::Atom& atom : graph.atoms()) {
+    if (!atom.is_ingress_only()) continue;
+    const SeqNodeId n = colocation.node_of(atom.id);
+    const auto& members = membership.members(atom.group_a);
+    DECSEQ_CHECK(!members.empty());
+    machine[n.value()] = hosts.router_of(rng.pick(members));
+  }
+
+  if (options.mode == AssignmentMode::kAllRandom) {
+    for (std::size_t n = 0; n < machine.size(); ++n) {
+      if (!machine[n].valid()) machine[n] = random_router();
+    }
+    return Assignment(std::move(machine));
+  }
+
+  // §3.4 heuristic, run on behalf of each group.
+  for (const GroupId g : graph.groups()) {
+    const std::vector<SeqNodeId> path = seq_node_path(graph, colocation, g);
+
+    // Positions on this group's path that already have machines.
+    auto assigned = [&](std::size_t i) {
+      return machine[path[i].value()].valid();
+    };
+    if (std::none_of(path.begin(), path.end(), [&](SeqNodeId n) {
+          return machine[n.value()].valid();
+        })) {
+      // No sequencing node of this group is placed yet: place one at
+      // "random" — a random machine of the pub/sub infrastructure (a group
+      // member's router) or a uniformly random router, per the seed policy.
+      machine[path.front().value()] =
+          options.seed == SeedPolicy::kGroupMember
+              ? hosts.router_of(rng.pick(membership.members(g)))
+              : random_router();
+    }
+
+    // Repeatedly place the unassigned node adjacent (on the path) to an
+    // assigned one, next to its neighbor's machine. Every pass assigns at
+    // least one node, so this terminates.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        if (assigned(i)) continue;
+        RouterId anchor{};
+        if (i > 0 && assigned(i - 1)) {
+          anchor = machine[path[i - 1].value()];
+        } else if (i + 1 < path.size() && assigned(i + 1)) {
+          anchor = machine[path[i + 1].value()];
+        }
+        if (anchor.valid()) {
+          machine[path[i].value()] = neighboring_router(anchor);
+          progress = true;
+        }
+      }
+    }
+    // A group's path lies in one co-location component, and we seeded it if
+    // empty, so everything is assigned by now.
+    for (const SeqNodeId n : path) {
+      DECSEQ_CHECK_MSG(machine[n.value()].valid(),
+                       "unassigned sequencing node " << n << " for group "
+                                                     << g);
+    }
+  }
+
+  return Assignment(std::move(machine));
+}
+
+}  // namespace decseq::placement

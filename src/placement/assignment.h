@@ -1,0 +1,81 @@
+// Sequencing-node -> physical-machine assignment (paper §3.4, last part).
+//
+// The paper's heuristic runs on behalf of each group: if none of the
+// group's sequencing nodes is mapped yet, one is placed on a random machine;
+// otherwise the unassigned sequencing node closest on the group's path to an
+// assigned one is placed on a machine neighboring the assigned one's. This
+// keeps consecutive path hops short without global optimization.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "membership/membership.h"
+#include "placement/colocation.h"
+#include "seqgraph/graph.h"
+#include "topology/hosts.h"
+
+namespace decseq::placement {
+
+enum class AssignmentMode {
+  kPaperHeuristic,  ///< §3.4 per-group proximity heuristic
+  kAllRandom,       ///< every sequencing node on a random router (the
+                    ///< "randomly scattering" strawman §3.4 argues against)
+};
+
+/// Where the heuristic's first ("assign one at random") sequencing node of
+/// a group lands.
+enum class SeedPolicy {
+  /// At the attachment router of a random member of the group — the
+  /// sequencing overlay stays inside the pub/sub infrastructure, which is
+  /// what keeps the paper's Fig 3 stretch in the 2–8 range.
+  kGroupMember,
+  /// At a uniformly random router (ablation; strands chains far from all
+  /// subscribers and inflates stretch by an order of magnitude).
+  kRandomRouter,
+};
+
+struct AssignmentOptions {
+  AssignmentMode mode = AssignmentMode::kPaperHeuristic;
+  SeedPolicy seed = SeedPolicy::kGroupMember;
+};
+
+/// Machines (routers) hosting each sequencing node.
+class Assignment {
+ public:
+  explicit Assignment(std::vector<RouterId> machine_of_node)
+      : machine_of_node_(std::move(machine_of_node)) {}
+
+  [[nodiscard]] RouterId machine_of(SeqNodeId node) const {
+    DECSEQ_CHECK(node.valid() && node.value() < machine_of_node_.size());
+    DECSEQ_CHECK_MSG(machine_of_node_[node.value()].valid(),
+                     "sequencing node " << node << " unassigned");
+    return machine_of_node_[node.value()];
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const {
+    return machine_of_node_.size();
+  }
+
+ private:
+  std::vector<RouterId> machine_of_node_;
+};
+
+/// Map every sequencing node to a router. Ingress-only sequencing nodes are
+/// placed at the attachment router of a random member of their group (the
+/// "elect a member as per-group sequencer" baseline from the introduction).
+[[nodiscard]] Assignment assign_machines(
+    const seqgraph::SequencingGraph& graph, const Colocation& colocation,
+    const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, const topology::Graph& network,
+    const AssignmentOptions& options, Rng& rng);
+
+/// Distinct sequencing nodes visited, in order, by messages of group g
+/// (consecutive duplicates collapsed — atoms on the same machine cost no
+/// network hop).
+[[nodiscard]] std::vector<SeqNodeId> seq_node_path(
+    const seqgraph::SequencingGraph& graph, const Colocation& colocation,
+    GroupId g);
+
+}  // namespace decseq::placement

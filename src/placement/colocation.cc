@@ -1,0 +1,172 @@
+#include "placement/colocation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace decseq::placement {
+
+namespace {
+
+using membership::Overlap;
+using membership::OverlapIndex;
+using seqgraph::Atom;
+using seqgraph::SequencingGraph;
+
+/// True if `inner` ⊆ `outer`; both sorted.
+bool is_subset(const std::vector<NodeId>& inner,
+               const std::vector<NodeId>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+bool contains_member(const std::vector<NodeId>& members, NodeId v) {
+  return std::binary_search(members.begin(), members.end(), v);
+}
+
+}  // namespace
+
+std::vector<std::size_t> colocate_overlaps(const OverlapIndex& overlaps,
+                                           const ColocationOptions& options,
+                                           Rng& rng) {
+  const std::size_t n = overlaps.num_overlaps();
+
+  // Clusters under construction: step 1 groups overlaps, step 2 merges
+  // groups. Every overlap index appears in exactly one cluster.
+  struct Cluster {
+    std::vector<std::size_t> overlaps;  // first = defining (largest) overlap
+    bool merged_in_step2 = false;
+  };
+  std::vector<Cluster> clusters;
+
+  // Overlap indices, largest member set first, so each subset chain
+  // collapses onto its largest overlap.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const auto sx = overlaps.overlap(x).members.size();
+    const auto sy = overlaps.overlap(y).members.size();
+    if (sx != sy) return sx > sy;
+    return x < y;
+  });
+
+  if (options.mode == ColocationMode::kNone) {
+    for (const std::size_t oi : order) clusters.push_back({{oi}, false});
+  } else {
+    // --- Step 1: subset rule. ---
+    std::vector<bool> clustered(n, false);
+    for (const std::size_t seed : order) {
+      if (clustered[seed]) continue;
+      Cluster cluster{{seed}, false};
+      clustered[seed] = true;
+      const auto& seed_members = overlaps.overlap(seed).members;
+      for (const std::size_t other : order) {
+        if (clustered[other]) continue;
+        if (is_subset(overlaps.overlap(other).members, seed_members)) {
+          cluster.overlaps.push_back(other);
+          clustered[other] = true;
+        }
+      }
+      clusters.push_back(std::move(cluster));
+    }
+  }
+
+  // --- Step 2: shared-member rule — merge clusters containing a randomly
+  //     chosen member of the pivot cluster's defining overlap. The
+  //     "co-located only once" restriction: merged clusters are final.
+  std::vector<std::vector<std::size_t>> final_nodes;
+  if (options.mode == ColocationMode::kFull) {
+    std::vector<std::size_t> visit(clusters.size());
+    std::iota(visit.begin(), visit.end(), std::size_t{0});
+    rng.shuffle(visit);
+    for (const std::size_t ci : visit) {
+      if (clusters[ci].merged_in_step2) continue;
+      clusters[ci].merged_in_step2 = true;
+      std::vector<std::size_t> merged = clusters[ci].overlaps;
+      const auto& pivot_members =
+          overlaps.overlap(clusters[ci].overlaps.front()).members;
+      const NodeId v = rng.pick(pivot_members);
+      for (std::size_t cj = 0; cj < clusters.size(); ++cj) {
+        if (clusters[cj].merged_in_step2) continue;
+        const bool shares_v = std::any_of(
+            clusters[cj].overlaps.begin(), clusters[cj].overlaps.end(),
+            [&](std::size_t oi) {
+              return contains_member(overlaps.overlap(oi).members, v);
+            });
+        if (shares_v) {
+          clusters[cj].merged_in_step2 = true;
+          merged.insert(merged.end(), clusters[cj].overlaps.begin(),
+                        clusters[cj].overlaps.end());
+        }
+      }
+      final_nodes.push_back(std::move(merged));
+    }
+  } else {
+    for (Cluster& c : clusters) final_nodes.push_back(std::move(c.overlaps));
+  }
+
+  std::vector<std::size_t> labels(n, 0);
+  for (std::size_t node = 0; node < final_nodes.size(); ++node) {
+    for (const std::size_t oi : final_nodes[node]) labels[oi] = node;
+  }
+  return labels;
+}
+
+Colocation::Colocation(std::vector<std::vector<AtomId>> nodes,
+                       std::vector<SeqNodeId> node_of_atom)
+    : nodes_(std::move(nodes)), node_of_atom_(std::move(node_of_atom)) {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    DECSEQ_CHECK_MSG(!nodes_[n].empty(), "empty sequencing node " << n);
+    for (const AtomId a : nodes_[n]) {
+      DECSEQ_CHECK(node_of_atom_[a.value()].value() == n);
+    }
+  }
+}
+
+std::size_t Colocation::num_overlap_nodes(
+    const SequencingGraph& graph) const {
+  std::size_t count = 0;
+  for (const auto& atoms : nodes_) {
+    const bool has_overlap_atom =
+        std::any_of(atoms.begin(), atoms.end(), [&](AtomId a) {
+          return !graph.atom(a).is_ingress_only();
+        });
+    if (has_overlap_atom) ++count;
+  }
+  return count;
+}
+
+Colocation apply_labels(const SequencingGraph& graph,
+                        const std::vector<std::size_t>& labels) {
+  // Dense-renumber the labels that actually occur, then append one node per
+  // ingress-only atom.
+  std::vector<std::vector<AtomId>> nodes;
+  std::vector<SeqNodeId> node_of_atom(graph.num_atoms());
+  std::vector<std::size_t> dense(labels.size(), static_cast<std::size_t>(-1));
+  for (const Atom& atom : graph.atoms()) {
+    std::size_t node;
+    if (atom.is_ingress_only()) {
+      node = nodes.size();
+      nodes.emplace_back();
+    } else {
+      DECSEQ_CHECK(atom.overlap_index < labels.size());
+      std::size_t& d = dense[labels[atom.overlap_index]];
+      if (d == static_cast<std::size_t>(-1)) {
+        d = nodes.size();
+        nodes.emplace_back();
+      }
+      node = d;
+    }
+    nodes[node].push_back(atom.id);
+    node_of_atom[atom.id.value()] =
+        SeqNodeId(static_cast<SeqNodeId::underlying_type>(node));
+  }
+  return Colocation(std::move(nodes), std::move(node_of_atom));
+}
+
+Colocation colocate_atoms(const SequencingGraph& graph,
+                          const OverlapIndex& overlaps,
+                          const ColocationOptions& options, Rng& rng) {
+  return apply_labels(graph, colocate_overlaps(overlaps, options, rng));
+}
+
+}  // namespace decseq::placement

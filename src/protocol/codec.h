@@ -1,0 +1,46 @@
+// Binary wire codec for sequenced messages.
+//
+// The overhead argument of §2/§4.4 is about bytes on the wire; this codec
+// makes it concrete. Layout (all integers LEB128 varints, so small sequence
+// numbers and ids cost one byte):
+//
+//   magic     0xD5            (1 byte)
+//   version   1               (1 byte)
+//   msg id, group, sender, group_seq, payload      (varints)
+//   stamp count                                    (varint)
+//   per stamp: atom id, sequence number            (varints)
+//
+// decode() validates magic/version/truncation and rejects trailing bytes,
+// so a corrupted buffer fails loudly instead of yielding a plausible
+// message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "protocol/message.h"
+
+namespace decseq::protocol {
+
+/// Append a LEB128 varint to `out`.
+void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+/// Decode a varint at `offset`, advancing it. Returns nullopt on
+/// truncation or a varint longer than 10 bytes.
+[[nodiscard]] std::optional<std::uint64_t> decode_varint(
+    const std::vector<std::uint8_t>& in, std::size_t& offset);
+
+/// Serialize a message (ordering header + payload tag).
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Parse a buffer produced by encode_message. Returns nullopt for any
+/// malformed input (bad magic, truncation, trailing garbage). The decoded
+/// message's sent_at is zero — wall-clock time does not travel on the wire.
+[[nodiscard]] std::optional<Message> decode_message(
+    const std::vector<std::uint8_t>& in);
+
+/// Exact encoded size without materializing the buffer.
+[[nodiscard]] std::size_t encoded_size(const Message& m);
+
+}  // namespace decseq::protocol

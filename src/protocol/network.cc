@@ -1,0 +1,316 @@
+#include "protocol/network.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace decseq::protocol {
+
+SequencingNetwork::SequencingNetwork(
+    sim::Simulator& sim, Rng& rng, const seqgraph::SequencingGraph& graph,
+    const placement::Colocation& colocation,
+    const placement::Assignment& assignment,
+    const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, topology::DistanceOracle& oracle,
+    NetworkOptions options, const topology::Graph* physical_network)
+    : sim_(&sim),
+      rng_(&rng),
+      graph_(&graph),
+      colocation_(&colocation),
+      assignment_(&assignment),
+      membership_(&membership),
+      hosts_(&hosts),
+      oracle_(&oracle),
+      options_(options),
+      atom_state_(graph.num_atoms()),
+      seqnode_load_(colocation.num_nodes(), 0),
+      node_down_(colocation.num_nodes(), false),
+      physical_network_(physical_network) {
+  DECSEQ_CHECK_MSG(!options_.tree_distribution || physical_network_ != nullptr,
+                   "tree distribution needs the physical network graph");
+  // Routing tables from the group paths.
+  for (const GroupId g : graph.groups()) {
+    const auto& path = graph.path(g);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      atom_state_[path[i].value()].next_hop[g] = path[i + 1];
+      atom_state_[path[i + 1].value()].prev_hop[g] = path[i];
+    }
+    atom_state_[path.front().value()].next_group_seq[g] = 1;
+  }
+
+  // One FIFO channel per directed path edge in use.
+  for (const GroupId g : graph.groups()) {
+    const auto& path = graph.path(g);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const AtomId from = path[i], to = path[i + 1];
+      if (channels_.contains({from, to})) continue;
+      auto channel = std::make_unique<sim::Channel<Message>>(
+          *sim_, *rng_, machine_distance(from, to), options_.channel);
+      channel->set_receiver([this, to](Message m) {
+        handle_at_atom(to, std::move(m));
+      });
+      channels_.emplace(std::pair{from, to}, std::move(channel));
+    }
+  }
+
+  // One receiver per subscriber that belongs to at least one group.
+  for (std::size_t n = 0; n < membership.num_nodes(); ++n) {
+    const NodeId node(static_cast<NodeId::underlying_type>(n));
+    std::vector<GroupId> subs = membership.groups_of(node);
+    if (subs.empty()) continue;
+    receivers_.emplace(
+        node, std::make_unique<Receiver>(
+                  node, std::move(subs), relevant_atoms_for(node, graph),
+                  [this, node](const Message& m, sim::Time at) {
+                    tracer_.record({TraceEvent::Kind::kDelivered, m.id, at,
+                                    AtomId{}, SeqNodeId{}, node, 0});
+                    if (on_delivery_) on_delivery_(node, m, at);
+                  }));
+  }
+}
+
+RouterId SequencingNetwork::machine_of_atom(AtomId a) const {
+  return assignment_->machine_of(colocation_->node_of(a));
+}
+
+double SequencingNetwork::machine_distance(AtomId a, AtomId b) {
+  const RouterId ra = machine_of_atom(a), rb = machine_of_atom(b);
+  if (ra == rb) return 0.0;
+  return oracle_->distance(ra, rb);
+}
+
+MsgId SequencingNetwork::publish(NodeId sender, GroupId group,
+                                 std::uint64_t payload,
+                                 std::vector<std::uint8_t> body) {
+  return inject(sender, group, payload, std::move(body), /*is_fin=*/false);
+}
+
+MsgId SequencingNetwork::terminate_group(GroupId group, NodeId initiator) {
+  return inject(initiator, group, 0, {}, /*is_fin=*/true);
+}
+
+MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
+                                std::uint64_t payload,
+                                std::vector<std::uint8_t> body, bool is_fin) {
+  DECSEQ_CHECK_MSG(graph_->has_path(group),
+                   "publish to group " << group << " with no path");
+  DECSEQ_CHECK_MSG(!terminated_groups_.contains(group),
+                   "group " << group << " was terminated");
+  if (is_fin) terminated_groups_.insert(group);
+  const MsgId id(static_cast<MsgId::underlying_type>(records_.size()));
+  records_.push_back({sender, group, sim_->now(), std::nullopt, 0, 0});
+
+  Message message;
+  message.id = id;
+  message.group = group;
+  message.sender = sender;
+  message.sent_at = sim_->now();
+  message.payload = payload;
+  message.body = std::move(body);
+  message.is_fin = is_fin;
+  tracer_.record({TraceEvent::Kind::kPublished, id, sim_->now(), AtomId{},
+                  SeqNodeId{}, sender, 0});
+
+  const AtomId ingress = graph_->path(group).front();
+  const double delay =
+      oracle_->distance(hosts_->router_of(sender), machine_of_atom(ingress));
+  // The ingress leg needs no inter-sequencer FIFO machinery: a constant
+  // per-pair delay preserves each sender's send order, and the ingress
+  // sequencer defines the global order on arrival.
+  sim_->schedule_after(delay, [this, ingress, message = std::move(message)] {
+    arrive_at_ingress(ingress, message);
+  });
+  return id;
+}
+
+void SequencingNetwork::arrive_at_ingress(AtomId ingress, Message message) {
+  const SeqNodeId node = colocation_->node_of(ingress);
+  if (node_down_[node.value()]) {
+    // Publisher retry: try again after the retransmission timeout.
+    sim_->schedule_after(options_.channel.retransmit_timeout_ms,
+                         [this, ingress, message = std::move(message)] {
+                           arrive_at_ingress(ingress, message);
+                         });
+    return;
+  }
+  AtomState& ingress_state = atom_state_[ingress.value()];
+  if (ingress_state.closed_ingress.contains(message.group)) {
+    // The FIN beat this message to the ingress: the group's sequence space
+    // is closed and the publish is rejected (paper §3.2: the termination
+    // message signifies the *end* of the sequence space).
+    DECSEQ_CHECK(!message.is_fin);
+    records_[message.id.value()].rejected = true;
+    return;
+  }
+  if (message.is_fin) ingress_state.closed_ingress.insert(message.group);
+  ++seqnode_load_[node.value()];
+  // Ingress: assign the group-local sequence number (paper §3.1).
+  auto& counter = ingress_state.next_group_seq.at(message.group);
+  message.group_seq = counter++;
+  tracer_.record({TraceEvent::Kind::kIngress, message.id, sim_->now(),
+                  ingress, node, NodeId{}, message.group_seq});
+  handle_at_atom(ingress, std::move(message));
+}
+
+void SequencingNetwork::fail_node(SeqNodeId node) {
+  DECSEQ_CHECK(node.valid() && node.value() < node_down_.size());
+  DECSEQ_CHECK_MSG(!node_down_[node.value()], "node " << node
+                                                      << " already down");
+  node_down_[node.value()] = true;
+  for (auto& [edge, channel] : channels_) {
+    if (colocation_->node_of(edge.second) == node) {
+      channel->set_receiver_down(true);
+    }
+  }
+}
+
+void SequencingNetwork::fail_link(AtomId from, AtomId to) {
+  const auto it = channels_.find({from, to});
+  DECSEQ_CHECK_MSG(it != channels_.end(),
+                   "no channel " << from << " -> " << to);
+  DECSEQ_CHECK_MSG(!it->second->link_down(), "link already down");
+  it->second->set_link_down(true);
+}
+
+void SequencingNetwork::recover_link(AtomId from, AtomId to) {
+  const auto it = channels_.find({from, to});
+  DECSEQ_CHECK_MSG(it != channels_.end(),
+                   "no channel " << from << " -> " << to);
+  DECSEQ_CHECK_MSG(it->second->link_down(), "link not down");
+  it->second->set_link_down(false);
+}
+
+bool SequencingNetwork::link_failed(AtomId from, AtomId to) const {
+  const auto it = channels_.find({from, to});
+  DECSEQ_CHECK_MSG(it != channels_.end(),
+                   "no channel " << from << " -> " << to);
+  return it->second->link_down();
+}
+
+void SequencingNetwork::recover_node(SeqNodeId node) {
+  DECSEQ_CHECK(node.valid() && node.value() < node_down_.size());
+  DECSEQ_CHECK_MSG(node_down_[node.value()], "node " << node << " not down");
+  node_down_[node.value()] = false;
+  for (auto& [edge, channel] : channels_) {
+    if (colocation_->node_of(edge.second) == node) {
+      channel->set_receiver_down(false);
+    }
+  }
+}
+
+void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
+  AtomState& state = atom_state_[atom.value()];
+  // Stamp if this atom sequences an overlap of the message's group;
+  // messages of other groups only transit (the Fig 2(b) redirection).
+  //
+  // An atom whose partner group was terminated keeps stamping the
+  // surviving group until the next graph rebuild removes it — the paper's
+  // §3.2 lazy removal: "adding ignored sequence numbers to a message does
+  // not hurt correctness, only efficiency." Stopping early would be a real
+  // bug: a pre-FIN message of the dead group can still be in flight
+  // carrying this atom's stamp, and a post-FIN message of the surviving
+  // group would then share no sequencer with it — two overlap members
+  // could order the pair differently (found by the chaos property test).
+  if (graph_->atom(atom).stamps(message.group)) {
+    message.stamps.push_back({atom, state.next_overlap_seq++});
+    tracer_.record({TraceEvent::Kind::kStamped, message.id, sim_->now(),
+                    atom, colocation_->node_of(atom), NodeId{},
+                    message.stamps.back().seq});
+  } else if (tracer_.enabled()) {
+    tracer_.record({TraceEvent::Kind::kTransited, message.id, sim_->now(),
+                    atom, colocation_->node_of(atom), NodeId{}, 0});
+  }
+  // Mark the atom retired when the FIN passes (diagnostics; actual removal
+  // happens at the next rebuild).
+  if (message.is_fin && graph_->atom(atom).stamps(message.group)) {
+    state.retired = true;
+  }
+  const auto next = state.next_hop.find(message.group);
+  if (next == state.next_hop.end()) {
+    distribute(atom, std::move(message));
+  } else {
+    const AtomId next_atom = next->second;
+    if (message.is_fin) {
+      // Drop the dead group's forwarding state behind the FIN.
+      state.next_hop.erase(message.group);
+      atom_state_[next_atom.value()].prev_hop.erase(message.group);
+    }
+    forward(atom, next_atom, std::move(message));
+  }
+}
+
+void SequencingNetwork::forward(AtomId from, AtomId to, Message message) {
+  // Count machine load once per visit: a hop between co-located atoms stays
+  // on the same sequencing node.
+  const SeqNodeId from_node = colocation_->node_of(from);
+  const SeqNodeId to_node = colocation_->node_of(to);
+  if (from_node != to_node) {
+    ++seqnode_load_[to_node.value()];
+    tracer_.record({TraceEvent::Kind::kForwarded, message.id, sim_->now(),
+                    from, to_node, NodeId{}, 0});
+  }
+  const auto it = channels_.find({from, to});
+  DECSEQ_CHECK_MSG(it != channels_.end(),
+                   "no channel " << from << " -> " << to);
+  it->second->send(std::move(message));
+}
+
+void SequencingNetwork::distribute(AtomId last_atom, Message message) {
+  MessageRecord& rec = records_[message.id.value()];
+  rec.exited_at = sim_->now();
+  rec.stamps = message.stamps.size();
+  rec.header_bytes = ordering_header_bytes(message);
+  tracer_.record({TraceEvent::Kind::kExited, message.id, sim_->now(),
+                  last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
+
+  const RouterId egress = machine_of_atom(last_atom);
+  if (options_.tree_distribution) {
+    // One copy flows down the group's shortest-path delivery tree; members
+    // hear it at their unicast delay, the network carries far fewer copies.
+    auto& tree = distribution_trees_[message.group];
+    if (tree == nullptr) {
+      std::vector<RouterId> destinations;
+      for (const NodeId member : membership_->members(message.group)) {
+        destinations.push_back(hosts_->router_of(member));
+      }
+      tree = std::make_unique<topology::MulticastTree>(*physical_network_,
+                                                       egress, destinations);
+    }
+    distribution_stress_.add_tree(*tree);
+    for (const NodeId member : membership_->members(message.group)) {
+      const double delay = tree->delay_to(hosts_->router_of(member));
+      sim_->schedule_after(delay, [this, member, message] {
+        receivers_.at(member)->receive(message, sim_->now());
+      });
+    }
+    return;
+  }
+  for (const NodeId member : membership_->members(message.group)) {
+    const double delay =
+        oracle_->distance(egress, hosts_->router_of(member));
+    sim_->schedule_after(delay, [this, member, message] {
+      receivers_.at(member)->receive(message, sim_->now());
+    });
+  }
+}
+
+std::size_t SequencingNetwork::deliveries(NodeId node) const {
+  const auto it = receivers_.find(node);
+  return it == receivers_.end() ? 0 : it->second->delivered();
+}
+
+std::size_t SequencingNetwork::buffered_at_receivers() const {
+  std::size_t total = 0;
+  for (const auto& [node, receiver] : receivers_) {
+    total += receiver->buffered();
+  }
+  return total;
+}
+
+const Receiver& SequencingNetwork::receiver(NodeId node) const {
+  const auto it = receivers_.find(node);
+  DECSEQ_CHECK_MSG(it != receivers_.end(), "node " << node << " has no receiver");
+  return *it->second;
+}
+
+}  // namespace decseq::protocol

@@ -1,0 +1,223 @@
+// The sequencing network runtime: ingress, sequencing, distribution
+// (paper §3, three phases).
+//
+// Wires one state machine per sequencing atom, reliable FIFO channels along
+// the tree edges the group paths use (§3.1's channel assumption), and one
+// Receiver per subscriber. Ingress and distribution legs travel on shortest
+// unicast paths, like the paper's evaluation (§4.1: "messages travel from
+// publishers to subscribers on the shortest path").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "membership/membership.h"
+#include "placement/assignment.h"
+#include "placement/colocation.h"
+#include "protocol/message.h"
+#include "protocol/receiver.h"
+#include "protocol/trace.h"
+#include "seqgraph/graph.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+#include "topology/hosts.h"
+#include "topology/multicast_tree.h"
+#include "topology/shortest_path.h"
+
+namespace decseq::protocol {
+
+struct NetworkOptions {
+  /// Options for inter-sequencer channels (loss is 0 in experiments; tests
+  /// raise it to exercise retransmission).
+  sim::ChannelOptions channel;
+  /// Distribute exiting messages through a shortest-path multicast tree per
+  /// group (the paper's "delivery tree", §3) instead of per-member
+  /// unicasts. Delivery times are identical (tree edges follow shortest
+  /// paths); the difference is network cost, accounted in
+  /// distribution_stress().
+  bool tree_distribution = false;
+};
+
+/// Everything recorded about one published message.
+struct MessageRecord {
+  NodeId sender;
+  GroupId group;
+  sim::Time published_at = 0.0;
+  /// When the message left the sequencing network for distribution.
+  std::optional<sim::Time> exited_at;
+  /// Number of sequence-number stamps collected (== atoms of its group).
+  std::size_t stamps = 0;
+  /// Final ordering-header size in bytes.
+  std::size_t header_bytes = 0;
+  /// The message raced a concurrent group termination and reached the
+  /// ingress after the FIN closed the sequence space: never sequenced,
+  /// never delivered (the publisher lost the race, as with any send to a
+  /// group that just ceased to exist).
+  bool rejected = false;
+};
+
+/// A full simulated deployment of the ordering protocol.
+class SequencingNetwork {
+ public:
+  /// (receiver, message, delivery time) for every in-order delivery.
+  using DeliveryFn =
+      std::function<void(NodeId receiver, const Message&, sim::Time)>;
+
+  /// `physical_network` is only needed for tree distribution (it is where
+  /// the delivery trees are built); pass nullptr otherwise.
+  SequencingNetwork(sim::Simulator& sim, Rng& rng,
+                    const seqgraph::SequencingGraph& graph,
+                    const placement::Colocation& colocation,
+                    const placement::Assignment& assignment,
+                    const membership::GroupMembership& membership,
+                    const topology::HostMap& hosts,
+                    topology::DistanceOracle& oracle,
+                    NetworkOptions options = {},
+                    const topology::Graph* physical_network = nullptr);
+
+  SequencingNetwork(const SequencingNetwork&) = delete;
+  SequencingNetwork& operator=(const SequencingNetwork&) = delete;
+
+  void set_delivery_callback(DeliveryFn fn) { on_delivery_ = std::move(fn); }
+
+  /// Publish `payload` from `sender` to `group` at the current simulated
+  /// time. The sender need not subscribe (but causal ordering then does not
+  /// cover it, §3.3). `body` is opaque application bytes carried verbatim
+  /// (delivered through the Message seen by delivery callbacks). Returns
+  /// the message id.
+  MsgId publish(NodeId sender, GroupId group, std::uint64_t payload = 0,
+                std::vector<std::uint8_t> body = {});
+
+  /// End `group`'s sequence space (§3.2): a termination message — the
+  /// paper's "TCP FIN" — travels the group's sequencing path, ordered like
+  /// any message. Each sequencing atom that inspects it retires lazily
+  /// (stops stamping; its other group falls back to group-local order) and
+  /// the group's forwarding state is dropped; receivers close the group
+  /// after delivering the FIN. Further publishes to the group are an error.
+  MsgId terminate_group(GroupId group, NodeId initiator);
+
+  [[nodiscard]] bool group_terminated(GroupId group) const {
+    return terminated_groups_.contains(group);
+  }
+
+  // --- Failure injection (beyond the paper's fail-free assumption). ---
+  // Fail-stop model with synchronous state replication: a failed
+  // sequencing machine stops receiving — upstream retransmission buffers
+  // (§3.1) hold its traffic and publishers retry their ingress legs — and
+  // recovery resumes with the counters intact, so no sequence number is
+  // ever lost or duplicated. Keep downtime below retransmit_timeout_ms *
+  // max_retransmits or the channel gives up loudly.
+  void fail_node(SeqNodeId node);
+  void recover_node(SeqNodeId node);
+  [[nodiscard]] bool node_failed(SeqNodeId node) const {
+    DECSEQ_CHECK(node.valid() && node.value() < node_down_.size());
+    return node_down_[node.value()];
+  }
+
+  /// Sever / restore the directed inter-sequencer link `from -> to` (it
+  /// must be an edge some group's path uses). Messages queue in the §3.1
+  /// retransmission buffer until recovery.
+  void fail_link(AtomId from, AtomId to);
+  void recover_link(AtomId from, AtomId to);
+  [[nodiscard]] bool link_failed(AtomId from, AtomId to) const;
+
+  [[nodiscard]] const MessageRecord& record(MsgId id) const {
+    DECSEQ_CHECK(id.valid() && id.value() < records_.size());
+    return records_[id.value()];
+  }
+  [[nodiscard]] std::size_t published() const { return records_.size(); }
+
+  /// Messages handled per sequencing node (counted once per visit to the
+  /// machine, however many co-located atoms touch the message there).
+  [[nodiscard]] const std::vector<std::size_t>& seqnode_load() const {
+    return seqnode_load_;
+  }
+
+  /// Messages delivered per subscriber node.
+  [[nodiscard]] std::size_t deliveries(NodeId node) const;
+
+  /// Total messages sitting in receiver reorder buffers right now.
+  [[nodiscard]] std::size_t buffered_at_receivers() const;
+
+  [[nodiscard]] const Receiver& receiver(NodeId node) const;
+
+  /// Per-message tracing; call tracer().enable() before publishing.
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Link-stress accumulated by the distribution phase (tree mode only).
+  [[nodiscard]] const topology::LinkStress& distribution_stress() const {
+    return distribution_stress_;
+  }
+
+ private:
+  struct AtomState {
+    SeqNo next_overlap_seq = 1;
+    /// Group-local counters for groups this atom is ingress for.
+    std::unordered_map<GroupId, SeqNo> next_group_seq;
+    /// Next atom on the path, per group routed through here.
+    std::unordered_map<GroupId, AtomId> next_hop;
+    /// Previous atom on the path (the §3.1 reverse-path table; used for
+    /// diagnostics and lazy retirement).
+    std::unordered_map<GroupId, AtomId> prev_hop;
+    /// Set once a FIN for one of the atom's groups passed: the overlap no
+    /// longer exists and the next graph rebuild will remove the atom. Until
+    /// then it keeps stamping its surviving group — §3.2's lazy removal
+    /// ("adding ignored sequence numbers ... does not hurt correctness,
+    /// only efficiency"); stopping early would let a post-FIN survivor
+    /// message miss its ordering point against in-flight pre-FIN messages.
+    bool retired = false;
+    /// Groups whose FIN passed this atom as their ingress: their sequence
+    /// space is closed, and data messages that lost the race against the
+    /// FIN (published earlier, arrived later) are rejected here.
+    std::unordered_set<GroupId> closed_ingress;
+  };
+
+  void handle_at_atom(AtomId atom, Message message);
+  MsgId inject(NodeId sender, GroupId group, std::uint64_t payload,
+               std::vector<std::uint8_t> body, bool is_fin);
+  /// Ingress-leg arrival; retries while the ingress machine is down
+  /// (publisher retry, mirroring the channels' retransmission).
+  void arrive_at_ingress(AtomId ingress, Message message);
+  void forward(AtomId from, AtomId to, Message message);
+  void distribute(AtomId last_atom, Message message);
+  [[nodiscard]] double machine_distance(AtomId a, AtomId b);
+  [[nodiscard]] RouterId machine_of_atom(AtomId a) const;
+
+  sim::Simulator* sim_;
+  Rng* rng_;
+  const seqgraph::SequencingGraph* graph_;
+  const placement::Colocation* colocation_;
+  const placement::Assignment* assignment_;
+  const membership::GroupMembership* membership_;
+  const topology::HostMap* hosts_;
+  topology::DistanceOracle* oracle_;
+  NetworkOptions options_;
+
+  std::vector<AtomState> atom_state_;
+  /// Directed inter-atom channels, created for every path edge in use.
+  std::map<std::pair<AtomId, AtomId>, std::unique_ptr<sim::Channel<Message>>>
+      channels_;
+  std::unordered_map<NodeId, std::unique_ptr<Receiver>> receivers_;
+  std::unordered_set<GroupId> terminated_groups_;
+  std::vector<MessageRecord> records_;
+  std::vector<std::size_t> seqnode_load_;
+  std::vector<bool> node_down_;
+  Tracer tracer_;
+  /// Cached distribution trees per group (tree mode), rooted at the
+  /// group's egress machine.
+  std::unordered_map<GroupId, std::unique_ptr<topology::MulticastTree>>
+      distribution_trees_;
+  topology::LinkStress distribution_stress_;
+  const topology::Graph* physical_network_ = nullptr;
+  DeliveryFn on_delivery_;
+};
+
+}  // namespace decseq::protocol

@@ -1,0 +1,101 @@
+#include "protocol/receiver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace decseq::protocol {
+
+Receiver::Receiver(NodeId node, std::vector<GroupId> subscriptions,
+                   std::vector<AtomId> relevant_atoms, DeliverFn on_deliver)
+    : node_(node), on_deliver_(std::move(on_deliver)) {
+  DECSEQ_CHECK(on_deliver_ != nullptr);
+  for (const GroupId g : subscriptions) next_group_[g] = 1;
+  for (const AtomId a : relevant_atoms) next_atom_[a] = 1;
+}
+
+std::vector<Stamp> Receiver::relevant_stamps(const Message& message) const {
+  std::vector<Stamp> relevant;
+  for (const Stamp& s : message.stamps) {
+    if (next_atom_.contains(s.atom)) relevant.push_back(s);
+  }
+  return relevant;
+}
+
+bool Receiver::deliverable(const Message& message) const {
+  const auto git = next_group_.find(message.group);
+  DECSEQ_CHECK_MSG(git != next_group_.end(),
+                   "node " << node_ << " got message for unsubscribed group "
+                           << message.group);
+  DECSEQ_CHECK_MSG(message.group_seq != 0, "message missing group sequence");
+  if (message.group_seq != git->second) return false;
+  for (const Stamp& s : message.stamps) {
+    const auto ait = next_atom_.find(s.atom);
+    if (ait == next_atom_.end()) continue;  // not relevant to this node
+    DECSEQ_CHECK_MSG(s.seq != 0, "unset stamp from atom " << s.atom);
+    if (s.seq != ait->second) return false;
+  }
+  return true;
+}
+
+void Receiver::receive(const Message& message, sim::Time now) {
+  DECSEQ_CHECK_MSG(!closed_groups_.contains(message.group),
+                   "message for group " << message.group
+                                        << " after its FIN at node " << node_);
+  if (!deliverable(message)) {
+    pending_.push_back({message, now});
+    max_buffered_ = std::max(max_buffered_, pending_.size());
+    return;
+  }
+  deliver(message, now);
+  drain(now);
+}
+
+void Receiver::deliver(const Message& message, sim::Time now) {
+  // Advance every counter this message was holding.
+  ++next_group_[message.group];
+  for (const Stamp& s : message.stamps) {
+    const auto it = next_atom_.find(s.atom);
+    if (it != next_atom_.end()) {
+      DECSEQ_CHECK(it->second == s.seq);
+      ++it->second;
+    }
+  }
+  if (message.is_fin) closed_groups_.insert(message.group);
+  ++delivered_count_;
+  on_deliver_(message, now);
+}
+
+void Receiver::drain(sim::Time now) {
+  // Delivering one message can unblock others; iterate to fixpoint. The
+  // pending list is tiny in practice (messages delayed by in-flight gaps).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (deliverable(it->message)) {
+        Pending p = std::move(*it);
+        pending_.erase(it);
+        total_buffer_wait_ += now - p.arrived_at;
+        deliver(p.message, now);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<AtomId> relevant_atoms_for(NodeId node,
+                                       const seqgraph::SequencingGraph& graph) {
+  std::vector<AtomId> relevant;
+  for (const seqgraph::Atom& atom : graph.atoms()) {
+    if (atom.is_ingress_only()) continue;
+    if (std::binary_search(atom.overlap_members.begin(),
+                           atom.overlap_members.end(), node)) {
+      relevant.push_back(atom.id);
+    }
+  }
+  return relevant;
+}
+
+}  // namespace decseq::protocol

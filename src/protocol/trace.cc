@@ -1,0 +1,62 @@
+#include "protocol/trace.h"
+
+#include <sstream>
+
+namespace decseq::protocol {
+
+const char* to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kPublished: return "published";
+    case TraceEvent::Kind::kIngress: return "ingress";
+    case TraceEvent::Kind::kStamped: return "stamped";
+    case TraceEvent::Kind::kTransited: return "transited";
+    case TraceEvent::Kind::kForwarded: return "forwarded";
+    case TraceEvent::Kind::kExited: return "exited";
+    case TraceEvent::Kind::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Tracer::for_message(MsgId id) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& e : events_) {
+    if (e.message == id) result.push_back(e);
+  }
+  return result;
+}
+
+std::string Tracer::format(MsgId id) const {
+  std::ostringstream os;
+  for (const TraceEvent& e : for_message(id)) {
+    os << "t=" << e.at << "ms " << to_string(e.kind);
+    switch (e.kind) {
+      case TraceEvent::Kind::kPublished:
+        os << " by node " << e.endpoint;
+        break;
+      case TraceEvent::Kind::kIngress:
+        os << " at atom " << e.atom << " (machine " << e.node
+           << "), group seq " << e.seq;
+        break;
+      case TraceEvent::Kind::kStamped:
+        os << " at atom " << e.atom << " (machine " << e.node << "), seq "
+           << e.seq;
+        break;
+      case TraceEvent::Kind::kTransited:
+        os << " atom " << e.atom << " (machine " << e.node << ")";
+        break;
+      case TraceEvent::Kind::kForwarded:
+        os << " from atom " << e.atom << " toward machine " << e.node;
+        break;
+      case TraceEvent::Kind::kExited:
+        os << " at machine " << e.node;
+        break;
+      case TraceEvent::Kind::kDelivered:
+        os << " to node " << e.endpoint;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace decseq::protocol

@@ -1,0 +1,76 @@
+// Per-message tracing through the sequencing network.
+//
+// When enabled, the runtime records every step of a message's life —
+// publish, ingress arrival (group-local number), stamps collected at atoms,
+// forwards between machines, exit to distribution, and per-receiver
+// delivery — into a bounded ring buffer. Tests assert protocol behaviour on
+// traces; the explore CLI prints them for debugging placements.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/simulator.h"
+
+namespace decseq::protocol {
+
+struct TraceEvent {
+  enum class Kind {
+    kPublished,  ///< endpoint = sender
+    kIngress,    ///< atom, node; seq = assigned group-local number
+    kStamped,    ///< atom, node; seq = assigned overlap number
+    kTransited,  ///< atom that did not stamp (Fig 2(b) redirection)
+    kForwarded,  ///< atom -> next machine (node = destination machine)
+    kExited,     ///< left the sequencing network for distribution
+    kDelivered,  ///< endpoint = receiver
+  };
+
+  Kind kind;
+  MsgId message;
+  sim::Time at = 0.0;
+  AtomId atom;       ///< where applicable
+  SeqNodeId node;    ///< hosting/destination machine, where applicable
+  NodeId endpoint;   ///< sender or receiver, where applicable
+  SeqNo seq = 0;     ///< assigned number for kIngress/kStamped
+};
+
+[[nodiscard]] const char* to_string(TraceEvent::Kind kind);
+
+/// Bounded in-memory trace sink. Disabled (and free) by default.
+class Tracer {
+ public:
+  /// Start recording; keeps at most `capacity` most-recent events.
+  void enable(std::size_t capacity = 65536) {
+    enabled_ = true;
+    capacity_ = capacity;
+  }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(TraceEvent event) {
+    if (!enabled_) return;
+    if (events_.size() == capacity_) events_.pop_front();
+    events_.push_back(event);
+  }
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// All recorded events of one message, in order.
+  [[nodiscard]] std::vector<TraceEvent> for_message(MsgId id) const;
+
+  /// Human-readable one-line-per-event rendering of a message's trace.
+  [[nodiscard]] std::string format(MsgId id) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace decseq::protocol

@@ -1,0 +1,205 @@
+#include "pubsub/system.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace decseq::pubsub {
+
+PubSubSystem::PubSubSystem(const SystemConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      membership_(config.hosts.num_hosts) {
+  switch (config.topology_model) {
+    case TopologyModel::kTransitStub: {
+      auto topo = topology::generate_transit_stub(config.topology, rng_);
+      hosts_ = std::make_unique<topology::HostMap>(
+          topology::attach_hosts(topo, config.hosts, rng_));
+      net_graph_ = std::move(topo.graph);
+      break;
+    }
+    case TopologyModel::kWaxman: {
+      auto topo = topology::generate_waxman(config.waxman, rng_);
+      hosts_ = std::make_unique<topology::HostMap>(
+          topology::attach_hosts_waxman(topo, config.hosts, rng_));
+      net_graph_ = std::move(topo.graph);
+      break;
+    }
+  }
+  oracle_ = std::make_unique<topology::DistanceOracle>(net_graph_);
+  rebuild();
+}
+
+void PubSubSystem::rebuild() {
+  DECSEQ_CHECK_MSG(sim_.idle(), "membership change while messages in flight");
+  for (const auto& [sender, state] : causal_) {
+    DECSEQ_CHECK_MSG(!state.in_flight.has_value() && state.queue.empty(),
+                     "membership change while causal publishes from "
+                         << sender << " are pending");
+  }
+  if (network_ != nullptr) {
+    epoch_base_ += static_cast<MsgId::underlying_type>(network_->published());
+  }
+  overlaps_ = std::make_unique<membership::OverlapIndex>(membership_);
+  // Co-locate before layout so the chain keeps same-machine atoms
+  // contiguous (§3.4: related atoms on the same machine recover the
+  // performance that distributing them would cost).
+  const std::vector<std::size_t> labels =
+      placement::colocate_overlaps(*overlaps_, config_.colocation, rng_);
+  seqgraph::BuildOptions graph_options = config_.graph;
+  graph_options.colocation_labels = &labels;
+  graph_ = std::make_unique<seqgraph::SequencingGraph>(
+      build_sequencing_graph(membership_, *overlaps_, graph_options));
+  colocation_ = std::make_unique<placement::Colocation>(
+      placement::apply_labels(*graph_, labels));
+  assignment_ = std::make_unique<placement::Assignment>(
+      placement::assign_machines(*graph_, *colocation_, membership_, *hosts_,
+                                 net_graph_, config_.assignment, rng_));
+  network_ = std::make_unique<protocol::SequencingNetwork>(
+      sim_, rng_, *graph_, *colocation_, *assignment_, membership_, *hosts_,
+      *oracle_, config_.network, &net_graph_);
+  network_->set_delivery_callback(
+      [this](NodeId receiver, const protocol::Message& m, sim::Time at) {
+        if (m.is_fin) return;  // control message: closes the group quietly
+        log_.push_back({receiver, MsgId(epoch_base_ + m.id.value()), m.group,
+                        m.sender, m.payload, m.sent_at, at});
+        if (user_callback_) user_callback_(receiver, m, at);
+        // A sender receiving its own message back releases its next queued
+        // causal publish.
+        if (receiver == m.sender) {
+          const auto it = causal_.find(m.sender);
+          if (it != causal_.end() && it->second.in_flight == m.id) {
+            it->second.in_flight.reset();
+            pump_causal_queue(m.sender);
+          }
+        }
+      });
+}
+
+GroupId PubSubSystem::create_group(std::vector<NodeId> members) {
+  const GroupId g = membership_.add_group(std::move(members));
+  rebuild();
+  return g;
+}
+
+std::vector<GroupId> PubSubSystem::create_groups(
+    std::vector<std::vector<NodeId>> member_lists) {
+  std::vector<GroupId> ids;
+  ids.reserve(member_lists.size());
+  for (auto& members : member_lists) {
+    ids.push_back(membership_.add_group(std::move(members)));
+  }
+  rebuild();
+  return ids;
+}
+
+void PubSubSystem::join(GroupId group, NodeId node) {
+  membership_.add_member(group, node);
+  rebuild();
+}
+
+void PubSubSystem::leave(GroupId group, NodeId node) {
+  membership_.remove_member(group, node);
+  rebuild();
+}
+
+void PubSubSystem::remove_group(GroupId group) {
+  membership_.remove_group(group);
+  rebuild();
+}
+
+MsgId PubSubSystem::publish(NodeId sender, GroupId group,
+                            std::uint64_t payload,
+                            std::vector<std::uint8_t> body) {
+  DECSEQ_CHECK(network_ != nullptr);
+  return MsgId(
+      epoch_base_ +
+      network_->publish(sender, group, payload, std::move(body)).value());
+}
+
+const protocol::MessageRecord& PubSubSystem::record(MsgId id) const {
+  DECSEQ_CHECK_MSG(id.valid() && id.value() >= epoch_base_,
+                   "message " << id << " predates the current epoch");
+  return network_->record(MsgId(id.value() - epoch_base_));
+}
+
+std::string PubSubSystem::trace(MsgId id) const {
+  DECSEQ_CHECK_MSG(id.valid() && id.value() >= epoch_base_,
+                   "message " << id << " predates the current epoch");
+  return network_->tracer().format(MsgId(id.value() - epoch_base_));
+}
+
+std::vector<GroupId> PubSubSystem::reconfigure(
+    std::vector<MembershipChange> changes) {
+  // Epoch boundary: finish everything in flight under the old graph.
+  run();
+  std::vector<GroupId> created;
+  for (MembershipChange& change : changes) {
+    switch (change.kind) {
+      case MembershipChange::Kind::kCreateGroup:
+        created.push_back(membership_.add_group(std::move(change.members)));
+        break;
+      case MembershipChange::Kind::kRemoveGroup:
+        membership_.remove_group(change.group);
+        break;
+      case MembershipChange::Kind::kJoin:
+        membership_.add_member(change.group, change.node);
+        break;
+      case MembershipChange::Kind::kLeave:
+        membership_.remove_member(change.group, change.node);
+        break;
+    }
+  }
+  rebuild();
+  return created;
+}
+
+void PubSubSystem::terminate_group(GroupId group, NodeId initiator) {
+  network_->terminate_group(group, initiator);
+}
+
+void PubSubSystem::publish_causal(NodeId sender, GroupId group,
+                                  std::uint64_t payload) {
+  DECSEQ_CHECK_MSG(
+      membership_.is_member(group, sender),
+      "causal publish requires sender " << sender << " in group " << group);
+  causal_[sender].queue.push_back({group, payload});
+  pump_causal_queue(sender);
+}
+
+void PubSubSystem::pump_causal_queue(NodeId sender) {
+  CausalState& state = causal_[sender];
+  if (state.in_flight.has_value() || state.queue.empty()) return;
+  const CausalPending next = state.queue.front();
+  state.queue.pop_front();
+  state.in_flight = network_->publish(sender, next.group, next.payload);
+}
+
+sim::Time PubSubSystem::run() {
+  sim_.run();
+  // Causal queues may release messages upon delivery; keep draining until
+  // nothing is pending anywhere.
+  bool pending = true;
+  while (pending) {
+    pending = false;
+    for (auto& [sender, state] : causal_) {
+      if (state.in_flight.has_value() || !state.queue.empty()) pending = true;
+    }
+    if (pending) {
+      DECSEQ_CHECK_MSG(!sim_.idle(),
+                       "causal publishes stuck with an idle simulator");
+      sim_.run();
+    }
+  }
+  return sim_.now();
+}
+
+std::vector<Delivery> PubSubSystem::deliveries_to(NodeId node) const {
+  std::vector<Delivery> result;
+  for (const Delivery& d : log_) {
+    if (d.receiver == node) result.push_back(d);
+  }
+  return result;
+}
+
+}  // namespace decseq::pubsub

@@ -1,0 +1,239 @@
+// End-to-end pub/sub system facade — the library's primary public API.
+//
+// Owns the whole stack: physical topology, host attachment, group
+// membership, the sequencing graph and its placement, and the simulated
+// protocol runtime. Applications use the paper's API surface (§1): join and
+// leave groups, send messages to any group, and receive messages — here via
+// a recorded, inspectable delivery log plus optional callbacks.
+//
+// Two publishing modes:
+//  * publish():        fire-and-forget; all subscribers of overlapping
+//                      groups still deliver in a consistent order.
+//  * publish_causal(): the sender's next message enters the network only
+//                      after its previous one was delivered back to the
+//                      sender (which must subscribe to the target group) —
+//                      the §3.3 condition under which the consistent order
+//                      is also a causal order.
+//
+// Membership changes rebuild the sequencing graph from the global picture
+// (§3.2) and are allowed between runs, while no messages are in flight —
+// the same static-membership regime the paper evaluates (§4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "membership/membership.h"
+#include "membership/overlap.h"
+#include "placement/assignment.h"
+#include "placement/colocation.h"
+#include "protocol/network.h"
+#include "seqgraph/graph.h"
+#include "sim/simulator.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+#include "topology/transit_stub.h"
+#include "topology/waxman.h"
+
+namespace decseq::pubsub {
+
+/// Which physical-network model underlies the deployment.
+enum class TopologyModel {
+  kTransitStub,  ///< hierarchical GT-ITM transit-stub (the paper's setup)
+  kWaxman,       ///< flat random Waxman plane (sensitivity experiments)
+};
+
+struct SystemConfig {
+  std::uint64_t seed = 1;
+  TopologyModel topology_model = TopologyModel::kTransitStub;
+  topology::TransitStubParams topology;  ///< used for kTransitStub
+  topology::WaxmanParams waxman;         ///< used for kWaxman
+  topology::HostAttachmentParams hosts;
+  seqgraph::BuildOptions graph;
+  placement::ColocationOptions colocation;
+  placement::AssignmentOptions assignment;
+  protocol::NetworkOptions network;
+};
+
+/// One in-order delivery, as observed by the application.
+struct Delivery {
+  NodeId receiver;
+  MsgId message;
+  GroupId group;
+  NodeId sender;
+  std::uint64_t payload = 0;
+  sim::Time sent_at = 0.0;
+  sim::Time delivered_at = 0.0;
+};
+
+class PubSubSystem {
+ public:
+  explicit PubSubSystem(const SystemConfig& config);
+
+  // --- Membership (allowed only while quiescent; rebuilds the graph). ---
+  GroupId create_group(std::vector<NodeId> members);
+  /// Create many groups with a single graph rebuild (bulk setup).
+  std::vector<GroupId> create_groups(
+      std::vector<std::vector<NodeId>> member_lists);
+
+  /// One deferred membership operation for reconfigure().
+  struct MembershipChange {
+    enum class Kind { kCreateGroup, kRemoveGroup, kJoin, kLeave };
+    Kind kind;
+    GroupId group;               ///< for kRemoveGroup/kJoin/kLeave
+    NodeId node;                 ///< for kJoin/kLeave
+    std::vector<NodeId> members; ///< for kCreateGroup
+
+    static MembershipChange create(std::vector<NodeId> members) {
+      return {Kind::kCreateGroup, GroupId{}, NodeId{}, std::move(members)};
+    }
+    static MembershipChange remove(GroupId g) {
+      return {Kind::kRemoveGroup, g, NodeId{}, {}};
+    }
+    static MembershipChange join(GroupId g, NodeId n) {
+      return {Kind::kJoin, g, n, {}};
+    }
+    static MembershipChange leave(GroupId g, NodeId n) {
+      return {Kind::kLeave, g, n, {}};
+    }
+  };
+
+  /// Apply a batch of membership operations to a *live* system: drains all
+  /// in-flight traffic first (every published message is delivered under
+  /// the old sequencing graph — the graceful epoch boundary), applies the
+  /// whole batch, and rebuilds the graph once. Returns the ids of groups
+  /// created by the batch, in order.
+  std::vector<GroupId> reconfigure(std::vector<MembershipChange> changes);
+  void join(GroupId group, NodeId node);
+  void leave(GroupId group, NodeId node);
+  void remove_group(GroupId group);
+
+  // --- Messaging. ---
+  /// Publish immediately. Returns the message id — globally unique across
+  /// membership epochs (graph rebuilds), unlike the runtime's internal ids.
+  /// `body` is opaque application bytes, visible to delivery callbacks via
+  /// protocol::Message::body.
+  MsgId publish(NodeId sender, GroupId group, std::uint64_t payload = 0,
+                std::vector<std::uint8_t> body = {});
+
+  /// The runtime record of a message published through this facade (by its
+  /// global id). Valid until the next membership change.
+  [[nodiscard]] const protocol::MessageRecord& record(MsgId id) const;
+
+  /// Human-readable trace of a message published through this facade
+  /// (enable network_mutable().tracer() first). Unlike the raw tracer,
+  /// this accepts the facade's global message ids.
+  [[nodiscard]] std::string trace(MsgId id) const;
+  /// Publish behind the sender's previous causal message (sender must be a
+  /// member of `group`). The id is assigned when the message enters the
+  /// network; the returned handle resolves after run().
+  void publish_causal(NodeId sender, GroupId group, std::uint64_t payload = 0);
+
+  /// Close a group's sequence space at runtime (§3.2): a FIN travels the
+  /// group's sequencing path; sequencers retire lazily and subscribers stop
+  /// accepting its messages. Unlike remove_group(), this needs no
+  /// quiescence and no graph rebuild — the graph is cleaned up lazily at
+  /// the next membership operation.
+  void terminate_group(GroupId group, NodeId initiator);
+
+  /// Failure injection: crash / restore a sequencing machine mid-run (see
+  /// protocol::SequencingNetwork::fail_node for the fault model). While a
+  /// machine is down its traffic queues in upstream retransmission buffers;
+  /// nothing is lost or reordered across groups, but same-sender FIFO for
+  /// non-causal publishes may reorder across the failure window (retried
+  /// ingress legs race recovery, as in any retrying transport).
+  void fail_sequencing_node(SeqNodeId node) { network_->fail_node(node); }
+  void recover_sequencing_node(SeqNodeId node) {
+    network_->recover_node(node);
+  }
+
+  /// Drain the simulator: every published message is sequenced, distributed,
+  /// and delivered. Returns simulated completion time (ms).
+  sim::Time run();
+
+  // --- Observation. ---
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return log_;
+  }
+  /// Deliveries observed by one node, in delivery order.
+  [[nodiscard]] std::vector<Delivery> deliveries_to(NodeId node) const;
+  /// Install an additional live delivery callback.
+  void set_delivery_callback(protocol::SequencingNetwork::DeliveryFn fn) {
+    user_callback_ = std::move(fn);
+  }
+
+  // --- Introspection for tools, tests, and benches. ---
+  [[nodiscard]] const membership::GroupMembership& membership() const {
+    return membership_;
+  }
+  [[nodiscard]] const membership::OverlapIndex& overlaps() const {
+    return *overlaps_;
+  }
+  [[nodiscard]] const seqgraph::SequencingGraph& graph() const {
+    return *graph_;
+  }
+  [[nodiscard]] const placement::Colocation& colocation() const {
+    return *colocation_;
+  }
+  [[nodiscard]] const placement::Assignment& assignment() const {
+    return *assignment_;
+  }
+  [[nodiscard]] const topology::HostMap& hosts() const { return *hosts_; }
+  [[nodiscard]] const topology::Graph& topology_graph() const {
+    return net_graph_;
+  }
+  [[nodiscard]] topology::DistanceOracle& oracle() { return *oracle_; }
+  [[nodiscard]] const protocol::SequencingNetwork& network() const {
+    return *network_;
+  }
+  /// Mutable runtime access (tracing, failure injection at network level).
+  /// Invalidated by membership changes (the runtime is rebuilt).
+  [[nodiscard]] protocol::SequencingNetwork& network_mutable() {
+    return *network_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  void rebuild();
+  void pump_causal_queue(NodeId sender);
+
+  SystemConfig config_;
+  Rng rng_;
+  topology::Graph net_graph_;
+  std::unique_ptr<topology::DistanceOracle> oracle_;
+  std::unique_ptr<topology::HostMap> hosts_;
+  membership::GroupMembership membership_;
+  std::unique_ptr<membership::OverlapIndex> overlaps_;
+  std::unique_ptr<seqgraph::SequencingGraph> graph_;
+  std::unique_ptr<placement::Colocation> colocation_;
+  std::unique_ptr<placement::Assignment> assignment_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<protocol::SequencingNetwork> network_;
+
+  std::vector<Delivery> log_;
+  protocol::SequencingNetwork::DeliveryFn user_callback_;
+  /// Message-id offset of the current epoch: runtime ids restart at zero on
+  /// every rebuild; facade-visible ids are base + runtime id.
+  MsgId::underlying_type epoch_base_ = 0;
+
+  struct CausalPending {
+    GroupId group;
+    std::uint64_t payload;
+  };
+  /// Per-sender causal queues; front is in flight once `in_flight` is set.
+  struct CausalState {
+    std::deque<CausalPending> queue;
+    std::optional<MsgId> in_flight;
+  };
+  std::unordered_map<NodeId, CausalState> causal_;
+};
+
+}  // namespace decseq::pubsub

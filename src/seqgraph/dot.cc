@@ -1,0 +1,86 @@
+#include "seqgraph/dot.h"
+
+#include <map>
+#include <sstream>
+
+namespace decseq::seqgraph {
+
+namespace {
+
+/// A small qualitative palette for group-path overlays.
+const char* path_color(std::size_t index) {
+  static const char* kColors[] = {"#1b6ca8", "#c4433b", "#2e8b57", "#a050a0",
+                                  "#c87f1e", "#3b8686", "#8a5a44", "#5b5ea6"};
+  return kColors[index % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+void emit_atom(std::ostringstream& os, const Atom& atom, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "a" << atom.id.value() << " [shape=box,label=\"";
+  if (atom.is_ingress_only()) {
+    os << "ingress g" << atom.group_a.value();
+  } else {
+    os << "Q" << atom.id.value() << " (g" << atom.group_a.value() << ",g"
+       << atom.group_b.value() << ")\\n{";
+    for (std::size_t i = 0; i < atom.overlap_members.size(); ++i) {
+      if (i > 0) os << ",";
+      os << atom.overlap_members[i].value();
+    }
+    os << "}";
+  }
+  os << "\"];\n";
+}
+
+}  // namespace
+
+std::string to_dot(const SequencingGraph& graph,
+                   const membership::GroupMembership& membership,
+                   const std::vector<std::size_t>* machine_of_atom) {
+  std::ostringstream os;
+  os << "digraph sequencing {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
+
+  // Atoms, grouped by machine when a placement is given.
+  if (machine_of_atom != nullptr) {
+    DECSEQ_CHECK(machine_of_atom->size() == graph.num_atoms());
+    std::map<std::size_t, std::vector<AtomId>> by_machine;
+    for (const Atom& atom : graph.atoms()) {
+      by_machine[(*machine_of_atom)[atom.id.value()]].push_back(atom.id);
+    }
+    for (const auto& [machine, atoms] : by_machine) {
+      os << "  subgraph cluster_m" << machine << " {\n"
+         << "    label=\"machine " << machine << "\";\n    style=dashed;\n";
+      for (const AtomId a : atoms) emit_atom(os, graph.atom(a), 4);
+      os << "  }\n";
+    }
+  } else {
+    for (const Atom& atom : graph.atoms()) emit_atom(os, atom, 2);
+  }
+
+  // Undirected forest edges (draw each once).
+  for (const Atom& atom : graph.atoms()) {
+    for (const AtomId nb : graph.tree_neighbors(atom.id)) {
+      if (atom.id.value() < nb.value()) {
+        os << "  a" << atom.id.value() << " -> a" << nb.value()
+           << " [dir=none,color=gray60];\n";
+      }
+    }
+  }
+
+  // Group paths as coloured overlays.
+  std::size_t color = 0;
+  for (const GroupId g : membership.live_groups()) {
+    if (!graph.has_path(g)) continue;
+    const auto& path = graph.path(g);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      os << "  a" << path[i].value() << " -> a" << path[i + 1].value()
+         << " [color=\"" << path_color(color) << "\",label=\"g" << g.value()
+         << "\"];\n";
+    }
+    ++color;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace decseq::seqgraph

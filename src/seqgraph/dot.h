@@ -1,0 +1,26 @@
+// Graphviz export of the sequencing graph — for documentation, debugging,
+// and the explore_cli's --dot flag. Atoms render as boxes labelled with
+// their group pair and overlap members; the undirected forest edges are
+// drawn solid; each group's directed path is overlaid as a coloured,
+// labelled edge chain so C1 (path per group) is visible at a glance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "membership/membership.h"
+#include "seqgraph/graph.h"
+
+namespace decseq::seqgraph {
+
+/// Render `graph` as a DOT digraph. If `machine_of_atom` is non-null
+/// (one machine index per AtomId, e.g. derived from a placement::
+/// Colocation), atoms hosted on the same sequencing node are grouped into
+/// dashed clusters.
+[[nodiscard]] std::string to_dot(
+    const SequencingGraph& graph,
+    const membership::GroupMembership& membership,
+    const std::vector<std::size_t>* machine_of_atom = nullptr);
+
+}  // namespace decseq::seqgraph

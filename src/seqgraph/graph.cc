@@ -1,0 +1,524 @@
+#include "seqgraph/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/log.h"
+
+namespace decseq::seqgraph {
+
+namespace {
+
+using membership::GroupMembership;
+using membership::Overlap;
+using membership::OverlapIndex;
+
+/// Greedy affinity ordering of one component's groups: start from the group
+/// with the largest total overlap mass, then repeatedly append the unplaced
+/// group most strongly overlapped with the current tail (falling back to the
+/// strongest link to any placed group). Groups that overlap heavily end up
+/// adjacent, which shortens chain spans.
+std::vector<GroupId> order_groups(const std::vector<GroupId>& component,
+                                  const OverlapIndex& overlaps) {
+  const std::size_t n = component.size();
+  std::vector<std::size_t> index_of_group;  // slot -> dense index
+  {
+    GroupId::underlying_type max_slot = 0;
+    for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
+    index_of_group.assign(max_slot + 1, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      index_of_group[component[i].value()] = i;
+    }
+  }
+
+  // weight[i][j] = size of overlap between component[i] and component[j].
+  std::vector<std::vector<std::size_t>> weight(n, std::vector<std::size_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t oi : overlaps.overlaps_of(component[i])) {
+      const Overlap& o = overlaps.overlap(oi);
+      const GroupId other = o.other(component[i]);
+      if (other.value() < index_of_group.size()) {
+        const std::size_t j = index_of_group[other.value()];
+        if (j < n) weight[i][j] = o.members.size();
+      }
+    }
+  }
+
+  std::vector<bool> placed(n, false);
+  std::vector<GroupId> order;
+  order.reserve(n);
+
+  // Seed: heaviest total overlap mass.
+  std::size_t seed = 0, best_mass = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t mass = 0;
+    for (std::size_t j = 0; j < n; ++j) mass += weight[i][j];
+    if (mass > best_mass) {
+      best_mass = mass;
+      seed = i;
+    }
+  }
+  placed[seed] = true;
+  order.push_back(component[seed]);
+  std::size_t tail = seed;
+
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = n, best_w = 0;
+    // Prefer the strongest link from the tail...
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!placed[j] && weight[tail][j] > best_w) {
+        best = j;
+        best_w = weight[tail][j];
+      }
+    }
+    // ...otherwise the strongest link to anything placed (the component is
+    // connected, so one exists).
+    if (best == n) {
+      for (std::size_t i = 0; i < n && best == n; ++i) {
+        if (!placed[i]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!placed[j] && weight[i][j] > best_w) {
+            best = j;
+            best_w = weight[i][j];
+          }
+        }
+      }
+    }
+    DECSEQ_CHECK_MSG(best != n, "component not connected");
+    placed[best] = true;
+    order.push_back(component[best]);
+    tail = best;
+  }
+  return order;
+}
+
+/// Tracks, for each group of a component, the chain positions of its
+/// stamping atoms, to evaluate span costs during local search. A multiset
+/// because adjacent atoms may share a group (a swap then cancels out).
+class SpanTracker {
+ public:
+  explicit SpanTracker(std::size_t num_groups) : positions_(num_groups) {}
+
+  void insert(std::size_t group, std::size_t pos) {
+    positions_[group].insert(pos);
+  }
+  void move(std::size_t group, std::size_t from, std::size_t to) {
+    auto it = positions_[group].find(from);
+    DECSEQ_CHECK(it != positions_[group].end());
+    positions_[group].erase(it);
+    positions_[group].insert(to);
+  }
+  /// Span length (atoms transited) of a group's chain segment.
+  [[nodiscard]] std::size_t span(std::size_t group) const {
+    const auto& p = positions_[group];
+    if (p.empty()) return 0;
+    return *p.rbegin() - *p.begin() + 1;
+  }
+  [[nodiscard]] std::size_t total_span() const {
+    std::size_t total = 0;
+    for (std::size_t g = 0; g < positions_.size(); ++g) total += span(g);
+    return total;
+  }
+
+ private:
+  std::vector<std::multiset<std::size_t>> positions_;
+};
+
+/// A component laid out as a tree: local indices into `locals` (which maps
+/// to overlap indices), undirected adjacency, and per-group ordered paths.
+struct TreeLayout {
+  std::vector<std::size_t> locals;
+  std::vector<std::vector<std::size_t>> adj;
+  std::vector<std::pair<GroupId, std::vector<std::size_t>>> group_paths;
+};
+
+/// BFS path between two locals in the current forest; empty if
+/// disconnected.
+std::vector<std::size_t> forest_path(
+    const std::vector<std::vector<std::size_t>>& adj, std::size_t from,
+    std::size_t to) {
+  if (from == to) return {from};
+  std::vector<std::size_t> parent(adj.size(), SIZE_MAX);
+  std::vector<std::size_t> queue{from};
+  parent[from] = from;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t u = queue[head];
+    for (const std::size_t v : adj[u]) {
+      if (parent[v] != SIZE_MAX) continue;
+      parent[v] = u;
+      if (v == to) {
+        std::vector<std::size_t> path{to};
+        for (std::size_t cur = to; cur != from; cur = parent[cur]) {
+          path.push_back(parent[cur]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+/// Greedy tree layout of one component; nullopt => caller falls back to the
+/// chain strategy.
+std::optional<TreeLayout> try_tree_layout(const std::vector<GroupId>& component,
+                                          const OverlapIndex& overlaps) {
+  TreeLayout layout;
+
+  // Local indexing of the component's overlaps and per-group atom sets.
+  std::map<std::size_t, std::size_t> local_of;
+  std::map<GroupId, std::vector<std::size_t>> atoms_of_group;
+  for (const GroupId g : component) {
+    for (const std::size_t oi : overlaps.overlaps_of(g)) {
+      auto [it, inserted] = local_of.try_emplace(oi, layout.locals.size());
+      if (inserted) layout.locals.push_back(oi);
+      atoms_of_group[g].push_back(it->second);
+    }
+  }
+  layout.adj.resize(layout.locals.size());
+
+  // Process groups in BFS order over the overlap graph from the
+  // highest-degree group, so each group after the first already has placed
+  // atoms (shared with its BFS parent).
+  std::vector<GroupId> order;
+  {
+    GroupId seed = component.front();
+    for (const GroupId g : component) {
+      if (overlaps.overlaps_of(g).size() >
+          overlaps.overlaps_of(seed).size()) {
+        seed = g;
+      }
+    }
+    std::set<GroupId> visited{seed};
+    order.push_back(seed);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      for (const std::size_t oi : overlaps.overlaps_of(order[head])) {
+        const GroupId next = overlaps.overlap(oi).other(order[head]);
+        if (visited.insert(next).second) order.push_back(next);
+      }
+    }
+    if (order.size() != component.size()) return std::nullopt;
+  }
+
+  std::vector<bool> placed(layout.locals.size(), false);
+  // Canonical edge direction: +1 means traversal low-local -> high-local.
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_dir;
+
+  auto link = [&](std::size_t a, std::size_t b) {
+    layout.adj[a].push_back(b);
+    layout.adj[b].push_back(a);
+  };
+  auto record_direction = [&](const std::vector<std::size_t>& path) -> bool {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::size_t lo = std::min(path[i], path[i + 1]);
+      const std::size_t hi = std::max(path[i], path[i + 1]);
+      const int dir = path[i] < path[i + 1] ? +1 : -1;
+      const auto [it, inserted] = edge_dir.insert({{lo, hi}, dir});
+      if (!inserted && it->second != dir) return false;
+    }
+    return true;
+  };
+  auto direction_compatible = [&](const std::vector<std::size_t>& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::size_t lo = std::min(path[i], path[i + 1]);
+      const std::size_t hi = std::max(path[i], path[i + 1]);
+      const int dir = path[i] < path[i + 1] ? +1 : -1;
+      const auto it = edge_dir.find({lo, hi});
+      if (it != edge_dir.end() && it->second != dir) return false;
+    }
+    return true;
+  };
+
+  for (const GroupId g : order) {
+    const std::vector<std::size_t>& atoms = atoms_of_group.at(g);
+    std::vector<std::size_t> placed_atoms, new_atoms;
+    for (const std::size_t a : atoms) {
+      (placed[a] ? placed_atoms : new_atoms).push_back(a);
+    }
+
+    std::vector<std::size_t> full_path;
+    if (placed_atoms.empty()) {
+      // First group of the component: its atoms form a fresh chain.
+      full_path = new_atoms;
+      for (std::size_t i = 0; i + 1 < full_path.size(); ++i) {
+        link(full_path[i], full_path[i + 1]);
+      }
+    } else {
+      // Minimal covering path of the placed atoms: the longest pairwise
+      // path must contain them all (otherwise they span a branching
+      // subtree and no single path covers them).
+      std::vector<std::size_t> best;
+      for (std::size_t i = 0; i < placed_atoms.size(); ++i) {
+        for (std::size_t j = i; j < placed_atoms.size(); ++j) {
+          std::vector<std::size_t> p =
+              forest_path(layout.adj, placed_atoms[i], placed_atoms[j]);
+          if (p.empty()) return std::nullopt;  // different trees
+          if (p.size() > best.size()) best = std::move(p);
+        }
+      }
+      for (const std::size_t a : placed_atoms) {
+        if (std::find(best.begin(), best.end(), a) == best.end()) {
+          return std::nullopt;  // branching: not on one path
+        }
+      }
+      // Orient so FIFO edge directions stay consistent; try both ways.
+      if (!direction_compatible(best)) {
+        std::reverse(best.begin(), best.end());
+        if (!direction_compatible(best)) return std::nullopt;
+      }
+      // Append the new atoms as a chain at the path's end.
+      full_path = best;
+      for (const std::size_t a : new_atoms) {
+        link(full_path.back(), a);
+        full_path.push_back(a);
+      }
+    }
+    if (!record_direction(full_path)) return std::nullopt;
+    for (const std::size_t a : new_atoms) placed[a] = true;
+    if (placed_atoms.empty()) {
+      for (const std::size_t a : full_path) placed[a] = true;
+    }
+    layout.group_paths.emplace_back(g, std::move(full_path));
+  }
+  return layout;
+}
+
+}  // namespace
+
+std::vector<AtomId> SequencingGraph::stamping_atoms(GroupId g) const {
+  std::vector<AtomId> result;
+  for (const AtomId id : path(g)) {
+    if (atom(id).stamps(g)) result.push_back(id);
+  }
+  return result;
+}
+
+SequencingGraph SequencingGraph::make_for_testing(
+    std::vector<Atom> atoms, std::vector<std::vector<AtomId>> paths,
+    std::vector<std::vector<AtomId>> tree, std::size_t num_overlap_atoms) {
+  SequencingGraph graph;
+  graph.atoms_ = std::move(atoms);
+  graph.paths_ = std::move(paths);
+  graph.tree_ = std::move(tree);
+  graph.num_overlap_atoms_ = num_overlap_atoms;
+  DECSEQ_CHECK(graph.tree_.size() == graph.atoms_.size());
+  return graph;
+}
+
+std::vector<GroupId> SequencingGraph::groups() const {
+  std::vector<GroupId> result;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (!paths_[i].empty()) {
+      result.push_back(GroupId(static_cast<GroupId::underlying_type>(i)));
+    }
+  }
+  return result;
+}
+
+SequencingGraph build_sequencing_graph(const GroupMembership& membership,
+                                       const OverlapIndex& overlaps,
+                                       const BuildOptions& options) {
+  SequencingGraph graph;
+  graph.paths_.resize(membership.num_group_slots());
+
+  auto new_atom = [&graph](GroupId a, GroupId b, std::vector<NodeId> members,
+                           std::size_t overlap_index) -> AtomId {
+    const AtomId id(static_cast<AtomId::underlying_type>(graph.atoms_.size()));
+    graph.atoms_.push_back({id, a, b, std::move(members), overlap_index});
+    graph.tree_.emplace_back();
+    return id;
+  };
+
+  // One chain (or greedy tree) per connected component of the group
+  // overlap graph.
+  for (const std::vector<GroupId>& component : overlaps.components()) {
+    if (options.strategy == BuildStrategy::kGreedyTree) {
+      if (auto layout = try_tree_layout(component, overlaps)) {
+        // Materialize the tree: atoms in local order, adjacency, paths.
+        std::vector<AtomId> atom_of_local;
+        atom_of_local.reserve(layout->locals.size());
+        for (const std::size_t oi : layout->locals) {
+          const Overlap& o = overlaps.overlap(oi);
+          atom_of_local.push_back(new_atom(o.first, o.second, o.members, oi));
+          ++graph.num_overlap_atoms_;
+        }
+        for (std::size_t a = 0; a < layout->adj.size(); ++a) {
+          for (const std::size_t b : layout->adj[a]) {
+            if (a < b) {
+              graph.tree_[atom_of_local[a].value()].push_back(
+                  atom_of_local[b]);
+              graph.tree_[atom_of_local[b].value()].push_back(
+                  atom_of_local[a]);
+            }
+          }
+        }
+        for (const auto& [g, locals] : layout->group_paths) {
+          auto& path = graph.paths_[g.value()];
+          for (const std::size_t a : locals) {
+            path.push_back(atom_of_local[a]);
+          }
+        }
+        ++graph.tree_components_;
+        continue;
+      }
+      // Greedy tree failed for this component: fall through to the chain
+      // layout, which always works.
+    }
+    // 1. Order the component's groups by affinity (no-op for the ablation
+    //    strategy, which keeps discovery order).
+    const std::vector<GroupId> group_order =
+        options.strategy != BuildStrategy::kChainUnordered
+            ? order_groups(component, overlaps)
+            : component;
+
+    std::vector<std::size_t> pos_of_group;  // slot -> position in order
+    {
+      GroupId::underlying_type max_slot = 0;
+      for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
+      pos_of_group.assign(max_slot + 1, group_order.size());
+      for (std::size_t i = 0; i < group_order.size(); ++i) {
+        pos_of_group[group_order[i].value()] = i;
+      }
+    }
+
+    // 2. Collect the component's overlaps, keyed for the barycenter sort.
+    struct ChainEntry {
+      std::size_t overlap_index;
+      std::size_t lo, hi;     // positions of the two groups in group_order
+      std::size_t label = 0;  // co-location label (same label = same machine)
+      double label_key = 0.0; // mean barycenter of the label's atoms
+    };
+    std::vector<ChainEntry> chain;
+    for (const GroupId g : component) {
+      for (const std::size_t oi : overlaps.overlaps_of(g)) {
+        const Overlap& o = overlaps.overlap(oi);
+        if (o.first != g) continue;  // visit each overlap exactly once
+        const std::size_t pa = pos_of_group[o.first.value()];
+        const std::size_t pb = pos_of_group[o.second.value()];
+        const std::size_t label = options.colocation_labels != nullptr
+                                      ? (*options.colocation_labels)[oi]
+                                      : 0;
+        chain.push_back({oi, std::min(pa, pb), std::max(pa, pb), label, 0.0});
+      }
+    }
+    if (options.colocation_labels != nullptr) {
+      // Anchor each co-location cluster at the mean barycenter of its atoms
+      // so clusters sit where their groups want them, and lay each cluster
+      // out contiguously (a group's path then crosses each machine once).
+      std::map<std::size_t, std::pair<double, std::size_t>> acc;
+      for (const ChainEntry& e : chain) {
+        auto& [sum, count] = acc[e.label];
+        sum += static_cast<double>(e.lo + e.hi);
+        ++count;
+      }
+      for (ChainEntry& e : chain) {
+        const auto& [sum, count] = acc[e.label];
+        e.label_key = sum / static_cast<double>(count);
+      }
+    }
+    if (options.strategy != BuildStrategy::kChainUnordered) {
+      std::sort(chain.begin(), chain.end(),
+                [](const ChainEntry& x, const ChainEntry& y) {
+                  // Cluster anchor first (machine-contiguous layout), then
+                  // barycenter of the two group positions, ties broken
+                  // lexicographically — keeps each group's atoms clustered.
+                  if (x.label_key != y.label_key) return x.label_key < y.label_key;
+                  if (x.label != y.label) return x.label < y.label;
+                  const auto bx = x.lo + x.hi, by = y.lo + y.hi;
+                  if (bx != by) return bx < by;
+                  if (x.lo != y.lo) return x.lo < y.lo;
+                  return x.hi < y.hi;
+                });
+    }
+
+    // 3. Local search: adjacent swaps that shrink the total group span.
+    if (options.strategy != BuildStrategy::kChainUnordered && chain.size() > 2) {
+      SpanTracker tracker(group_order.size());
+      for (std::size_t p = 0; p < chain.size(); ++p) {
+        tracker.insert(chain[p].lo, p);
+        tracker.insert(chain[p].hi, p);
+      }
+      for (std::size_t pass = 0; pass < options.local_search_passes; ++pass) {
+        bool improved = false;
+        for (std::size_t p = 0; p + 1 < chain.size(); ++p) {
+          // Swaps may not break machine contiguity.
+          if (chain[p].label != chain[p + 1].label) continue;
+          const std::size_t before = tracker.span(chain[p].lo) +
+                                     tracker.span(chain[p].hi) +
+                                     tracker.span(chain[p + 1].lo) +
+                                     tracker.span(chain[p + 1].hi);
+          tracker.move(chain[p].lo, p, p + 1);
+          tracker.move(chain[p].hi, p, p + 1);
+          tracker.move(chain[p + 1].lo, p + 1, p);
+          tracker.move(chain[p + 1].hi, p + 1, p);
+          const std::size_t after = tracker.span(chain[p].lo) +
+                                    tracker.span(chain[p].hi) +
+                                    tracker.span(chain[p + 1].lo) +
+                                    tracker.span(chain[p + 1].hi);
+          if (after < before) {
+            std::swap(chain[p], chain[p + 1]);
+            improved = true;
+          } else {
+            // Revert.
+            tracker.move(chain[p].lo, p + 1, p);
+            tracker.move(chain[p].hi, p + 1, p);
+            tracker.move(chain[p + 1].lo, p, p + 1);
+            tracker.move(chain[p + 1].hi, p, p + 1);
+          }
+        }
+        if (!improved) break;
+      }
+    }
+
+    // 4. Materialize atoms, tree edges, and group paths.
+    std::vector<AtomId> chain_atoms;
+    chain_atoms.reserve(chain.size());
+    for (const ChainEntry& entry : chain) {
+      const Overlap& o = overlaps.overlap(entry.overlap_index);
+      chain_atoms.push_back(
+          new_atom(o.first, o.second, o.members, entry.overlap_index));
+      ++graph.num_overlap_atoms_;
+    }
+    for (std::size_t p = 0; p + 1 < chain_atoms.size(); ++p) {
+      graph.tree_[chain_atoms[p].value()].push_back(chain_atoms[p + 1]);
+      graph.tree_[chain_atoms[p + 1].value()].push_back(chain_atoms[p]);
+    }
+    ++graph.chain_components_;
+    for (const GroupId g : component) {
+      std::size_t first = chain_atoms.size(), last = 0;
+      for (std::size_t p = 0; p < chain_atoms.size(); ++p) {
+        if (graph.atoms_[chain_atoms[p].value()].stamps(g)) {
+          first = std::min(first, p);
+          last = std::max(last, p);
+        }
+      }
+      DECSEQ_CHECK_MSG(first <= last, "group " << g << " has no atoms");
+      auto& path = graph.paths_[g.value()];
+      path.assign(chain_atoms.begin() + static_cast<long>(first),
+                  chain_atoms.begin() + static_cast<long>(last) + 1);
+    }
+  }
+
+  // Ingress-only atoms for live groups with no double overlaps.
+  for (const GroupId g : membership.live_groups()) {
+    if (!overlaps.has_overlaps(g)) {
+      const AtomId id =
+          new_atom(g, GroupId{}, {}, static_cast<std::size_t>(-1));
+      graph.paths_[g.value()] = {id};
+    }
+  }
+
+  DECSEQ_LOG(kDebug, "seqgraph",
+             "built " << graph.num_atoms() << " atoms ("
+                      << graph.num_overlap_atoms_ << " overlap, "
+                      << graph.num_atoms() - graph.num_overlap_atoms_
+                      << " ingress-only) for " << membership.num_groups()
+                      << " groups");
+  return graph;
+}
+
+}  // namespace decseq::seqgraph

@@ -1,0 +1,94 @@
+#include "seqgraph/incremental.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace decseq::seqgraph {
+
+namespace {
+
+using GroupPair = std::pair<GroupId, GroupId>;
+
+/// Overlap pairs present in a graph (ingress-only atoms are keyed by the
+/// group alone, with an invalid partner).
+std::set<GroupPair> atom_pairs(const SequencingGraph& graph) {
+  std::set<GroupPair> pairs;
+  for (const Atom& atom : graph.atoms()) {
+    pairs.insert({atom.group_a, atom.group_b});
+  }
+  return pairs;
+}
+
+/// Per-group path fingerprints as sequences of overlap pairs.
+std::map<GroupId, std::vector<GroupPair>> path_fingerprints(
+    const SequencingGraph& graph) {
+  std::map<GroupId, std::vector<GroupPair>> fp;
+  for (const GroupId g : graph.groups()) {
+    std::vector<GroupPair> pairs;
+    for (const AtomId id : graph.path(g)) {
+      const Atom& a = graph.atom(id);
+      pairs.push_back({a.group_a, a.group_b});
+    }
+    fp[g] = std::move(pairs);
+  }
+  return fp;
+}
+
+}  // namespace
+
+SequencingGraphManager::SequencingGraphManager(
+    membership::GroupMembership membership, BuildOptions options)
+    : membership_(std::move(membership)),
+      options_(options),
+      overlaps_(membership_),
+      graph_(build_sequencing_graph(membership_, overlaps_, options_)) {}
+
+void SequencingGraphManager::rebuild(ChangeStats* stats) {
+  const std::set<GroupPair> old_pairs = atom_pairs(graph_);
+  const auto old_fp = path_fingerprints(graph_);
+
+  overlaps_ = membership::OverlapIndex(membership_);
+  graph_ = build_sequencing_graph(membership_, overlaps_, options_);
+
+  if (stats == nullptr) return;
+  const std::set<GroupPair> new_pairs = atom_pairs(graph_);
+  for (const GroupPair& p : new_pairs) {
+    if (!old_pairs.contains(p)) ++stats->atoms_created;
+  }
+  for (const GroupPair& p : old_pairs) {
+    if (!new_pairs.contains(p)) ++stats->atoms_retired;
+  }
+  const auto new_fp = path_fingerprints(graph_);
+  for (const auto& [group, pairs] : new_fp) {
+    const auto it = old_fp.find(group);
+    if (it != old_fp.end() && it->second != pairs) ++stats->groups_repathed;
+  }
+}
+
+GroupId SequencingGraphManager::add_group(std::vector<NodeId> members,
+                                          ChangeStats* stats) {
+  const GroupId g = membership_.add_group(std::move(members));
+  rebuild(stats);
+  return g;
+}
+
+void SequencingGraphManager::remove_group(GroupId g, ChangeStats* stats) {
+  membership_.remove_group(g);
+  rebuild(stats);
+}
+
+void SequencingGraphManager::add_subscription(GroupId g, NodeId node,
+                                              ChangeStats* stats) {
+  membership_.add_member(g, node);
+  rebuild(stats);
+}
+
+void SequencingGraphManager::remove_subscription(GroupId g, NodeId node,
+                                                 ChangeStats* stats) {
+  membership_.remove_member(g, node);
+  rebuild(stats);
+}
+
+}  // namespace decseq::seqgraph

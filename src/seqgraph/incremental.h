@@ -1,0 +1,67 @@
+// Incremental sequencing-graph maintenance (paper §3.2).
+//
+// Subscription changes map to group add/remove/modify. The paper notes that
+// C2 is hard to maintain with local information only, and that a global
+// picture of the subscription matrix is used to find a new arrangement; this
+// manager does exactly that — it recomputes the overlap index and graph on
+// every change — while reporting how much of the graph actually changed
+// (atoms created/retired, groups whose paths moved), which the churn bench
+// uses to quantify the disruption of membership dynamics (the paper's §5
+// future-work question).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "membership/membership.h"
+#include "membership/overlap.h"
+#include "seqgraph/graph.h"
+
+namespace decseq::seqgraph {
+
+/// How much one membership operation perturbed the sequencing graph.
+struct ChangeStats {
+  std::size_t atoms_created = 0;   ///< new double overlaps
+  std::size_t atoms_retired = 0;   ///< overlaps that disappeared
+  std::size_t groups_repathed = 0; ///< pre-existing groups whose atom path changed
+};
+
+/// Owns a membership snapshot plus the sequencing graph derived from it and
+/// keeps the two consistent across group/subscription operations.
+class SequencingGraphManager {
+ public:
+  explicit SequencingGraphManager(membership::GroupMembership membership,
+                                  BuildOptions options = {});
+
+  [[nodiscard]] const membership::GroupMembership& membership() const {
+    return membership_;
+  }
+  [[nodiscard]] const membership::OverlapIndex& overlaps() const {
+    return overlaps_;
+  }
+  [[nodiscard]] const SequencingGraph& graph() const { return graph_; }
+
+  /// Create a group (a first subscriber registering a new subscription).
+  GroupId add_group(std::vector<NodeId> members, ChangeStats* stats = nullptr);
+
+  /// Delete a group (its last subscriber left). Sequencers are retired.
+  void remove_group(GroupId g, ChangeStats* stats = nullptr);
+
+  /// Node joins / leaves an existing group.
+  void add_subscription(GroupId g, NodeId node, ChangeStats* stats = nullptr);
+  void remove_subscription(GroupId g, NodeId node,
+                           ChangeStats* stats = nullptr);
+
+ private:
+  /// Stable fingerprint of the graph: for each live group, the sequence of
+  /// overlap pairs along its path (AtomIds are rebuild-dependent).
+  struct Fingerprint;
+  void rebuild(ChangeStats* stats);
+
+  membership::GroupMembership membership_;
+  BuildOptions options_;
+  membership::OverlapIndex overlaps_;
+  SequencingGraph graph_;
+};
+
+}  // namespace decseq::seqgraph

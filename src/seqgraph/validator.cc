@@ -1,0 +1,179 @@
+#include "seqgraph/validator.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace decseq::seqgraph {
+
+namespace {
+
+/// Disjoint-set forest for the acyclicity check.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  /// Returns false if x and y were already connected (i.e. a cycle).
+  bool unite(std::size_t x, std::size_t y) {
+    const std::size_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ValidationReport validate_sequencing_graph(
+    const SequencingGraph& graph,
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& overlaps) {
+  ValidationReport report;
+  std::ostringstream os;
+
+  // --- C2: the undirected atom graph is a forest. ---
+  {
+    UnionFind uf(graph.num_atoms());
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (const Atom& atom : graph.atoms()) {
+      for (const AtomId nb : graph.tree_neighbors(atom.id)) {
+        // Note: std::minmax over these prvalues would return dangling
+        // references; take min/max by value.
+        const auto lo = std::min(atom.id.value(), nb.value());
+        const auto hi = std::max(atom.id.value(), nb.value());
+        if (!seen.insert({lo, hi}).second) continue;
+        if (!uf.unite(atom.id.value(), nb.value())) {
+          std::ostringstream err;
+          err << "C2 violated: edge (" << atom.id << "," << nb
+              << ") closes a cycle";
+          report.fail(err.str());
+        }
+      }
+    }
+    // Adjacency symmetry.
+    for (const Atom& atom : graph.atoms()) {
+      for (const AtomId nb : graph.tree_neighbors(atom.id)) {
+        const auto& back = graph.tree_neighbors(nb);
+        if (std::find(back.begin(), back.end(), atom.id) == back.end()) {
+          std::ostringstream err;
+          err << "tree adjacency not symmetric: " << atom.id << " -> " << nb;
+          report.fail(err.str());
+        }
+      }
+    }
+  }
+
+  // --- Every double overlap has exactly one atom; atoms match overlaps. ---
+  {
+    std::map<std::pair<GroupId, GroupId>, std::size_t> atom_count;
+    for (const Atom& atom : graph.atoms()) {
+      if (atom.is_ingress_only()) continue;
+      ++atom_count[{atom.group_a, atom.group_b}];
+    }
+    for (const membership::Overlap& o : overlaps.overlaps()) {
+      const auto it = atom_count.find({o.first, o.second});
+      if (it == atom_count.end()) {
+        std::ostringstream err;
+        err << "missing atom for overlap (" << o.first << "," << o.second
+            << ")";
+        report.fail(err.str());
+      } else if (it->second != 1) {
+        std::ostringstream err;
+        err << "overlap (" << o.first << "," << o.second << ") has "
+            << it->second << " atoms";
+        report.fail(err.str());
+      }
+    }
+    if (graph.num_overlap_atoms() != overlaps.num_overlaps()) {
+      std::ostringstream err;
+      err << "atom count " << graph.num_overlap_atoms()
+          << " != overlap count " << overlaps.num_overlaps();
+      report.fail(err.str());
+    }
+  }
+
+  // --- C1 per group: path exists, is a simple walk on tree edges, and
+  //     covers every stamping atom of the group. ---
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_direction;
+  for (const GroupId g : membership.live_groups()) {
+    if (!graph.has_path(g)) {
+      std::ostringstream err;
+      err << "live group " << g << " has no sequencing path";
+      report.fail(err.str());
+      continue;
+    }
+    const std::vector<AtomId>& path = graph.path(g);
+
+    std::set<AtomId> unique(path.begin(), path.end());
+    if (unique.size() != path.size()) {
+      std::ostringstream err;
+      err << "path of group " << g << " revisits an atom";
+      report.fail(err.str());
+    }
+
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto& nb = graph.tree_neighbors(path[i]);
+      if (std::find(nb.begin(), nb.end(), path[i + 1]) == nb.end()) {
+        std::ostringstream err;
+        err << "path of group " << g << " jumps from " << path[i] << " to "
+            << path[i + 1] << " without a tree edge";
+        report.fail(err.str());
+      }
+      // FIFO direction consistency: all groups must traverse a shared edge
+      // the same way.
+      const int dir = path[i].value() < path[i + 1].value() ? +1 : -1;
+      const auto lo = std::min(path[i].value(), path[i + 1].value());
+      const auto hi = std::max(path[i].value(), path[i + 1].value());
+      auto [it, inserted] = edge_direction.insert({{lo, hi}, dir});
+      if (!inserted && it->second != dir) {
+        std::ostringstream err;
+        err << "edge (" << lo << "," << hi
+            << ") traversed in both directions (group " << g << ")";
+        report.fail(err.str());
+      }
+    }
+
+    // Coverage: every overlap of g has its atom on g's path.
+    for (const std::size_t oi : overlaps.overlaps_of(g)) {
+      const membership::Overlap& o = overlaps.overlap(oi);
+      const bool found = std::any_of(
+          path.begin(), path.end(), [&](AtomId id) {
+            const Atom& a = graph.atom(id);
+            return !a.is_ingress_only() && a.group_a == o.first &&
+                   a.group_b == o.second;
+          });
+      if (!found) {
+        std::ostringstream err;
+        err << "C1 violated: path of group " << g
+            << " misses atom for overlap (" << o.first << "," << o.second
+            << ")";
+        report.fail(err.str());
+      }
+    }
+
+    // Groups without overlaps must use a single ingress-only atom.
+    if (!overlaps.has_overlaps(g)) {
+      if (path.size() != 1 || !graph.atom(path[0]).is_ingress_only() ||
+          graph.atom(path[0]).group_a != g) {
+        std::ostringstream err;
+        err << "group " << g
+            << " has no overlaps but lacks a dedicated ingress-only atom";
+        report.fail(err.str());
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace decseq::seqgraph

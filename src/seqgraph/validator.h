@@ -1,0 +1,41 @@
+// Independent validation of the sequencing-graph invariants (paper §3.2):
+//
+//   C1 — a single path connects the sequencers of each group;
+//   C2 — the undirected sequencing graph is loop-free;
+//
+// plus the structural properties the correctness proof (§3.3) relies on:
+// every double overlap has exactly one atom, each group's path is a simple
+// walk along tree edges covering all of its stamping atoms, and every tree
+// edge is traversed in one direction only (so a FIFO channel per edge
+// preserves arrival order — the "consistent arrival order" step of
+// Theorem 1's Case III).
+//
+// The validator shares no code with the builder, so it can catch builder
+// bugs; property tests run it over randomized memberships.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "membership/overlap.h"
+#include "seqgraph/graph.h"
+
+namespace decseq::seqgraph {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+/// Validate `graph` against the membership snapshot it was built from.
+[[nodiscard]] ValidationReport validate_sequencing_graph(
+    const SequencingGraph& graph,
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& overlaps);
+
+}  // namespace decseq::seqgraph

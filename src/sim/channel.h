@@ -1,0 +1,164 @@
+// Reliable FIFO point-to-point channel (paper §3.1).
+//
+// The protocol assumes a FIFO channel between any two sequencers, an output
+// retransmission buffer per successor, and acknowledgments that release
+// buffered packets. This template implements exactly that: per-channel
+// sequence numbers, a sender-side retransmission buffer with timeout, a
+// receiver-side reorder buffer that releases payloads strictly in send
+// order, and cumulative acks. With loss probability 0 (the experiment
+// configuration) it degenerates to a pure propagation-delay pipe; tests
+// inject loss to exercise the recovery path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace decseq::sim {
+
+struct ChannelOptions {
+  double loss_probability = 0.0;  ///< per-transmission drop chance
+  Time retransmit_timeout_ms = 200.0;
+  /// Safety valve for tests: after this many retransmissions of one packet
+  /// the channel gives up and fails loudly (the paper assumes fail-free
+  /// sequencers; silent message loss would corrupt the sequence space).
+  std::size_t max_retransmits = 100;
+};
+
+/// One-directional reliable FIFO channel carrying payloads of type T.
+template <typename T>
+class Channel {
+ public:
+  using DeliverFn = std::function<void(T)>;
+
+  Channel(Simulator& sim, Rng& rng, Time delay_ms, ChannelOptions options = {})
+      : sim_(&sim), rng_(&rng), delay_ms_(delay_ms), options_(options) {
+    DECSEQ_CHECK(delay_ms >= 0.0);
+  }
+
+  // In-flight events capture `this`; the channel must stay put once armed.
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Install the receiver callback; payloads arrive in send order,
+  /// exactly once.
+  void set_receiver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  /// Fail-stop the receiving endpoint: while down, arriving transmissions
+  /// are dropped without acknowledgment, so the sender's retransmission
+  /// buffer holds everything and the timers keep retrying; after
+  /// set_receiver_down(false), retransmissions drain in order. Models a
+  /// crashed sequencing machine whose state survives (synchronous
+  /// replication) but which stops talking.
+  void set_receiver_down(bool down) { receiver_down_ = down; }
+  [[nodiscard]] bool receiver_down() const { return receiver_down_; }
+
+  /// Sever the physical link: transmissions and acknowledgments sent while
+  /// down vanish (a 100% loss window). Both endpoints stay alive; the
+  /// retransmission machinery repairs everything on recovery.
+  void set_link_down(bool down) { link_down_ = down; }
+  [[nodiscard]] bool link_down() const { return link_down_; }
+
+  /// Queue a payload for in-order delivery to the receiver.
+  void send(T payload) {
+    DECSEQ_CHECK_MSG(deliver_ != nullptr, "channel has no receiver");
+    const std::uint64_t seq = next_send_seq_++;
+    auto [it, inserted] =
+        retransmit_buffer_.try_emplace(seq, std::move(payload));
+    DECSEQ_CHECK(inserted);
+    transmit(seq);
+    arm_timer(seq);
+  }
+
+  /// Packets still awaiting acknowledgment (the "output retransmission
+  /// buffer" size from §3.1's state list).
+  [[nodiscard]] std::size_t unacked() const {
+    return retransmit_buffer_.size();
+  }
+  /// Packets buffered at the receiver waiting for earlier ones.
+  [[nodiscard]] std::size_t reorder_buffered() const {
+    return reorder_buffer_.size();
+  }
+  [[nodiscard]] std::size_t transmissions() const { return transmissions_; }
+  [[nodiscard]] Time delay_ms() const { return delay_ms_; }
+
+ private:
+  void transmit(std::uint64_t seq) {
+    ++transmissions_;
+    if (link_down_) return;  // severed link
+    if (rng_->next_bool(options_.loss_probability)) return;  // dropped
+    sim_->schedule_after(delay_ms_, [this, seq] { on_data(seq); });
+  }
+
+  void arm_timer(std::uint64_t seq) {
+    sim_->schedule_after(options_.retransmit_timeout_ms, [this, seq] {
+      const auto it = retransmit_buffer_.find(seq);
+      if (it == retransmit_buffer_.end()) return;  // acked meanwhile
+      const std::size_t attempts = ++retransmit_counts_[seq];
+      DECSEQ_CHECK_MSG(attempts <= options_.max_retransmits,
+                       "packet " << seq << " lost " << attempts << " times");
+      transmit(seq);
+      arm_timer(seq);
+    });
+  }
+
+  void on_data(std::uint64_t seq) {
+    if (receiver_down_) return;  // crashed endpoint: silence, no ack
+    // Ack everything received so far (cumulative), even duplicates, so a
+    // lost ack is repaired by the next arrival.
+    if (seq >= next_deliver_seq_ &&
+        !reorder_buffer_.contains(seq)) {
+      auto node = retransmit_buffer_.find(seq);
+      // The payload still lives in the sender's buffer; copy it across the
+      // simulated wire. (A real implementation serializes; simulation can
+      // share.)
+      DECSEQ_CHECK(node != retransmit_buffer_.end());
+      reorder_buffer_.emplace(seq, node->second);
+    }
+    while (true) {
+      const auto it = reorder_buffer_.find(next_deliver_seq_);
+      if (it == reorder_buffer_.end()) break;
+      T payload = std::move(it->second);
+      reorder_buffer_.erase(it);
+      ++next_deliver_seq_;
+      deliver_(std::move(payload));
+    }
+    send_ack(next_deliver_seq_);
+  }
+
+  void send_ack(std::uint64_t cumulative) {
+    if (link_down_) return;
+    if (rng_->next_bool(options_.loss_probability)) return;
+    sim_->schedule_after(delay_ms_, [this, cumulative] {
+      // Release every packet the receiver has consumed.
+      while (!retransmit_buffer_.empty() &&
+             retransmit_buffer_.begin()->first < cumulative) {
+        retransmit_counts_.erase(retransmit_buffer_.begin()->first);
+        retransmit_buffer_.erase(retransmit_buffer_.begin());
+      }
+    });
+  }
+
+  Simulator* sim_;
+  Rng* rng_;
+  Time delay_ms_;
+  ChannelOptions options_;
+  DeliverFn deliver_;
+
+  std::uint64_t next_send_seq_ = 0;
+  std::uint64_t next_deliver_seq_ = 0;
+  bool receiver_down_ = false;
+  bool link_down_ = false;
+  std::map<std::uint64_t, T> retransmit_buffer_;
+  std::map<std::uint64_t, std::size_t> retransmit_counts_;
+  std::map<std::uint64_t, T> reorder_buffer_;
+  std::size_t transmissions_ = 0;
+};
+
+}  // namespace decseq::sim

@@ -1,0 +1,93 @@
+// Packet-level discrete-event simulation engine (paper §4.1).
+//
+// The paper's simulator models propagation delay between routers but not
+// loss or queuing; ours does the same in the experiments, while the channel
+// layer (channel.h) can additionally inject loss to exercise the protocol's
+// retransmission machinery in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace decseq::sim {
+
+/// Simulated time in milliseconds.
+using Time = double;
+
+/// A minimal event-queue simulator. Events fire in (time, insertion order):
+/// ties are broken FIFO so runs are deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now).
+  void schedule_at(Time t, Callback cb) {
+    DECSEQ_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < "
+                                                             << now_);
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` after `delay` milliseconds.
+  void schedule_after(Time delay, Callback cb) {
+    DECSEQ_CHECK(delay >= 0.0);
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run until the event queue drains. Returns the number of events fired.
+  std::size_t run() {
+    std::size_t fired = 0;
+    while (!queue_.empty()) {
+      fire_next();
+      ++fired;
+    }
+    return fired;
+  }
+
+  /// Run until simulated time exceeds `deadline` or the queue drains.
+  std::size_t run_until(Time deadline) {
+    std::size_t fired = 0;
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      fire_next();
+      ++fired;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return fired;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t events_fired() const { return events_fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback cb;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void fire_next() {
+    // Move the callback out before popping: it may schedule new events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_fired_;
+    event.cb();
+  }
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace decseq::sim

@@ -1,0 +1,58 @@
+// Weighted undirected router graph: the physical network substrate that the
+// sequencing overlay is mapped onto. Edge weights are propagation delays in
+// milliseconds; the simulator models only propagation delay, matching the
+// paper's packet-level simulator (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace decseq::topology {
+
+/// One directed half of an undirected link.
+struct Edge {
+  RouterId to;
+  double delay_ms;
+};
+
+/// Adjacency-list graph over routers. Routers are dense ids [0, size).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_routers) : adjacency_(num_routers) {}
+
+  [[nodiscard]] std::size_t num_routers() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Append a new router and return its id.
+  RouterId add_router() {
+    adjacency_.emplace_back();
+    return RouterId(static_cast<RouterId::underlying_type>(
+        adjacency_.size() - 1));
+  }
+
+  /// Add an undirected link with the given propagation delay.
+  void add_edge(RouterId a, RouterId b, double delay_ms) {
+    DECSEQ_CHECK(a.valid() && b.valid() && a != b);
+    DECSEQ_CHECK(a.value() < adjacency_.size());
+    DECSEQ_CHECK(b.value() < adjacency_.size());
+    DECSEQ_CHECK(delay_ms > 0.0);
+    adjacency_[a.value()].push_back({b, delay_ms});
+    adjacency_[b.value()].push_back({a, delay_ms});
+    ++num_edges_;
+  }
+
+  [[nodiscard]] const std::vector<Edge>& neighbors(RouterId r) const {
+    DECSEQ_CHECK(r.valid() && r.value() < adjacency_.size());
+    return adjacency_[r.value()];
+  }
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace decseq::topology

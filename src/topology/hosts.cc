@@ -1,0 +1,52 @@
+#include "topology/hosts.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace decseq::topology {
+
+HostMap attach_hosts(const TransitStubTopology& topo,
+                     const HostAttachmentParams& params, Rng& rng) {
+  DECSEQ_CHECK(params.num_hosts >= 1);
+  DECSEQ_CHECK(params.num_clusters >= 1);
+  DECSEQ_CHECK(topo.num_stub_domains >= 1);
+  DECSEQ_CHECK(!topo.stub_routers.empty());
+
+  // Group stub routers by their domain so a cluster can draw from one domain.
+  std::vector<std::vector<RouterId>> routers_by_domain(topo.num_stub_domains);
+  for (const RouterId r : topo.stub_routers) {
+    routers_by_domain[topo.stub_domain_of[r.value()]].push_back(r);
+  }
+
+  // Pick a distinct random stub domain per cluster when possible; with more
+  // clusters than domains, reuse is unavoidable and acceptable.
+  std::vector<std::size_t> domain_of_cluster(params.num_clusters);
+  std::vector<std::size_t> domain_ids(topo.num_stub_domains);
+  for (std::size_t i = 0; i < domain_ids.size(); ++i) domain_ids[i] = i;
+  rng.shuffle(domain_ids);
+  for (std::size_t c = 0; c < params.num_clusters; ++c) {
+    domain_of_cluster[c] = domain_ids[c % domain_ids.size()];
+  }
+
+  // Deal hosts into clusters of near-equal size ("similar size clusters").
+  // Within a domain, routers are dealt round-robin from a shuffled order so
+  // hosts avoid sharing an attachment router (zero host-to-host delay)
+  // unless the cluster outgrows the domain.
+  std::vector<std::vector<RouterId>> shuffled = routers_by_domain;
+  for (auto& rs : shuffled) rng.shuffle(rs);
+  std::vector<std::size_t> next_router(topo.num_stub_domains, 0);
+
+  std::vector<RouterId> attach(params.num_hosts);
+  std::vector<std::size_t> cluster(params.num_hosts);
+  for (std::size_t h = 0; h < params.num_hosts; ++h) {
+    const std::size_t c = h % params.num_clusters;
+    cluster[h] = c;
+    const std::size_t domain = domain_of_cluster[c];
+    auto& cursor = next_router[domain];
+    attach[h] = shuffled[domain][cursor % shuffled[domain].size()];
+    ++cursor;
+  }
+  return HostMap(std::move(attach), std::move(cluster));
+}
+
+}  // namespace decseq::topology

@@ -1,0 +1,65 @@
+// Host attachment.
+//
+// Per the paper (§4.1): hosts are grouped into similar-size clusters, each
+// cluster is dropped uniformly at random into the topology, and hosts of the
+// same cluster sit close to each other — modelling online communities that
+// gather around a low-latency server. We realize a cluster as one stub
+// domain: its hosts attach to random routers of that domain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "topology/shortest_path.h"
+#include "topology/transit_stub.h"
+
+namespace decseq::topology {
+
+struct HostAttachmentParams {
+  std::size_t num_hosts = 128;
+  std::size_t num_clusters = 8;
+};
+
+/// The mapping from end hosts to their attachment routers.
+class HostMap {
+ public:
+  HostMap(std::vector<RouterId> attach, std::vector<std::size_t> cluster)
+      : attach_(std::move(attach)), cluster_(std::move(cluster)) {
+    DECSEQ_CHECK(attach_.size() == cluster_.size());
+  }
+
+  [[nodiscard]] std::size_t num_hosts() const { return attach_.size(); }
+
+  [[nodiscard]] RouterId router_of(NodeId host) const {
+    DECSEQ_CHECK(host.valid() && host.value() < attach_.size());
+    return attach_[host.value()];
+  }
+
+  [[nodiscard]] std::size_t cluster_of(NodeId host) const {
+    DECSEQ_CHECK(host.valid() && host.value() < cluster_.size());
+    return cluster_[host.value()];
+  }
+
+  /// Unicast (shortest-path) delay between two hosts, in ms.
+  [[nodiscard]] double unicast_delay(NodeId a, NodeId b,
+                                     DistanceOracle& oracle) const {
+    return oracle.distance(router_of(a), router_of(b));
+  }
+
+  [[nodiscard]] const std::vector<RouterId>& attachment_routers() const {
+    return attach_;
+  }
+
+ private:
+  std::vector<RouterId> attach_;
+  std::vector<std::size_t> cluster_;
+};
+
+/// Attach hosts in clusters to stub domains chosen uniformly at random.
+[[nodiscard]] HostMap attach_hosts(const TransitStubTopology& topo,
+                                   const HostAttachmentParams& params,
+                                   Rng& rng);
+
+}  // namespace decseq::topology

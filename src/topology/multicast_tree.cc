@@ -1,0 +1,117 @@
+#include "topology/multicast_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace decseq::topology {
+
+namespace {
+
+/// Dijkstra with parent pointers (the shortest-path tree of the source).
+void shortest_path_tree(const Graph& g, RouterId source,
+                        std::vector<double>& dist,
+                        std::vector<RouterId>& parent) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist.assign(g.num_routers(), kInf);
+  parent.assign(g.num_routers(), RouterId{});
+  using Entry = std::pair<double, RouterId::underlying_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source.value()] = 0.0;
+  parent[source.value()] = source;
+  pq.emplace(0.0, source.value());
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const Edge& e : g.neighbors(RouterId(u))) {
+      const double nd = d + e.delay_ms;
+      if (nd < dist[e.to.value()]) {
+        dist[e.to.value()] = nd;
+        parent[e.to.value()] = RouterId(u);
+        pq.emplace(nd, e.to.value());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MulticastTree::MulticastTree(const Graph& graph, RouterId source,
+                             const std::vector<RouterId>& destinations)
+    : source_(source) {
+  std::vector<double> dist;
+  std::vector<RouterId> parent;
+  shortest_path_tree(graph, source, dist, parent);
+
+  parent_[source] = source;
+  delay_[source] = 0.0;
+  for (const RouterId dest : destinations) {
+    DECSEQ_CHECK_MSG(dist[dest.value()] !=
+                         std::numeric_limits<double>::infinity(),
+                     "destination " << dest << " unreachable from " << source);
+    // Walk the parent chain back to the source, grafting new routers onto
+    // the tree; stop at the first router already present (shared prefix).
+    std::size_t path_links = 0;
+    RouterId cursor = dest;
+    while (!parent_.contains(cursor)) {
+      parent_[cursor] = parent[cursor.value()];
+      delay_[cursor] = dist[cursor.value()];
+      cursor = parent[cursor.value()];
+    }
+    // Unicast would traverse the full path for this destination.
+    for (RouterId r = dest; r != source; r = parent[r.value()]) {
+      ++path_links;
+    }
+    unicast_links_ += path_links;
+  }
+}
+
+std::vector<std::pair<RouterId, RouterId>> MulticastTree::edges() const {
+  std::vector<std::pair<RouterId, RouterId>> result;
+  result.reserve(parent_.size());
+  for (const auto& [child, parent] : parent_) {
+    if (child != parent) result.emplace_back(parent, child);
+  }
+  return result;
+}
+
+std::vector<std::pair<RouterId, RouterId>> MulticastTree::path_edges(
+    RouterId destination) const {
+  std::vector<std::pair<RouterId, RouterId>> result;
+  RouterId cursor = destination;
+  while (cursor != source_) {
+    const auto it = parent_.find(cursor);
+    DECSEQ_CHECK_MSG(it != parent_.end(),
+                     "router " << destination << " not in tree");
+    result.emplace_back(it->second, cursor);
+    cursor = it->second;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+double MulticastTree::delay_to(RouterId destination) const {
+  const auto it = delay_.find(destination);
+  DECSEQ_CHECK_MSG(it != delay_.end(),
+                   "router " << destination << " not in tree");
+  return it->second;
+}
+
+void LinkStress::add_tree(const MulticastTree& tree) {
+  for (const auto& [from, to] : tree.edges()) add(from, to);
+}
+
+std::size_t LinkStress::max_stress() const {
+  std::size_t max = 0;
+  for (const auto& [link, count] : stress_) max = std::max(max, count);
+  return max;
+}
+
+std::size_t LinkStress::total_messages() const {
+  std::size_t total = 0;
+  for (const auto& [link, count] : stress_) total += count;
+  return total;
+}
+
+}  // namespace decseq::topology

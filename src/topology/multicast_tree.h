@@ -1,0 +1,88 @@
+// Shortest-path multicast trees for the distribution phase.
+//
+// The protocol's third phase (§3) hands messages leaving the sequencing
+// network to "a delivery tree and on to group members". Unicasting from the
+// egress machine to every member reaches each member at the same time a
+// shortest-path tree would (both follow shortest paths), but repeats the
+// shared prefix of those paths once per member; the tree sends one copy per
+// link. This module builds per-(source, group) shortest-path trees and
+// quantifies that difference as *link stress* — messages crossing each
+// physical link — which the distribution_tree bench compares against the
+// unicast star.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/graph.h"
+#include "topology/shortest_path.h"
+
+namespace decseq::topology {
+
+/// A shortest-path tree from one source router to a set of destination
+/// routers; edges follow Dijkstra parents, so tree delivery times equal
+/// unicast delivery times.
+class MulticastTree {
+ public:
+  /// Build the tree for `destinations` rooted at `source`.
+  MulticastTree(const Graph& graph, RouterId source,
+                const std::vector<RouterId>& destinations);
+
+  [[nodiscard]] RouterId source() const { return source_; }
+
+  /// Routers spanned by the tree (source, branch points, destinations).
+  [[nodiscard]] std::size_t num_routers() const { return parent_.size(); }
+
+  /// Directed edges of the tree as (parent, child) pairs.
+  [[nodiscard]] std::vector<std::pair<RouterId, RouterId>> edges() const;
+
+  /// Number of tree links — the per-message network cost of one multicast.
+  [[nodiscard]] std::size_t num_links() const {
+    return parent_.empty() ? 0 : parent_.size() - 1;
+  }
+
+  /// Total network cost (links crossed) of reaching the same destinations
+  /// with independent unicasts; >= num_links(), with equality only when
+  /// the paths share nothing.
+  [[nodiscard]] std::size_t unicast_links() const { return unicast_links_; }
+
+  /// Delivery delay to `destination` through the tree (== unicast delay).
+  [[nodiscard]] double delay_to(RouterId destination) const;
+
+  /// The (parent, child) links on the tree path from the source to
+  /// `destination` — the links one unicast to it would cross.
+  [[nodiscard]] std::vector<std::pair<RouterId, RouterId>> path_edges(
+      RouterId destination) const;
+
+ private:
+  RouterId source_;
+  /// parent_[r] = predecessor of r in the tree; source maps to itself.
+  std::unordered_map<RouterId, RouterId> parent_;
+  std::unordered_map<RouterId, double> delay_;
+  std::size_t unicast_links_ = 0;
+};
+
+/// Per-link message counts ("link stress") accumulated over a set of
+/// multicast sends, for comparing delivery strategies.
+class LinkStress {
+ public:
+  /// Record one message crossing the directed link (from, to).
+  void add(RouterId from, RouterId to) { ++stress_[key(from, to)]; }
+
+  /// Record a whole tree carrying one message.
+  void add_tree(const MulticastTree& tree);
+
+  [[nodiscard]] std::size_t max_stress() const;
+  [[nodiscard]] std::size_t total_messages() const;
+  [[nodiscard]] std::size_t links_used() const { return stress_.size(); }
+
+ private:
+  static std::uint64_t key(RouterId a, RouterId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+  std::unordered_map<std::uint64_t, std::size_t> stress_;
+};
+
+}  // namespace decseq::topology

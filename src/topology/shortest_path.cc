@@ -1,0 +1,66 @@
+#include "topology/shortest_path.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace decseq::topology {
+
+std::vector<double> dijkstra(const Graph& g, RouterId source) {
+  DECSEQ_CHECK(source.valid() && source.value() < g.num_routers());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_routers(), kInf);
+  using Entry = std::pair<double, RouterId::underlying_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source.value()] = 0.0;
+  pq.emplace(0.0, source.value());
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Edge& e : g.neighbors(RouterId(u))) {
+      const double nd = d + e.delay_ms;
+      if (nd < dist[e.to.value()]) {
+        dist[e.to.value()] = nd;
+        pq.emplace(nd, e.to.value());
+      }
+    }
+  }
+  return dist;
+}
+
+double DistanceOracle::distance(RouterId a, RouterId b) {
+  // Canonical orientation: the same (a, b) query must return the exact
+  // same double every time, independent of cache state. Graph distances
+  // are symmetric mathematically, but Dijkstra from a and from b sums the
+  // path's edge weights in opposite orders, which can differ by an ULP —
+  // and an ULP is enough to reorder simultaneous simulator events (a
+  // publisher's messages overtaking each other). Always answer from the
+  // lower-id endpoint.
+  const RouterId lo = std::min(a, b);
+  const RouterId hi = std::max(a, b);
+  return distances_from(lo)[hi.value()];
+}
+
+const std::vector<double>& DistanceOracle::distances_from(RouterId source) {
+  auto [it, inserted] = cache_.try_emplace(source);
+  if (inserted) it->second = dijkstra(*graph_, source);
+  return it->second;
+}
+
+RouterId DistanceOracle::closest(const std::vector<RouterId>& candidates,
+                                 RouterId target) {
+  DECSEQ_CHECK(!candidates.empty());
+  const auto& dist = distances_from(target);
+  RouterId best = candidates.front();
+  double best_d = dist[best.value()];
+  for (const RouterId c : candidates) {
+    if (dist[c.value()] < best_d) {
+      best = c;
+      best_d = dist[c.value()];
+    }
+  }
+  return best;
+}
+
+}  // namespace decseq::topology

@@ -1,0 +1,44 @@
+// Shortest-path machinery. Messages in the evaluation travel on shortest
+// unicast paths (paper §4.1); the sequencing overlay's performance is
+// measured against those. A DistanceOracle memoizes per-source Dijkstra
+// runs, since experiments query distances from a small set of routers
+// (hosts' attachment points and sequencing machines) on a 10,000-router
+// graph.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/graph.h"
+
+namespace decseq::topology {
+
+/// Single-source shortest path distances (ms) to every router.
+/// Unreachable routers get +infinity.
+[[nodiscard]] std::vector<double> dijkstra(const Graph& g, RouterId source);
+
+/// Caches distance vectors per source. Not thread-safe by design: each
+/// experiment run owns its oracle.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const Graph& g) : graph_(&g) {}
+
+  /// Distance in ms from `a` to `b` (symmetric).
+  [[nodiscard]] double distance(RouterId a, RouterId b);
+
+  /// Full distance vector from a source (computed once, then cached).
+  [[nodiscard]] const std::vector<double>& distances_from(RouterId source);
+
+  /// Among `candidates`, the one closest to `target` (ties: first).
+  [[nodiscard]] RouterId closest(const std::vector<RouterId>& candidates,
+                                 RouterId target);
+
+  [[nodiscard]] std::size_t cached_sources() const { return cache_.size(); }
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<RouterId, std::vector<double>> cache_;
+};
+
+}  // namespace decseq::topology

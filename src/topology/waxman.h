@@ -1,0 +1,53 @@
+// Flat random (Waxman) topology — GT-ITM's other standard model.
+//
+// Routers are scattered uniformly on a plane; link probability decays
+// exponentially with distance (Waxman's classic model), link delay is the
+// Euclidean distance. Used by the sensitivity bench to check that the
+// paper's results do not hinge on the transit-stub hierarchy: the ordering
+// layer only consumes pairwise delays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/graph.h"
+#include "topology/hosts.h"
+
+namespace decseq::topology {
+
+struct WaxmanParams {
+  std::size_t num_routers = 10000;
+  /// Plane side length; delays are Euclidean distances in ms, so the
+  /// farthest pair is ~ side * sqrt(2).
+  double plane_side_ms = 200.0;
+  /// Waxman parameters: P(edge) = alpha * exp(-d / (beta * L)) with L the
+  /// plane diagonal.
+  double alpha = 0.4;
+  double beta = 0.15;
+  /// Random candidate neighbours examined per router (the classic model
+  /// examines all O(N^2) pairs; sampling keeps generation linear while
+  /// preserving the degree/distance statistics).
+  std::size_t candidates_per_router = 24;
+};
+
+struct WaxmanTopology {
+  Graph graph;
+  /// Router coordinates on the plane (for host attachment).
+  std::vector<std::pair<double, double>> position;
+};
+
+/// Generate a connected Waxman topology (a proximity spanning tree
+/// guarantees connectivity; Waxman-sampled edges add the distance-decayed
+/// shortcuts).
+[[nodiscard]] WaxmanTopology generate_waxman(const WaxmanParams& params,
+                                             Rng& rng);
+
+/// Attach hosts in clusters, like the transit-stub variant (§4.1): each
+/// cluster gets a random spot on the plane and its hosts attach to routers
+/// nearest that spot.
+[[nodiscard]] HostMap attach_hosts_waxman(const WaxmanTopology& topo,
+                                          const HostAttachmentParams& params,
+                                          Rng& rng);
+
+}  // namespace decseq::topology

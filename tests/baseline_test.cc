@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baseline/centralized.h"
+#include "baseline/per_group.h"
+#include "baseline/propagation_graph.h"
+#include "baseline/vector_clock.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+#include "topology/transit_stub.h"
+
+namespace decseq::baseline {
+namespace {
+
+using test::G;
+using test::N;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng topo_rng(21);
+    topo_ = topology::generate_transit_stub(test::small_topology(), topo_rng);
+    hosts_ = std::make_unique<topology::HostMap>(topology::attach_hosts(
+        topo_, {.num_hosts = 8, .num_clusters = 2}, topo_rng));
+    oracle_ = std::make_unique<topology::DistanceOracle>(topo_.graph);
+  }
+
+  topology::TransitStubTopology topo_;
+  std::unique_ptr<topology::HostMap> hosts_;
+  std::unique_ptr<topology::DistanceOracle> oracle_;
+  sim::Simulator sim_;
+};
+
+TEST_F(BaselineTest, CentralizedDeliversToGroupAndCountsLoad) {
+  const auto m = test::make_membership(8, {{0, 1, 2}, {2, 3, 4}});
+  Rng rng(1);
+  CentralizedOrdering central(sim_, m, *hosts_, *oracle_, topo_.graph,
+                              {CentralizedOptions::Placement::kMedian}, rng);
+  std::map<NodeId, std::size_t> got;
+  central.set_delivery_callback(
+      [&](NodeId r, MsgId, GroupId, NodeId, sim::Time) { ++got[r]; });
+  central.publish(N(0), G(0));
+  central.publish(N(4), G(1));
+  central.publish(N(2), G(0));
+  sim_.run();
+  EXPECT_EQ(central.sequencer_load(), 3u);  // every message transits it
+  EXPECT_EQ(got[N(2)], 3u);                 // member of both groups
+  EXPECT_EQ(got[N(0)], 2u);
+  EXPECT_EQ(got[N(4)], 1u);
+}
+
+TEST_F(BaselineTest, CentralizedMedianNoFartherThanWorstHost) {
+  const auto m = test::make_membership(8, {{0, 1, 2, 3, 4, 5, 6, 7}});
+  Rng rng(2);
+  CentralizedOrdering median(sim_, m, *hosts_, *oracle_, topo_.graph,
+                             {CentralizedOptions::Placement::kMedian}, rng);
+  double median_sum = 0.0;
+  for (const RouterId r : hosts_->attachment_routers()) {
+    median_sum += oracle_->distance(median.sequencer_router(), r);
+  }
+  for (const RouterId candidate : hosts_->attachment_routers()) {
+    double sum = 0.0;
+    for (const RouterId r : hosts_->attachment_routers()) {
+      sum += oracle_->distance(candidate, r);
+    }
+    EXPECT_LE(median_sum, sum + 1e-9);
+  }
+}
+
+TEST_F(BaselineTest, VectorClockDeliversCausally) {
+  VectorClockBroadcast vc(sim_, 8, *hosts_, *oracle_);
+  std::vector<std::pair<NodeId, MsgId>> deliveries;
+  bool reacted = false;
+  MsgId cause, effect;
+  vc.set_delivery_callback(
+      [&](NodeId receiver, const VcMessage& m, sim::Time) {
+        deliveries.push_back({receiver, m.id});
+        if (receiver == N(3) && m.id == cause && !reacted) {
+          reacted = true;
+          effect = vc.publish(N(3), G(0));
+        }
+      });
+  cause = vc.publish(N(0), G(0));
+  sim_.run();
+  ASSERT_TRUE(reacted);
+  // Everyone who saw both must see cause first.
+  std::map<NodeId, std::vector<MsgId>> per_node;
+  for (const auto& [node, msg] : deliveries) per_node[node].push_back(msg);
+  for (const auto& [node, msgs] : per_node) {
+    const auto ci = std::find(msgs.begin(), msgs.end(), cause);
+    const auto ei = std::find(msgs.begin(), msgs.end(), effect);
+    if (ci != msgs.end() && ei != msgs.end()) {
+      EXPECT_LT(ci - msgs.begin(), ei - msgs.begin()) << "node " << node;
+    }
+  }
+}
+
+TEST_F(BaselineTest, VectorClockBuffersOutOfCausalOrder) {
+  VectorClockBroadcast vc(sim_, 8, *hosts_, *oracle_);
+  std::size_t delivered = 0;
+  vc.set_delivery_callback(
+      [&](NodeId, const VcMessage&, sim::Time) { ++delivered; });
+  // Two concurrent messages and one dependent message: all must deliver.
+  vc.publish(N(0), G(0));
+  vc.publish(N(5), G(0));
+  sim_.run();
+  vc.publish(N(0), G(0));
+  sim_.run();
+  EXPECT_EQ(delivered, 3u * 7u);  // each broadcast reaches the 7 others
+  for (unsigned n = 0; n < 8; ++n) {
+    EXPECT_EQ(vc.node(N(n)).buffered(), 0u);
+  }
+}
+
+TEST_F(BaselineTest, VectorClockOverheadIsLinearInNodes) {
+  VectorClockBroadcast vc(sim_, 8, *hosts_, *oracle_);
+  EXPECT_EQ(vc.header_bytes_per_message(), 4u + 4u + 8u * 8u);
+}
+
+TEST_F(BaselineTest, PerGroupSequencerOrdersWithinGroup) {
+  const auto m = test::make_membership(8, {{0, 1, 2, 3}});
+  Rng rng(3);
+  PerGroupOrdering pg(sim_, m, *hosts_, *oracle_, rng);
+  std::map<NodeId, std::vector<SeqNo>> seqs;
+  pg.set_delivery_callback(
+      [&](NodeId r, MsgId, GroupId, NodeId, SeqNo s, sim::Time) {
+        seqs[r].push_back(s);
+      });
+  for (int i = 0; i < 6; ++i) {
+    pg.publish(N(static_cast<unsigned>(i % 4)), G(0));
+  }
+  sim_.run();
+  for (const auto& [node, observed] : seqs) {
+    ASSERT_EQ(observed.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()))
+        << "per-group sequence must arrive in order at node " << node;
+  }
+  EXPECT_TRUE(m.is_member(G(0), pg.sequencer_of(G(0))));
+}
+
+TEST_F(BaselineTest, PropagationGraphDeliversToAllMembers) {
+  const auto m = test::make_membership(8, {{0, 1, 2, 3}, {2, 3, 4, 5}});
+  PropagationGraphOrdering pg(sim_, m, *hosts_, *oracle_);
+  std::map<NodeId, std::vector<MsgId>> got;
+  pg.set_delivery_callback(
+      [&](NodeId r, MsgId id, GroupId, NodeId, sim::Time) {
+        got[r].push_back(id);
+      });
+  const MsgId a = pg.publish(N(0), G(0));
+  const MsgId b = pg.publish(N(5), G(1));
+  sim_.run();
+  EXPECT_EQ(got[N(0)], std::vector<MsgId>{a});
+  EXPECT_EQ(got[N(4)], std::vector<MsgId>{b});
+  EXPECT_EQ(got[N(2)].size(), 2u);  // member of both
+  EXPECT_EQ(got[N(3)].size(), 2u);
+}
+
+TEST_F(BaselineTest, PropagationGraphOrdersConsistently) {
+  const auto m = test::make_membership(8, {{0, 1, 2, 3}, {2, 3, 4, 5}});
+  PropagationGraphOrdering pg(sim_, m, *hosts_, *oracle_);
+  std::map<NodeId, std::vector<MsgId>> got;
+  pg.set_delivery_callback(
+      [&](NodeId r, MsgId id, GroupId, NodeId, sim::Time) {
+        got[r].push_back(id);
+      });
+  for (int i = 0; i < 10; ++i) {
+    pg.publish(N(0), G(0));
+    pg.publish(N(5), G(1));
+  }
+  sim_.run();
+  // Overlap members 2 and 3 see the interleaving identically.
+  EXPECT_EQ(got[N(2)], got[N(3)]);
+}
+
+TEST_F(BaselineTest, PropagationGraphRootSequencesEverything) {
+  const auto m = test::make_membership(8, {{0, 1, 2, 3}, {2, 3, 4, 5}});
+  PropagationGraphOrdering pg(sim_, m, *hosts_, *oracle_);
+  pg.set_delivery_callback([](NodeId, MsgId, GroupId, NodeId, sim::Time) {});
+  EXPECT_EQ(pg.num_trees(), 1u);  // one shares-a-member component
+  EXPECT_EQ(pg.root_of(G(0)), pg.root_of(G(1)));
+  const NodeId root = pg.root_of(G(0));
+  // Roots subscribe the most: nodes 2 and 3 are in both groups.
+  EXPECT_EQ(m.subscription_count(root), 2u);
+  for (int i = 0; i < 12; ++i) pg.publish(N(0), G(0));
+  for (int i = 0; i < 5; ++i) pg.publish(N(4), G(1));
+  sim_.run();
+  EXPECT_EQ(pg.node_load(root), 17u) << "GM-style root handles every message";
+}
+
+TEST_F(BaselineTest, PropagationGraphSeparatesUnrelatedComponents) {
+  const auto m = test::make_membership(8, {{0, 1, 2}, {4, 5, 6}});
+  PropagationGraphOrdering pg(sim_, m, *hosts_, *oracle_);
+  EXPECT_EQ(pg.num_trees(), 2u);
+  EXPECT_NE(pg.root_of(G(0)), pg.root_of(G(1)));
+}
+
+}  // namespace
+}  // namespace decseq::baseline

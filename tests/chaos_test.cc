@@ -1,0 +1,102 @@
+// Chaos soak: loss + sequencer crashes + group termination + concurrent
+// traffic, all at once, across random memberships. The ordering guarantees
+// must survive everything the harness can throw at the protocol in one run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "pubsub/system.h"
+#include "tests/test_util.h"
+
+namespace decseq {
+namespace {
+
+using test::N;
+
+class ChaosProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosProperty, EverythingAtOnce) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 524287 + 99);
+
+  auto config = test::small_config(seed + 400, /*num_hosts=*/14);
+  config.network.channel.loss_probability = 0.15;
+  config.network.channel.retransmit_timeout_ms = 40.0;
+  config.network.channel.max_retransmits = 2000;
+  pubsub::PubSubSystem system(config);
+
+  // Membership: 6 random groups, sizes 3..8.
+  std::vector<GroupId> groups;
+  for (int g = 0; g < 6; ++g) {
+    std::vector<NodeId> all;
+    for (unsigned n = 0; n < 14; ++n) all.push_back(N(n));
+    rng.shuffle(all);
+    groups.push_back(system.create_group(std::vector<NodeId>(
+        all.begin(), all.begin() + 3 + static_cast<long>(rng.next_below(6)))));
+  }
+
+  auto& sim = system.simulator();
+  // Crash a random sequencing machine for a window inside the run.
+  const SeqNodeId victim(
+      static_cast<unsigned>(rng.next_below(system.colocation().num_nodes())));
+  const double crash_at = 100.0 + rng.next_double() * 200.0;
+  sim.schedule_at(crash_at, [&] { system.fail_sequencing_node(victim); });
+  sim.schedule_at(crash_at + 250.0,
+                  [&] { system.recover_sequencing_node(victim); });
+
+  // Terminate one group partway through; stop publishing to it after that.
+  const GroupId doomed = groups.back();
+  const double fin_at = 400.0;
+  bool fin_sent = false;
+  sim.schedule_at(fin_at, [&] {
+    fin_sent = true;
+    system.terminate_group(doomed, system.membership().members(doomed)[0]);
+  });
+
+  // Traffic: 60 publishes over 800ms (skipping the doomed group once its
+  // FIN is scheduled to have been injected).
+  std::map<MsgId, GroupId> sent;
+  for (int i = 0; i < 60; ++i) {
+    const double at = rng.next_double() * 800.0;
+    const GroupId g = groups[rng.next_below(groups.size())];
+    if (g == doomed && at >= fin_at) continue;
+    const NodeId sender = N(static_cast<unsigned>(rng.next_below(14)));
+    sim.schedule_at(at, [&system, &sent, sender, g] {
+      sent[system.publish(sender, g)] = g;
+    });
+  }
+  system.run();
+
+  // Liveness: every accepted message delivered to exactly its group; a
+  // publish to the doomed group may lose the race against the FIN and be
+  // rejected at the ingress instead.
+  std::map<MsgId, std::set<NodeId>> delivered_to;
+  for (const auto& d : system.deliveries()) {
+    EXPECT_TRUE(delivered_to[d.message].insert(d.receiver).second)
+        << "duplicate delivery";
+  }
+  for (const auto& [msg, group] : sent) {
+    if (system.record(msg).rejected) {
+      EXPECT_EQ(group, doomed) << "only the terminated group may reject";
+      EXPECT_TRUE(delivered_to[msg].empty());
+      continue;
+    }
+    const auto& members = system.membership().members(group);
+    EXPECT_EQ(delivered_to[msg].size(), members.size()) << "message " << msg;
+  }
+  EXPECT_EQ(system.network().buffered_at_receivers(), 0u);
+  EXPECT_TRUE(fin_sent);
+  EXPECT_TRUE(system.network().group_terminated(doomed));
+
+  // Consistency under fire.
+  const auto violation = test::find_order_violation(system.deliveries());
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace decseq

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "protocol/codec.h"
+
+namespace decseq::protocol {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.id = MsgId(12345);
+  m.group = GroupId(7);
+  m.sender = NodeId(42);
+  m.group_seq = 300;
+  m.payload = 0xdeadbeefULL;
+  m.stamps = {{AtomId(1), 1}, {AtomId(200), 129}, {AtomId(65536), 1ULL << 40}};
+  m.is_fin = false;
+  return m;
+}
+
+TEST(Varint, RoundTripsBoundaries) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, (1ULL << 32),
+        ~0ULL}) {
+    std::vector<std::uint8_t> buffer;
+    encode_varint(v, buffer);
+    std::size_t offset = 0;
+    const auto decoded = decode_varint(buffer, offset);
+    ASSERT_TRUE(decoded.has_value()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(offset, buffer.size());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> buffer;
+  encode_varint(127, buffer);
+  EXPECT_EQ(buffer.size(), 1u);
+  encode_varint(128, buffer);
+  EXPECT_EQ(buffer.size(), 3u);  // second value took two bytes
+}
+
+TEST(Varint, TruncationDetected) {
+  std::vector<std::uint8_t> buffer;
+  encode_varint(1ULL << 40, buffer);
+  buffer.pop_back();
+  std::size_t offset = 0;
+  EXPECT_FALSE(decode_varint(buffer, offset).has_value());
+}
+
+TEST(Codec, RoundTrip) {
+  const Message original = sample_message();
+  const auto wire = encode_message(original);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, original.id);
+  EXPECT_EQ(decoded->group, original.group);
+  EXPECT_EQ(decoded->sender, original.sender);
+  EXPECT_EQ(decoded->group_seq, original.group_seq);
+  EXPECT_EQ(decoded->payload, original.payload);
+  ASSERT_EQ(decoded->stamps.size(), original.stamps.size());
+  for (std::size_t i = 0; i < original.stamps.size(); ++i) {
+    EXPECT_EQ(decoded->stamps[i].atom, original.stamps[i].atom);
+    EXPECT_EQ(decoded->stamps[i].seq, original.stamps[i].seq);
+  }
+}
+
+TEST(Codec, EncodedSizeMatchesBuffer) {
+  const Message m = sample_message();
+  EXPECT_EQ(encode_message(m).size(), encoded_size(m));
+  Message empty;
+  empty.id = MsgId(0);
+  empty.group = GroupId(0);
+  empty.sender = NodeId(0);
+  empty.group_seq = 1;
+  EXPECT_EQ(encode_message(empty).size(), encoded_size(empty));
+}
+
+TEST(Codec, CompactForTypicalMessages) {
+  // A realistic message (few stamps, small ids) stays tiny — far below the
+  // 1 KiB a 128-node vector timestamp costs.
+  Message m;
+  m.id = MsgId(90);
+  m.group = GroupId(3);
+  m.sender = NodeId(17);
+  m.group_seq = 12;
+  m.stamps = {{AtomId(4), 9}, {AtomId(11), 13}};
+  EXPECT_LE(encoded_size(m), 16u);
+  EXPECT_LT(encoded_size(m), vector_timestamp_bytes(128) / 50);
+}
+
+TEST(Codec, RejectsBadMagicAndVersion) {
+  auto wire = encode_message(sample_message());
+  auto bad_magic = wire;
+  bad_magic[0] = 0x00;
+  EXPECT_FALSE(decode_message(bad_magic).has_value());
+  auto bad_version = wire;
+  bad_version[1] = 99;
+  EXPECT_FALSE(decode_message(bad_version).has_value());
+}
+
+TEST(Codec, RejectsTruncationAnywhere) {
+  const auto wire = encode_message(sample_message());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(wire.begin(),
+                                           wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_message(prefix).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto wire = encode_message(sample_message());
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(Codec, RejectsHugeStampCount) {
+  // Hand-craft a header whose stamp count claims more than the buffer can
+  // hold; the decoder must refuse rather than allocate.
+  std::vector<std::uint8_t> wire{0xD5, 0x01};
+  for (int field = 0; field < 5; ++field) encode_varint(0, wire);
+  encode_varint(1ULL << 40, wire);  // absurd stamp count
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(Codec, EmptyBufferRejected) {
+  EXPECT_FALSE(decode_message({}).has_value());
+  EXPECT_FALSE(decode_message({0xD5}).has_value());
+}
+
+TEST(Codec, BodyBytesRoundTrip) {
+  Message m = sample_message();
+  m.body = {0x00, 0xff, 0x42, 0x80, 0x7f};
+  const auto wire = encode_message(m);
+  EXPECT_EQ(wire.size(), encoded_size(m));
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->body, m.body);
+}
+
+TEST(Codec, BodyLengthOverrunRejected) {
+  Message m = sample_message();
+  m.body = {1, 2, 3};
+  auto wire = encode_message(m);
+  // Drop the final body byte: the declared length now overruns the buffer.
+  wire.pop_back();
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(Codec, FuzzRandomBuffersNeverCrash) {
+  // Arbitrary bytes must decode to nullopt or to a structurally valid
+  // message — never crash, never over-allocate.
+  Rng rng(31337);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto decoded = decode_message(bytes);
+    if (decoded.has_value()) {
+      // Anything that decodes must re-encode to the same bytes (canonical
+      // encoding: one varint form per value).
+      EXPECT_EQ(encode_message(*decoded), bytes);
+    }
+  }
+}
+
+TEST(Codec, FuzzBitFlipsRejectedOrReencodable) {
+  Rng rng(4242);
+  const auto wire = encode_message(sample_message());
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = wire;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto decoded = decode_message(mutated);
+    if (decoded.has_value()) {
+      EXPECT_EQ(encode_message(*decoded), mutated);
+    }
+  }
+}
+
+TEST(Codec, FuzzRandomMessagesRoundTrip) {
+  Rng rng(987);
+  for (int trial = 0; trial < 500; ++trial) {
+    Message m;
+    m.id = MsgId(static_cast<unsigned>(rng.next_below(1u << 30)));
+    m.group = GroupId(static_cast<unsigned>(rng.next_below(1u << 16)));
+    m.sender = NodeId(static_cast<unsigned>(rng.next_below(1u << 20)));
+    m.group_seq = rng();
+    m.payload = rng();
+    const std::size_t stamps = rng.next_below(12);
+    for (std::size_t s = 0; s < stamps; ++s) {
+      m.stamps.push_back(
+          {AtomId(static_cast<unsigned>(rng.next_below(1u << 24))), rng()});
+    }
+    const auto decoded = decode_message(encode_message(m));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->group_seq, m.group_seq);
+    EXPECT_EQ(decoded->payload, m.payload);
+    ASSERT_EQ(decoded->stamps.size(), m.stamps.size());
+    for (std::size_t s = 0; s < stamps; ++s) {
+      EXPECT_EQ(decoded->stamps[s].seq, m.stamps[s].seq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decseq::protocol

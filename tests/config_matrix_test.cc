@@ -1,0 +1,62 @@
+// Configuration-matrix property test: the ordering guarantee must hold for
+// EVERY combination of build strategy, co-location mode, and machine
+// assignment — the knobs only move performance, never correctness.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pubsub/system.h"
+#include "tests/test_util.h"
+
+namespace decseq {
+namespace {
+
+using test::N;
+
+using Config = std::tuple<seqgraph::BuildStrategy, placement::ColocationMode,
+                          placement::AssignmentMode>;
+
+class ConfigMatrix : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ConfigMatrix, ConsistencyHoldsEverywhere) {
+  const auto [strategy, colocation, assignment] = GetParam();
+  auto config = test::small_config(777, /*num_hosts=*/12);
+  config.graph.strategy = strategy;
+  config.colocation.mode = colocation;
+  config.assignment.mode = assignment;
+  pubsub::PubSubSystem system(config);
+
+  const GroupId g0 = system.create_group({N(0), N(1), N(2), N(3), N(4)});
+  const GroupId g1 = system.create_group({N(3), N(4), N(5), N(6)});
+  const GroupId g2 = system.create_group({N(0), N(4), N(6), N(7)});
+  const GroupId g3 = system.create_group({N(8), N(9)});
+
+  for (int i = 0; i < 5; ++i) {
+    system.publish(N(0), g0, static_cast<std::uint64_t>(i));
+    system.publish(N(5), g1, 100 + static_cast<std::uint64_t>(i));
+    system.publish(N(7), g2, 200 + static_cast<std::uint64_t>(i));
+    system.publish(N(8), g3, 300 + static_cast<std::uint64_t>(i));
+  }
+  system.run();
+
+  // Node 4 subscribes to g0, g1, g2: the hardest vantage point.
+  EXPECT_EQ(system.deliveries_to(N(4)).size(), 15u);
+  EXPECT_EQ(system.network().buffered_at_receivers(), 0u);
+  const auto violation = test::find_order_violation(system.deliveries());
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnobs, ConfigMatrix,
+    ::testing::Combine(
+        ::testing::Values(seqgraph::BuildStrategy::kChain,
+                          seqgraph::BuildStrategy::kChainUnordered,
+                          seqgraph::BuildStrategy::kGreedyTree),
+        ::testing::Values(placement::ColocationMode::kNone,
+                          placement::ColocationMode::kSubsetOnly,
+                          placement::ColocationMode::kFull),
+        ::testing::Values(placement::AssignmentMode::kPaperHeuristic,
+                          placement::AssignmentMode::kAllRandom)));
+
+}  // namespace
+}  // namespace decseq

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "dht/directory.h"
+#include "dht/ring.h"
+#include "tests/test_util.h"
+#include "topology/hosts.h"
+#include "topology/transit_stub.h"
+
+namespace decseq::dht {
+namespace {
+
+using test::G;
+using test::N;
+
+ChordRing make_ring(unsigned nodes) {
+  ChordRing ring;
+  for (unsigned n = 0; n < nodes; ++n) ring.join(N(n));
+  return ring;
+}
+
+TEST(Hashing, DeterministicAndSpread) {
+  EXPECT_EQ(hash_key("group:1"), hash_key("group:1"));
+  EXPECT_NE(hash_key("group:1"), hash_key("group:2"));
+  EXPECT_EQ(hash_node(N(5)), hash_node(N(5)));
+  EXPECT_NE(hash_node(N(5)), hash_node(N(6)));
+}
+
+TEST(ChordRing, JoinLeaveLifecycle) {
+  ChordRing ring = make_ring(8);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_TRUE(ring.contains(N(3)));
+  ring.leave(N(3));
+  EXPECT_FALSE(ring.contains(N(3)));
+  EXPECT_EQ(ring.size(), 7u);
+  EXPECT_THROW(ring.leave(N(3)), CheckFailure);
+  ring.join(N(3));
+  EXPECT_THROW(ring.join(N(3)), CheckFailure);
+}
+
+TEST(ChordRing, OwnerMatchesBruteForce) {
+  const ChordRing ring = make_ring(32);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RingKey key = rng();
+    // Brute force: node with the smallest position >= key, else minimum.
+    NodeId expected;
+    RingKey best = 0;
+    bool found = false;
+    RingKey min_pos = ~RingKey{0};
+    NodeId min_node;
+    for (unsigned n = 0; n < 32; ++n) {
+      const RingKey pos = hash_node(N(n));
+      if (pos < min_pos) {
+        min_pos = pos;
+        min_node = N(n);
+      }
+      if (pos >= key && (!found || pos < best)) {
+        best = pos;
+        expected = N(n);
+        found = true;
+      }
+    }
+    if (!found) expected = min_node;
+    EXPECT_EQ(ring.owner_of(key), expected);
+  }
+}
+
+TEST(ChordRing, LookupReachesOwner) {
+  const ChordRing ring = make_ring(64);
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const RingKey key = rng();
+    const NodeId from = N(static_cast<unsigned>(rng.next_below(64)));
+    const LookupResult result = ring.lookup(key, from);
+    EXPECT_EQ(result.owner, ring.owner_of(key));
+    EXPECT_EQ(result.path.front(), from);
+    EXPECT_EQ(result.path.back(), result.owner);
+    // No node visited twice.
+    std::set<NodeId> distinct(result.path.begin(), result.path.end());
+    EXPECT_EQ(distinct.size(), result.path.size());
+  }
+}
+
+TEST(ChordRing, LookupIsLogarithmic) {
+  const ChordRing ring = make_ring(128);
+  Rng rng(13);
+  double total_hops = 0;
+  std::size_t max_hops = 0, trials = 400;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto result =
+        ring.lookup(rng(), N(static_cast<unsigned>(rng.next_below(128))));
+    total_hops += static_cast<double>(result.hops());
+    max_hops = std::max(max_hops, result.hops());
+  }
+  const double mean_hops = total_hops / static_cast<double>(trials);
+  // Chord: ~(1/2) log2 n expected, log2 n + slack worst case.
+  EXPECT_LE(mean_hops, std::log2(128.0));
+  EXPECT_LE(max_hops, 2 * static_cast<std::size_t>(std::log2(128.0)) + 2);
+  EXPECT_GT(mean_hops, 1.0) << "queries should not be one-hop on average";
+}
+
+TEST(ChordRing, SelfLookupZeroOrOneHop) {
+  const ChordRing ring = make_ring(16);
+  for (unsigned n = 0; n < 16; ++n) {
+    const RingKey own = hash_node(N(n));
+    const auto result = ring.lookup(own, N(n));
+    EXPECT_EQ(result.owner, N(n));
+    EXPECT_EQ(result.hops(), 0u);
+  }
+}
+
+TEST(ChordRing, ReplicasDistinctAndStartAtOwner) {
+  const ChordRing ring = make_ring(16);
+  const RingKey key = hash_key("group:3");
+  const auto replicas = ring.replicas_of(key, 5);
+  ASSERT_EQ(replicas.size(), 5u);
+  EXPECT_EQ(replicas.front(), ring.owner_of(key));
+  const std::set<NodeId> distinct(replicas.begin(), replicas.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  // Clamped to ring size.
+  EXPECT_EQ(ring.replicas_of(key, 99).size(), 16u);
+}
+
+TEST(ChordRing, FingersSortedAlongArcAndReachable) {
+  const ChordRing ring = make_ring(64);
+  const auto fingers = ring.fingers_of(N(0));
+  EXPECT_GE(fingers.size(), 3u);  // ~log2(64) distinct fingers expected
+  EXPECT_LE(fingers.size(), 64u);
+  for (const NodeId f : fingers) EXPECT_TRUE(ring.contains(f));
+}
+
+TEST(ChordRing, LeaveTransfersOwnership) {
+  ChordRing ring = make_ring(16);
+  const RingKey key = hash_key("group:7");
+  const NodeId before = ring.owner_of(key);
+  ring.leave(before);
+  const NodeId after = ring.owner_of(key);
+  EXPECT_NE(after, before);
+  // The new owner is the old replica list's second entry.
+  ring.join(before);
+  const auto replicas = ring.replicas_of(key, 2);
+  EXPECT_EQ(replicas[1], after);
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(41);
+    topo_ = topology::generate_transit_stub(test::small_topology(), rng);
+    hosts_ = std::make_unique<topology::HostMap>(topology::attach_hosts(
+        topo_, {.num_hosts = 24, .num_clusters = 6}, rng));
+    oracle_ = std::make_unique<topology::DistanceOracle>(topo_.graph);
+  }
+  topology::TransitStubTopology topo_;
+  std::unique_ptr<topology::HostMap> hosts_;
+  std::unique_ptr<topology::DistanceOracle> oracle_;
+};
+
+TEST_F(DirectoryTest, FetchReturnsMembershipWithCost) {
+  const auto m = test::make_membership(24, {{0, 1, 2, 3}, {4, 5, 6}});
+  MembershipDirectory dir(m, *hosts_, *oracle_);
+  const auto fetch = dir.fetch(G(0), N(10));
+  EXPECT_EQ(fetch.members, m.members(G(0)));
+  EXPECT_GT(fetch.latency_ms, 0.0);
+  EXPECT_TRUE(dir.ring().contains(fetch.served_by));
+  EXPECT_THROW((void)dir.fetch(G(9), N(0)), CheckFailure);
+}
+
+TEST_F(DirectoryTest, UpdateTracksMembershipChanges) {
+  auto m = test::make_membership(24, {{0, 1, 2}});
+  MembershipDirectory dir(m, *hosts_, *oracle_);
+  m.add_member(G(0), N(9));
+  dir.update(G(0), m);
+  EXPECT_EQ(dir.fetch(G(0), N(5)).members.size(), 4u);
+  m.remove_group(G(0));
+  dir.update(G(0), m);
+  EXPECT_THROW((void)dir.fetch(G(0), N(5)), CheckFailure);
+}
+
+TEST_F(DirectoryTest, ReplicationProvidesFallbackOwners) {
+  const auto m = test::make_membership(24, {{0, 1, 2}});
+  MembershipDirectory dir(m, *hosts_, *oracle_, /*replication=*/3);
+  const auto replicas = dir.replicas(G(0));
+  ASSERT_EQ(replicas.size(), 3u);
+  const std::set<NodeId> distinct(replicas.begin(), replicas.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+}  // namespace
+}  // namespace decseq::dht

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "filter/predicate.h"
+#include "filter/subscription_table.h"
+#include "tests/test_util.h"
+
+namespace decseq::filter {
+namespace {
+
+using test::N;
+
+Event trade(std::string symbol, std::int64_t price, std::string industry) {
+  Event e;
+  e.set("symbol", std::move(symbol))
+      .set("price", price)
+      .set("industry", std::move(industry));
+  return e;
+}
+
+TEST(Predicate, IntComparisons) {
+  const Event e = trade("AAPL", 150, "tech");
+  EXPECT_TRUE(Predicate{}.ge("price", 100).matches(e));
+  EXPECT_TRUE(Predicate{}.le("price", 150).matches(e));
+  EXPECT_FALSE(Predicate{}.ge("price", 151).matches(e));
+  EXPECT_TRUE(Predicate{}.eq("price", 150).matches(e));
+  EXPECT_TRUE(Predicate{}
+                  .where("price", Constraint::Op::kLt, Value::of(151))
+                  .matches(e));
+  EXPECT_TRUE(Predicate{}
+                  .where("price", Constraint::Op::kGt, Value::of(149))
+                  .matches(e));
+  EXPECT_TRUE(Predicate{}
+                  .where("price", Constraint::Op::kNe, Value::of(0))
+                  .matches(e));
+}
+
+TEST(Predicate, StringEquality) {
+  const Event e = trade("AAPL", 150, "tech");
+  EXPECT_TRUE(Predicate{}.eq("industry", "tech").matches(e));
+  EXPECT_FALSE(Predicate{}.eq("industry", "energy").matches(e));
+  EXPECT_TRUE(Predicate{}
+                  .where("industry", Constraint::Op::kNe,
+                         Value::of(std::string("energy")))
+                  .matches(e));
+}
+
+TEST(Predicate, StringOrderingRejected) {
+  const Event e = trade("AAPL", 150, "tech");
+  EXPECT_THROW((void)Predicate{}
+                   .where("industry", Constraint::Op::kLt,
+                          Value::of(std::string("x")))
+                   .matches(e),
+               CheckFailure);
+}
+
+TEST(Predicate, MissingAttribute) {
+  const Event e = trade("AAPL", 150, "tech");
+  EXPECT_FALSE(Predicate{}.ge("volume", 1).matches(e));
+  EXPECT_FALSE(Predicate{}.where_exists("volume").matches(e));
+  EXPECT_TRUE(Predicate{}.where_exists("price").matches(e));
+  // Absent attribute satisfies !=.
+  EXPECT_TRUE(Predicate{}
+                  .where("volume", Constraint::Op::kNe, Value::of(5))
+                  .matches(e));
+}
+
+TEST(Predicate, ConjunctionSemantics) {
+  const Event e = trade("AAPL", 150, "tech");
+  EXPECT_TRUE(
+      Predicate{}.eq("industry", "tech").ge("price", 100).matches(e));
+  EXPECT_FALSE(
+      Predicate{}.eq("industry", "tech").ge("price", 200).matches(e));
+  EXPECT_TRUE(Predicate{}.matches(e)) << "empty predicate matches all";
+}
+
+TEST(Predicate, CanonicalFormOrderInsensitive) {
+  Predicate a, b;
+  a.eq("industry", "tech").ge("price", 100);
+  b.ge("price", 100).eq("industry", "tech");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  // Duplicates collapse.
+  Predicate c;
+  c.ge("price", 100).ge("price", 100).eq("industry", "tech");
+  EXPECT_EQ(c.canonical(), a.canonical());
+  // Different constants differ.
+  Predicate d;
+  d.eq("industry", "tech").ge("price", 101);
+  EXPECT_NE(d.canonical(), a.canonical());
+}
+
+TEST(ContentLayer, SamePredicateSharesGroup) {
+  pubsub::PubSubSystem system(test::small_config(81));
+  ContentLayer layer(system);
+  Predicate tech;
+  tech.eq("industry", "tech");
+  const GroupId g1 = layer.subscribe(N(0), tech);
+  const GroupId g2 = layer.subscribe(N(1), tech);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(layer.num_predicates(), 1u);
+  EXPECT_EQ(system.membership().members(g1).size(), 2u);
+}
+
+TEST(ContentLayer, PublishFansOutToMatchingGroups) {
+  pubsub::PubSubSystem system(test::small_config(82));
+  ContentLayer layer(system);
+  Predicate tech, pricey, energy;
+  tech.eq("industry", "tech");
+  pricey.ge("price", 100);
+  energy.eq("industry", "energy");
+  layer.subscribe(N(0), tech);
+  layer.subscribe(N(1), tech);
+  layer.subscribe(N(1), pricey);
+  layer.subscribe(N(2), pricey);
+  layer.subscribe(N(3), energy);
+
+  const auto hit = layer.publish(N(4), trade("AAPL", 150, "tech"), 7);
+  EXPECT_EQ(hit.size(), 2u);  // tech and pricey, not energy
+  system.run();
+  EXPECT_EQ(system.deliveries_to(N(0)).size(), 1u);
+  EXPECT_EQ(system.deliveries_to(N(1)).size(), 2u);  // both groups
+  EXPECT_EQ(system.deliveries_to(N(3)).size(), 0u);
+}
+
+TEST(ContentLayer, OverlappingPredicateGroupsStayConsistent) {
+  // Two predicates sharing two subscribers: their groups double-overlap, so
+  // the ordering layer sequences them and shared subscribers agree.
+  pubsub::PubSubSystem system(test::small_config(83));
+  ContentLayer layer(system);
+  Predicate tech, pricey;
+  tech.eq("industry", "tech");
+  pricey.ge("price", 100);
+  layer.subscribe_all({{N(0), tech},
+                       {N(1), tech},
+                       {N(2), tech},
+                       {N(1), pricey},
+                       {N(2), pricey},
+                       {N(3), pricey}});
+  EXPECT_EQ(system.overlaps().num_overlaps(), 1u);
+
+  for (int i = 0; i < 6; ++i) {
+    layer.publish(N(4), trade("AAPL", 150, "tech"),
+                  static_cast<std::uint64_t>(i));       // both groups
+    layer.publish(N(5), trade("XOM", 110, "energy"),
+                  static_cast<std::uint64_t>(100 + i)); // pricey only
+  }
+  system.run();
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+  EXPECT_EQ(system.deliveries_to(N(1)).size(), 18u);  // 6*2 + 6
+}
+
+TEST(ContentLayer, UnsubscribeDropsGroupWithLastMember) {
+  pubsub::PubSubSystem system(test::small_config(84));
+  ContentLayer layer(system);
+  Predicate tech;
+  tech.eq("industry", "tech");
+  const GroupId g = layer.subscribe(N(0), tech);
+  layer.subscribe(N(1), tech);
+  layer.unsubscribe(N(0), tech);
+  EXPECT_TRUE(system.membership().is_alive(g));
+  layer.unsubscribe(N(1), tech);
+  EXPECT_EQ(layer.num_predicates(), 0u);
+  EXPECT_FALSE(layer.group_of(tech).has_value());
+  EXPECT_THROW(layer.unsubscribe(N(1), tech), CheckFailure);
+}
+
+TEST(ContentLayer, BatchSubscribeOnePredicatePerGroup) {
+  pubsub::PubSubSystem system(test::small_config(85));
+  ContentLayer layer(system);
+  std::vector<std::pair<NodeId, Predicate>> subs;
+  for (unsigned n = 0; n < 6; ++n) {
+    Predicate p;
+    p.ge("price", (n % 3) * 100);  // three distinct predicates
+    subs.emplace_back(N(n), p);
+  }
+  layer.subscribe_all(subs);
+  EXPECT_EQ(layer.num_predicates(), 3u);
+  EXPECT_EQ(system.membership().num_groups(), 3u);
+}
+
+}  // namespace
+}  // namespace decseq::filter

@@ -1,0 +1,138 @@
+// Tests for the popularity-weighted membership generator and the
+// machine-assignment seed policies — the two calibration knobs EXPERIMENTS.md
+// documents.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "membership/overlap.h"
+#include "placement/assignment.h"
+#include "placement/colocation.h"
+#include "seqgraph/graph.h"
+#include "tests/test_util.h"
+#include "topology/hosts.h"
+
+namespace decseq::membership {
+namespace {
+
+using test::N;
+
+TEST(PopularitySelection, PopularNodesJoinMoreGroups) {
+  Rng rng(11);
+  const auto m = zipf_membership(
+      {.num_nodes = 64,
+       .num_groups = 24,
+       .scale = 1.0,
+       .selection = MemberSelection::kZipfPopularity},
+      rng);
+  // Node 0 (rank 1) must subscribe to far more groups than node 63.
+  const std::size_t popular = m.subscription_count(N(0));
+  const std::size_t unpopular = m.subscription_count(N(63));
+  EXPECT_GT(popular, unpopular + 3);
+}
+
+TEST(PopularitySelection, ProducesDenserOverlapsThanUniform) {
+  std::size_t popularity_overlaps = 0, uniform_overlaps = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng r1(seed), r2(seed);
+    const auto popular = zipf_membership(
+        {.num_nodes = 64,
+         .num_groups = 16,
+         .selection = MemberSelection::kZipfPopularity},
+        r1);
+    const auto uniform = zipf_membership(
+        {.num_nodes = 64,
+         .num_groups = 16,
+         .selection = MemberSelection::kUniform},
+        r2);
+    popularity_overlaps += OverlapIndex(popular).num_overlaps();
+    uniform_overlaps += OverlapIndex(uniform).num_overlaps();
+  }
+  EXPECT_GT(popularity_overlaps, uniform_overlaps)
+      << "popularity-weighted membership is what creates the paper's dense "
+         "overlap structure";
+}
+
+TEST(PopularitySelection, SizesUnaffectedBySelection) {
+  Rng r1(7), r2(7);
+  const auto a = zipf_membership(
+      {.num_nodes = 32, .num_groups = 8,
+       .selection = MemberSelection::kZipfPopularity},
+      r1);
+  const auto b = zipf_membership(
+      {.num_nodes = 32, .num_groups = 8,
+       .selection = MemberSelection::kUniform},
+      r2);
+  for (std::size_t g = 0; g < 8; ++g) {
+    EXPECT_EQ(a.members(test::G(static_cast<unsigned>(g))).size(),
+              b.members(test::G(static_cast<unsigned>(g))).size());
+  }
+}
+
+TEST(PopularitySelection, DenseGroupsStillFill) {
+  // Rejection sampling must not stall when a group wants most nodes.
+  Rng rng(13);
+  const auto m = zipf_membership(
+      {.num_nodes = 16,
+       .num_groups = 4,
+       .scale = 8.0,  // rank-1 group wants 16/H16*8 >> 16 -> clamped to 16
+       .selection = MemberSelection::kZipfPopularity},
+      rng);
+  EXPECT_EQ(m.members(test::G(0)).size(), 16u);
+}
+
+class SeedPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(31);
+    topo_ = topology::generate_transit_stub(test::small_topology(), rng);
+    hosts_ = std::make_unique<topology::HostMap>(topology::attach_hosts(
+        topo_, {.num_hosts = 16, .num_clusters = 4}, rng));
+    oracle_ = std::make_unique<topology::DistanceOracle>(topo_.graph);
+  }
+  topology::TransitStubTopology topo_;
+  std::unique_ptr<topology::HostMap> hosts_;
+  std::unique_ptr<topology::DistanceOracle> oracle_;
+};
+
+TEST_F(SeedPolicyTest, MemberSeedKeepsChainsNearSubscribers) {
+  Rng data_rng(17);
+  const auto m = zipf_membership({.num_nodes = 16, .num_groups = 8,
+                                  .scale = 2.0},
+                                 data_rng);
+  const OverlapIndex idx(m);
+  const auto graph = seqgraph::build_sequencing_graph(m, idx, {});
+  Rng rng(18);
+  const auto colocation = placement::colocate_atoms(graph, idx, {}, rng);
+
+  auto mean_member_distance = [&](const placement::Assignment& a) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const GroupId g : graph.groups()) {
+      const auto path = placement::seq_node_path(graph, colocation, g);
+      const RouterId ingress = a.machine_of(path.front());
+      for (const NodeId member : m.members(g)) {
+        total += oracle_->distance(hosts_->router_of(member), ingress);
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+
+  // Averaged over several placement draws to damp randomness.
+  double member_seed = 0.0, random_seed = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    Rng rm(100 + s), rr(100 + s);
+    member_seed += mean_member_distance(placement::assign_machines(
+        graph, colocation, m, *hosts_, topo_.graph,
+        {.seed = placement::SeedPolicy::kGroupMember}, rm));
+    random_seed += mean_member_distance(placement::assign_machines(
+        graph, colocation, m, *hosts_, topo_.graph,
+        {.seed = placement::SeedPolicy::kRandomRouter}, rr));
+  }
+  EXPECT_LT(member_seed, random_seed)
+      << "seeding at a member's router must keep ingress closer to the group";
+}
+
+}  // namespace
+}  // namespace decseq::membership

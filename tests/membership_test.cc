@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "membership/membership.h"
+#include "membership/overlap.h"
+#include "tests/test_util.h"
+
+namespace decseq::membership {
+namespace {
+
+using test::G;
+using test::N;
+
+TEST(Membership, AddAndQueryGroups) {
+  GroupMembership m(8);
+  const GroupId g0 = m.add_group({N(3), N(1), N(5)});
+  EXPECT_EQ(m.num_groups(), 1u);
+  EXPECT_TRUE(m.is_alive(g0));
+  // Members come back sorted regardless of insertion order.
+  EXPECT_EQ(m.members(g0), (std::vector<NodeId>{N(1), N(3), N(5)}));
+  EXPECT_TRUE(m.is_member(g0, N(3)));
+  EXPECT_FALSE(m.is_member(g0, N(2)));
+}
+
+TEST(Membership, RejectsDuplicatesAndOutOfRange) {
+  GroupMembership m(4);
+  EXPECT_THROW(m.add_group({N(1), N(1)}), CheckFailure);
+  EXPECT_THROW(m.add_group({N(9)}), CheckFailure);
+}
+
+TEST(Membership, JoinLeaveLifecycle) {
+  GroupMembership m(8);
+  const GroupId g = m.add_group({N(0), N(1)});
+  m.add_member(g, N(2));
+  EXPECT_EQ(m.members(g).size(), 3u);
+  EXPECT_THROW(m.add_member(g, N(2)), CheckFailure);  // already present
+  m.remove_member(g, N(0));
+  m.remove_member(g, N(1));
+  EXPECT_TRUE(m.is_alive(g));
+  // Last member leaving kills the group (§3.2).
+  m.remove_member(g, N(2));
+  EXPECT_FALSE(m.is_alive(g));
+  EXPECT_EQ(m.num_groups(), 0u);
+}
+
+TEST(Membership, RemoveGroupTombstonesId) {
+  GroupMembership m(4);
+  const GroupId g0 = m.add_group({N(0), N(1)});
+  const GroupId g1 = m.add_group({N(2), N(3)});
+  m.remove_group(g0);
+  EXPECT_FALSE(m.is_alive(g0));
+  EXPECT_TRUE(m.is_alive(g1));
+  EXPECT_THROW((void)m.members(g0), CheckFailure);
+  EXPECT_EQ(m.live_groups(), std::vector<GroupId>{g1});
+}
+
+TEST(Membership, GroupsOfAndSubscriptionCount) {
+  GroupMembership m(4);
+  const GroupId g0 = m.add_group({N(0), N(1)});
+  const GroupId g1 = m.add_group({N(1), N(2)});
+  EXPECT_EQ(m.groups_of(N(1)), (std::vector<GroupId>{g0, g1}));
+  EXPECT_EQ(m.groups_of(N(3)), std::vector<GroupId>{});
+  EXPECT_EQ(m.subscription_count(N(1)), 2u);
+  EXPECT_EQ(m.subscription_count(N(0)), 1u);
+}
+
+TEST(Membership, Intersect) {
+  GroupMembership m(8);
+  const GroupId g0 = m.add_group({N(0), N(1), N(2), N(5)});
+  const GroupId g1 = m.add_group({N(1), N(2), N(7)});
+  EXPECT_EQ(m.intersect(g0, g1), (std::vector<NodeId>{N(1), N(2)}));
+}
+
+TEST(Overlap, DetectsOnlyDoubleOverlaps) {
+  // g0 ∩ g1 = {1,2} (double), g0 ∩ g2 = {0} (single), g1 ∩ g2 = {} (none).
+  const auto m = test::make_membership(8, {{0, 1, 2}, {1, 2, 3}, {0, 4, 5}});
+  const OverlapIndex idx(m);
+  ASSERT_EQ(idx.num_overlaps(), 1u);
+  EXPECT_EQ(idx.overlap(0).first, G(0));
+  EXPECT_EQ(idx.overlap(0).second, G(1));
+  EXPECT_EQ(idx.overlap(0).members, (std::vector<NodeId>{N(1), N(2)}));
+  EXPECT_TRUE(idx.has_overlaps(G(0)));
+  EXPECT_FALSE(idx.has_overlaps(G(2)));
+}
+
+TEST(Overlap, PaperFigure2Triangle) {
+  // G0={A,B,D}, G1={A,B,C}, G2={B,C,D} with A=0,B=1,C=2,D=3: three pairwise
+  // double overlaps — the paper's Fig 2 example.
+  const auto m = test::make_membership(4, {{0, 1, 3}, {0, 1, 2}, {1, 2, 3}});
+  const OverlapIndex idx(m);
+  EXPECT_EQ(idx.num_overlaps(), 3u);
+  ASSERT_EQ(idx.components().size(), 1u);
+  EXPECT_EQ(idx.components()[0].size(), 3u);
+}
+
+TEST(Overlap, ComponentsSeparateUnrelatedGroups) {
+  const auto m = test::make_membership(
+      12, {{0, 1, 2}, {1, 2, 3}, {6, 7, 8}, {7, 8, 9}, {10, 11}});
+  const OverlapIndex idx(m);
+  EXPECT_EQ(idx.num_overlaps(), 2u);
+  ASSERT_EQ(idx.components().size(), 2u);
+  EXPECT_EQ(idx.component_of(G(0)), idx.component_of(G(1)));
+  EXPECT_EQ(idx.component_of(G(2)), idx.component_of(G(3)));
+  EXPECT_NE(idx.component_of(G(0)), idx.component_of(G(2)));
+  // Group 4 has no overlaps: no component.
+  EXPECT_EQ(idx.component_of(G(4)), SIZE_MAX);
+}
+
+TEST(Overlap, OverlapsOfListsAll) {
+  const auto m = test::make_membership(
+      6, {{0, 1, 2, 3}, {0, 1, 4}, {2, 3, 4}, {0, 2, 4}});
+  const OverlapIndex idx(m);
+  // g0 overlaps g1 ({0,1}), g2 ({2,3}), g3 ({0,2}).
+  EXPECT_EQ(idx.overlaps_of(G(0)).size(), 3u);
+}
+
+TEST(Generators, ZipfRespectsScaleAndFloor) {
+  Rng rng(1);
+  const auto m = zipf_membership(
+      {.num_nodes = 128, .num_groups = 16, .exponent = 1.0, .scale = 1.0},
+      rng);
+  EXPECT_EQ(m.num_groups(), 16u);
+  std::size_t prev = SIZE_MAX;
+  for (const GroupId g : m.live_groups()) {
+    const std::size_t size = m.members(g).size();
+    EXPECT_GE(size, 2u);
+    EXPECT_LE(size, prev);  // rank order == id order, sizes non-increasing
+    prev = size;
+  }
+}
+
+TEST(Generators, ZipfMembersAreValidNodes) {
+  Rng rng(2);
+  const auto m =
+      zipf_membership({.num_nodes = 32, .num_groups = 8}, rng);
+  for (const GroupId g : m.live_groups()) {
+    for (const NodeId n : m.members(g)) {
+      EXPECT_LT(n.value(), 32u);
+    }
+  }
+}
+
+TEST(Generators, OccupancyZeroAndOne) {
+  Rng rng(3);
+  const auto empty =
+      occupancy_membership({.num_nodes = 16, .num_groups = 8, .occupancy = 0.0},
+                           rng);
+  EXPECT_EQ(empty.num_groups(), 0u);  // all empty groups dropped
+
+  const auto full =
+      occupancy_membership({.num_nodes = 16, .num_groups = 8, .occupancy = 1.0},
+                           rng);
+  EXPECT_EQ(full.num_groups(), 8u);
+  for (const GroupId g : full.live_groups()) {
+    EXPECT_EQ(full.members(g).size(), 16u);
+  }
+}
+
+TEST(Generators, OccupancyDensityApproximatesP) {
+  Rng rng(4);
+  const auto m = occupancy_membership(
+      {.num_nodes = 64, .num_groups = 32, .occupancy = 0.25}, rng);
+  std::size_t total = 0;
+  for (const GroupId g : m.live_groups()) total += m.members(g).size();
+  const double density = static_cast<double>(total) / (64.0 * 32.0);
+  EXPECT_NEAR(density, 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace decseq::membership

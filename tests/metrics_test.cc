@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "metrics/stretch.h"
+#include "metrics/structure.h"
+#include "tests/test_util.h"
+
+namespace decseq::metrics {
+namespace {
+
+using test::N;
+
+TEST(Stretch, WorkloadPublishesOneMessagePerSubscription) {
+  pubsub::PubSubSystem system(test::small_config(31));
+  system.create_group({N(0), N(1), N(2)});
+  system.create_group({N(1), N(2), N(3)});
+  const auto result = measure_stretch(system);
+  EXPECT_EQ(result.messages_published, 6u);
+  // Samples: per message, one per receiver != sender => 2 each.
+  EXPECT_EQ(result.samples.size(), 12u);
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.unicast_delay_ms, 0.0);
+    EXPECT_GE(s.ratio(), 1.0 - 1e-9)
+        << "sequencing cannot beat the direct path";
+  }
+}
+
+TEST(Stretch, PerDestinationAveragesCoverSubscribers) {
+  pubsub::PubSubSystem system(test::small_config(32));
+  system.create_group({N(0), N(1), N(2), N(3)});
+  const auto result = measure_stretch(system);
+  const auto per_dest = stretch_per_destination(result.samples, 16);
+  EXPECT_EQ(per_dest.size(), 4u);
+  for (const double v : per_dest) EXPECT_GE(v, 1.0 - 1e-9);
+}
+
+TEST(Stretch, RdpPointsOnePerPair) {
+  pubsub::PubSubSystem system(test::small_config(33));
+  system.create_group({N(0), N(1), N(2)});
+  const auto result = measure_stretch(system);
+  const auto points = rdp_points(result.samples);
+  EXPECT_EQ(points.size(), 6u);  // 3 nodes x 2 others, directed
+  for (const auto& p : points) {
+    EXPECT_GT(p.unicast_delay_ms, 0.0);
+    EXPECT_GE(p.rdp, 1.0 - 1e-9);
+  }
+}
+
+TEST(Structure, CountsOverlapsAndNodes) {
+  Rng rng(34);
+  const auto m = test::make_membership(
+      8, {{0, 1, 2, 3}, {0, 1, 4, 5}, {2, 3, 4, 5}});
+  const auto result = build_and_measure(m, rng);
+  EXPECT_EQ(result.num_double_overlaps, 3u);
+  EXPECT_GE(result.num_sequencing_nodes, 1u);
+  EXPECT_LE(result.num_sequencing_nodes, 3u);
+  EXPECT_EQ(result.stress.size(), result.num_sequencing_nodes);
+  for (const double s : result.stress) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Structure, AtomsPerPathOneSamplePerSubscription) {
+  Rng rng(35);
+  const auto m = test::make_membership(6, {{0, 1, 2}, {1, 2, 3}});
+  const auto result = build_and_measure(m, rng);
+  EXPECT_EQ(result.atoms_per_path_ratio.size(), 6u);
+  for (const double r : result.atoms_per_path_ratio) {
+    EXPECT_DOUBLE_EQ(r, 1.0 / 6.0);  // one stamping atom, six nodes
+  }
+}
+
+TEST(Structure, FullOccupancyCollapsesToOneNode) {
+  // Every node in every group: all overlaps share the full population, so
+  // the subset rule folds them onto a single sequencing node (the paper's
+  // Fig 8 right edge).
+  Rng rng(36);
+  const auto m = test::make_membership(
+      6, {{0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5}});
+  const auto result = build_and_measure(m, rng);
+  EXPECT_EQ(result.num_double_overlaps, 3u);
+  EXPECT_EQ(result.num_sequencing_nodes, 1u);
+}
+
+TEST(Structure, DisjointGroupsNeedNoSequencingNodes) {
+  Rng rng(37);
+  const auto m = test::make_membership(8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  const auto result = build_and_measure(m, rng);
+  EXPECT_EQ(result.num_double_overlaps, 0u);
+  EXPECT_EQ(result.num_sequencing_nodes, 0u);
+  EXPECT_TRUE(result.stress.empty());
+  for (const double r : result.atoms_per_path_ratio) {
+    EXPECT_DOUBLE_EQ(r, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace decseq::metrics

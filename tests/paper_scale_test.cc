@@ -1,0 +1,80 @@
+// One integration test at the paper's full scale: 10,000-router topology,
+// 128 hosts, 32 Zipf groups, live traffic. Slower than the unit tests
+// (~1-2 s) but proves the experiment configuration itself upholds the
+// guarantees the small-scale property tests check.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "pubsub/system.h"
+#include "tests/test_util.h"
+
+namespace decseq {
+namespace {
+
+TEST(PaperScale, FullConfigurationOrdersConsistently) {
+  pubsub::SystemConfig config;
+  config.seed = 20060101;
+  config.hosts.num_hosts = 128;
+  config.hosts.num_clusters = 32;
+  pubsub::PubSubSystem system(config);
+  ASSERT_EQ(system.topology_graph().num_routers(), 10000u);
+
+  Rng rng(7);
+  const auto snapshot = membership::zipf_membership(
+      {.num_nodes = 128, .num_groups = 32}, rng);
+  std::vector<std::vector<NodeId>> lists;
+  for (const GroupId g : snapshot.live_groups()) {
+    lists.push_back(snapshot.members(g));
+  }
+  system.create_groups(std::move(lists));
+  EXPECT_GT(system.overlaps().num_overlaps(), 10u)
+      << "the paper workload must create a real overlap structure";
+
+  // Concurrent traffic: every node one message to each of its groups, all
+  // within a 100ms window.
+  auto& sim = system.simulator();
+  std::map<MsgId, GroupId> sent;
+  for (std::size_t n = 0; n < 128; ++n) {
+    const NodeId sender(static_cast<unsigned>(n));
+    for (const GroupId g : system.membership().groups_of(sender)) {
+      sim.schedule_at(rng.next_double() * 100.0, [&system, &sent, sender, g] {
+        sent[system.publish(sender, g)] = g;
+      });
+    }
+  }
+  system.run();
+
+  // Exactly-once to every member; consistent everywhere.
+  std::map<MsgId, std::set<NodeId>> delivered_to;
+  for (const auto& d : system.deliveries()) {
+    ASSERT_TRUE(delivered_to[d.message].insert(d.receiver).second);
+  }
+  for (const auto& [msg, group] : sent) {
+    EXPECT_EQ(delivered_to[msg].size(),
+              system.membership().members(group).size());
+  }
+  EXPECT_EQ(system.network().buffered_at_receivers(), 0u);
+  const auto violation = test::find_order_violation(system.deliveries());
+  EXPECT_FALSE(violation.has_value()) << *violation;
+
+  // The §1.2 scalability claim, at scale: no sequencing machine handles an
+  // order of magnitude more messages than the busiest receiver.
+  std::size_t max_seq = 0, max_recv = 0;
+  for (const std::size_t l : system.network().seqnode_load()) {
+    max_seq = std::max(max_seq, l);
+  }
+  for (std::size_t n = 0; n < 128; ++n) {
+    max_recv = std::max(
+        max_recv,
+        system.network().deliveries(NodeId(static_cast<unsigned>(n))));
+  }
+  EXPECT_LE(max_seq, max_recv * 2)
+      << "sequencing load must track receiver load (paper §1.2)";
+}
+
+}  // namespace
+}  // namespace decseq

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "protocol/message.h"
+#include "protocol/receiver.h"
+#include "seqgraph/graph.h"
+#include "tests/test_util.h"
+
+namespace decseq::protocol {
+namespace {
+
+using test::G;
+using test::N;
+
+Message make_msg(unsigned id, GroupId g, SeqNo group_seq,
+                 std::vector<Stamp> stamps = {}) {
+  Message m;
+  m.id = MsgId(id);
+  m.group = g;
+  m.sender = N(0);
+  m.group_seq = group_seq;
+  m.stamps = std::move(stamps);
+  return m;
+}
+
+TEST(MessageFormat, HeaderBytesGrowWithStamps) {
+  Message m = make_msg(1, G(0), 1);
+  const std::size_t base = ordering_header_bytes(m);
+  m.stamps.push_back({AtomId(0), 1});
+  m.stamps.push_back({AtomId(1), 1});
+  EXPECT_EQ(ordering_header_bytes(m), base + 2 * 12);
+}
+
+TEST(MessageFormat, BeatsVectorTimestampWhenOverlapsAreFew) {
+  // 128 nodes => 1 KiB vector timestamp; a message with 8 stamps stays
+  // under 120 bytes. This is the paper's §4.4 overhead argument.
+  Message m = make_msg(1, G(0), 1);
+  for (unsigned i = 0; i < 8; ++i) m.stamps.push_back({AtomId(i), 1});
+  EXPECT_LT(ordering_header_bytes(m), vector_timestamp_bytes(128));
+}
+
+class ReceiverTest : public ::testing::Test {
+ protected:
+  std::vector<MsgId> delivered_;
+  Receiver make(std::vector<GroupId> subs, std::vector<AtomId> atoms) {
+    return Receiver(N(1), std::move(subs), std::move(atoms),
+                    [this](const Message& m, sim::Time) {
+                      delivered_.push_back(m.id);
+                    });
+  }
+};
+
+TEST_F(ReceiverTest, DeliversInGroupSeqOrder) {
+  Receiver r = make({G(0)}, {});
+  r.receive(make_msg(2, G(0), 2), 0.0);  // early: must buffer
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(r.buffered(), 1u);
+  r.receive(make_msg(1, G(0), 1), 1.0);  // unblocks both
+  EXPECT_EQ(delivered_, (std::vector<MsgId>{MsgId(1), MsgId(2)}));
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST_F(ReceiverTest, InstantDecisionIsVisible) {
+  Receiver r = make({G(0)}, {});
+  EXPECT_FALSE(r.deliverable(make_msg(5, G(0), 2)));
+  EXPECT_TRUE(r.deliverable(make_msg(5, G(0), 1)));
+}
+
+TEST_F(ReceiverTest, IndependentGroupsDontBlock) {
+  Receiver r = make({G(0), G(1)}, {});
+  r.receive(make_msg(1, G(0), 1), 0.0);
+  r.receive(make_msg(2, G(1), 1), 0.0);
+  r.receive(make_msg(3, G(0), 2), 0.0);
+  EXPECT_EQ(delivered_.size(), 3u);
+}
+
+TEST_F(ReceiverTest, RelevantStampGatesDelivery) {
+  // Node in overlap(Q): messages to the two groups must follow Q's order
+  // even when group-local numbers would allow delivery.
+  Receiver r = make({G(0), G(1)}, {AtomId(7)});
+  // Q stamped the G1 message first (seq 1) and the G0 message second.
+  r.receive(make_msg(1, G(0), 1, {{AtomId(7), 2}}), 0.0);
+  EXPECT_TRUE(delivered_.empty()) << "G0 message must wait for Q seq 1";
+  r.receive(make_msg(2, G(1), 1, {{AtomId(7), 1}}), 0.0);
+  EXPECT_EQ(delivered_, (std::vector<MsgId>{MsgId(2), MsgId(1)}));
+}
+
+TEST_F(ReceiverTest, IrrelevantStampsIgnored) {
+  // Stamps from atoms whose overlap excludes this node must not block.
+  Receiver r = make({G(0)}, {});
+  r.receive(make_msg(1, G(0), 1, {{AtomId(3), 99}}), 0.0);
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(ReceiverTest, CascadingDrain) {
+  Receiver r = make({G(0)}, {});
+  r.receive(make_msg(3, G(0), 3), 0.0);
+  r.receive(make_msg(2, G(0), 2), 0.0);
+  EXPECT_TRUE(delivered_.empty());
+  r.receive(make_msg(1, G(0), 1), 0.0);
+  EXPECT_EQ(delivered_,
+            (std::vector<MsgId>{MsgId(1), MsgId(2), MsgId(3)}));
+}
+
+TEST_F(ReceiverTest, RejectsUnsubscribedGroup) {
+  Receiver r = make({G(0)}, {});
+  EXPECT_THROW(r.receive(make_msg(1, G(9), 1), 0.0), CheckFailure);
+}
+
+TEST_F(ReceiverTest, MultipleRelevantStampsAllMustMatch) {
+  Receiver r = make({G(0), G(1), G(2)}, {AtomId(1), AtomId(2)});
+  // Message to G0 stamped by both atoms; second stamp is ahead.
+  r.receive(make_msg(1, G(0), 1, {{AtomId(1), 1}, {AtomId(2), 2}}), 0.0);
+  EXPECT_TRUE(delivered_.empty());
+  // The message occupying Q2 seq 1 arrives (to G2, only stamped by Q2).
+  r.receive(make_msg(2, G(2), 1, {{AtomId(2), 1}}), 0.0);
+  EXPECT_EQ(delivered_, (std::vector<MsgId>{MsgId(2), MsgId(1)}));
+}
+
+TEST(RelevantAtoms, ComputedFromOverlapMembership) {
+  const auto m = test::make_membership(5, {{0, 1, 2}, {1, 2, 3}, {3, 4, 0}});
+  const membership::OverlapIndex idx(m);
+  const auto graph = seqgraph::build_sequencing_graph(m, idx, {});
+  // Overlap (g0,g1) = {1,2}: atoms relevant to nodes 1 and 2 only.
+  const auto r0 = relevant_atoms_for(N(0), graph);
+  const auto r1 = relevant_atoms_for(N(1), graph);
+  EXPECT_TRUE(r0.empty());
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(graph.atom(r1[0]).overlap_members,
+            (std::vector<NodeId>{N(1), N(2)}));
+}
+
+}  // namespace
+}  // namespace decseq::protocol

@@ -1,0 +1,124 @@
+// Tests for the live reconfiguration API (epoch-boundary membership
+// batches) and the Graphviz export.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pubsub/system.h"
+#include "seqgraph/dot.h"
+#include "tests/test_util.h"
+
+namespace decseq::pubsub {
+namespace {
+
+using test::G;
+using test::N;
+
+TEST(Reconfigure, DrainsInFlightTrafficFirst) {
+  PubSubSystem system(test::small_config(91));
+  const GroupId g0 = system.create_group({N(0), N(1), N(2)});
+  // Publish and immediately reconfigure: the old epoch's message must be
+  // delivered under the old graph before anything changes.
+  system.publish(N(0), g0, 7);
+  const auto created = system.reconfigure({
+      PubSubSystem::MembershipChange::create({N(1), N(2), N(3)}),
+      PubSubSystem::MembershipChange::join(g0, N(4)),
+  });
+  ASSERT_EQ(created.size(), 1u);
+  EXPECT_EQ(system.deliveries().size(), 3u) << "old message fully delivered";
+  EXPECT_EQ(system.membership().members(g0).size(), 4u);
+  EXPECT_EQ(system.membership().num_groups(), 2u);
+
+  // New epoch works, including the new overlap (g0 and the new group now
+  // share {1,2}).
+  EXPECT_EQ(system.graph().num_overlap_atoms(), 1u);
+  system.publish(N(4), g0, 8);
+  system.publish(N(3), created[0], 9);
+  system.run();
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+}
+
+TEST(Reconfigure, BatchAppliesAtomically) {
+  PubSubSystem system(test::small_config(92));
+  const GroupId g0 = system.create_group({N(0), N(1)});
+  const GroupId g1 = system.create_group({N(2), N(3)});
+  system.reconfigure({
+      PubSubSystem::MembershipChange::remove(g1),
+      PubSubSystem::MembershipChange::join(g0, N(5)),
+      PubSubSystem::MembershipChange::leave(g0, N(0)),
+      PubSubSystem::MembershipChange::create({N(6), N(7)}),
+  });
+  EXPECT_FALSE(system.membership().is_alive(g1));
+  EXPECT_EQ(system.membership().members(g0),
+            (std::vector<NodeId>{N(1), N(5)}));
+  EXPECT_EQ(system.membership().num_groups(), 2u);
+}
+
+TEST(Reconfigure, MessageIdsUniqueAcrossEpochs) {
+  PubSubSystem system(test::small_config(97));
+  const GroupId g = system.create_group({N(0), N(1)});
+  const MsgId first = system.publish(N(0), g, 1);
+  system.run();
+  system.reconfigure({PubSubSystem::MembershipChange::join(g, N(2))});
+  const MsgId second = system.publish(N(0), g, 2);
+  system.run();
+  EXPECT_NE(first, second) << "ids must stay unique across graph rebuilds";
+  EXPECT_GT(second.value(), first.value());
+  // The facade record accessor resolves epoch-local storage correctly.
+  EXPECT_TRUE(system.record(second).exited_at.has_value());
+  EXPECT_THROW((void)system.record(first), CheckFailure)
+      << "pre-epoch records are gone after the rebuild";
+  // And the log never conflates the two messages.
+  std::set<MsgId> ids;
+  for (const auto& d : system.deliveries()) ids.insert(d.message);
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(Reconfigure, EmptyBatchIsANoop) {
+  PubSubSystem system(test::small_config(93));
+  const GroupId g = system.create_group({N(0), N(1)});
+  EXPECT_TRUE(system.reconfigure({}).empty());
+  EXPECT_TRUE(system.membership().is_alive(g));
+}
+
+TEST(Dot, RendersAtomsEdgesAndPaths) {
+  PubSubSystem system(test::small_config(94));
+  system.create_group({N(0), N(1), N(2), N(3)});
+  system.create_group({N(0), N(1), N(4), N(5)});
+  system.create_group({N(2), N(3), N(4), N(5)});
+  const std::string dot =
+      seqgraph::to_dot(system.graph(), system.membership());
+  EXPECT_NE(dot.find("digraph sequencing"), std::string::npos);
+  EXPECT_NE(dot.find("Q0"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"g0\""), std::string::npos);
+  // Three overlap atoms, chain of two undirected edges.
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+  EXPECT_EQ(dot.find("cluster_m"), std::string::npos)
+      << "no machine clusters without placement info";
+}
+
+TEST(Dot, MachineClustersWhenPlacementGiven) {
+  PubSubSystem system(test::small_config(95));
+  system.create_group({N(0), N(1), N(2)});
+  system.create_group({N(1), N(2), N(3)});
+  std::vector<std::size_t> machines(system.graph().num_atoms());
+  for (const auto& atom : system.graph().atoms()) {
+    machines[atom.id.value()] =
+        system.colocation().node_of(atom.id).value();
+  }
+  const std::string dot =
+      seqgraph::to_dot(system.graph(), system.membership(), &machines);
+  EXPECT_NE(dot.find("cluster_m"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, IngressOnlyAtomsLabelled) {
+  PubSubSystem system(test::small_config(96));
+  system.create_group({N(0), N(1)});
+  const std::string dot =
+      seqgraph::to_dot(system.graph(), system.membership());
+  EXPECT_NE(dot.find("ingress g0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace decseq::pubsub

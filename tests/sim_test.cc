@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+
+namespace decseq::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(5.0, [&] { fired.push_back(2); });
+  sim.schedule_at(1.0, [&] { fired.push_back(1); });
+  sim.schedule_at(9.0, [&] { fired.push_back(3); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(Simulator, CallbacksCanSchedule) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), CheckFailure);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Channel, DeliversInOrderWithDelay) {
+  Simulator sim;
+  Rng rng(1);
+  Channel<int> ch(sim, rng, 3.0);
+  std::vector<std::pair<int, Time>> got;
+  ch.set_receiver([&](int v) { got.push_back({v, sim.now()}); });
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, 1);
+  EXPECT_EQ(got[2].first, 3);
+  EXPECT_DOUBLE_EQ(got[0].second, 3.0);
+}
+
+TEST(Channel, ZeroDelayStillFifo) {
+  Simulator sim;
+  Rng rng(2);
+  Channel<int> ch(sim, rng, 0.0);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+  for (int i = 0; i < 20; ++i) ch.send(i);
+  sim.run();
+  ASSERT_EQ(got.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST(Channel, AcksDrainRetransmissionBuffer) {
+  Simulator sim;
+  Rng rng(3);
+  Channel<int> ch(sim, rng, 2.0);
+  ch.set_receiver([](int) {});
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.unacked(), 2u);
+  sim.run();
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, LossyLinkStillDeliversInOrderExactlyOnce) {
+  Simulator sim;
+  Rng rng(4);
+  ChannelOptions options;
+  options.loss_probability = 0.4;
+  options.retransmit_timeout_ms = 50.0;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+  for (int i = 0; i < 50; ++i) ch.send(i);
+  sim.run();
+  ASSERT_EQ(got.size(), 50u) << "every payload must arrive exactly once";
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_GT(ch.transmissions(), 50u) << "loss must have caused retransmits";
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, HeavyLossStress) {
+  Simulator sim;
+  Rng rng(5);
+  ChannelOptions options;
+  options.loss_probability = 0.7;
+  options.retransmit_timeout_ms = 20.0;
+  options.max_retransmits = 500;
+  Channel<std::string> ch(sim, rng, 1.0, options);
+  std::vector<std::string> got;
+  ch.set_receiver([&](std::string v) { got.push_back(std::move(v)); });
+  for (int i = 0; i < 20; ++i) ch.send("m" + std::to_string(i));
+  sim.run();
+  ASSERT_EQ(got.size(), 20u);
+  EXPECT_EQ(got.front(), "m0");
+  EXPECT_EQ(got.back(), "m19");
+}
+
+TEST(Channel, RequiresReceiver) {
+  Simulator sim;
+  Rng rng(6);
+  Channel<int> ch(sim, rng, 1.0);
+  EXPECT_THROW(ch.send(1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace decseq::sim

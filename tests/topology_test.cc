@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "topology/graph.h"
+#include "topology/hosts.h"
+#include "topology/shortest_path.h"
+#include "topology/transit_stub.h"
+
+namespace decseq::topology {
+namespace {
+
+TEST(Graph, AddRoutersAndEdges) {
+  Graph g;
+  const RouterId a = g.add_router();
+  const RouterId b = g.add_router();
+  g.add_edge(a, b, 5.0);
+  EXPECT_EQ(g.num_routers(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].to, b);
+  EXPECT_DOUBLE_EQ(g.neighbors(a)[0].delay_ms, 5.0);
+  EXPECT_EQ(g.neighbors(b)[0].to, a);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadDelay) {
+  Graph g;
+  const RouterId a = g.add_router();
+  const RouterId b = g.add_router();
+  EXPECT_THROW(g.add_edge(a, a, 1.0), CheckFailure);
+  EXPECT_THROW(g.add_edge(a, b, 0.0), CheckFailure);
+}
+
+TEST(Dijkstra, KnownSmallGraph) {
+  // a --1-- b --2-- c, plus a direct a--c edge of weight 10 that loses.
+  Graph g;
+  const RouterId a = g.add_router(), b = g.add_router(), c = g.add_router();
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, c, 2.0);
+  g.add_edge(a, c, 10.0);
+  const auto dist = dijkstra(g, a);
+  EXPECT_DOUBLE_EQ(dist[a.value()], 0.0);
+  EXPECT_DOUBLE_EQ(dist[b.value()], 1.0);
+  EXPECT_DOUBLE_EQ(dist[c.value()], 3.0);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Graph g;
+  const RouterId a = g.add_router();
+  (void)g.add_router();
+  const auto dist = dijkstra(g, a);
+  EXPECT_EQ(dist[1], std::numeric_limits<double>::infinity());
+}
+
+TEST(DistanceOracle, SymmetricAndCached) {
+  Graph g;
+  const RouterId a = g.add_router(), b = g.add_router(), c = g.add_router();
+  g.add_edge(a, b, 1.5);
+  g.add_edge(b, c, 2.5);
+  DistanceOracle oracle(g);
+  EXPECT_DOUBLE_EQ(oracle.distance(a, c), 4.0);
+  EXPECT_DOUBLE_EQ(oracle.distance(c, a), 4.0);
+  // Second query from a cached source must not add cache entries.
+  const std::size_t cached = oracle.cached_sources();
+  (void)oracle.distance(a, b);
+  EXPECT_EQ(oracle.cached_sources(), cached);
+}
+
+TEST(DistanceOracle, ClosestCandidate) {
+  Graph g;
+  const RouterId a = g.add_router(), b = g.add_router(), c = g.add_router();
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, c, 1.0);
+  DistanceOracle oracle(g);
+  EXPECT_EQ(oracle.closest({a, c}, b), a);  // tie broken by first
+  EXPECT_EQ(oracle.closest({c}, a), c);
+}
+
+TEST(TransitStub, DefaultParamsProduceTenThousandRouters) {
+  EXPECT_EQ(TransitStubParams{}.total_routers(), 10000u);
+}
+
+TEST(TransitStub, GeneratedSizeMatchesParams) {
+  Rng rng(1);
+  const auto params = test::small_topology();
+  const auto topo = generate_transit_stub(params, rng);
+  EXPECT_EQ(topo.graph.num_routers(), params.total_routers());
+  EXPECT_EQ(topo.num_stub_domains, 2u * 3u * 2u);
+  EXPECT_EQ(topo.stub_routers.size(),
+            params.total_routers() - 2u * 3u);  // all but transit routers
+}
+
+TEST(TransitStub, FullyConnected) {
+  Rng rng(2);
+  const auto topo = generate_transit_stub(test::small_topology(), rng);
+  const auto dist = dijkstra(topo.graph, RouterId(0));
+  for (std::size_t r = 0; r < topo.graph.num_routers(); ++r) {
+    EXPECT_NE(dist[r], std::numeric_limits<double>::infinity())
+        << "router " << r << " unreachable";
+  }
+}
+
+TEST(TransitStub, StubDomainAnnotationsConsistent) {
+  Rng rng(3);
+  const auto topo = generate_transit_stub(test::small_topology(), rng);
+  std::set<std::size_t> domains;
+  for (const RouterId r : topo.stub_routers) {
+    const std::size_t d = topo.stub_domain_of[r.value()];
+    ASSERT_LT(d, topo.num_stub_domains);
+    domains.insert(d);
+  }
+  EXPECT_EQ(domains.size(), topo.num_stub_domains);
+}
+
+TEST(TransitStub, DeterministicForSeed) {
+  Rng r1(77), r2(77);
+  const auto t1 = generate_transit_stub(test::small_topology(), r1);
+  const auto t2 = generate_transit_stub(test::small_topology(), r2);
+  EXPECT_EQ(t1.graph.num_edges(), t2.graph.num_edges());
+  const auto d1 = dijkstra(t1.graph, RouterId(0));
+  const auto d2 = dijkstra(t2.graph, RouterId(0));
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Hosts, ClusterAssignmentBalanced) {
+  Rng rng(4);
+  const auto topo = generate_transit_stub(test::small_topology(), rng);
+  HostAttachmentParams params{.num_hosts = 16, .num_clusters = 4};
+  const HostMap hosts = attach_hosts(topo, params, rng);
+  ASSERT_EQ(hosts.num_hosts(), 16u);
+  std::vector<std::size_t> per_cluster(4, 0);
+  for (unsigned h = 0; h < 16; ++h) {
+    ++per_cluster[hosts.cluster_of(NodeId(h))];
+  }
+  for (const std::size_t c : per_cluster) EXPECT_EQ(c, 4u);
+}
+
+TEST(Hosts, SameClusterSameStubDomain) {
+  Rng rng(5);
+  const auto topo = generate_transit_stub(test::small_topology(), rng);
+  const HostMap hosts =
+      attach_hosts(topo, {.num_hosts = 12, .num_clusters = 3}, rng);
+  for (unsigned a = 0; a < 12; ++a) {
+    for (unsigned b = a + 1; b < 12; ++b) {
+      if (hosts.cluster_of(NodeId(a)) == hosts.cluster_of(NodeId(b))) {
+        EXPECT_EQ(topo.stub_domain_of[hosts.router_of(NodeId(a)).value()],
+                  topo.stub_domain_of[hosts.router_of(NodeId(b)).value()]);
+      }
+    }
+  }
+}
+
+TEST(Hosts, DistinctRoutersWithinClusterWhenPossible) {
+  Rng rng(6);
+  const auto topo = generate_transit_stub(test::small_topology(), rng);
+  // 5 routers per stub, 4 hosts per cluster: no sharing expected.
+  const HostMap hosts =
+      attach_hosts(topo, {.num_hosts = 16, .num_clusters = 4}, rng);
+  std::set<RouterId> routers(hosts.attachment_routers().begin(),
+                             hosts.attachment_routers().end());
+  EXPECT_EQ(routers.size(), 16u);
+}
+
+TEST(Hosts, IntraClusterCloserThanInterCluster) {
+  Rng rng(8);
+  const auto topo = generate_transit_stub(test::small_topology(), rng);
+  const HostMap hosts =
+      attach_hosts(topo, {.num_hosts = 16, .num_clusters = 4}, rng);
+  DistanceOracle oracle(topo.graph);
+  double intra_sum = 0.0, inter_sum = 0.0;
+  std::size_t intra_n = 0, inter_n = 0;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = a + 1; b < 16; ++b) {
+      const double d = hosts.unicast_delay(NodeId(a), NodeId(b), oracle);
+      if (hosts.cluster_of(NodeId(a)) == hosts.cluster_of(NodeId(b))) {
+        intra_sum += d;
+        ++intra_n;
+      } else {
+        inter_sum += d;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0u);
+  ASSERT_GT(inter_n, 0u);
+  EXPECT_LT(intra_sum / intra_n, inter_sum / inter_n)
+      << "clustered hosts should be closer to each other on average";
+}
+
+}  // namespace
+}  // namespace decseq::topology

@@ -1,0 +1,95 @@
+// Tests for the per-message tracer: event sequences must mirror the
+// protocol's three phases (ingress -> sequencing -> distribution).
+#include <gtest/gtest.h>
+
+#include "pubsub/system.h"
+#include "tests/test_util.h"
+
+namespace decseq::protocol {
+namespace {
+
+using test::N;
+
+TEST(Trace, DisabledByDefaultAndFree) {
+  pubsub::PubSubSystem system(test::small_config(101));
+  const GroupId g = system.create_group({N(0), N(1)});
+  system.publish(N(0), g);
+  system.run();
+  EXPECT_FALSE(system.network().tracer().enabled());
+  EXPECT_TRUE(system.network().tracer().events().empty());
+}
+
+TEST(Trace, SingleGroupLifecycle) {
+  pubsub::PubSubSystem system(test::small_config(102));
+  const GroupId g = system.create_group({N(0), N(1), N(2)});
+  auto& tracer = system.network_mutable().tracer();
+  tracer.enable();
+  const MsgId id = system.publish(N(0), g, 5);
+  system.run();
+
+  const auto events = tracer.for_message(id);
+  ASSERT_GE(events.size(), 1u + 1u + 1u + 3u);  // publish+ingress+exit+3 dlv
+  EXPECT_EQ(events.front().kind, TraceEvent::Kind::kPublished);
+  EXPECT_EQ(events.front().endpoint, N(0));
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kIngress);
+  EXPECT_EQ(events[1].seq, 1u);  // first message of the group
+  std::size_t delivered = 0, exited = 0;
+  for (const auto& e : events) {
+    if (e.kind == TraceEvent::Kind::kDelivered) ++delivered;
+    if (e.kind == TraceEvent::Kind::kExited) ++exited;
+  }
+  EXPECT_EQ(exited, 1u);
+  EXPECT_EQ(delivered, 3u);
+  // Times never go backward along the trace.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+}
+
+TEST(Trace, OverlapMessageGetsStamped) {
+  pubsub::PubSubSystem system(test::small_config(103));
+  const GroupId g0 = system.create_group({N(0), N(1), N(2)});
+  system.create_group({N(1), N(2), N(3)});
+  auto& tracer = system.network_mutable().tracer();
+  tracer.enable();
+  const MsgId id = system.publish(N(0), g0);
+  system.run();
+
+  std::size_t stamped = 0;
+  for (const auto& e : tracer.for_message(id)) {
+    if (e.kind == TraceEvent::Kind::kStamped) {
+      ++stamped;
+      EXPECT_EQ(e.seq, 1u);
+    }
+  }
+  EXPECT_EQ(stamped, 1u) << "one overlap atom stamps the message";
+}
+
+TEST(Trace, FormatIsHumanReadable) {
+  pubsub::PubSubSystem system(test::small_config(104));
+  const GroupId g = system.create_group({N(0), N(1)});
+  auto& tracer = system.network_mutable().tracer();
+  tracer.enable();
+  const MsgId id = system.publish(N(0), g);
+  system.run();
+  const std::string text = tracer.format(id);
+  EXPECT_NE(text.find("published by node 0"), std::string::npos);
+  EXPECT_NE(text.find("ingress"), std::string::npos);
+  EXPECT_NE(text.find("delivered to node"), std::string::npos);
+}
+
+TEST(Trace, RingBufferBounded) {
+  Tracer tracer;
+  tracer.enable(/*capacity=*/4);
+  for (unsigned i = 0; i < 10; ++i) {
+    tracer.record({TraceEvent::Kind::kPublished, MsgId(i), 0.0, AtomId{},
+                   SeqNodeId{}, N(0), 0});
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.events().front().message, MsgId(6));
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+}  // namespace
+}  // namespace decseq::protocol

@@ -1,0 +1,62 @@
+// Tests for runtime tree-based distribution: identical delivery semantics
+// and timing to unicast-star distribution, with link-stress accounting.
+#include <gtest/gtest.h>
+
+#include "pubsub/system.h"
+#include "tests/test_util.h"
+
+namespace decseq::pubsub {
+namespace {
+
+using test::N;
+
+TEST(TreeDistribution, SameDeliveriesAndTimesAsUnicast) {
+  auto unicast_config = test::small_config(111);
+  auto tree_config = test::small_config(111);  // same seed: same topology
+  tree_config.network.tree_distribution = true;
+
+  PubSubSystem unicast(unicast_config), tree(tree_config);
+  for (PubSubSystem* system : {&unicast, &tree}) {
+    const GroupId g0 = system->create_group({N(0), N(1), N(2), N(3)});
+    const GroupId g1 = system->create_group({N(2), N(3), N(4), N(5)});
+    for (int i = 0; i < 5; ++i) {
+      system->publish(N(0), g0, static_cast<std::uint64_t>(i));
+      system->publish(N(4), g1, 100 + static_cast<std::uint64_t>(i));
+    }
+    system->run();
+  }
+  ASSERT_EQ(unicast.deliveries().size(), tree.deliveries().size());
+  for (std::size_t i = 0; i < unicast.deliveries().size(); ++i) {
+    const Delivery& a = unicast.deliveries()[i];
+    const Delivery& b = tree.deliveries()[i];
+    EXPECT_EQ(a.receiver, b.receiver);
+    EXPECT_EQ(a.payload, b.payload);
+    EXPECT_DOUBLE_EQ(a.delivered_at, b.delivered_at)
+        << "tree edges follow shortest paths: timing must be identical";
+  }
+}
+
+TEST(TreeDistribution, AccountsLinkStress) {
+  auto config = test::small_config(112);
+  config.network.tree_distribution = true;
+  PubSubSystem system(config);
+  const GroupId g = system.create_group({N(0), N(1), N(2), N(3), N(4)});
+  EXPECT_EQ(system.network().distribution_stress().total_messages(), 0u);
+  system.publish(N(0), g);
+  system.publish(N(1), g);
+  system.run();
+  const auto& stress = system.network().distribution_stress();
+  EXPECT_GT(stress.links_used(), 0u);
+  EXPECT_EQ(stress.max_stress(), 2u) << "two messages crossed the tree";
+}
+
+TEST(TreeDistribution, UnicastModeAccountsNothing) {
+  PubSubSystem system(test::small_config(113));
+  const GroupId g = system.create_group({N(0), N(1), N(2)});
+  system.publish(N(0), g);
+  system.run();
+  EXPECT_EQ(system.network().distribution_stress().links_used(), 0u);
+}
+
+}  // namespace
+}  // namespace decseq::pubsub

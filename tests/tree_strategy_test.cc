@@ -1,0 +1,116 @@
+// Crafted-case tests for the greedy tree builder (BuildStrategy::kGreedyTree):
+// shapes where a genuine tree beats the chain, and shapes where the greedy
+// step must detect failure and fall back.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "membership/overlap.h"
+#include "seqgraph/graph.h"
+#include "seqgraph/validator.h"
+#include "tests/test_util.h"
+
+namespace decseq::seqgraph {
+namespace {
+
+using membership::OverlapIndex;
+using test::G;
+using test::N;
+
+SequencingGraph build_tree(const membership::GroupMembership& m) {
+  const OverlapIndex idx(m);
+  auto graph = build_sequencing_graph(
+      m, idx, {.strategy = BuildStrategy::kGreedyTree});
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? ""
+                                                   : report.errors.front());
+  return graph;
+}
+
+std::size_t total_path_length(const SequencingGraph& g) {
+  std::size_t total = 0;
+  for (const GroupId grp : g.groups()) total += g.path(grp).size();
+  return total;
+}
+
+TEST(TreeStrategy, StarOfSpokesBranches) {
+  // Hub group 0 overlaps four spoke groups that do not overlap each other:
+  // a genuine star. The tree layout can hang every spoke atom off the hub
+  // path; the chain must thread them all into one line.
+  const auto m = test::make_membership(
+      12,
+      {{0, 1, 2, 3, 4, 5, 6, 7},  // hub
+       {0, 1, 8},                 // spokes, pairwise single-overlap
+       {2, 3, 9},
+       {4, 5, 10},
+       {6, 7, 11}});
+  const OverlapIndex idx(m);
+  ASSERT_EQ(idx.num_overlaps(), 4u);  // hub x each spoke only
+
+  const auto tree = build_tree(m);
+  EXPECT_EQ(tree.tree_components(), 1u);
+  EXPECT_EQ(tree.chain_components(), 0u);
+  // Every spoke group's path is exactly its own atom: no transit at all.
+  for (unsigned g = 1; g <= 4; ++g) {
+    EXPECT_EQ(tree.path(G(g)).size(), 1u) << "spoke " << g;
+  }
+  // The hub's path covers its four atoms.
+  EXPECT_EQ(tree.path(G(0)).size(), 4u);
+
+  const OverlapIndex idx2(m);
+  const auto chain = build_sequencing_graph(m, idx2, {});
+  EXPECT_LE(total_path_length(tree), total_path_length(chain));
+}
+
+TEST(TreeStrategy, TriangleFallsBackToChain) {
+  // Three mutually double-overlapping groups (the paper's Fig 2) cannot be
+  // arranged as anything but a chain with one transit; the greedy tree must
+  // detect the conflict and fall back.
+  const auto m = test::make_membership(4, {{0, 1, 3}, {0, 1, 2}, {1, 2, 3}});
+  const auto graph = build_tree(m);
+  EXPECT_EQ(graph.chain_components(), 1u);
+  EXPECT_EQ(graph.tree_components(), 0u);
+}
+
+TEST(TreeStrategy, CaterpillarStaysValid) {
+  // Chain of groups: g_i overlaps g_{i+1} only. Both strategies produce a
+  // path; the tree's greedy insertion should handle it without fallback.
+  const auto m = test::make_membership(
+      12, {{0, 1, 2, 3}, {2, 3, 4, 5}, {4, 5, 6, 7}, {6, 7, 8, 9},
+           {8, 9, 10, 11}});
+  const auto graph = build_tree(m);
+  EXPECT_EQ(graph.num_overlap_atoms(), 4u);
+  EXPECT_EQ(graph.tree_components() + graph.chain_components(), 1u);
+  // Interior groups stamp two atoms; path never exceeds the full chain.
+  for (const GroupId g : graph.groups()) {
+    EXPECT_LE(graph.path(g).size(), 4u);
+  }
+}
+
+TEST(TreeStrategy, TwoHubsShareABridge) {
+  // Two stars bridged by one shared group: tests multi-level attachment.
+  const auto m = test::make_membership(
+      16,
+      {{0, 1, 2, 3, 4, 5},     // hub A
+       {0, 1, 6},              // A-spoke
+       {2, 3, 7},              // A-spoke
+       {4, 5, 8, 9, 10, 11},   // bridge: overlaps hub A and hub B
+       {8, 9, 12, 13, 14, 15}, // hub B
+       {12, 13, 6},            // B-spoke
+       {14, 15, 7}});          // B-spoke
+  const auto graph = build_tree(m);
+  // Whatever mix of tree/fallback results, the validator accepted it and
+  // spokes stay short.
+  EXPECT_EQ(graph.path(G(1)).size(), 1u);
+  EXPECT_EQ(graph.path(G(5)).size(), 1u);
+}
+
+TEST(TreeStrategy, IdenticalWhenNoOverlapsExist) {
+  const auto m = test::make_membership(6, {{0, 1}, {2, 3}, {4, 5}});
+  const auto graph = build_tree(m);
+  EXPECT_EQ(graph.num_overlap_atoms(), 0u);
+  EXPECT_EQ(graph.num_atoms(), 3u);
+}
+
+}  // namespace
+}  // namespace decseq::seqgraph

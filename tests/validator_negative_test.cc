@@ -1,0 +1,206 @@
+// Negative tests for the sequencing-graph validator: hand-built graphs that
+// violate C1/C2 (and the auxiliary structural invariants) must be flagged.
+// These graphs are exactly what the builder must never emit — including the
+// paper's Fig 2(a) cyclic arrangement — and a receiver-level companion test
+// shows the circular delivery dependency that C2 exists to prevent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "membership/overlap.h"
+#include "protocol/receiver.h"
+#include "seqgraph/graph.h"
+#include "seqgraph/validator.h"
+#include "tests/test_util.h"
+
+namespace decseq::seqgraph {
+namespace {
+
+using test::G;
+using test::N;
+
+/// Fig 2 membership: G0={A,B,D}, G1={A,B,C}, G2={B,C,D} with A=0..D=3.
+membership::GroupMembership fig2_membership() {
+  return test::make_membership(4, {{0, 1, 3}, {0, 1, 2}, {1, 2, 3}});
+}
+
+/// The three overlap atoms of the Fig 2 scenario, ids 0..2:
+/// Q0=(G0,G1)={A,B}, Q1=(G0,G2)={B,D}, Q2=(G1,G2)={B,C}.
+std::vector<Atom> fig2_atoms(const membership::OverlapIndex& idx) {
+  std::vector<Atom> atoms;
+  for (std::size_t i = 0; i < idx.num_overlaps(); ++i) {
+    const auto& o = idx.overlap(i);
+    atoms.push_back({AtomId(static_cast<unsigned>(i)), o.first, o.second,
+                     o.members, i});
+  }
+  return atoms;
+}
+
+bool has_error_containing(const ValidationReport& report,
+                          const std::string& needle) {
+  return std::any_of(report.errors.begin(), report.errors.end(),
+                     [&](const std::string& e) {
+                       return e.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(ValidatorNegative, Fig2aCycleViolatesC2) {
+  const auto m = fig2_membership();
+  const membership::OverlapIndex idx(m);
+  auto atoms = fig2_atoms(idx);
+  ASSERT_EQ(atoms.size(), 3u);
+  // Overlap order from the index: (G0,G1)=Q0, (G0,G2)=Q1, (G1,G2)=Q2.
+  const AtomId q0(0), q1(1), q2(2);
+  // Fig 2(a): G0 via Q0->Q1, G1 via Q0->Q2, G2 via Q1->Q2 — a triangle.
+  const auto graph = SequencingGraph::make_for_testing(
+      std::move(atoms),
+      {{q0, q1}, {q0, q2}, {q1, q2}},
+      {{q1, q2}, {q0, q2}, {q0, q1}},  // adjacency: complete triangle
+      3);
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_error_containing(report, "C2"));
+}
+
+TEST(ValidatorNegative, PathJumpWithoutTreeEdge) {
+  const auto m = fig2_membership();
+  const membership::OverlapIndex idx(m);
+  auto atoms = fig2_atoms(idx);
+  const AtomId q0(0), q1(1), q2(2);
+  // Tree is the chain q0-q1-q2, but G1's path jumps q0 -> q2 directly.
+  const auto graph = SequencingGraph::make_for_testing(
+      std::move(atoms),
+      {{q0, q1}, {q0, q2}, {q1, q2}},
+      {{q1}, {q0, q2}, {q1}},
+      3);
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_error_containing(report, "without a tree edge"));
+}
+
+TEST(ValidatorNegative, MissingAtomForOverlap) {
+  const auto m = fig2_membership();
+  const membership::OverlapIndex idx(m);
+  auto atoms = fig2_atoms(idx);
+  atoms.pop_back();  // drop Q2=(G1,G2)
+  const AtomId q0(0), q1(1);
+  const auto graph = SequencingGraph::make_for_testing(
+      std::move(atoms),
+      {{q0, q1}, {q0, q1}, {q1, q0}},
+      {{q1}, {q0}},
+      2);
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_error_containing(report, "missing atom"));
+}
+
+TEST(ValidatorNegative, PathRevisitsAtom) {
+  const auto m = test::make_membership(5, {{0, 1, 2}, {1, 2, 3}});
+  const membership::OverlapIndex idx(m);
+  auto atoms = fig2_atoms(idx);  // one overlap atom
+  const AtomId q0(0);
+  const auto graph = SequencingGraph::make_for_testing(
+      std::move(atoms), {{q0, q0}, {q0}}, {{}}, 1);
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_error_containing(report, "revisits"));
+}
+
+TEST(ValidatorNegative, EdgeUsedInBothDirections) {
+  const auto m = fig2_membership();
+  const membership::OverlapIndex idx(m);
+  auto atoms = fig2_atoms(idx);
+  const AtomId q0(0), q1(1), q2(2);
+  // Chain q0-q1-q2; G0 runs left-to-right but G2 runs right-to-left over
+  // the shared edge q1-q2: FIFO channels can no longer guarantee a
+  // consistent arrival order.
+  const auto graph = SequencingGraph::make_for_testing(
+      std::move(atoms),
+      {{q0, q1}, {q0, q1, q2}, {q2, q1}},
+      {{q1}, {q0, q2}, {q1}},
+      3);
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_error_containing(report, "both directions"));
+}
+
+TEST(ValidatorNegative, LiveGroupWithoutPath) {
+  const auto m = test::make_membership(4, {{0, 1}, {2, 3}});
+  const membership::OverlapIndex idx(m);
+  std::vector<Atom> atoms{{AtomId(0), G(0), GroupId{}, {},
+                           static_cast<std::size_t>(-1)}};
+  const auto graph = SequencingGraph::make_for_testing(
+      std::move(atoms), {{AtomId(0)}, {}}, {{}}, 0);
+  const auto report = validate_sequencing_graph(graph, m, idx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_error_containing(report, "no sequencing path"));
+}
+
+// The paper's Fig 2(a) table, replayed at node B: with the cyclic
+// sequencing graph, the three messages carry mutually blocking stamps and
+// none can ever be delivered — the circular dependency C2 forbids.
+TEST(Fig2a, CircularStampsDeadlockReceiverB) {
+  const AtomId q0(0), q1(1), q2(2);
+  std::size_t delivered = 0;
+  // B is in all three overlaps.
+  protocol::Receiver b(N(1), {G(0), G(1), G(2)}, {q0, q1, q2},
+                       [&](const protocol::Message&, sim::Time) {
+                         ++delivered;
+                       });
+  auto msg = [](unsigned id, GroupId g, std::vector<protocol::Stamp> stamps) {
+    protocol::Message m;
+    m.id = MsgId(id);
+    m.group = g;
+    m.sender = N(0);
+    m.group_seq = 1;
+    m.stamps = std::move(stamps);
+    return m;
+  };
+  // The table from Fig 2(a): m0 {Q0:1, Q1:2}, m1 {Q0:2, Q2:1},
+  // m2 {Q1:1, Q2:2}.
+  const auto m0 = msg(0, G(0), {{q0, 1}, {q1, 2}});
+  const auto m1 = msg(1, G(1), {{q0, 2}, {q2, 1}});
+  const auto m2 = msg(2, G(2), {{q1, 1}, {q2, 2}});
+  EXPECT_FALSE(b.deliverable(m0));  // waits for Q1:1 (held by m2)
+  EXPECT_FALSE(b.deliverable(m1));  // waits for Q0:1 (held by m0)
+  EXPECT_FALSE(b.deliverable(m2));  // waits for Q2:1 (held by m1)
+  b.receive(m0, 0.0);
+  b.receive(m1, 0.0);
+  b.receive(m2, 0.0);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(b.buffered(), 3u) << "the circular dependency wedges B forever";
+}
+
+// Companion: the Fig 2(b) redirection (m1 transits Q1 without a stamp)
+// breaks the cycle and everything delivers.
+TEST(Fig2b, RedirectedStampsDeliver) {
+  const AtomId q0(0), q1(1), q2(2);
+  std::vector<MsgId> delivered;
+  protocol::Receiver b(N(1), {G(0), G(1), G(2)}, {q0, q1, q2},
+                       [&](const protocol::Message& m, sim::Time) {
+                         delivered.push_back(m.id);
+                       });
+  auto msg = [](unsigned id, GroupId g, std::vector<protocol::Stamp> stamps) {
+    protocol::Message m;
+    m.id = MsgId(id);
+    m.group = g;
+    m.sender = N(0);
+    m.group_seq = 1;
+    m.stamps = std::move(stamps);
+    return m;
+  };
+  // Chain q0-q1-q2, all paths left-to-right: m0 (G0) stamps Q0:1, Q1:1;
+  // m1 (G1) stamps Q0:2, transits Q1, stamps Q2:1; m2 (G2) stamps Q1:2,
+  // Q2:2 — arrival order at the shared chain is consistent.
+  b.receive(msg(2, G(2), {{q1, 2}, {q2, 2}}), 0.0);  // early: buffered
+  b.receive(msg(1, G(1), {{q0, 2}, {q2, 1}}), 0.0);  // buffered (Q0:1 first)
+  b.receive(msg(0, G(0), {{q0, 1}, {q1, 1}}), 0.0);  // releases everything
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], MsgId(0));
+  EXPECT_EQ(delivered[1], MsgId(1));
+  EXPECT_EQ(delivered[2], MsgId(2));
+  EXPECT_EQ(b.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace decseq::seqgraph

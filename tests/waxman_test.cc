@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "pubsub/system.h"
+#include "tests/test_util.h"
+#include "topology/shortest_path.h"
+#include "topology/waxman.h"
+
+namespace decseq::topology {
+namespace {
+
+using test::N;
+
+WaxmanParams small_waxman() {
+  WaxmanParams p;
+  p.num_routers = 300;
+  p.plane_side_ms = 100.0;
+  return p;
+}
+
+TEST(Waxman, GeneratesRequestedSize) {
+  Rng rng(1);
+  const auto topo = generate_waxman(small_waxman(), rng);
+  EXPECT_EQ(topo.graph.num_routers(), 300u);
+  EXPECT_EQ(topo.position.size(), 300u);
+  EXPECT_GE(topo.graph.num_edges(), 299u);  // at least the spanning tree
+}
+
+TEST(Waxman, FullyConnected) {
+  Rng rng(2);
+  const auto topo = generate_waxman(small_waxman(), rng);
+  const auto dist = dijkstra(topo.graph, RouterId(0));
+  for (std::size_t r = 0; r < topo.graph.num_routers(); ++r) {
+    EXPECT_NE(dist[r], std::numeric_limits<double>::infinity())
+        << "router " << r;
+  }
+}
+
+TEST(Waxman, DelaysMatchPlaneGeometry) {
+  Rng rng(3);
+  const auto params = small_waxman();
+  const auto topo = generate_waxman(params, rng);
+  // Every link's delay is the Euclidean distance of its endpoints, so no
+  // path can beat straight-line distance.
+  DistanceOracle oracle(topo.graph);
+  for (unsigned a = 0; a < 10; ++a) {
+    for (unsigned b = a + 1; b < 10; ++b) {
+      const auto& pa = topo.position[a];
+      const auto& pb = topo.position[b];
+      const double euclid = std::hypot(pa.first - pb.first,
+                                       pa.second - pb.second);
+      EXPECT_GE(oracle.distance(RouterId(a), RouterId(b)) + 1e-6, euclid);
+    }
+  }
+}
+
+TEST(Waxman, ShortLinksDominate) {
+  Rng rng(4);
+  const auto params = small_waxman();
+  const auto topo = generate_waxman(params, rng);
+  const double diagonal = params.plane_side_ms * std::sqrt(2.0);
+  std::size_t short_links = 0, long_links = 0;
+  for (std::size_t r = 0; r < topo.graph.num_routers(); ++r) {
+    for (const Edge& e : topo.graph.neighbors(RouterId(static_cast<unsigned>(r)))) {
+      (e.delay_ms < diagonal / 4 ? short_links : long_links) += 1;
+    }
+  }
+  EXPECT_GT(short_links, long_links)
+      << "Waxman probability decays with distance";
+}
+
+TEST(Waxman, HostClustersAreLocal) {
+  Rng rng(5);
+  const auto topo = generate_waxman(small_waxman(), rng);
+  const HostMap hosts =
+      attach_hosts_waxman(topo, {.num_hosts = 16, .num_clusters = 4}, rng);
+  DistanceOracle oracle(topo.graph);
+  double intra = 0, inter = 0;
+  std::size_t ni = 0, nx = 0;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = a + 1; b < 16; ++b) {
+      const double d = hosts.unicast_delay(N(a), N(b), oracle);
+      if (hosts.cluster_of(N(a)) == hosts.cluster_of(N(b))) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  ASSERT_GT(ni, 0u);
+  ASSERT_GT(nx, 0u);
+  EXPECT_LT(intra / static_cast<double>(ni), inter / static_cast<double>(nx));
+}
+
+TEST(Waxman, EndToEndSystemWorks) {
+  pubsub::SystemConfig config;
+  config.seed = 77;
+  config.topology_model = pubsub::TopologyModel::kWaxman;
+  config.waxman.num_routers = 400;
+  config.hosts.num_hosts = 12;
+  config.hosts.num_clusters = 4;
+  pubsub::PubSubSystem system(config);
+  const GroupId g0 = system.create_group({N(0), N(1), N(2), N(3)});
+  const GroupId g1 = system.create_group({N(2), N(3), N(4), N(5)});
+  for (int i = 0; i < 6; ++i) {
+    system.publish(N(0), g0);
+    system.publish(N(4), g1);
+  }
+  system.run();
+  EXPECT_EQ(system.deliveries_to(N(2)).size(), 12u);
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+}
+
+}  // namespace
+}  // namespace decseq::topology
