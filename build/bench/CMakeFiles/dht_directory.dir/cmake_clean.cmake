@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_directory.dir/dht_directory.cc.o"
+  "CMakeFiles/dht_directory.dir/dht_directory.cc.o.d"
+  "dht_directory"
+  "dht_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_tree.dir/distribution_tree.cc.o"
+  "CMakeFiles/distribution_tree.dir/distribution_tree.cc.o.d"
+  "distribution_tree"
+  "distribution_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

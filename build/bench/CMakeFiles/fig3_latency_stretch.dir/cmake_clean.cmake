@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_latency_stretch.dir/fig3_latency_stretch.cc.o"
+  "CMakeFiles/fig3_latency_stretch.dir/fig3_latency_stretch.cc.o.d"
+  "fig3_latency_stretch"
+  "fig3_latency_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latency_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rdp.dir/fig4_rdp.cc.o"
+  "CMakeFiles/fig4_rdp.dir/fig4_rdp.cc.o.d"
+  "fig4_rdp"
+  "fig4_rdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sequencing_nodes.dir/fig5_sequencing_nodes.cc.o"
+  "CMakeFiles/fig5_sequencing_nodes.dir/fig5_sequencing_nodes.cc.o.d"
+  "fig5_sequencing_nodes"
+  "fig5_sequencing_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sequencing_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stress.dir/fig6_stress.cc.o"
+  "CMakeFiles/fig6_stress.dir/fig6_stress.cc.o.d"
+  "fig6_stress"
+  "fig6_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_atoms_per_path.dir/fig7_atoms_per_path.cc.o"
+  "CMakeFiles/fig7_atoms_per_path.dir/fig7_atoms_per_path.cc.o.d"
+  "fig7_atoms_per_path"
+  "fig7_atoms_per_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_atoms_per_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_atoms_per_path.
+# This may be replaced when dependencies are built.

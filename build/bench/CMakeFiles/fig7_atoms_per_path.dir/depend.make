@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_atoms_per_path.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_occupancy.dir/fig8_occupancy.cc.o"
+  "CMakeFiles/fig8_occupancy.dir/fig8_occupancy.cc.o.d"
+  "fig8_occupancy"
+  "fig8_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

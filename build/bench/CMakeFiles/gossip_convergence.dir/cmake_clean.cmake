@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_convergence.dir/gossip_convergence.cc.o"
+  "CMakeFiles/gossip_convergence.dir/gossip_convergence.cc.o.d"
+  "gossip_convergence"
+  "gossip_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cc.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dht/CMakeFiles/decseq_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/decseq_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/decseq_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqgraph/CMakeFiles/decseq_seqgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/decseq_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_wait.dir/ordering_wait.cc.o"
+  "CMakeFiles/ordering_wait.dir/ordering_wait.cc.o.d"
+  "ordering_wait"
+  "ordering_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_topology.dir/sensitivity_topology.cc.o"
+  "CMakeFiles/sensitivity_topology.dir/sensitivity_topology.cc.o.d"
+  "sensitivity_topology"
+  "sensitivity_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

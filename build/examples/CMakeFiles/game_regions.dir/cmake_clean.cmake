@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_regions.dir/game_regions.cpp.o"
+  "CMakeFiles/game_regions.dir/game_regions.cpp.o.d"
+  "game_regions"
+  "game_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/messaging.cpp" "examples/CMakeFiles/messaging.dir/messaging.cpp.o" "gcc" "examples/CMakeFiles/messaging.dir/messaging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/decseq_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/decseq_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/decseq_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/decseq_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/decseq_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqgraph/CMakeFiles/decseq_seqgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/decseq_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messaging.dir/messaging.cpp.o"
+  "CMakeFiles/messaging.dir/messaging.cpp.o.d"
+  "messaging"
+  "messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topology")
+subdirs("membership")
+subdirs("seqgraph")
+subdirs("placement")
+subdirs("sim")
+subdirs("protocol")
+subdirs("baseline")
+subdirs("pubsub")
+subdirs("filter")
+subdirs("dht")
+subdirs("gossip")
+subdirs("app")
+subdirs("metrics")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/centralized.cc" "src/baseline/CMakeFiles/decseq_baseline.dir/centralized.cc.o" "gcc" "src/baseline/CMakeFiles/decseq_baseline.dir/centralized.cc.o.d"
+  "/root/repo/src/baseline/per_group.cc" "src/baseline/CMakeFiles/decseq_baseline.dir/per_group.cc.o" "gcc" "src/baseline/CMakeFiles/decseq_baseline.dir/per_group.cc.o.d"
+  "/root/repo/src/baseline/propagation_graph.cc" "src/baseline/CMakeFiles/decseq_baseline.dir/propagation_graph.cc.o" "gcc" "src/baseline/CMakeFiles/decseq_baseline.dir/propagation_graph.cc.o.d"
+  "/root/repo/src/baseline/vector_clock.cc" "src/baseline/CMakeFiles/decseq_baseline.dir/vector_clock.cc.o" "gcc" "src/baseline/CMakeFiles/decseq_baseline.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/decseq_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

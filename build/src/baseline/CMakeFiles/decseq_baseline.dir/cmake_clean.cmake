@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_baseline.dir/centralized.cc.o"
+  "CMakeFiles/decseq_baseline.dir/centralized.cc.o.d"
+  "CMakeFiles/decseq_baseline.dir/per_group.cc.o"
+  "CMakeFiles/decseq_baseline.dir/per_group.cc.o.d"
+  "CMakeFiles/decseq_baseline.dir/propagation_graph.cc.o"
+  "CMakeFiles/decseq_baseline.dir/propagation_graph.cc.o.d"
+  "CMakeFiles/decseq_baseline.dir/vector_clock.cc.o"
+  "CMakeFiles/decseq_baseline.dir/vector_clock.cc.o.d"
+  "libdecseq_baseline.a"
+  "libdecseq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

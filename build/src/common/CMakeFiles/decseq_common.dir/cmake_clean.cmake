@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_common.dir/log.cc.o"
+  "CMakeFiles/decseq_common.dir/log.cc.o.d"
+  "CMakeFiles/decseq_common.dir/stats.cc.o"
+  "CMakeFiles/decseq_common.dir/stats.cc.o.d"
+  "CMakeFiles/decseq_common.dir/zipf.cc.o"
+  "CMakeFiles/decseq_common.dir/zipf.cc.o.d"
+  "libdecseq_common.a"
+  "libdecseq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

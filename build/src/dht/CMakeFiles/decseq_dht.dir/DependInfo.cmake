@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/directory.cc" "src/dht/CMakeFiles/decseq_dht.dir/directory.cc.o" "gcc" "src/dht/CMakeFiles/decseq_dht.dir/directory.cc.o.d"
+  "/root/repo/src/dht/ring.cc" "src/dht/CMakeFiles/decseq_dht.dir/ring.cc.o" "gcc" "src/dht/CMakeFiles/decseq_dht.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/decseq_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

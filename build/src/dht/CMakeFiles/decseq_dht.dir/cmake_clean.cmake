@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_dht.dir/directory.cc.o"
+  "CMakeFiles/decseq_dht.dir/directory.cc.o.d"
+  "CMakeFiles/decseq_dht.dir/ring.cc.o"
+  "CMakeFiles/decseq_dht.dir/ring.cc.o.d"
+  "libdecseq_dht.a"
+  "libdecseq_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_filter.dir/predicate.cc.o"
+  "CMakeFiles/decseq_filter.dir/predicate.cc.o.d"
+  "CMakeFiles/decseq_filter.dir/subscription_table.cc.o"
+  "CMakeFiles/decseq_filter.dir/subscription_table.cc.o.d"
+  "libdecseq_filter.a"
+  "libdecseq_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

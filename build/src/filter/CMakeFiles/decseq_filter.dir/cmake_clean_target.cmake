@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecseq_filter.a"
+)

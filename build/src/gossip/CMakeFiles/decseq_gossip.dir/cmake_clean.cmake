@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_gossip.dir/gossip.cc.o"
+  "CMakeFiles/decseq_gossip.dir/gossip.cc.o.d"
+  "libdecseq_gossip.a"
+  "libdecseq_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

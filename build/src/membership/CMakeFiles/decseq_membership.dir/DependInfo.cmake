@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/generators.cc" "src/membership/CMakeFiles/decseq_membership.dir/generators.cc.o" "gcc" "src/membership/CMakeFiles/decseq_membership.dir/generators.cc.o.d"
+  "/root/repo/src/membership/io.cc" "src/membership/CMakeFiles/decseq_membership.dir/io.cc.o" "gcc" "src/membership/CMakeFiles/decseq_membership.dir/io.cc.o.d"
+  "/root/repo/src/membership/membership.cc" "src/membership/CMakeFiles/decseq_membership.dir/membership.cc.o" "gcc" "src/membership/CMakeFiles/decseq_membership.dir/membership.cc.o.d"
+  "/root/repo/src/membership/overlap.cc" "src/membership/CMakeFiles/decseq_membership.dir/overlap.cc.o" "gcc" "src/membership/CMakeFiles/decseq_membership.dir/overlap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

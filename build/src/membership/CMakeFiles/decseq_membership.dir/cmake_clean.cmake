@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_membership.dir/generators.cc.o"
+  "CMakeFiles/decseq_membership.dir/generators.cc.o.d"
+  "CMakeFiles/decseq_membership.dir/io.cc.o"
+  "CMakeFiles/decseq_membership.dir/io.cc.o.d"
+  "CMakeFiles/decseq_membership.dir/membership.cc.o"
+  "CMakeFiles/decseq_membership.dir/membership.cc.o.d"
+  "CMakeFiles/decseq_membership.dir/overlap.cc.o"
+  "CMakeFiles/decseq_membership.dir/overlap.cc.o.d"
+  "libdecseq_membership.a"
+  "libdecseq_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

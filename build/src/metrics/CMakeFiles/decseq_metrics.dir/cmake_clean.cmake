@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_metrics.dir/logio.cc.o"
+  "CMakeFiles/decseq_metrics.dir/logio.cc.o.d"
+  "CMakeFiles/decseq_metrics.dir/stretch.cc.o"
+  "CMakeFiles/decseq_metrics.dir/stretch.cc.o.d"
+  "CMakeFiles/decseq_metrics.dir/structure.cc.o"
+  "CMakeFiles/decseq_metrics.dir/structure.cc.o.d"
+  "libdecseq_metrics.a"
+  "libdecseq_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

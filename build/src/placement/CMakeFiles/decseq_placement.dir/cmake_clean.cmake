@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_placement.dir/assignment.cc.o"
+  "CMakeFiles/decseq_placement.dir/assignment.cc.o.d"
+  "CMakeFiles/decseq_placement.dir/colocation.cc.o"
+  "CMakeFiles/decseq_placement.dir/colocation.cc.o.d"
+  "libdecseq_placement.a"
+  "libdecseq_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

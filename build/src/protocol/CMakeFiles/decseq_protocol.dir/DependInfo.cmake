@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/codec.cc" "src/protocol/CMakeFiles/decseq_protocol.dir/codec.cc.o" "gcc" "src/protocol/CMakeFiles/decseq_protocol.dir/codec.cc.o.d"
+  "/root/repo/src/protocol/network.cc" "src/protocol/CMakeFiles/decseq_protocol.dir/network.cc.o" "gcc" "src/protocol/CMakeFiles/decseq_protocol.dir/network.cc.o.d"
+  "/root/repo/src/protocol/receiver.cc" "src/protocol/CMakeFiles/decseq_protocol.dir/receiver.cc.o" "gcc" "src/protocol/CMakeFiles/decseq_protocol.dir/receiver.cc.o.d"
+  "/root/repo/src/protocol/trace.cc" "src/protocol/CMakeFiles/decseq_protocol.dir/trace.cc.o" "gcc" "src/protocol/CMakeFiles/decseq_protocol.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seqgraph/CMakeFiles/decseq_seqgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/decseq_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/decseq_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_protocol.dir/codec.cc.o"
+  "CMakeFiles/decseq_protocol.dir/codec.cc.o.d"
+  "CMakeFiles/decseq_protocol.dir/network.cc.o"
+  "CMakeFiles/decseq_protocol.dir/network.cc.o.d"
+  "CMakeFiles/decseq_protocol.dir/receiver.cc.o"
+  "CMakeFiles/decseq_protocol.dir/receiver.cc.o.d"
+  "CMakeFiles/decseq_protocol.dir/trace.cc.o"
+  "CMakeFiles/decseq_protocol.dir/trace.cc.o.d"
+  "libdecseq_protocol.a"
+  "libdecseq_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_pubsub.dir/system.cc.o"
+  "CMakeFiles/decseq_pubsub.dir/system.cc.o.d"
+  "libdecseq_pubsub.a"
+  "libdecseq_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

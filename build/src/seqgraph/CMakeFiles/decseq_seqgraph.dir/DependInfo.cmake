@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seqgraph/dot.cc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/dot.cc.o" "gcc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/dot.cc.o.d"
+  "/root/repo/src/seqgraph/graph.cc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/graph.cc.o" "gcc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/graph.cc.o.d"
+  "/root/repo/src/seqgraph/incremental.cc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/incremental.cc.o" "gcc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/incremental.cc.o.d"
+  "/root/repo/src/seqgraph/validator.cc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/validator.cc.o" "gcc" "src/seqgraph/CMakeFiles/decseq_seqgraph.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

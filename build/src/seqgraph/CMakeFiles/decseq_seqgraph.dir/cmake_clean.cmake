@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_seqgraph.dir/dot.cc.o"
+  "CMakeFiles/decseq_seqgraph.dir/dot.cc.o.d"
+  "CMakeFiles/decseq_seqgraph.dir/graph.cc.o"
+  "CMakeFiles/decseq_seqgraph.dir/graph.cc.o.d"
+  "CMakeFiles/decseq_seqgraph.dir/incremental.cc.o"
+  "CMakeFiles/decseq_seqgraph.dir/incremental.cc.o.d"
+  "CMakeFiles/decseq_seqgraph.dir/validator.cc.o"
+  "CMakeFiles/decseq_seqgraph.dir/validator.cc.o.d"
+  "libdecseq_seqgraph.a"
+  "libdecseq_seqgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_seqgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

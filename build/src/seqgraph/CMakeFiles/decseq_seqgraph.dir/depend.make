@@ -1,0 +1,2 @@
+# Empty dependencies file for decseq_seqgraph.
+# This may be replaced when dependencies are built.

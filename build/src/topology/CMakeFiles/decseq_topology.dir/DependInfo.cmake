@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/hosts.cc" "src/topology/CMakeFiles/decseq_topology.dir/hosts.cc.o" "gcc" "src/topology/CMakeFiles/decseq_topology.dir/hosts.cc.o.d"
+  "/root/repo/src/topology/multicast_tree.cc" "src/topology/CMakeFiles/decseq_topology.dir/multicast_tree.cc.o" "gcc" "src/topology/CMakeFiles/decseq_topology.dir/multicast_tree.cc.o.d"
+  "/root/repo/src/topology/shortest_path.cc" "src/topology/CMakeFiles/decseq_topology.dir/shortest_path.cc.o" "gcc" "src/topology/CMakeFiles/decseq_topology.dir/shortest_path.cc.o.d"
+  "/root/repo/src/topology/transit_stub.cc" "src/topology/CMakeFiles/decseq_topology.dir/transit_stub.cc.o" "gcc" "src/topology/CMakeFiles/decseq_topology.dir/transit_stub.cc.o.d"
+  "/root/repo/src/topology/waxman.cc" "src/topology/CMakeFiles/decseq_topology.dir/waxman.cc.o" "gcc" "src/topology/CMakeFiles/decseq_topology.dir/waxman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decseq_topology.dir/hosts.cc.o"
+  "CMakeFiles/decseq_topology.dir/hosts.cc.o.d"
+  "CMakeFiles/decseq_topology.dir/multicast_tree.cc.o"
+  "CMakeFiles/decseq_topology.dir/multicast_tree.cc.o.d"
+  "CMakeFiles/decseq_topology.dir/shortest_path.cc.o"
+  "CMakeFiles/decseq_topology.dir/shortest_path.cc.o.d"
+  "CMakeFiles/decseq_topology.dir/transit_stub.cc.o"
+  "CMakeFiles/decseq_topology.dir/transit_stub.cc.o.d"
+  "CMakeFiles/decseq_topology.dir/waxman.cc.o"
+  "CMakeFiles/decseq_topology.dir/waxman.cc.o.d"
+  "libdecseq_topology.a"
+  "libdecseq_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decseq_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for decseq_topology.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/decseq_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/bitset_test.cc" "tests/CMakeFiles/decseq_tests.dir/bitset_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/bitset_test.cc.o.d"
+  "/root/repo/tests/chaos_test.cc" "tests/CMakeFiles/decseq_tests.dir/chaos_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/chaos_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/decseq_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/decseq_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/config_matrix_test.cc" "tests/CMakeFiles/decseq_tests.dir/config_matrix_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/config_matrix_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/decseq_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/dht_test.cc" "tests/CMakeFiles/decseq_tests.dir/dht_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/dht_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/decseq_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/filter_test.cc" "tests/CMakeFiles/decseq_tests.dir/filter_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/filter_test.cc.o.d"
+  "/root/repo/tests/generators_popularity_test.cc" "tests/CMakeFiles/decseq_tests.dir/generators_popularity_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/generators_popularity_test.cc.o.d"
+  "/root/repo/tests/gossip_test.cc" "tests/CMakeFiles/decseq_tests.dir/gossip_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/gossip_test.cc.o.d"
+  "/root/repo/tests/logio_test.cc" "tests/CMakeFiles/decseq_tests.dir/logio_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/logio_test.cc.o.d"
+  "/root/repo/tests/membership_io_test.cc" "tests/CMakeFiles/decseq_tests.dir/membership_io_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/membership_io_test.cc.o.d"
+  "/root/repo/tests/membership_test.cc" "tests/CMakeFiles/decseq_tests.dir/membership_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/membership_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/decseq_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/multicast_tree_test.cc" "tests/CMakeFiles/decseq_tests.dir/multicast_tree_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/multicast_tree_test.cc.o.d"
+  "/root/repo/tests/paper_scale_test.cc" "tests/CMakeFiles/decseq_tests.dir/paper_scale_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/paper_scale_test.cc.o.d"
+  "/root/repo/tests/placement_test.cc" "tests/CMakeFiles/decseq_tests.dir/placement_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/placement_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/decseq_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/decseq_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/pubsub_test.cc" "tests/CMakeFiles/decseq_tests.dir/pubsub_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/pubsub_test.cc.o.d"
+  "/root/repo/tests/reconfigure_test.cc" "tests/CMakeFiles/decseq_tests.dir/reconfigure_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/reconfigure_test.cc.o.d"
+  "/root/repo/tests/replicated_state_test.cc" "tests/CMakeFiles/decseq_tests.dir/replicated_state_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/replicated_state_test.cc.o.d"
+  "/root/repo/tests/seqgraph_test.cc" "tests/CMakeFiles/decseq_tests.dir/seqgraph_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/seqgraph_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/decseq_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/termination_test.cc" "tests/CMakeFiles/decseq_tests.dir/termination_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/termination_test.cc.o.d"
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/decseq_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/topology_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/decseq_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/tree_distribution_test.cc" "tests/CMakeFiles/decseq_tests.dir/tree_distribution_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/tree_distribution_test.cc.o.d"
+  "/root/repo/tests/tree_strategy_test.cc" "tests/CMakeFiles/decseq_tests.dir/tree_strategy_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/tree_strategy_test.cc.o.d"
+  "/root/repo/tests/tutorial_test.cc" "tests/CMakeFiles/decseq_tests.dir/tutorial_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/tutorial_test.cc.o.d"
+  "/root/repo/tests/validator_negative_test.cc" "tests/CMakeFiles/decseq_tests.dir/validator_negative_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/validator_negative_test.cc.o.d"
+  "/root/repo/tests/waxman_test.cc" "tests/CMakeFiles/decseq_tests.dir/waxman_test.cc.o" "gcc" "tests/CMakeFiles/decseq_tests.dir/waxman_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/decseq_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/decseq_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/decseq_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/decseq_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/decseq_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/decseq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/decseq_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/decseq_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqgraph/CMakeFiles/decseq_seqgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/decseq_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/decseq_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/decseq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
