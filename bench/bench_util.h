@@ -7,13 +7,16 @@
 // its figure can be regenerated (and eyeballed) directly from stdout.
 //
 // Environment knobs:
-//   DECSEQ_BENCH_RUNS  — override the number of runs for multi-run sweeps
-//   DECSEQ_BENCH_SEED  — override the base seed
+//   DECSEQ_BENCH_RUNS     — override the number of runs for multi-run sweeps
+//   DECSEQ_BENCH_SEED     — override the base seed
+//   DECSEQ_BENCH_THREADS  — worker threads for run_trials (default: cores)
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -33,6 +36,48 @@ inline std::size_t env_or(const char* name, std::size_t fallback) {
 
 inline std::uint64_t base_seed() {
   return env_or("DECSEQ_BENCH_SEED", 20060101);  // Middleware 2006
+}
+
+inline std::size_t bench_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return env_or("DECSEQ_BENCH_THREADS", hw == 0 ? 1 : hw);
+}
+
+/// Parallel trial driver. Runs `fn(trial_index)` for every index in
+/// [0, num_trials) on a worker pool and returns the results in trial order.
+///
+/// Trials are embarrassingly parallel by construction: each one must own
+/// its entire world — Simulator, Rng (seeded from the trial index), oracle,
+/// system — and share nothing mutable. Seeding from the index keeps every
+/// trial's result identical whether it ran on 1 thread or 64, so multi-run
+/// sweeps can go wide without giving up reproducible CSVs.
+///
+/// `threads == 0` means DECSEQ_BENCH_THREADS (default: hardware cores);
+/// pass 1 to force the serial baseline.
+template <typename Fn>
+auto run_trials(std::size_t num_trials, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using Result = decltype(fn(std::size_t{}));
+  std::vector<Result> results(num_trials);
+  if (threads == 0) threads = bench_threads();
+  if (threads > num_trials) threads = num_trials;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < num_trials; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_trials) return;
+      results[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
 }
 
 /// The paper's experimental configuration: 10k-router topology, 128 hosts

@@ -8,12 +8,13 @@
 // publishers to subscribers on the shortest path").
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -202,8 +203,19 @@ class SequencingNetwork {
   NetworkOptions options_;
 
   std::vector<AtomState> atom_state_;
+  /// Hash for a directed inter-atom edge; atom ids are dense 32-bit values.
+  struct EdgeHash {
+    std::size_t operator()(const std::pair<AtomId, AtomId>& e) const {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(e.first.value()) << 32) |
+          e.second.value();
+      return std::hash<std::uint64_t>{}(key);
+    }
+  };
   /// Directed inter-atom channels, created for every path edge in use.
-  std::map<std::pair<AtomId, AtomId>, std::unique_ptr<sim::Channel<Message>>>
+  /// Looked up on every forward() — O(1) hashing, not a tree walk.
+  std::unordered_map<std::pair<AtomId, AtomId>,
+                     std::unique_ptr<sim::Channel<Message>>, EdgeHash>
       channels_;
   std::unordered_map<NodeId, std::unique_ptr<Receiver>> receivers_;
   std::unordered_set<GroupId> terminated_groups_;

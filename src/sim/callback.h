@@ -1,0 +1,136 @@
+// Small-buffer move-only callable, the event payload type of the simulator.
+//
+// std::function is copyable, which forces every captured state to be
+// copy-constructible and limits the inline buffer to 16 bytes on common
+// ABIs — a protocol Message capture always lands on the heap. Simulation
+// events are scheduled once, fired once, and never copied, so a move-only
+// wrapper with a buffer sized for the runtime's hot captures (a channel's
+// [this, seq] pair, an in-flight Message by value) removes that allocation
+// from the hot path entirely. Larger captures still work via a heap
+// fallback; the simulator counts them so benches can report an
+// allocations-per-event proxy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace decseq::sim {
+
+/// Move-only `void()` callable with `InlineBytes` of inline storage.
+template <std::size_t InlineBytes>
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Construct the callable directly in this object's storage, replacing
+  /// any current one. Lets containers fill a slot with a single callable
+  /// construction instead of building a temporary and moving it in.
+  template <typename F>
+  void emplace(F&& f) {
+    static_assert(!std::is_same_v<std::decay_t<F>, InlineCallback>);
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable spilled to the heap (too big for the buffer).
+  [[nodiscard]] bool heap_allocated() const {
+    return ops_ != nullptr && ops_->on_heap;
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*destroy)(unsigned char*);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(unsigned char* src, unsigned char* dst);
+    bool on_heap;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](unsigned char* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      [](unsigned char* src, unsigned char* dst) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*from));
+        from->~Fn();
+      },
+      /*on_heap=*/false,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* s) {
+        (**std::launder(reinterpret_cast<Fn**>(s)))();
+      },
+      [](unsigned char* s) {
+        delete *std::launder(reinterpret_cast<Fn**>(s));
+      },
+      [](unsigned char* src, unsigned char* dst) {
+        // The source holds a raw pointer (trivially destructible): just
+        // copy it across; ownership moves with it.
+        ::new (static_cast<void*>(dst))
+            Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      /*on_heap=*/true,
+  };
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace decseq::sim

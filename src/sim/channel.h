@@ -8,11 +8,25 @@
 // order, and cumulative acks. With loss probability 0 (the experiment
 // configuration) it degenerates to a pure propagation-delay pipe; tests
 // inject loss to exercise the recovery path.
+//
+// Buffer layout (see docs/PROTOCOL.md, "Event engine"): both buffers are
+// deques indexed by contiguous sequence numbers — the sender's output
+// buffer starts at the lowest unacked packet and cumulative acks pop its
+// front, the receiver's reorder window starts at the next sequence number
+// to deliver. No tree maps, no per-packet node allocations.
+//
+// Retransmission timing: every unacked packet carries its own deadline
+// (last transmission + timeout), but the channel arms a single cancellable
+// simulator timer at the earliest of them instead of one event per packet.
+// When the output buffer drains the timer is cancelled, so an acked packet
+// never wakes the simulator: a loss-free run fires zero retransmit-timer
+// callbacks (asserted by tests via retransmit_timer_fires()).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -52,7 +66,7 @@ class Channel {
 
   /// Fail-stop the receiving endpoint: while down, arriving transmissions
   /// are dropped without acknowledgment, so the sender's retransmission
-  /// buffer holds everything and the timers keep retrying; after
+  /// buffer holds everything and the timer keeps retrying; after
   /// set_receiver_down(false), retransmissions drain in order. Models a
   /// crashed sequencing machine whose state survives (synchronous
   /// replication) but which stops talking.
@@ -69,26 +83,42 @@ class Channel {
   void send(T payload) {
     DECSEQ_CHECK_MSG(deliver_ != nullptr, "channel has no receiver");
     const std::uint64_t seq = next_send_seq_++;
-    auto [it, inserted] =
-        retransmit_buffer_.try_emplace(seq, std::move(payload));
-    DECSEQ_CHECK(inserted);
+    out_.push_back(
+        OutPacket{std::move(payload), sim_->now() + options_.retransmit_timeout_ms});
     transmit(seq);
-    arm_timer(seq);
+    if (!timer_.valid()) arm_timer(out_.back().deadline);
   }
 
   /// Packets still awaiting acknowledgment (the "output retransmission
   /// buffer" size from §3.1's state list).
-  [[nodiscard]] std::size_t unacked() const {
-    return retransmit_buffer_.size();
-  }
+  [[nodiscard]] std::size_t unacked() const { return out_.size(); }
   /// Packets buffered at the receiver waiting for earlier ones.
   [[nodiscard]] std::size_t reorder_buffered() const {
-    return reorder_buffer_.size();
+    return reorder_buffered_;
   }
   [[nodiscard]] std::size_t transmissions() const { return transmissions_; }
+  /// Retransmit-timer expiries that found a timed-out packet (each one
+  /// retransmits at least one packet). Zero in a loss-free run whose acks
+  /// return within the timeout: the cumulative ack cancels the timer first.
+  [[nodiscard]] std::size_t retransmit_timer_fires() const {
+    return retransmit_timer_fires_;
+  }
   [[nodiscard]] Time delay_ms() const { return delay_ms_; }
 
  private:
+  struct OutPacket {
+    T payload;
+    /// When this packet times out (last transmission + timeout).
+    Time deadline;
+    std::uint32_t attempts = 0;  ///< retransmissions so far
+  };
+
+  /// The sender-side slot for `seq`; valid only while seq is unacked.
+  [[nodiscard]] OutPacket& out_slot(std::uint64_t seq) {
+    DECSEQ_CHECK(seq >= send_base_ && seq - send_base_ < out_.size());
+    return out_[static_cast<std::size_t>(seq - send_base_)];
+  }
+
   void transmit(std::uint64_t seq) {
     ++transmissions_;
     if (link_down_) return;  // severed link
@@ -96,36 +126,67 @@ class Channel {
     sim_->schedule_after(delay_ms_, [this, seq] { on_data(seq); });
   }
 
-  void arm_timer(std::uint64_t seq) {
-    sim_->schedule_after(options_.retransmit_timeout_ms, [this, seq] {
-      const auto it = retransmit_buffer_.find(seq);
-      if (it == retransmit_buffer_.end()) return;  // acked meanwhile
-      const std::size_t attempts = ++retransmit_counts_[seq];
-      DECSEQ_CHECK_MSG(attempts <= options_.max_retransmits,
-                       "packet " << seq << " lost " << attempts << " times");
-      transmit(seq);
-      arm_timer(seq);
-    });
+  void arm_timer(Time deadline) {
+    timer_ = sim_->schedule_at(deadline, [this] { on_timer(); });
+  }
+
+  /// The channel's single retransmit timer expired. Retransmit every
+  /// packet whose deadline passed, then re-arm at the earliest remaining
+  /// deadline. The timer is armed at (or before) the true earliest
+  /// deadline; an early expiry — possible after acks released the packets
+  /// it was armed for — just re-arms.
+  void on_timer() {
+    timer_ = Simulator::TimerId();
+    if (out_.empty()) return;  // raced with the draining ack
+    const Time now = sim_->now();
+    bool any_due = false;
+    Time earliest = std::numeric_limits<Time>::infinity();
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      OutPacket& packet = out_[i];
+      if (packet.deadline <= now) {
+        any_due = true;
+        const std::size_t attempts = ++packet.attempts;
+        DECSEQ_CHECK_MSG(attempts <= options_.max_retransmits,
+                         "packet " << send_base_ + i << " lost " << attempts
+                                   << " times");
+        transmit(send_base_ + i);
+        packet.deadline = now + options_.retransmit_timeout_ms;
+      }
+      if (packet.deadline < earliest) earliest = packet.deadline;
+    }
+    if (any_due) ++retransmit_timer_fires_;
+    arm_timer(earliest);
   }
 
   void on_data(std::uint64_t seq) {
     if (receiver_down_) return;  // crashed endpoint: silence, no ack
+    // Fast path — the loss-free steady state: the next expected packet
+    // arrives and nothing is parked behind it, so it goes straight to the
+    // application without touching the reorder window.
+    if (seq == next_deliver_seq_ && reorder_.empty()) {
+      ++next_deliver_seq_;
+      deliver_(std::move(out_slot(seq).payload));
+      send_ack(next_deliver_seq_);
+      return;
+    }
     // Ack everything received so far (cumulative), even duplicates, so a
     // lost ack is repaired by the next arrival.
-    if (seq >= next_deliver_seq_ &&
-        !reorder_buffer_.contains(seq)) {
-      auto node = retransmit_buffer_.find(seq);
-      // The payload still lives in the sender's buffer; copy it across the
-      // simulated wire. (A real implementation serializes; simulation can
-      // share.)
-      DECSEQ_CHECK(node != retransmit_buffer_.end());
-      reorder_buffer_.emplace(seq, node->second);
+    if (seq >= next_deliver_seq_) {
+      const std::size_t index =
+          static_cast<std::size_t>(seq - next_deliver_seq_);
+      if (index >= reorder_.size()) reorder_.resize(index + 1);
+      if (!reorder_[index].has_value()) {
+        // The payload still lives in the sender's (unacked) output buffer;
+        // move it across the simulated wire. A later duplicate transmission
+        // is ignored above, so the moved-from slot is never read again.
+        reorder_[index].emplace(std::move(out_slot(seq).payload));
+        ++reorder_buffered_;
+      }
     }
-    while (true) {
-      const auto it = reorder_buffer_.find(next_deliver_seq_);
-      if (it == reorder_buffer_.end()) break;
-      T payload = std::move(it->second);
-      reorder_buffer_.erase(it);
+    while (!reorder_.empty() && reorder_.front().has_value()) {
+      T payload = std::move(*reorder_.front());
+      reorder_.pop_front();
+      --reorder_buffered_;
       ++next_deliver_seq_;
       deliver_(std::move(payload));
     }
@@ -136,11 +197,16 @@ class Channel {
     if (link_down_) return;
     if (rng_->next_bool(options_.loss_probability)) return;
     sim_->schedule_after(delay_ms_, [this, cumulative] {
-      // Release every packet the receiver has consumed.
-      while (!retransmit_buffer_.empty() &&
-             retransmit_buffer_.begin()->first < cumulative) {
-        retransmit_counts_.erase(retransmit_buffer_.begin()->first);
-        retransmit_buffer_.erase(retransmit_buffer_.begin());
+      // Release every packet the receiver has consumed; once nothing is
+      // left unacked, disarm the retransmit timer — acked packets never
+      // wake the simulator again.
+      while (!out_.empty() && send_base_ < cumulative) {
+        out_.pop_front();
+        ++send_base_;
+      }
+      if (out_.empty() && timer_.valid()) {
+        sim_->cancel(timer_);
+        timer_ = Simulator::TimerId();
       }
     });
   }
@@ -153,12 +219,21 @@ class Channel {
 
   std::uint64_t next_send_seq_ = 0;
   std::uint64_t next_deliver_seq_ = 0;
+  /// Sequence number of out_.front() (the lowest unacked packet).
+  std::uint64_t send_base_ = 0;
   bool receiver_down_ = false;
   bool link_down_ = false;
-  std::map<std::uint64_t, T> retransmit_buffer_;
-  std::map<std::uint64_t, std::size_t> retransmit_counts_;
-  std::map<std::uint64_t, T> reorder_buffer_;
+  /// Output retransmission buffer, contiguous [send_base_, next_send_seq_).
+  std::deque<OutPacket> out_;
+  /// Receiver reorder window, slot i holds sequence next_deliver_seq_ + i.
+  std::deque<std::optional<T>> reorder_;
+  /// The channel's single retransmit timer (invalid when disarmed). Armed
+  /// at or before the earliest outstanding deadline whenever out_ is
+  /// non-empty.
+  Simulator::TimerId timer_;
+  std::size_t reorder_buffered_ = 0;
   std::size_t transmissions_ = 0;
+  std::size_t retransmit_timer_fires_ = 0;
 };
 
 }  // namespace decseq::sim

@@ -43,14 +43,25 @@ double DistanceOracle::distance(RouterId a, RouterId b) {
 }
 
 const std::vector<double>& DistanceOracle::distances_from(RouterId source) {
-  auto [it, inserted] = cache_.try_emplace(source);
-  if (inserted) it->second = dijkstra(*graph_, source);
-  return it->second;
+  DECSEQ_CHECK(source.valid() && source.value() < slot_of_.size());
+  std::uint32_t& slot = slot_of_[source.value()];
+  if (slot == kNoSlot) {
+    rows_.push_back(
+        std::make_unique<std::vector<double>>(dijkstra(*graph_, source)));
+    slot = static_cast<std::uint32_t>(rows_.size() - 1);
+  }
+  return *rows_[slot];
+}
+
+void DistanceOracle::prime(const std::vector<RouterId>& sources) {
+  for (const RouterId s : sources) (void)distances_from(s);
 }
 
 RouterId DistanceOracle::closest(const std::vector<RouterId>& candidates,
                                  RouterId target) {
   DECSEQ_CHECK(!candidates.empty());
+  // One Dijkstra from the target answers every candidate; never cache a
+  // per-candidate row for this query.
   const auto& dist = distances_from(target);
   RouterId best = candidates.front();
   double best_d = dist[best.value()];

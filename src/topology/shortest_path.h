@@ -3,10 +3,13 @@
 // measured against those. A DistanceOracle memoizes per-source Dijkstra
 // runs, since experiments query distances from a small set of routers
 // (hosts' attachment points and sequencing machines) on a 10,000-router
-// graph.
+// graph. The cache is a flat array indexed by router id — the hot source
+// set is small, so a direct slot table beats hashing on every distance
+// lookup in the simulation hot path.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
@@ -22,23 +25,39 @@ namespace decseq::topology {
 /// experiment run owns its oracle.
 class DistanceOracle {
  public:
-  explicit DistanceOracle(const Graph& g) : graph_(&g) {}
+  explicit DistanceOracle(const Graph& g)
+      : graph_(&g), slot_of_(g.num_routers(), kNoSlot) {}
 
   /// Distance in ms from `a` to `b` (symmetric).
   [[nodiscard]] double distance(RouterId a, RouterId b);
 
-  /// Full distance vector from a source (computed once, then cached).
+  /// Full distance vector from a source. Computed by one Dijkstra on first
+  /// use, then served from the flat per-source cache; the reference stays
+  /// valid for the oracle's lifetime.
   [[nodiscard]] const std::vector<double>& distances_from(RouterId source);
 
-  /// Among `candidates`, the one closest to `target` (ties: first).
+  /// Among `candidates`, the one closest to `target` (ties: first). Runs
+  /// (at most) one Dijkstra — from the target — regardless of how many
+  /// candidates there are.
   [[nodiscard]] RouterId closest(const std::vector<RouterId>& candidates,
                                  RouterId target);
 
-  [[nodiscard]] std::size_t cached_sources() const { return cache_.size(); }
+  /// Precompute rows for a known hot source set (e.g. every host attachment
+  /// router) in id order, so later queries never interleave Dijkstra runs.
+  void prime(const std::vector<RouterId>& sources);
+
+  [[nodiscard]] std::size_t cached_sources() const { return rows_.size(); }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   const Graph* graph_;
-  std::unordered_map<RouterId, std::vector<double>> cache_;
+  /// Router id -> index into rows_, kNoSlot when not yet computed. A flat
+  /// 4-byte-per-router table: O(1) lookups with no hashing.
+  std::vector<std::uint32_t> slot_of_;
+  /// Cached distance rows, in computation order. unique_ptr keeps row
+  /// storage stable while rows_ grows (distances_from returns references).
+  std::vector<std::unique_ptr<std::vector<double>>> rows_;
 };
 
 }  // namespace decseq::topology

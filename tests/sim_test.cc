@@ -63,6 +63,88 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::TimerId keep = sim.schedule_at(1.0, [&] { ++fired; });
+  Simulator::TimerId drop = sim.schedule_at(2.0, [&] { fired += 100; });
+  EXPECT_TRUE(keep.valid());
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(drop));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.cancel(drop)) << "double cancel must be a no-op";
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.timers_cancelled(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0) << "cancelled event must not advance time";
+}
+
+TEST(Simulator, StaleHandleNeverCancelsRecycledSlot) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::TimerId first = sim.schedule_at(1.0, [&] { ++fired; });
+  ASSERT_TRUE(sim.cancel(first));
+  // The slot is free now; the next schedule recycles it.
+  sim.schedule_at(2.0, [&] { fired += 10; });
+  EXPECT_FALSE(sim.cancel(first))
+      << "a stale handle must not cancel the slot's new occupant";
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, HandleIsStaleAfterFiring) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::TimerId id = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(Simulator::TimerId())) << "default handle is inert";
+}
+
+TEST(Simulator, CancelInsideHeapKeepsTieOrderFifo) {
+  // Removing an event from the middle of the heap swaps the last entry into
+  // its place; the (time, insertion order) tie-break must survive that.
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<Simulator::TimerId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(sim.schedule_at(1.0, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 32; i += 3) EXPECT_TRUE(sim.cancel(ids[i]));
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Simulator, CancelStormStaysConsistent) {
+  // Interleaved schedule/cancel across many slots: the slab + heap
+  // bookkeeping must keep every surviving event, in order, exactly once.
+  Simulator sim;
+  Rng rng(99);
+  std::vector<std::pair<double, int>> fired;
+  std::vector<Simulator::TimerId> ids;
+  for (int i = 0; i < 500; ++i) {
+    const double at = rng.next_double() * 100.0;
+    ids.push_back(sim.schedule_at(at, [&fired, at, i] {
+      fired.push_back({at, i});
+    }));
+    if (i % 2 == 1 && rng.next_bool(0.5)) {
+      const std::size_t victim = rng.next_below(ids.size());
+      sim.cancel(ids[victim]);  // may be stale; both outcomes are legal
+    }
+  }
+  sim.run();
+  EXPECT_EQ(fired.size() + sim.timers_cancelled(), 500u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             }));
+}
+
 TEST(Channel, DeliversInOrderWithDelay) {
   Simulator sim;
   Rng rng(1);
@@ -142,6 +224,89 @@ TEST(Channel, RequiresReceiver) {
   Rng rng(6);
   Channel<int> ch(sim, rng, 1.0);
   EXPECT_THROW(ch.send(1), CheckFailure);
+}
+
+TEST(Channel, LossFreeRunFiresNoRetransmitTimers) {
+  // The whole point of cancellable timers: with loss 0 and acks returning
+  // within the timeout, no retransmit timer callback ever runs — acks
+  // disarm the timer first. The seed engine drained a dead timer event per
+  // packet through the queue instead.
+  Simulator sim;
+  Rng rng(7);
+  Channel<int> ch(sim, rng, 3.0);
+  int delivered = 0;
+  ch.set_receiver([&](int) { ++delivered; });
+  for (int i = 0; i < 200; ++i) ch.send(i);
+  sim.run();
+  EXPECT_EQ(delivered, 200);
+  EXPECT_EQ(ch.retransmit_timer_fires(), 0u);
+  EXPECT_GE(sim.timers_cancelled(), 1u)
+      << "the ack that drained the buffer must cancel the armed timer";
+  EXPECT_EQ(ch.transmissions(), 200u) << "no packet was sent twice";
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Channel, LossTriggersTimerFiresAndRepair) {
+  Simulator sim;
+  Rng rng(8);
+  ChannelOptions options;
+  options.loss_probability = 0.5;
+  options.retransmit_timeout_ms = 30.0;
+  Channel<int> ch(sim, rng, 2.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+  for (int i = 0; i < 40; ++i) ch.send(i);
+  sim.run();
+  ASSERT_EQ(got.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_GE(ch.retransmit_timer_fires(), 1u)
+      << "half the packets vanished; the timer must have driven repair";
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, ReceiverFailureWindowRecovers) {
+  Simulator sim;
+  Rng rng(9);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 25.0;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<std::pair<int, Time>> got;
+  ch.set_receiver([&](int v) { got.push_back({v, sim.now()}); });
+
+  ch.send(1);
+  ch.send(2);
+  ch.set_receiver_down(true);
+  sim.schedule_at(60.0, [&] { ch.set_receiver_down(false); });
+  sim.run();
+
+  ASSERT_EQ(got.size(), 2u) << "retransmissions must survive the outage";
+  EXPECT_EQ(got[0].first, 1);
+  EXPECT_EQ(got[1].first, 2);
+  EXPECT_GT(got[0].second, 60.0) << "nothing can arrive while down";
+  EXPECT_GE(ch.retransmit_timer_fires(), 1u);
+  EXPECT_EQ(ch.unacked(), 0u) << "recovery must drain the output buffer";
+}
+
+TEST(Channel, LinkFailureWindowRecovers) {
+  Simulator sim;
+  Rng rng(10);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 25.0;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+
+  ch.set_link_down(true);
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  sim.schedule_at(80.0, [&] { ch.set_link_down(false); });
+  sim.run();
+
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}))
+      << "a severed link is a 100% loss window the timer repairs";
+  EXPECT_GE(ch.retransmit_timer_fires(), 1u);
+  EXPECT_EQ(ch.unacked(), 0u);
 }
 
 }  // namespace
