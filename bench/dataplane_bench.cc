@@ -1,0 +1,752 @@
+// Data-plane microbenchmark: the zero-copy message representation (shared
+// refcounted payload blocks + inline stamp vectors + dense-counter
+// receivers) versus a faithful replica of the seed data plane (std::vector
+// stamps and body deep-copied at every sequencing hop and into one heap
+// lambda per subscriber, hash-map receiver counters, list + fixpoint
+// drain), on the identical fig3-style workload (§4.1 configuration: 128
+// hosts, 64 Zipf(1) groups, a 4-hop sequencing path per message).
+//
+// Three measurements, written to BENCH_dataplane.json (path overridable
+// via DECSEQ_BENCH_JSON):
+//  1. path_stress — both planes run the same publish schedule through the
+//     same simulator: rounds are pipelined (one publish sweep every few
+//     simulated ms, so many rounds are in flight at once), each message
+//     traverses its group's sequencing hops (collecting one stamp per
+//     hop) and then fans out to every member at the member's precomputed
+//     delay plus a deterministic per-round jitter. The jitter inverts
+//     arrival order between consecutive rounds at a member, so receivers
+//     do real reorder-buffer work: the seed plane's list + O(n²) fixpoint
+//     drain against the new plane's indexed O(1)-wake buffer. The JSON
+//     records deliveries/sec, allocations per delivery (instrumented
+//     operator new, real heap traffic), and bytes of message state
+//     *duplicated* per delivery — struct + stamps + body materialized by
+//     each copy. Moves and shared references duplicate nothing and count
+//     nothing; the seed plane copies at ingress, at every hop, and per
+//     subscriber, the new plane copies body bytes exactly once at
+//     ingress.
+//  2. steady_state — the new plane re-runs the workload with every pool
+//     warm and asserts the publish→deliver path performs *zero* heap
+//     allocations for messages with <= kInlineStamps stamps and bodies
+//     <= kInlineBodyBytes (the acceptance bar, checked, not eyeballed).
+//  3. system — a real PubSubSystem on the paper topology publishing the
+//     same style of workload end to end: absolute deliveries/sec and
+//     allocations per delivery for the perf trajectory.
+//
+// Environment knobs (besides the bench_util ones):
+//   DECSEQ_BENCH_ROUNDS — publish rounds for the path stress
+//   DECSEQ_BENCH_BODY   — body bytes per message (default 64, the inline
+//                         threshold: the representative small payload)
+//   DECSEQ_BENCH_JSON   — output path for BENCH_dataplane.json
+// CLI: --quick shrinks rounds and the system topology for CI smoke runs.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/ref_pool.h"
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "protocol/message.h"
+#include "protocol/receiver.h"
+#include "pubsub/system.h"
+#include "sim/simulator.h"
+
+// ---------------------------------------------------------------------------
+// Instrumented allocator: every heap allocation in this binary bumps the
+// counters, so allocs-per-delivery is measured, not modeled. Thread-local
+// because bench_util's trial driver is multi-threaded; the measured
+// sections below all run on the main thread.
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local std::size_t g_allocs = 0;
+thread_local std::size_t g_alloc_bytes = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocs;
+  g_alloc_bytes += size;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocs;
+  g_alloc_bytes += size;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace decseq::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed data-plane replica (pre-overhaul), kept faithful so the comparison
+// runs in one binary on one workload: monolithic Message with heap vectors
+// for stamps and body, deep copies at every hop and per subscriber,
+// unordered_map receiver counters, std::list + fixpoint drain. (The seed
+// paid *more* per hop — channel retransmit-buffer map nodes plus the wire
+// copy — so this replica is a conservative stand-in.)
+// ---------------------------------------------------------------------------
+namespace legacy {
+
+struct Message {
+  MsgId id;
+  GroupId group;
+  NodeId sender;
+  SeqNo group_seq = 0;
+  std::vector<protocol::Stamp> stamps;
+  sim::Time sent_at = 0.0;
+  std::uint64_t payload = 0;
+  std::vector<std::uint8_t> body;
+  bool is_fin = false;
+};
+
+/// Message state duplicated by copying one instance: the struct itself
+/// plus the heap contents of its stamp and body vectors.
+std::size_t copy_bytes(const Message& m) {
+  return sizeof(Message) + m.stamps.size() * sizeof(protocol::Stamp) +
+         m.body.size();
+}
+
+class Receiver {
+ public:
+  using DeliverFn = std::function<void(const Message&, sim::Time)>;
+
+  Receiver(std::vector<GroupId> subscriptions,
+           const std::vector<AtomId>& relevant_atoms, DeliverFn on_deliver)
+      : on_deliver_(std::move(on_deliver)) {
+    for (const GroupId g : subscriptions) next_group_[g] = 1;
+    for (const AtomId a : relevant_atoms) next_atom_[a] = 1;
+  }
+
+  void receive(const Message& message, sim::Time now) {
+    if (!deliverable(message)) {
+      pending_.push_back({message, now});
+      return;
+    }
+    deliver(message, now);
+    drain(now);
+  }
+
+ private:
+  struct Pending {
+    Message message;
+    sim::Time arrived_at;
+  };
+
+  [[nodiscard]] bool deliverable(const Message& message) const {
+    const auto git = next_group_.find(message.group);
+    if (message.group_seq != git->second) return false;
+    for (const protocol::Stamp& s : message.stamps) {
+      const auto ait = next_atom_.find(s.atom);
+      if (ait == next_atom_.end()) continue;
+      if (s.seq != ait->second) return false;
+    }
+    return true;
+  }
+
+  void deliver(const Message& message, sim::Time now) {
+    ++next_group_[message.group];
+    for (const protocol::Stamp& s : message.stamps) {
+      const auto it = next_atom_.find(s.atom);
+      if (it != next_atom_.end()) ++it->second;
+    }
+    on_deliver_(message, now);
+  }
+
+  void drain(sim::Time now) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (deliverable(it->message)) {
+          Pending p = std::move(*it);
+          pending_.erase(it);
+          deliver(p.message, now);
+          progressed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  DeliverFn on_deliver_;
+  std::unordered_map<GroupId, SeqNo> next_group_;
+  std::unordered_map<AtomId, SeqNo> next_atom_;
+  std::list<Pending> pending_;
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// Fig3-style workload, shared by both planes: 128 hosts, 64 Zipf(1)
+// groups, a fixed per-group sequencing path of kHops hops (one stamp per
+// hop, like the paper's double-overlap atoms), and a precomputed
+// (member, delay) fan-out plan per group.
+// ---------------------------------------------------------------------------
+
+/// Sequencing hops per message. Matches the fig7 "atoms per path" band for
+/// the 64-group regime, and keeps stamp counts within kInlineStamps.
+constexpr std::size_t kHops = 4;
+
+struct Workload {
+  membership::GroupMembership snapshot{0};
+  /// live_groups(), materialized once — the accessor returns by value, and
+  /// the steady-state section asserts a zero-allocation publish loop.
+  std::vector<GroupId> groups;
+  /// Per-group per-hop forwarding delays (kHops entries per group).
+  std::vector<std::vector<double>> hop_delays;
+  /// Per-group base fan-out delays, index-aligned with members(g).
+  std::vector<std::vector<double>> delays;
+  std::size_t rounds = 0;
+  std::size_t body_bytes = 0;
+  std::size_t fanout_total = 0;  ///< deliveries per full round sweep
+  /// Simulated ms between publish sweeps: small enough that many rounds
+  /// are in flight at once.
+  double publish_interval_ms = 5.0;
+  /// Per-round fan-out jitter step; > 0 makes consecutive rounds of a
+  /// group arrive out of order at a member, forcing reorder-buffer work.
+  double jitter_step_ms = 0.0;
+
+  Workload(std::uint64_t seed, std::size_t num_groups, std::size_t rounds_in,
+           std::size_t body_bytes_in, double jitter_step)
+      : jitter_step_ms(jitter_step) {
+    Rng rng(seed);
+    snapshot = membership::zipf_membership(zipf_params(128, num_groups), rng);
+    groups = snapshot.live_groups();
+    rounds = rounds_in;
+    body_bytes = body_bytes_in;
+    hop_delays.resize(num_groups);
+    delays.resize(num_groups);
+    for (const GroupId g : groups) {
+      for (std::size_t h = 0; h < kHops; ++h) {
+        hop_delays[g.value()].push_back(1.0 + rng.next_double() * 19.0);
+      }
+      for ([[maybe_unused]] const NodeId member : snapshot.members(g)) {
+        delays[g.value()].push_back(1.0 + rng.next_double() * 99.0);
+        ++fanout_total;
+      }
+    }
+  }
+
+  /// Fan-out delay for round `round` to member index `i` of group `g`:
+  /// base delay plus a deterministic allocation-free jitter (0..10 steps)
+  /// that decorrelates consecutive rounds.
+  [[nodiscard]] double fan_delay(GroupId g, std::size_t i,
+                                 std::uint64_t round) const {
+    const std::uint64_t j = (round * 7 + i * 13) % 11;
+    return delays[g.value()][i] + jitter_step_ms * static_cast<double>(j);
+  }
+
+  /// The stamp atom for hop `h` of group `g`: distinct per (group, hop).
+  /// Every member of `g` treats these atoms as relevant (it receives every
+  /// message they stamp, so its counters are gapless — the model of a
+  /// double-overlap atom whose overlap coincides with the membership), so
+  /// each deliver-or-buffer decision tests kHops stamp counters plus the
+  /// group counter.
+  [[nodiscard]] static AtomId hop_atom(GroupId g, std::size_t h) {
+    return AtomId(
+        static_cast<AtomId::underlying_type>(1000 + g.value() * kHops + h));
+  }
+
+  /// The hop atoms of every group `node` subscribes to — its relevant set.
+  [[nodiscard]] std::vector<AtomId> relevant_atoms(NodeId node) const {
+    std::vector<AtomId> atoms;
+    for (const GroupId g : snapshot.groups_of(node)) {
+      for (std::size_t h = 0; h < kHops; ++h) atoms.push_back(hop_atom(g, h));
+    }
+    return atoms;
+  }
+};
+
+struct PlaneResult {
+  std::size_t deliveries = 0;
+  std::uint64_t checksum = 0;  ///< payload sum, defeats dead-code elim
+  std::size_t allocs = 0;
+  std::size_t alloc_bytes = 0;
+  std::size_t bytes_copied = 0;
+  double wall_ms = 0.0;
+};
+
+double wall_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Seed plane: the message is deep-copied into every hop event and into one
+// event per subscriber, exactly like the seed's forward()/distribute().
+// ---------------------------------------------------------------------------
+struct LegacyPlane {
+  explicit LegacyPlane(const Workload& w) : workload(&w) {
+    receivers.resize(w.snapshot.num_nodes());
+    for (std::size_t n = 0; n < w.snapshot.num_nodes(); ++n) {
+      const NodeId node(static_cast<NodeId::underlying_type>(n));
+      auto subs = w.snapshot.groups_of(node);
+      if (subs.empty()) continue;
+      receivers[n] = std::make_unique<legacy::Receiver>(
+          std::move(subs), w.relevant_atoms(node),
+          [this](const legacy::Message& m, sim::Time) {
+            ++result.deliveries;
+            result.checksum += m.payload;
+          });
+    }
+    body.assign(w.body_bytes, 0xAB);
+    next_seq.assign(w.delays.size(), 1);
+    next_stamp.assign(w.delays.size() * kHops, 1);
+  }
+
+  void publish(GroupId g, std::uint64_t payload) {
+    legacy::Message message;
+    message.group = g;
+    message.sender = workload->snapshot.members(g).front();
+    message.group_seq = next_seq[g.value()]++;
+    message.sent_at = sim.now();
+    message.payload = payload;
+    message.body = body;  // ingress copy into the message
+    result.bytes_copied += message.body.size();
+    hop(0, std::move(message));
+  }
+
+  void hop(std::size_t h, legacy::Message message) {
+    if (h == kHops) {
+      distribute(std::move(message));
+      return;
+    }
+    // Stamp, then forward through the seed channel's buffers: the packet
+    // parks in a per-packet output-buffer map node until acked, and the
+    // arrival copies it across the wire into a reorder-buffer map node.
+    // (Conservative replica: the ack releases the output node immediately
+    // here — the seed also paid ack and retransmit-timer events per
+    // packet, which engine_bench measures separately.)
+    message.stamps.push_back({Workload::hop_atom(message.group, h),
+                              next_stamp[message.group.value() * kHops + h]++});
+    const std::uint64_t seq = next_wire_seq++;
+    output_buffer.try_emplace(seq, std::move(message));
+    sim.schedule_after(workload->hop_delays[output_buffer.at(seq).group.value()][h],
+                       [this, h, seq] {
+                         const auto node = output_buffer.find(seq);
+                         const auto [it, inserted] =
+                             reorder_buffer.emplace(seq, node->second);
+                         result.bytes_copied += legacy::copy_bytes(it->second);
+                         legacy::Message m = std::move(it->second);
+                         reorder_buffer.erase(it);
+                         output_buffer.erase(node);
+                         hop(h + 1, std::move(m));
+                       });
+  }
+
+  void distribute(legacy::Message message) {
+    const auto& members = workload->snapshot.members(message.group);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      legacy::Receiver* receiver = receivers[members[i].value()].get();
+      result.bytes_copied += legacy::copy_bytes(message);
+      sim.schedule_after(
+          workload->fan_delay(message.group, i, message.payload),
+          [this, receiver, message] { receiver->receive(message, sim.now()); });
+    }
+  }
+
+  void tick() {
+    for (const GroupId g : workload->groups) publish(g, round_);
+    if (++round_ < workload->rounds) {
+      sim.schedule_after(workload->publish_interval_ms, [this] { tick(); });
+    }
+  }
+
+  const Workload* workload;
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<legacy::Receiver>> receivers;
+  std::vector<std::uint8_t> body;
+  std::vector<SeqNo> next_seq;
+  std::vector<SeqNo> next_stamp;
+  /// Seed-channel state: per-packet map nodes, as the seed's Channel kept.
+  std::map<std::uint64_t, legacy::Message> output_buffer;
+  std::map<std::uint64_t, legacy::Message> reorder_buffer;
+  std::uint64_t next_wire_seq = 0;
+  std::uint64_t round_ = 0;
+  PlaneResult result;
+};
+
+// ---------------------------------------------------------------------------
+// New plane: body copied once into a pooled PayloadBlock at ingress; the
+// flat header moves hop to hop through an in-flight slab (standing in for
+// the channel's deque buffer — hop events capture {plane, slot}, never the
+// message); the finalized message is wrapped in one pooled shared ref per
+// fan-out, exactly like network.cc's distribute().
+// ---------------------------------------------------------------------------
+
+/// Pooled shared wrapper mirroring network.cc's fan-out.
+class SharedMsg : public common::RefPooled<SharedMsg> {
+ public:
+  [[nodiscard]] const protocol::Message& message() const { return message_; }
+
+ private:
+  friend class common::RefPooled<SharedMsg>;
+
+  SharedMsg() = default;
+  void init(protocol::Message&& m) { message_ = std::move(m); }
+  void recycle() {
+    message_.data.reset();
+    message_.stamps.clear();
+    message_.group_seq = 0;
+  }
+
+  protocol::Message message_;
+};
+
+struct NewPlane {
+  explicit NewPlane(const Workload& w) : workload(&w) {
+    receivers.resize(w.snapshot.num_nodes());
+    for (std::size_t n = 0; n < w.snapshot.num_nodes(); ++n) {
+      const NodeId node(static_cast<NodeId::underlying_type>(n));
+      auto subs = w.snapshot.groups_of(node);
+      if (subs.empty()) continue;
+      receivers[n] = std::make_unique<protocol::Receiver>(
+          node, std::move(subs), w.relevant_atoms(node),
+          [this](const protocol::Message& m, sim::Time) {
+            ++result.deliveries;
+            result.checksum += m.payload();
+          });
+    }
+    body.assign(w.body_bytes, 0xAB);
+    next_seq.assign(w.delays.size(), 1);
+    next_stamp.assign(w.delays.size() * kHops, 1);
+  }
+
+  void publish(GroupId g, std::uint64_t payload) {
+    protocol::Message message;
+    // The one body copy of the message's lifetime.
+    message.data = protocol::PayloadBlock::create(
+        MsgId(), g, workload->snapshot.members(g).front(), sim.now(), payload,
+        body.data(), body.size(), /*is_fin=*/false);
+    result.bytes_copied += body.size();
+    message.group_seq = next_seq[g.value()]++;
+    hop(0, std::move(message));
+  }
+
+  void hop(std::size_t h, protocol::Message message) {
+    if (h == kHops) {
+      distribute(std::move(message));
+      return;
+    }
+    message.stamps.push_back({Workload::hop_atom(message.group(), h),
+                              next_stamp[message.group().value() * kHops +
+                                         h]++});
+    // Park the header in the in-flight slab (the channel buffer's role)
+    // and schedule a {this, slot} event: the message moves, nothing is
+    // duplicated.
+    const GroupId g = message.group();
+    std::uint32_t slot;
+    if (free_slots.empty()) {
+      slot = static_cast<std::uint32_t>(in_flight.size());
+      in_flight.emplace_back();
+    } else {
+      slot = free_slots.back();
+      free_slots.pop_back();
+    }
+    in_flight[slot] = std::move(message);
+    sim.schedule_after(workload->hop_delays[g.value()][h],
+                       [this, h, slot] {
+                         protocol::Message m = std::move(in_flight[slot]);
+                         free_slots.push_back(slot);
+                         hop(h + 1, std::move(m));
+                       });
+  }
+
+  void distribute(protocol::Message message) {
+    const GroupId g = message.group();
+    const std::uint64_t round = message.payload();
+    // The sequencing path is complete: freeze the message and share one
+    // reference across the whole fan-out.
+    auto shared = SharedMsg::create(std::move(message));
+    const auto& members = workload->snapshot.members(g);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      protocol::Receiver* receiver = receivers[members[i].value()].get();
+      sim.schedule_after(workload->fan_delay(g, i, round),
+                         [this, receiver, shared] {
+                           receiver->receive(shared->message(), sim.now());
+                         });
+    }
+  }
+
+  void tick() {
+    for (const GroupId g : workload->groups) publish(g, round_);
+    if (++round_ < workload->rounds) {
+      sim.schedule_after(workload->publish_interval_ms, [this] { tick(); });
+    }
+  }
+
+  const Workload* workload;
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<protocol::Receiver>> receivers;
+  std::vector<std::uint8_t> body;
+  std::vector<SeqNo> next_seq;
+  std::vector<SeqNo> next_stamp;
+  std::vector<protocol::Message> in_flight;
+  std::vector<std::uint32_t> free_slots;
+  std::uint64_t round_ = 0;
+  PlaneResult result;
+};
+
+/// Run the workload's publish schedule through `plane` and measure it.
+template <typename Plane>
+PlaneResult run_plane(Plane& plane) {
+  plane.result = {};
+  plane.round_ = 0;
+  const std::size_t allocs0 = g_allocs;
+  const std::size_t bytes0 = g_alloc_bytes;
+  const auto start = std::chrono::steady_clock::now();
+  plane.tick();  // pipelined rounds: the sweep re-arms itself
+  plane.sim.run();
+  plane.result.wall_ms = wall_since(start);
+  plane.result.allocs = g_allocs - allocs0;
+  plane.result.alloc_bytes = g_alloc_bytes - bytes0;
+  return plane.result;
+}
+
+// ---------------------------------------------------------------------------
+// Full-system fig3-style run: absolute trajectory numbers.
+// ---------------------------------------------------------------------------
+
+struct SystemResult {
+  std::size_t messages = 0;
+  std::size_t deliveries = 0;
+  std::size_t allocs = 0;
+  double run_wall_ms = 0.0;
+};
+
+SystemResult run_system(std::uint64_t seed, std::size_t num_groups,
+                        std::size_t rounds, std::size_t body_bytes,
+                        bool quick) {
+  SystemResult result;
+  pubsub::SystemConfig config = paper_config(seed);
+  if (quick) {
+    // CI smoke: a few hundred routers instead of 10,000.
+    config.topology.transit_domains = 2;
+    config.topology.routers_per_transit = 4;
+    config.topology.stubs_per_transit_router = 2;
+    config.topology.routers_per_stub = 16;
+  }
+  pubsub::PubSubSystem system(config);
+  Rng rng(seed + 7);
+  install_zipf_groups(system, rng, num_groups);
+
+  const auto groups = system.membership().live_groups();
+  const std::vector<std::uint8_t> body(body_bytes, 0xAB);
+  const std::size_t allocs0 = g_allocs;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (const GroupId g : groups) {
+      const NodeId sender = rng.pick(system.membership().members(g));
+      system.publish(sender, g, round, body);
+      ++result.messages;
+    }
+    system.run();
+  }
+  result.run_wall_ms = wall_since(start);
+  result.allocs = g_allocs - allocs0;
+  result.deliveries = system.deliveries().size();
+  return result;
+}
+
+double per(double num, double denom) { return denom <= 0 ? 0 : num / denom; }
+
+double msgs_per_sec(std::size_t deliveries, double wall_ms) {
+  return wall_ms <= 0.0 ? 0.0
+                        : static_cast<double>(deliveries) / wall_ms * 1e3;
+}
+
+}  // namespace
+}  // namespace decseq::bench
+
+int main(int argc, char** argv) {
+  using namespace decseq;
+  using namespace decseq::bench;
+  using std::printf;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::uint64_t seed = base_seed();
+  const std::size_t num_groups = 64;  // fig3 regime
+  const std::size_t rounds = env_or("DECSEQ_BENCH_ROUNDS", quick ? 20 : 400);
+  const std::size_t body_bytes = env_or("DECSEQ_BENCH_BODY", 64);
+  const std::size_t reps = env_or("DECSEQ_BENCH_REPS", quick ? 1 : 3);
+
+  printf("# dataplane_bench: fig3-style path + fan-out, seed %llu, "
+         "%zu groups, %zu hops, %zu rounds, %zuB bodies\n",
+         static_cast<unsigned long long>(seed), num_groups, kHops, rounds,
+         body_bytes);
+
+  // --- 1. Path stress: seed plane vs new plane, identical workload. ---
+  // Deterministic planes: repetitions differ only in machine noise, so
+  // interleave them and keep the best wall time of each. The 5ms jitter
+  // step reorders arrivals between in-flight rounds, so both reorder
+  // buffers do real parking/cascade work.
+  const Workload workload(seed, num_groups, rounds, body_bytes,
+                          /*jitter_step=*/5.0);
+  PlaneResult legacy_result, new_result;
+  for (std::size_t r = 0; r < reps; ++r) {
+    LegacyPlane legacy_plane(workload);
+    const PlaneResult legacy_rep = run_plane(legacy_plane);
+    NewPlane new_plane(workload);
+    const PlaneResult new_rep = run_plane(new_plane);
+    if (r == 0 || legacy_rep.wall_ms < legacy_result.wall_ms) {
+      legacy_result = legacy_rep;
+    }
+    if (r == 0 || new_rep.wall_ms < new_result.wall_ms) {
+      new_result = new_rep;
+    }
+  }
+  DECSEQ_CHECK_MSG(legacy_result.deliveries == new_result.deliveries &&
+                       legacy_result.checksum == new_result.checksum,
+                   "planes disagree: " << legacy_result.deliveries << " vs "
+                                       << new_result.deliveries);
+  DECSEQ_CHECK(legacy_result.deliveries ==
+               workload.fanout_total * workload.rounds);
+
+  const double speedup = per(legacy_result.wall_ms, new_result.wall_ms);
+  const double copy_reduction =
+      per(static_cast<double>(legacy_result.bytes_copied),
+          static_cast<double>(new_result.bytes_copied));
+  const auto row = [](const char* name, const PlaneResult& r) {
+    printf("path_stress,%s,deliveries,%zu,wall_ms,%.1f,msgs_per_sec,%.0f,"
+           "allocs_per_delivery,%.3f,bytes_copied_per_delivery,%.2f\n",
+           name, r.deliveries, r.wall_ms,
+           msgs_per_sec(r.deliveries, r.wall_ms),
+           per(static_cast<double>(r.allocs),
+               static_cast<double>(r.deliveries)),
+           per(static_cast<double>(r.bytes_copied),
+               static_cast<double>(r.deliveries)));
+  };
+  row("legacy", legacy_result);
+  row("new", new_result);
+  printf("path_stress,speedup,%.2fx,bytes_copied_reduction,%.1fx\n", speedup,
+         copy_reduction);
+
+  // --- 2. Steady state: warm pools, then assert zero allocations. ---
+  // Jitter-free workload: arrivals are in order per (group, member), the
+  // in-order delivery path the zero-allocation guarantee covers.
+  const Workload steady_workload(seed, num_groups, rounds, body_bytes,
+                                 /*jitter_step=*/0.0);
+  NewPlane steady(steady_workload);
+  run_plane(steady);  // warm-up: pools, event slab, in-flight slab
+  const PlaneResult steady_result = run_plane(steady);
+  printf("steady_state,deliveries,%zu,allocs,%zu,alloc_bytes,%zu\n",
+         steady_result.deliveries, steady_result.allocs,
+         steady_result.alloc_bytes);
+  DECSEQ_CHECK_MSG(steady_result.allocs == 0,
+                   "steady-state publish→deliver path allocated "
+                       << steady_result.allocs << " times ("
+                       << steady_result.alloc_bytes << " bytes)");
+
+  // --- 3. Full system (absolute numbers for the trajectory). ---
+  const SystemResult system_result =
+      run_system(seed, num_groups, quick ? 3 : 20, body_bytes, quick);
+  printf("system,messages,%zu,deliveries,%zu,run_wall_ms,%.1f,"
+         "msgs_per_sec,%.0f,allocs_per_delivery,%.3f\n",
+         system_result.messages, system_result.deliveries,
+         system_result.run_wall_ms,
+         msgs_per_sec(system_result.deliveries, system_result.run_wall_ms),
+         per(static_cast<double>(system_result.allocs),
+             static_cast<double>(system_result.deliveries)));
+
+  // --- BENCH_dataplane.json ---
+  const char* json_path = std::getenv("DECSEQ_BENCH_JSON");
+  std::ofstream json(json_path != nullptr ? json_path
+                                          : "BENCH_dataplane.json");
+  json.precision(6);
+  const auto plane_json = [&](const char* name, const PlaneResult& r) {
+    json << "    \"" << name << "\": {\"deliveries\": " << r.deliveries
+         << ", \"wall_ms\": " << r.wall_ms
+         << ", \"msgs_per_sec\": " << msgs_per_sec(r.deliveries, r.wall_ms)
+         << ", \"allocs_per_delivery\": "
+         << per(static_cast<double>(r.allocs),
+                static_cast<double>(r.deliveries))
+         << ", \"bytes_copied_per_delivery\": "
+         << per(static_cast<double>(r.bytes_copied),
+                static_cast<double>(r.deliveries))
+         << "}";
+  };
+  json << "{\n"
+       << "  \"bench\": \"dataplane\",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"scenario\": {\"style\": \"fig3\", \"hosts\": 128, "
+          "\"groups\": "
+       << num_groups << ", \"hops\": " << kHops << ", \"rounds\": " << rounds
+       << ", \"body_bytes\": " << body_bytes << "},\n"
+       << "  \"path_stress\": {\n"
+       << "    \"note\": \"single thread, identical workload and seed; "
+          "legacy = seed-plane replica (deep copy per hop and per "
+          "subscriber); bytes_copied counts duplicated message state "
+          "(struct + stamps + body), not moves or shared refs\",\n";
+  plane_json("legacy", legacy_result);
+  json << ",\n";
+  plane_json("new", new_result);
+  json << ",\n"
+       << "    \"throughput_speedup\": " << speedup << ",\n"
+       << "    \"bytes_copied_reduction\": " << copy_reduction << "\n"
+       << "  },\n"
+       << "  \"steady_state\": {\n"
+       << "    \"note\": \"second run of the new plane with warm pools; "
+          "allocations must be zero for <= "
+       << protocol::kInlineStamps << " stamps and <= "
+       << protocol::kInlineBodyBytes << "B bodies\",\n"
+       << "    \"deliveries\": " << steady_result.deliveries
+       << ", \"allocs\": " << steady_result.allocs
+       << ", \"alloc_bytes\": " << steady_result.alloc_bytes << "\n"
+       << "  },\n"
+       << "  \"system\": {\n"
+       << "    \"messages\": " << system_result.messages
+       << ", \"deliveries\": " << system_result.deliveries
+       << ", \"run_wall_ms\": " << system_result.run_wall_ms
+       << ", \"msgs_per_sec\": "
+       << msgs_per_sec(system_result.deliveries, system_result.run_wall_ms)
+       << ", \"allocs_per_delivery\": "
+       << per(static_cast<double>(system_result.allocs),
+              static_cast<double>(system_result.deliveries))
+       << "\n  }\n}\n";
+  json.flush();
+  if (!json.good()) {
+    std::fprintf(stderr, "error: could not write %s\n",
+                 json_path != nullptr ? json_path : "BENCH_dataplane.json");
+    return 1;
+  }
+  return 0;
+}

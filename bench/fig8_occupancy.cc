@@ -9,6 +9,7 @@
 //
 // Output rows: fig8,<occupancy>,<mean_overlaps>,<mean_seq_nodes>
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "metrics/structure.h"
@@ -22,19 +23,21 @@ int main() {
   std::printf("series,occupancy,overlaps,seq_nodes\n");
   for (int pct = 0; pct <= 100; pct += 5) {
     const double occupancy = pct / 100.0;
-    std::vector<double> overlaps, nodes;
-    for (std::size_t run = 0; run < runs; ++run) {
+    // Independent per-run worlds on the worker pool, gathered in trial
+    // order — the CSV is bit-identical to the serial loop.
+    const auto per_run = bench::run_trials(runs, [&](std::size_t run) {
       Rng rng(seed + run * 7919 + static_cast<std::uint64_t>(pct));
       const auto membership = membership::occupancy_membership(
           {.num_nodes = 128, .num_groups = 32, .occupancy = occupancy}, rng);
-      if (membership.num_groups() == 0) {
-        overlaps.push_back(0);
-        nodes.push_back(0);
-        continue;
-      }
+      if (membership.num_groups() == 0) return std::pair{0.0, 0.0};
       const auto result = metrics::build_and_measure(membership, rng);
-      overlaps.push_back(static_cast<double>(result.num_double_overlaps));
-      nodes.push_back(static_cast<double>(result.num_sequencing_nodes));
+      return std::pair{static_cast<double>(result.num_double_overlaps),
+                       static_cast<double>(result.num_sequencing_nodes)};
+    });
+    std::vector<double> overlaps, nodes;
+    for (const auto& [o, n] : per_run) {
+      overlaps.push_back(o);
+      nodes.push_back(n);
     }
     std::printf("fig8,%.2f,%.1f,%.2f\n", occupancy, mean(overlaps),
                 mean(nodes));

@@ -62,12 +62,13 @@ void BM_ReceiverInOrderDelivery(benchmark::State& state) {
                          [&](const protocol::Message&, sim::Time) {
                            ++delivered;
                          });
-    std::vector<protocol::Message> msgs(1000);
+    std::vector<protocol::Message> msgs;
+    msgs.reserve(1000);
     for (unsigned i = 0; i < 1000; ++i) {
-      msgs[i].id = MsgId(i);
-      msgs[i].group = GroupId(0);
-      msgs[i].sender = NodeId(1);
-      msgs[i].group_seq = i + 1;
+      msgs.push_back(protocol::Message::make({.id = MsgId(i),
+                                              .group = GroupId(0),
+                                              .sender = NodeId(1),
+                                              .group_seq = i + 1}));
     }
     state.ResumeTiming();
     for (auto& m : msgs) r.receive(m, 0.0);
@@ -95,11 +96,9 @@ void BM_ChannelTransport(benchmark::State& state) {
 BENCHMARK(BM_ChannelTransport);
 
 void BM_CodecEncode(benchmark::State& state) {
-  protocol::Message m;
-  m.id = MsgId(90);
-  m.group = GroupId(3);
-  m.sender = NodeId(17);
-  m.group_seq = 12;
+  protocol::Message m = protocol::Message::make(
+      {.id = MsgId(90), .group = GroupId(3), .sender = NodeId(17),
+       .group_seq = 12});
   for (unsigned i = 0; i < 6; ++i) m.stamps.push_back({AtomId(i * 7), i + 1});
   for (auto _ : state) {
     benchmark::DoNotOptimize(protocol::encode_message(m));
@@ -108,11 +107,9 @@ void BM_CodecEncode(benchmark::State& state) {
 BENCHMARK(BM_CodecEncode);
 
 void BM_CodecDecode(benchmark::State& state) {
-  protocol::Message m;
-  m.id = MsgId(90);
-  m.group = GroupId(3);
-  m.sender = NodeId(17);
-  m.group_seq = 12;
+  protocol::Message m = protocol::Message::make(
+      {.id = MsgId(90), .group = GroupId(3), .sender = NodeId(17),
+       .group_seq = 12});
   for (unsigned i = 0; i < 6; ++i) m.stamps.push_back({AtomId(i * 7), i + 1});
   const auto wire = protocol::encode_message(m);
   for (auto _ : state) {

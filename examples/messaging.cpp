@@ -74,7 +74,7 @@ int main() {
        fired6 = false;
   system.set_delivery_callback([&](NodeId receiver,
                                    const protocol::Message& m, sim::Time) {
-    const std::uint64_t id = m.payload >> 16;
+    const std::uint64_t id = m.payload() >> 16;
     if (id == 1 && receiver == cy && !fired2) {
       fired2 = true;
       system.publish_causal(cy, dev_room, pack(2, 1));

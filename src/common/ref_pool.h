@@ -1,0 +1,137 @@
+// Pooled intrusive reference counting for single-threaded hot objects.
+//
+// RefPtr<T> is a non-atomic intrusive smart pointer over a T deriving from
+// RefPooled<T>. When the last reference drops, the object is not freed: it
+// is reset via T::recycle() and parked on a per-type, per-thread free list,
+// so the next T::create(...) reuses the allocation — including any heap
+// capacity its members kept across clear(). A warm pool makes steady-state
+// create/share/release cycles perform zero heap allocations, which is what
+// lets the protocol share one payload block per published message across an
+// arbitrary delivery fan-out without ever touching the allocator.
+//
+// Single-threaded by design: refcounts are plain integers, the free list is
+// thread_local. The simulator and everything above it runs one trial per
+// thread and shares nothing mutable across threads (see bench::run_trials),
+// so an object is always created, shared, and released on one thread. The
+// free list owns its entries, so nothing parked there outlives the thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace decseq::common {
+
+template <typename T>
+class RefPtr {
+ public:
+  constexpr RefPtr() noexcept = default;
+  /// Adopts `p`, whose refcount already counts this reference.
+  explicit RefPtr(T* p) noexcept : p_(p) {}
+
+  RefPtr(const RefPtr& other) noexcept : p_(other.p_) {
+    if (p_ != nullptr) p_->ref_add();
+  }
+  RefPtr(RefPtr&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+
+  RefPtr& operator=(const RefPtr& other) noexcept {
+    if (this != &other) {
+      release();
+      p_ = other.p_;
+      if (p_ != nullptr) p_->ref_add();
+    }
+    return *this;
+  }
+  RefPtr& operator=(RefPtr&& other) noexcept {
+    if (this != &other) {
+      release();
+      p_ = other.p_;
+      other.p_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~RefPtr() { release(); }
+
+  void reset() noexcept {
+    release();
+    p_ = nullptr;
+  }
+
+  [[nodiscard]] T* get() const noexcept { return p_; }
+  [[nodiscard]] T& operator*() const noexcept { return *p_; }
+  [[nodiscard]] T* operator->() const noexcept { return p_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return p_ != nullptr;
+  }
+
+  friend bool operator==(const RefPtr& a, const RefPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+
+ private:
+  void release() noexcept {
+    if (p_ != nullptr && p_->ref_drop()) T::pool_return(p_);
+  }
+
+  T* p_ = nullptr;
+};
+
+/// CRTP base: refcount plus the per-type thread-local free list. `Derived`
+/// must expose (privately, befriending this base is enough):
+///  * a default constructor,
+///  * `void init(Args...)` — fill per-use state on (re)acquisition, and
+///  * `void recycle()` — drop per-use state but keep heap capacity.
+template <typename Derived>
+class RefPooled {
+ public:
+  /// Acquire a recycled (or freshly allocated) instance, refcount 1.
+  template <typename... Args>
+  [[nodiscard]] static RefPtr<Derived> create(Args&&... args) {
+    auto& pool = free_list();
+    Derived* p;
+    if (pool.empty()) {
+      p = new Derived();
+    } else {
+      p = pool.back().release();
+      pool.pop_back();
+    }
+    p->refs_ = 1;
+    p->init(std::forward<Args>(args)...);
+    return RefPtr<Derived>(p);
+  }
+
+  /// Instances parked on this thread's free list (bench/test visibility).
+  [[nodiscard]] static std::size_t pooled() { return free_list().size(); }
+  /// Free the parked instances (e.g. to re-measure warm-up behaviour).
+  static void trim_pool() { free_list().clear(); }
+
+  RefPooled(const RefPooled&) = delete;
+  RefPooled& operator=(const RefPooled&) = delete;
+
+ protected:
+  RefPooled() = default;
+  ~RefPooled() = default;
+
+ private:
+  friend class RefPtr<Derived>;
+
+  void ref_add() noexcept { ++refs_; }
+  [[nodiscard]] bool ref_drop() noexcept { return --refs_ == 0; }
+
+  static void pool_return(Derived* p) {
+    p->recycle();
+    free_list().emplace_back(p);
+  }
+
+  static std::vector<std::unique_ptr<Derived>>& free_list() {
+    thread_local std::vector<std::unique_ptr<Derived>> pool;
+    return pool;
+  }
+
+  std::uint32_t refs_ = 0;
+};
+
+}  // namespace decseq::common

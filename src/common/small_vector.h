@@ -1,0 +1,195 @@
+// Inline small-vector: a contiguous sequence with `N` elements of storage
+// inside the object, spilling to the heap only past that.
+//
+// The protocol's hot containers are bounded-but-variable: a message's stamp
+// list is bounded by its group's overlap degree (almost always <= 8), and
+// application bodies are usually tens of bytes. Keeping them inline makes a
+// Message a flat, allocation-free object that moves with a memcpy — the
+// std::vector versions paid one heap allocation per list per message per
+// hop. clear() keeps any heap capacity, so pooled objects that recycle a
+// SmallVector stay allocation-free even when their content once spilled.
+//
+// Only the operations the library needs; not a drop-in std::vector.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <utility>
+
+#include "common/check.h"
+
+namespace decseq::common {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      release_heap();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVector() {
+    destroy_all();
+    release_heap();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// True while the elements still live in the inline buffer.
+  [[nodiscard]] bool is_inline() const { return data_ == inline_data(); }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] iterator begin() { return data_; }
+  [[nodiscard]] iterator end() { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const { return data_; }
+  [[nodiscard]] const_iterator end() const { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    DECSEQ_CHECK(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    DECSEQ_CHECK(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) grow_to(wanted);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    DECSEQ_CHECK(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  /// Drops the elements but keeps the current storage (inline or heap), so
+  /// recycled owners refill without reallocating.
+  void clear() {
+    destroy_all();
+    size_ = 0;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    const auto count = static_cast<std::size_t>(std::distance(first, last));
+    reserve(count);
+    for (; first != last; ++first) {
+      ::new (static_cast<void*>(data_ + size_)) T(*first);
+      ++size_;
+    }
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() {
+    return reinterpret_cast<T*>(inline_storage_);
+  }
+  [[nodiscard]] const T* inline_data() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void destroy_all() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+
+  void release_heap() {
+    if (data_ != inline_data()) {
+      ::operator delete(data_);
+      data_ = inline_data();
+      capacity_ = N;
+    }
+  }
+
+  void grow_to(std::size_t wanted) {
+    const std::size_t new_capacity = std::max(wanted, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != inline_data()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  /// Move: steal the heap block when there is one, element-wise move
+  /// otherwise. `other` is left empty with inline storage either way.
+  void steal_from(SmallVector& other) noexcept {
+    if (!other.is_inline()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+    } else {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+    }
+    other.data_ = other.inline_data();
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace decseq::common

@@ -5,6 +5,7 @@ namespace decseq::protocol {
 namespace {
 constexpr std::uint8_t kMagic = 0xD5;
 constexpr std::uint8_t kVersion = 1;
+}  // namespace
 
 std::size_t varint_size(std::uint64_t value) {
   std::size_t bytes = 1;
@@ -14,7 +15,6 @@ std::size_t varint_size(std::uint64_t value) {
   }
   return bytes;
 }
-}  // namespace
 
 void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out) {
   while (value >= 0x80) {
@@ -48,18 +48,18 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
   out.reserve(encoded_size(m));
   out.push_back(kMagic);
   out.push_back(kVersion);
-  encode_varint(m.id.value(), out);
-  encode_varint(m.group.value(), out);
-  encode_varint(m.sender.value(), out);
+  encode_varint(m.id().value(), out);
+  encode_varint(m.group().value(), out);
+  encode_varint(m.sender().value(), out);
   encode_varint(m.group_seq, out);
-  encode_varint(m.payload, out);
+  encode_varint(m.payload(), out);
   encode_varint(m.stamps.size(), out);
   for (const Stamp& s : m.stamps) {
     encode_varint(s.atom.value(), out);
     encode_varint(s.seq, out);
   }
-  encode_varint(m.body.size(), out);
-  out.insert(out.end(), m.body.begin(), m.body.end());
+  encode_varint(m.body().size(), out);
+  out.insert(out.end(), m.body().begin(), m.body().end());
   return out;
 }
 
@@ -70,49 +70,55 @@ std::optional<Message> decode_message(const std::vector<std::uint8_t>& in) {
   std::size_t offset = 2;
   auto next = [&]() { return decode_varint(in, offset); };
 
-  Message m;
   const auto id = next(), group = next(), sender = next(), group_seq = next(),
              payload = next(), count = next();
   if (!id || !group || !sender || !group_seq || !payload || !count) {
     return std::nullopt;
   }
-  m.id = MsgId(static_cast<MsgId::underlying_type>(*id));
-  m.group = GroupId(static_cast<GroupId::underlying_type>(*group));
-  m.sender = NodeId(static_cast<NodeId::underlying_type>(*sender));
-  m.group_seq = *group_seq;
-  m.payload = *payload;
   // Bound the stamp count by the remaining bytes (each stamp is >= 2
   // bytes) so a corrupt count cannot trigger a huge allocation.
   if (*count > (in.size() - offset) / 2 + 1) return std::nullopt;
-  m.stamps.reserve(*count);
+  StampVec stamps;
+  stamps.reserve(*count);
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto atom = next(), seq = next();
     if (!atom || !seq) return std::nullopt;
-    m.stamps.push_back(
+    stamps.push_back(
         {AtomId(static_cast<AtomId::underlying_type>(*atom)), *seq});
   }
   const auto body_size = next();
   if (!body_size || *body_size > in.size() - offset) return std::nullopt;
-  m.body.assign(in.begin() + static_cast<long>(offset),
-                in.begin() + static_cast<long>(offset + *body_size));
+  std::vector<std::uint8_t> body(
+      in.begin() + static_cast<long>(offset),
+      in.begin() + static_cast<long>(offset + *body_size));
   offset += *body_size;
   if (offset != in.size()) return std::nullopt;  // trailing garbage
-  return m;
+  return Message::make(
+      {.id = MsgId(static_cast<MsgId::underlying_type>(*id)),
+       .group = GroupId(static_cast<GroupId::underlying_type>(*group)),
+       .sender = NodeId(static_cast<NodeId::underlying_type>(*sender)),
+       .group_seq = *group_seq,
+       .payload = *payload,
+       .body = std::move(body)},
+      std::move(stamps));
 }
 
 std::size_t encoded_size(const Message& m) {
   std::size_t size = 2;  // magic + version
-  size += varint_size(m.id.value());
-  size += varint_size(m.group.value());
-  size += varint_size(m.sender.value());
-  size += varint_size(m.group_seq);
-  size += varint_size(m.payload);
-  size += varint_size(m.stamps.size());
+  size += varint_size(m.id().value());
+  size += varint_size(m.payload());
+  size += wire_ordering_header_bytes(m);
+  size += varint_size(m.body().size()) + m.body().size();
+  return size;
+}
+
+std::size_t wire_ordering_header_bytes(const Message& m) {
+  std::size_t size = varint_size(m.group().value()) +
+                     varint_size(m.sender().value()) +
+                     varint_size(m.group_seq) + varint_size(m.stamps.size());
   for (const Stamp& s : m.stamps) {
-    size += varint_size(s.atom.value());
-    size += varint_size(s.seq);
+    size += varint_size(s.atom.value()) + varint_size(s.seq);
   }
-  size += varint_size(m.body.size()) + m.body.size();
   return size;
 }
 

@@ -9,6 +9,7 @@
 //   msg id, group, sender, group_seq, payload      (varints)
 //   stamp count                                    (varint)
 //   per stamp: atom id, sequence number            (varints)
+//   body length, body bytes                        (varint + raw)
 //
 // decode() validates magic/version/truncation and rejects trailing bytes,
 // so a corrupted buffer fails loudly instead of yielding a plausible
@@ -31,7 +32,10 @@ void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::optional<std::uint64_t> decode_varint(
     const std::vector<std::uint8_t>& in, std::size_t& offset);
 
-/// Serialize a message (ordering header + payload tag).
+/// Bytes encode_varint() would emit for `value`.
+[[nodiscard]] std::size_t varint_size(std::uint64_t value);
+
+/// Serialize a message (ordering header + payload tag + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& m);
 
 /// Parse a buffer produced by encode_message. Returns nullopt for any
@@ -42,5 +46,12 @@ void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out);
 
 /// Exact encoded size without materializing the buffer.
 [[nodiscard]] std::size_t encoded_size(const Message& m);
+
+/// Actual wire bytes this codec spends on the ordering header — the varint
+/// encodings of group id, sender, group sequence number, stamp count and
+/// stamps. The *wire* counterpart of message.h's fixed-width *nominal*
+/// ordering_header_bytes(); varints make it smaller for the dense small ids
+/// and early sequence numbers real runs produce (codec test pins this).
+[[nodiscard]] std::size_t wire_ordering_header_bytes(const Message& m);
 
 }  // namespace decseq::protocol

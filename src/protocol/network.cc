@@ -3,8 +3,39 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/ref_pool.h"
 
 namespace decseq::protocol {
+
+namespace {
+
+/// Pooled shared wrapper around a finalized message, so a fan-out over N
+/// subscribers schedules N events that each capture {this, receiver, ref}
+/// (24 bytes, well inside the simulator's inline-callback buffer) instead
+/// of N deep copies of the stamp list and body into N heap-spilled
+/// lambdas. The header inside is immutable from here on — sequencing is
+/// complete once distribute() runs.
+class SharedMessage : public common::RefPooled<SharedMessage> {
+ public:
+  [[nodiscard]] const Message& message() const { return message_; }
+
+ private:
+  friend class common::RefPooled<SharedMessage>;
+
+  SharedMessage() = default;
+
+  void init(Message&& m) { message_ = std::move(m); }
+
+  void recycle() {
+    message_.data.reset();
+    message_.stamps.clear();  // keeps any spilled stamp capacity
+    message_.group_seq = 0;
+  }
+
+  Message message_;
+};
+
+}  // namespace
 
 SequencingNetwork::SequencingNetwork(
     sim::Simulator& sim, Rng& rng, const seqgraph::SequencingGraph& graph,
@@ -23,6 +54,7 @@ SequencingNetwork::SequencingNetwork(
       oracle_(&oracle),
       options_(options),
       atom_state_(graph.num_atoms()),
+      receivers_(membership.num_nodes()),
       seqnode_load_(colocation.num_nodes(), 0),
       node_down_(colocation.num_nodes(), false),
       physical_network_(physical_network) {
@@ -58,14 +90,13 @@ SequencingNetwork::SequencingNetwork(
     const NodeId node(static_cast<NodeId::underlying_type>(n));
     std::vector<GroupId> subs = membership.groups_of(node);
     if (subs.empty()) continue;
-    receivers_.emplace(
-        node, std::make_unique<Receiver>(
-                  node, std::move(subs), relevant_atoms_for(node, graph),
-                  [this, node](const Message& m, sim::Time at) {
-                    tracer_.record({TraceEvent::Kind::kDelivered, m.id, at,
-                                    AtomId{}, SeqNodeId{}, node, 0});
-                    if (on_delivery_) on_delivery_(node, m, at);
-                  }));
+    receivers_[n] = std::make_unique<Receiver>(
+        node, std::move(subs), relevant_atoms_for(node, graph),
+        [this, node](const Message& m, sim::Time at) {
+          tracer_.record({TraceEvent::Kind::kDelivered, m.id(), at, AtomId{},
+                          SeqNodeId{}, node, 0});
+          if (on_delivery_) on_delivery_(node, m, at);
+        });
   }
 }
 
@@ -100,14 +131,11 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
   const MsgId id(static_cast<MsgId::underlying_type>(records_.size()));
   records_.push_back({sender, group, sim_->now(), std::nullopt, 0, 0});
 
-  Message message;
-  message.id = id;
-  message.group = group;
-  message.sender = sender;
-  message.sent_at = sim_->now();
-  message.payload = payload;
-  message.body = std::move(body);
-  message.is_fin = is_fin;
+  // The one payload copy of the message's lifetime: publish bytes into the
+  // shared block. Everything downstream passes the reference around.
+  PayloadRef block = PayloadBlock::create(id, group, sender, sim_->now(),
+                                          payload, body.data(), body.size(),
+                                          is_fin);
   tracer_.record({TraceEvent::Kind::kPublished, id, sim_->now(), AtomId{},
                   SeqNodeId{}, sender, 0});
 
@@ -117,37 +145,41 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
   // The ingress leg needs no inter-sequencer FIFO machinery: a constant
   // per-pair delay preserves each sender's send order, and the ingress
   // sequencer defines the global order on arrival.
-  sim_->schedule_after(delay, [this, ingress, message = std::move(message)] {
-    arrive_at_ingress(ingress, message);
+  sim_->schedule_after(delay, [this, ingress, block = std::move(block)] {
+    arrive_at_ingress(ingress, block);
   });
   return id;
 }
 
-void SequencingNetwork::arrive_at_ingress(AtomId ingress, Message message) {
+void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload) {
   const SeqNodeId node = colocation_->node_of(ingress);
   if (node_down_[node.value()]) {
     // Publisher retry: try again after the retransmission timeout.
     sim_->schedule_after(options_.channel.retransmit_timeout_ms,
-                         [this, ingress, message = std::move(message)] {
-                           arrive_at_ingress(ingress, message);
+                         [this, ingress, payload = std::move(payload)] {
+                           arrive_at_ingress(ingress, payload);
                          });
     return;
   }
   AtomState& ingress_state = atom_state_[ingress.value()];
-  if (ingress_state.closed_ingress.contains(message.group)) {
+  const GroupId group = payload->group();
+  if (ingress_state.closed_ingress.contains(group)) {
     // The FIN beat this message to the ingress: the group's sequence space
     // is closed and the publish is rejected (paper §3.2: the termination
     // message signifies the *end* of the sequence space).
-    DECSEQ_CHECK(!message.is_fin);
-    records_[message.id.value()].rejected = true;
+    DECSEQ_CHECK(!payload->is_fin());
+    records_[payload->id().value()].rejected = true;
     return;
   }
-  if (message.is_fin) ingress_state.closed_ingress.insert(message.group);
+  if (payload->is_fin()) ingress_state.closed_ingress.insert(group);
   ++seqnode_load_[node.value()];
-  // Ingress: assign the group-local sequence number (paper §3.1).
-  auto& counter = ingress_state.next_group_seq.at(message.group);
+  // Ingress: assign the group-local sequence number (paper §3.1). Only now
+  // does the message grow its mutable ordering header.
+  auto& counter = ingress_state.next_group_seq.at(group);
+  Message message;
+  message.data = std::move(payload);
   message.group_seq = counter++;
-  tracer_.record({TraceEvent::Kind::kIngress, message.id, sim_->now(),
+  tracer_.record({TraceEvent::Kind::kIngress, message.id(), sim_->now(),
                   ingress, node, NodeId{}, message.group_seq});
   handle_at_atom(ingress, std::move(message));
 }
@@ -211,29 +243,29 @@ void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
   // carrying this atom's stamp, and a post-FIN message of the surviving
   // group would then share no sequencer with it — two overlap members
   // could order the pair differently (found by the chaos property test).
-  if (graph_->atom(atom).stamps(message.group)) {
+  if (graph_->atom(atom).stamps(message.group())) {
     message.stamps.push_back({atom, state.next_overlap_seq++});
-    tracer_.record({TraceEvent::Kind::kStamped, message.id, sim_->now(),
+    tracer_.record({TraceEvent::Kind::kStamped, message.id(), sim_->now(),
                     atom, colocation_->node_of(atom), NodeId{},
                     message.stamps.back().seq});
   } else if (tracer_.enabled()) {
-    tracer_.record({TraceEvent::Kind::kTransited, message.id, sim_->now(),
+    tracer_.record({TraceEvent::Kind::kTransited, message.id(), sim_->now(),
                     atom, colocation_->node_of(atom), NodeId{}, 0});
   }
   // Mark the atom retired when the FIN passes (diagnostics; actual removal
   // happens at the next rebuild).
-  if (message.is_fin && graph_->atom(atom).stamps(message.group)) {
+  if (message.is_fin() && graph_->atom(atom).stamps(message.group())) {
     state.retired = true;
   }
-  const auto next = state.next_hop.find(message.group);
+  const auto next = state.next_hop.find(message.group());
   if (next == state.next_hop.end()) {
     distribute(atom, std::move(message));
   } else {
     const AtomId next_atom = next->second;
-    if (message.is_fin) {
+    if (message.is_fin()) {
       // Drop the dead group's forwarding state behind the FIN.
-      state.next_hop.erase(message.group);
-      atom_state_[next_atom.value()].prev_hop.erase(message.group);
+      state.next_hop.erase(message.group());
+      atom_state_[next_atom.value()].prev_hop.erase(message.group());
     }
     forward(atom, next_atom, std::move(message));
   }
@@ -246,7 +278,7 @@ void SequencingNetwork::forward(AtomId from, AtomId to, Message message) {
   const SeqNodeId to_node = colocation_->node_of(to);
   if (from_node != to_node) {
     ++seqnode_load_[to_node.value()];
-    tracer_.record({TraceEvent::Kind::kForwarded, message.id, sim_->now(),
+    tracer_.record({TraceEvent::Kind::kForwarded, message.id(), sim_->now(),
                     from, to_node, NodeId{}, 0});
   }
   const auto it = channels_.find({from, to});
@@ -255,62 +287,79 @@ void SequencingNetwork::forward(AtomId from, AtomId to, Message message) {
   it->second->send(std::move(message));
 }
 
-void SequencingNetwork::distribute(AtomId last_atom, Message message) {
-  MessageRecord& rec = records_[message.id.value()];
-  rec.exited_at = sim_->now();
-  rec.stamps = message.stamps.size();
-  rec.header_bytes = ordering_header_bytes(message);
-  tracer_.record({TraceEvent::Kind::kExited, message.id, sim_->now(),
-                  last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
+SequencingNetwork::FanOutPlan& SequencingNetwork::fanout_plan(
+    GroupId group, AtomId last_atom) {
+  const auto gv = group.value();
+  if (gv >= fanout_plans_.size()) fanout_plans_.resize(gv + 1);
+  auto& slot = fanout_plans_[gv];
+  if (slot != nullptr) return *slot;
 
+  slot = std::make_unique<FanOutPlan>();
   const RouterId egress = machine_of_atom(last_atom);
   if (options_.tree_distribution) {
     // One copy flows down the group's shortest-path delivery tree; members
     // hear it at their unicast delay, the network carries far fewer copies.
-    auto& tree = distribution_trees_[message.group];
-    if (tree == nullptr) {
-      std::vector<RouterId> destinations;
-      for (const NodeId member : membership_->members(message.group)) {
-        destinations.push_back(hosts_->router_of(member));
-      }
-      tree = std::make_unique<topology::MulticastTree>(*physical_network_,
-                                                       egress, destinations);
+    std::vector<RouterId> destinations;
+    for (const NodeId member : membership_->members(group)) {
+      destinations.push_back(hosts_->router_of(member));
     }
-    distribution_stress_.add_tree(*tree);
-    for (const NodeId member : membership_->members(message.group)) {
-      const double delay = tree->delay_to(hosts_->router_of(member));
-      sim_->schedule_after(delay, [this, member, message] {
-        receivers_.at(member)->receive(message, sim_->now());
-      });
-    }
-    return;
+    slot->tree = std::make_unique<topology::MulticastTree>(*physical_network_,
+                                                           egress,
+                                                           destinations);
   }
-  for (const NodeId member : membership_->members(message.group)) {
-    const double delay =
-        oracle_->distance(egress, hosts_->router_of(member));
-    sim_->schedule_after(delay, [this, member, message] {
-      receivers_.at(member)->receive(message, sim_->now());
-    });
+  for (const NodeId member : membership_->members(group)) {
+    const RouterId router = hosts_->router_of(member);
+    const double delay = slot->tree != nullptr
+                             ? slot->tree->delay_to(router)
+                             : oracle_->distance(egress, router);
+    Receiver* receiver = receivers_[member.value()].get();
+    DECSEQ_CHECK_MSG(receiver != nullptr,
+                     "group member " << member << " has no receiver");
+    slot->targets.push_back({receiver, delay});
+  }
+  return *slot;
+}
+
+void SequencingNetwork::distribute(AtomId last_atom, Message message) {
+  MessageRecord& rec = records_[message.id().value()];
+  rec.exited_at = sim_->now();
+  rec.stamps = message.stamps.size();
+  rec.header_bytes = ordering_header_bytes(message);
+  tracer_.record({TraceEvent::Kind::kExited, message.id(), sim_->now(),
+                  last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
+
+  FanOutPlan& plan = fanout_plan(message.group(), last_atom);
+  if (plan.tree != nullptr) distribution_stress_.add_tree(*plan.tree);
+  // The sequencing path is complete: freeze the message and share one copy
+  // across the whole fan-out.
+  auto shared = SharedMessage::create(std::move(message));
+  for (const FanOutTarget& target : plan.targets) {
+    sim_->schedule_after(target.delay,
+                         [this, receiver = target.receiver, shared] {
+                           receiver->receive(shared->message(), sim_->now());
+                         });
   }
 }
 
 std::size_t SequencingNetwork::deliveries(NodeId node) const {
-  const auto it = receivers_.find(node);
-  return it == receivers_.end() ? 0 : it->second->delivered();
+  if (!node.valid() || node.value() >= receivers_.size()) return 0;
+  const auto& receiver = receivers_[node.value()];
+  return receiver == nullptr ? 0 : receiver->delivered();
 }
 
 std::size_t SequencingNetwork::buffered_at_receivers() const {
   std::size_t total = 0;
-  for (const auto& [node, receiver] : receivers_) {
-    total += receiver->buffered();
+  for (const auto& receiver : receivers_) {
+    if (receiver != nullptr) total += receiver->buffered();
   }
   return total;
 }
 
 const Receiver& SequencingNetwork::receiver(NodeId node) const {
-  const auto it = receivers_.find(node);
-  DECSEQ_CHECK_MSG(it != receivers_.end(), "node " << node << " has no receiver");
-  return *it->second;
+  DECSEQ_CHECK_MSG(node.valid() && node.value() < receivers_.size() &&
+                       receivers_[node.value()] != nullptr,
+                   "node " << node << " has no receiver");
+  return *receivers_[node.value()];
 }
 
 }  // namespace decseq::protocol

@@ -181,14 +181,33 @@ class SequencingNetwork {
     std::unordered_set<GroupId> closed_ingress;
   };
 
+  /// One distribution-leg destination: the member's receiver and its
+  /// propagation delay from the group's egress machine.
+  struct FanOutTarget {
+    Receiver* receiver;
+    double delay;
+  };
+  /// Per-group distribution plan, computed once per membership epoch (the
+  /// membership snapshot is immutable for the network's lifetime): the
+  /// resolved (receiver, delay) list, plus the delivery tree in tree mode
+  /// so per-message stress accounting keeps working. Saves a membership
+  /// walk, router lookups, and distance/tree queries on every message.
+  struct FanOutPlan {
+    std::vector<FanOutTarget> targets;
+    std::unique_ptr<topology::MulticastTree> tree;
+  };
+
   void handle_at_atom(AtomId atom, Message message);
   MsgId inject(NodeId sender, GroupId group, std::uint64_t payload,
                std::vector<std::uint8_t> body, bool is_fin);
   /// Ingress-leg arrival; retries while the ingress machine is down
-  /// (publisher retry, mirroring the channels' retransmission).
-  void arrive_at_ingress(AtomId ingress, Message message);
+  /// (publisher retry, mirroring the channels' retransmission). Takes the
+  /// shared payload block: the ordering header does not exist until the
+  /// ingress sequencer assigns the group sequence number here.
+  void arrive_at_ingress(AtomId ingress, PayloadRef payload);
   void forward(AtomId from, AtomId to, Message message);
   void distribute(AtomId last_atom, Message message);
+  [[nodiscard]] FanOutPlan& fanout_plan(GroupId group, AtomId last_atom);
   [[nodiscard]] double machine_distance(AtomId a, AtomId b);
   [[nodiscard]] RouterId machine_of_atom(AtomId a) const;
 
@@ -217,16 +236,15 @@ class SequencingNetwork {
   std::unordered_map<std::pair<AtomId, AtomId>,
                      std::unique_ptr<sim::Channel<Message>>, EdgeHash>
       channels_;
-  std::unordered_map<NodeId, std::unique_ptr<Receiver>> receivers_;
+  /// Receivers indexed by node id value; null for non-subscribers.
+  std::vector<std::unique_ptr<Receiver>> receivers_;
   std::unordered_set<GroupId> terminated_groups_;
   std::vector<MessageRecord> records_;
   std::vector<std::size_t> seqnode_load_;
   std::vector<bool> node_down_;
   Tracer tracer_;
-  /// Cached distribution trees per group (tree mode), rooted at the
-  /// group's egress machine.
-  std::unordered_map<GroupId, std::unique_ptr<topology::MulticastTree>>
-      distribution_trees_;
+  /// Lazily built distribution plans indexed by group id value.
+  std::vector<std::unique_ptr<FanOutPlan>> fanout_plans_;
   topology::LinkStress distribution_stress_;
   const topology::Graph* physical_network_ = nullptr;
   DeliveryFn on_delivery_;

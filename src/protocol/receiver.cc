@@ -10,78 +10,145 @@ Receiver::Receiver(NodeId node, std::vector<GroupId> subscriptions,
                    std::vector<AtomId> relevant_atoms, DeliverFn on_deliver)
     : node_(node), on_deliver_(std::move(on_deliver)) {
   DECSEQ_CHECK(on_deliver_ != nullptr);
-  for (const GroupId g : subscriptions) next_group_[g] = 1;
-  for (const AtomId a : relevant_atoms) next_atom_[a] = 1;
-}
-
-std::vector<Stamp> Receiver::relevant_stamps(const Message& message) const {
-  std::vector<Stamp> relevant;
-  for (const Stamp& s : message.stamps) {
-    if (next_atom_.contains(s.atom)) relevant.push_back(s);
-  }
-  return relevant;
+  auto claim_slot = [this](std::vector<std::int32_t>& slots,
+                           std::uint32_t id_value) {
+    if (id_value >= slots.size()) slots.resize(id_value + 1, -1);
+    if (slots[id_value] >= 0) return;  // duplicate in the input list
+    slots[id_value] = static_cast<std::int32_t>(next_.size());
+    next_.push_back(1);
+  };
+  for (const GroupId g : subscriptions) claim_slot(group_slot_, g.value());
+  for (const AtomId a : relevant_atoms) claim_slot(atom_slot_, a.value());
+  closed_.resize(next_.size(), false);
+  waiting_.resize(next_.size());
 }
 
 bool Receiver::deliverable(const Message& message) const {
-  const auto git = next_group_.find(message.group);
-  DECSEQ_CHECK_MSG(git != next_group_.end(),
-                   "node " << node_ << " got message for unsubscribed group "
-                           << message.group);
+  const std::int32_t gs = group_slot(message.group());
+  DECSEQ_CHECK_MSG(gs >= 0, "node " << node_
+                                    << " got message for unsubscribed group "
+                                    << message.group());
   DECSEQ_CHECK_MSG(message.group_seq != 0, "message missing group sequence");
-  if (message.group_seq != git->second) return false;
+  if (message.group_seq != next_[static_cast<std::size_t>(gs)]) return false;
   for (const Stamp& s : message.stamps) {
-    const auto ait = next_atom_.find(s.atom);
-    if (ait == next_atom_.end()) continue;  // not relevant to this node
+    const std::int32_t as = atom_slot(s.atom);
+    if (as < 0) continue;  // not relevant to this node
     DECSEQ_CHECK_MSG(s.seq != 0, "unset stamp from atom " << s.atom);
-    if (s.seq != ait->second) return false;
+    if (s.seq != next_[static_cast<std::size_t>(as)]) return false;
   }
   return true;
 }
 
+std::pair<std::int32_t, SeqNo> Receiver::first_blocker(
+    const Message& message) const {
+  const std::int32_t gs = group_slot(message.group());
+  if (message.group_seq != next_[static_cast<std::size_t>(gs)]) {
+    return {gs, message.group_seq};
+  }
+  for (const Stamp& s : message.stamps) {
+    const std::int32_t as = atom_slot(s.atom);
+    if (as >= 0 && s.seq != next_[static_cast<std::size_t>(as)]) {
+      return {as, s.seq};
+    }
+  }
+  return {-1, 0};
+}
+
 void Receiver::receive(const Message& message, sim::Time now) {
-  DECSEQ_CHECK_MSG(!closed_groups_.contains(message.group),
-                   "message for group " << message.group
+  const std::int32_t gs = group_slot(message.group());
+  DECSEQ_CHECK_MSG(!(gs >= 0 && closed_[static_cast<std::size_t>(gs)]),
+                   "message for group " << message.group()
                                         << " after its FIN at node " << node_);
   if (!deliverable(message)) {
-    pending_.push_back({message, now});
-    max_buffered_ = std::max(max_buffered_, pending_.size());
+    park(message, now);
     return;
   }
   deliver(message, now);
-  drain(now);
+  process_ready(now);
+}
+
+void Receiver::park(const Message& message, sim::Time now) {
+  std::uint32_t idx;
+  if (free_slots_.empty()) {
+    idx = static_cast<std::uint32_t>(pending_.size());
+    pending_.push_back({message, now, kNone});
+  } else {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+    pending_[idx].message = message;  // shares the payload block
+    pending_[idx].arrived_at = now;
+    pending_[idx].next = kNone;
+  }
+  ++buffered_count_;
+  max_buffered_ = std::max(max_buffered_, buffered_count_);
+  index_waiter(idx);
+}
+
+void Receiver::index_waiter(std::uint32_t idx) {
+  const auto [slot, seq] = first_blocker(pending_[idx].message);
+  DECSEQ_CHECK(slot >= 0);  // callers only park non-deliverable messages
+  const auto [it, inserted] =
+      waiting_[static_cast<std::size_t>(slot)].try_emplace(seq, idx);
+  if (inserted) {
+    pending_[idx].next = kNone;
+  } else {
+    pending_[idx].next = it->second;  // chain behind the existing waiter
+    it->second = idx;
+  }
+  // A required value already below the counter can never match again: the
+  // waiter stays parked forever, exactly like the seed's fixpoint scan that
+  // never found it deliverable.
+}
+
+void Receiver::advance(std::int32_t slot) {
+  auto& counter = next_[static_cast<std::size_t>(slot)];
+  ++counter;
+  auto& index = waiting_[static_cast<std::size_t>(slot)];
+  const auto it = index.find(counter);
+  if (it == index.end()) return;
+  // Detach the whole chain into the ready queue; each entry re-checks its
+  // remaining counters there.
+  std::uint32_t idx = it->second;
+  index.erase(it);
+  while (idx != kNone) {
+    const std::uint32_t next = pending_[idx].next;
+    pending_[idx].next = kNone;
+    ready_.push_back(idx);
+    idx = next;
+  }
 }
 
 void Receiver::deliver(const Message& message, sim::Time now) {
-  // Advance every counter this message was holding.
-  ++next_group_[message.group];
+  // Advance every counter this message was holding; each advance wakes the
+  // waiters indexed under the counter's new value.
+  const std::int32_t gs = group_slot(message.group());
+  advance(gs);
   for (const Stamp& s : message.stamps) {
-    const auto it = next_atom_.find(s.atom);
-    if (it != next_atom_.end()) {
-      DECSEQ_CHECK(it->second == s.seq);
-      ++it->second;
+    const std::int32_t as = atom_slot(s.atom);
+    if (as >= 0) {
+      DECSEQ_CHECK(next_[static_cast<std::size_t>(as)] == s.seq);
+      advance(as);
     }
   }
-  if (message.is_fin) closed_groups_.insert(message.group);
+  if (message.is_fin()) closed_[static_cast<std::size_t>(gs)] = true;
   ++delivered_count_;
   on_deliver_(message, now);
 }
 
-void Receiver::drain(sim::Time now) {
-  // Delivering one message can unblock others; iterate to fixpoint. The
-  // pending list is tiny in practice (messages delayed by in-flight gaps).
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (deliverable(it->message)) {
-        Pending p = std::move(*it);
-        pending_.erase(it);
-        total_buffer_wait_ += now - p.arrived_at;
-        deliver(p.message, now);
-        progressed = true;
-        break;
-      }
+void Receiver::process_ready(sim::Time now) {
+  while (!ready_.empty()) {
+    const std::uint32_t idx = ready_.front();
+    ready_.pop_front();
+    if (!deliverable(pending_[idx].message)) {
+      index_waiter(idx);  // woken but still blocked on a later counter
+      continue;
     }
+    Message message = std::move(pending_[idx].message);
+    total_buffer_wait_ += now - pending_[idx].arrived_at;
+    --buffered_count_;
+    pending_[idx].message = Message{};  // release the payload reference
+    free_slots_.push_back(idx);
+    deliver(message, now);  // may push more ready waiters
   }
 }
 

@@ -60,17 +60,17 @@ void PubSubSystem::rebuild() {
       *oracle_, config_.network, &net_graph_);
   network_->set_delivery_callback(
       [this](NodeId receiver, const protocol::Message& m, sim::Time at) {
-        if (m.is_fin) return;  // control message: closes the group quietly
-        log_.push_back({receiver, MsgId(epoch_base_ + m.id.value()), m.group,
-                        m.sender, m.payload, m.sent_at, at});
+        if (m.is_fin()) return;  // control message: closes the group quietly
+        log_.push_back({receiver, MsgId(epoch_base_ + m.id().value()),
+                        m.group(), m.sender(), m.payload(), m.sent_at(), at});
         if (user_callback_) user_callback_(receiver, m, at);
         // A sender receiving its own message back releases its next queued
         // causal publish.
-        if (receiver == m.sender) {
-          const auto it = causal_.find(m.sender);
-          if (it != causal_.end() && it->second.in_flight == m.id) {
+        if (receiver == m.sender()) {
+          const auto it = causal_.find(m.sender());
+          if (it != causal_.end() && it->second.in_flight == m.id()) {
             it->second.in_flight.reset();
-            pump_causal_queue(m.sender);
+            pump_causal_queue(m.sender());
           }
         }
       });

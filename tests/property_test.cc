@@ -160,7 +160,7 @@ TEST_P(EndToEndProperty, ReactivePublishesPreserveCausality) {
   std::set<std::uint64_t> fired;
   system.set_delivery_callback(
       [&](NodeId receiver, const protocol::Message& m, sim::Time) {
-        const std::uint64_t k = m.payload;
+        const std::uint64_t k = m.payload();
         if (k < relays.size() && receiver == relays[k] &&
             fired.insert(k).second) {
           const GroupId target = (k % 2 == 0) ? g1 : g0;

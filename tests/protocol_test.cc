@@ -16,14 +16,18 @@ using test::G;
 using test::N;
 
 Message make_msg(unsigned id, GroupId g, SeqNo group_seq,
-                 std::vector<Stamp> stamps = {}) {
-  Message m;
-  m.id = MsgId(id);
-  m.group = g;
-  m.sender = N(0);
-  m.group_seq = group_seq;
-  m.stamps = std::move(stamps);
-  return m;
+                 StampVec stamps = {}) {
+  return Message::make(
+      {.id = MsgId(id), .group = g, .sender = N(0), .group_seq = group_seq},
+      std::move(stamps));
+}
+
+Message make_fin(unsigned id, GroupId g, SeqNo group_seq) {
+  return Message::make({.id = MsgId(id),
+                        .group = g,
+                        .sender = N(0),
+                        .group_seq = group_seq,
+                        .is_fin = true});
 }
 
 TEST(MessageFormat, HeaderBytesGrowWithStamps) {
@@ -48,7 +52,7 @@ class ReceiverTest : public ::testing::Test {
   Receiver make(std::vector<GroupId> subs, std::vector<AtomId> atoms) {
     return Receiver(N(1), std::move(subs), std::move(atoms),
                     [this](const Message& m, sim::Time) {
-                      delivered_.push_back(m.id);
+                      delivered_.push_back(m.id());
                     });
   }
 };
@@ -118,6 +122,69 @@ TEST_F(ReceiverTest, MultipleRelevantStampsAllMustMatch) {
   // The message occupying Q2 seq 1 arrives (to G2, only stamped by Q2).
   r.receive(make_msg(2, G(2), 1, {{AtomId(2), 1}}), 0.0);
   EXPECT_EQ(delivered_, (std::vector<MsgId>{MsgId(2), MsgId(1)}));
+}
+
+TEST_F(ReceiverTest, MaxBufferedRecordsPeakNotCurrent) {
+  Receiver r = make({G(0)}, {});
+  r.receive(make_msg(4, G(0), 4), 0.0);
+  r.receive(make_msg(3, G(0), 3), 0.0);
+  r.receive(make_msg(2, G(0), 2), 0.0);
+  EXPECT_EQ(r.buffered(), 3u);
+  r.receive(make_msg(1, G(0), 1), 0.0);  // releases the whole chain
+  EXPECT_EQ(r.buffered(), 0u);
+  EXPECT_EQ(r.max_buffered(), 3u) << "the peak must survive the drain";
+  EXPECT_EQ(delivered_.size(), 4u);
+}
+
+TEST_F(ReceiverTest, CascadeReleasesChainInSequenceOrder) {
+  // Waiters parked in reverse arrival order must still come out of the
+  // cascade strictly by sequence number.
+  Receiver r = make({G(0)}, {});
+  for (unsigned seq = 5; seq >= 2; --seq) {
+    r.receive(make_msg(seq, G(0), seq), 0.0);
+  }
+  EXPECT_TRUE(delivered_.empty());
+  r.receive(make_msg(1, G(0), 1), 0.0);
+  EXPECT_EQ(delivered_, (std::vector<MsgId>{MsgId(1), MsgId(2), MsgId(3),
+                                            MsgId(4), MsgId(5)}));
+}
+
+TEST_F(ReceiverTest, WokenWaiterReparksOnLaterCounter) {
+  // Blocked on both its group counter and a relevant stamp: filling the
+  // group gap wakes it, it re-parks on the stamp, and the stamp's advance
+  // finally delivers it. Throughout, it occupies one buffer slot and its
+  // wait clock runs from the original arrival.
+  Receiver r = make({G(0), G(1)}, {AtomId(7)});
+  r.receive(make_msg(9, G(0), 2, {{AtomId(7), 2}}), 0.0);
+  EXPECT_EQ(r.buffered(), 1u);
+  r.receive(make_msg(1, G(0), 1), 5.0);  // fills the group gap only
+  EXPECT_EQ(delivered_, (std::vector<MsgId>{MsgId(1)}));
+  EXPECT_EQ(r.buffered(), 1u) << "still blocked on the Q7 stamp";
+  r.receive(make_msg(2, G(1), 1, {{AtomId(7), 1}}), 8.0);
+  EXPECT_EQ(delivered_,
+            (std::vector<MsgId>{MsgId(1), MsgId(2), MsgId(9)}));
+  EXPECT_EQ(r.buffered(), 0u);
+  EXPECT_EQ(r.max_buffered(), 1u) << "a re-park is not a second park";
+  EXPECT_DOUBLE_EQ(r.total_buffer_wait(), 8.0);  // parked 0.0 -> 8.0
+}
+
+TEST_F(ReceiverTest, MessageAfterFinThrows) {
+  Receiver r = make({G(0)}, {});
+  r.receive(make_fin(1, G(0), 1), 0.0);
+  EXPECT_TRUE(r.group_closed(G(0)));
+  EXPECT_THROW(r.receive(make_msg(2, G(0), 2), 0.0), CheckFailure);
+}
+
+TEST_F(ReceiverTest, BufferedFinClosesGroupOnlyAfterCascade) {
+  // A FIN that arrives early parks like any message; the group closes
+  // when the cascade actually delivers it, not on arrival.
+  Receiver r = make({G(0)}, {});
+  r.receive(make_fin(3, G(0), 3), 0.0);
+  r.receive(make_msg(2, G(0), 2), 0.0);
+  EXPECT_FALSE(r.group_closed(G(0)));
+  r.receive(make_msg(1, G(0), 1), 0.0);
+  EXPECT_TRUE(r.group_closed(G(0)));
+  EXPECT_EQ(delivered_.size(), 3u);
 }
 
 TEST(RelevantAtoms, ComputedFromOverlapMembership) {

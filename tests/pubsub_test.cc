@@ -99,7 +99,7 @@ TEST(PubSub, CausalChainAcrossGroups) {
   bool reacted = false;
   system.set_delivery_callback(
       [&](NodeId receiver, const protocol::Message& m, sim::Time) {
-        if (receiver == N(1) && m.payload == 1 && !reacted) {
+        if (receiver == N(1) && m.payload() == 1 && !reacted) {
           reacted = true;
           system.publish(N(1), g1, 2);
         }
@@ -196,7 +196,8 @@ TEST(PubSub, BodyBytesReachDeliveryCallbacks) {
   std::size_t seen = 0;
   system.set_delivery_callback(
       [&](NodeId, const protocol::Message& m, sim::Time) {
-        EXPECT_EQ(m.body, body);
+        EXPECT_EQ(std::vector<std::uint8_t>(m.body().begin(), m.body().end()),
+                  body);
         ++seen;
       });
   system.publish(N(0), g, 1, body);

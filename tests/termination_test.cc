@@ -170,12 +170,8 @@ TEST(Termination, BufferWaitStatsAccumulate) {
                          ++delivered;
                        });
   auto msg = [](unsigned id, SeqNo seq) {
-    protocol::Message m;
-    m.id = MsgId(id);
-    m.group = G(0);
-    m.sender = N(1);
-    m.group_seq = seq;
-    return m;
+    return protocol::Message::make(
+        {.id = MsgId(id), .group = G(0), .sender = N(1), .group_seq = seq});
   };
   r.receive(msg(3, 3), /*now=*/10.0);  // early: buffered
   r.receive(msg(2, 2), /*now=*/20.0);  // still blocked on seq 1

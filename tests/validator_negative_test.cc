@@ -147,14 +147,10 @@ TEST(Fig2a, CircularStampsDeadlockReceiverB) {
                        [&](const protocol::Message&, sim::Time) {
                          ++delivered;
                        });
-  auto msg = [](unsigned id, GroupId g, std::vector<protocol::Stamp> stamps) {
-    protocol::Message m;
-    m.id = MsgId(id);
-    m.group = g;
-    m.sender = N(0);
-    m.group_seq = 1;
-    m.stamps = std::move(stamps);
-    return m;
+  auto msg = [](unsigned id, GroupId g, protocol::StampVec stamps) {
+    return protocol::Message::make(
+        {.id = MsgId(id), .group = g, .sender = N(0), .group_seq = 1},
+        std::move(stamps));
   };
   // The table from Fig 2(a): m0 {Q0:1, Q1:2}, m1 {Q0:2, Q2:1},
   // m2 {Q1:1, Q2:2}.
@@ -178,16 +174,12 @@ TEST(Fig2b, RedirectedStampsDeliver) {
   std::vector<MsgId> delivered;
   protocol::Receiver b(N(1), {G(0), G(1), G(2)}, {q0, q1, q2},
                        [&](const protocol::Message& m, sim::Time) {
-                         delivered.push_back(m.id);
+                         delivered.push_back(m.id());
                        });
-  auto msg = [](unsigned id, GroupId g, std::vector<protocol::Stamp> stamps) {
-    protocol::Message m;
-    m.id = MsgId(id);
-    m.group = g;
-    m.sender = N(0);
-    m.group_seq = 1;
-    m.stamps = std::move(stamps);
-    return m;
+  auto msg = [](unsigned id, GroupId g, protocol::StampVec stamps) {
+    return protocol::Message::make(
+        {.id = MsgId(id), .group = g, .sender = N(0), .group_seq = 1},
+        std::move(stamps));
   };
   // Chain q0-q1-q2, all paths left-to-right: m0 (G0) stamps Q0:1, Q1:1;
   // m1 (G1) stamps Q0:2, transits Q1, stamps Q2:1; m2 (G2) stamps Q1:2,
