@@ -1,0 +1,190 @@
+#include "fuzz/oracle.h"
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "metrics/logio.h"
+
+namespace decseq::fuzz {
+
+namespace {
+
+std::uint32_t ordinal_of(std::uint64_t payload) {
+  return static_cast<std::uint32_t>(payload & ~kCausalPayloadBit);
+}
+
+std::optional<std::string> check_exception(const RunTrace& t) {
+  if (!t.threw) return std::nullopt;
+  return "protocol stack threw: " + t.exception_what;
+}
+
+std::optional<std::string> check_graph_safety(const RunTrace& t) {
+  if (t.graph_errors.empty()) return std::nullopt;
+  std::ostringstream out;
+  out << t.graph_errors.size() << " validator error(s), first: "
+      << t.graph_errors.front();
+  return out.str();
+}
+
+std::optional<std::string> check_liveness(const RunTrace& t) {
+  // payload -> publish-record index (payload tags are unique).
+  std::unordered_map<std::uint64_t, std::size_t> record_index;
+  for (std::size_t i = 0; i < t.publishes.size(); ++i) {
+    record_index.emplace(t.publishes[i].payload, i);
+  }
+  // payload -> (receiver -> delivery count).
+  std::unordered_map<std::uint64_t, std::map<std::uint32_t, std::size_t>>
+      counts;
+  for (const pubsub::Delivery& d : t.log) {
+    if (!record_index.contains(d.payload)) {
+      std::ostringstream out;
+      out << "node " << d.receiver << " delivered payload " << d.payload
+          << " matching no issued publish";
+      return out.str();
+    }
+    ++counts[d.payload][d.receiver.value()];
+  }
+  for (const PublishRecord& r : t.publishes) {
+    std::ostringstream who;
+    who << (r.causal ? "causal" : "plain") << " publish #" << r.ordinal
+        << " (sender " << r.sender << ", group index " << r.group_index << ")";
+    if (r.rejected) {
+      if (!r.fin_race_allowed) {
+        return who.str() + " was rejected with no concurrent FIN to race";
+      }
+      if (counts.contains(r.payload)) {
+        return who.str() + " was rejected by the ingress yet delivered";
+      }
+      continue;
+    }
+    const auto it = counts.find(r.payload);
+    const std::size_t distinct = it == counts.end() ? 0 : it->second.size();
+    for (const NodeId expected : r.expected_receivers) {
+      const std::size_t n =
+          it == counts.end() ? 0 : [&] {
+            const auto cit = it->second.find(expected.value());
+            return cit == it->second.end() ? std::size_t{0} : cit->second;
+          }();
+      if (n != 1) {
+        std::ostringstream out;
+        out << who.str() << ": member " << expected << " saw it " << n
+            << " time(s), want exactly 1";
+        return out.str();
+      }
+    }
+    if (distinct != r.expected_receivers.size()) {
+      std::ostringstream out;
+      out << who.str() << " reached " << distinct
+          << " distinct node(s), want the " << r.expected_receivers.size()
+          << " group members";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_buffers(const RunTrace& t) {
+  for (std::size_t p = 0; p < t.buffered_after_phase.size(); ++p) {
+    if (t.buffered_after_phase[p] != 0) {
+      std::ostringstream out;
+      out << "phase " << p << " drained with " << t.buffered_after_phase[p]
+          << " message(s) still parked in receiver reorder buffers";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_consistency(const RunTrace& t) {
+  return metrics::find_order_violation(t.log);
+}
+
+std::optional<std::string> check_causality(const RunTrace& t) {
+  // For each (receiver, sender): the causal publishes this receiver saw
+  // from this sender must appear in issue (ordinal) order. The log appends
+  // at delivery time, so the global log restricted to one receiver is that
+  // receiver's delivery order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> last;
+  for (const pubsub::Delivery& d : t.log) {
+    if (!(d.payload & kCausalPayloadBit)) continue;
+    const std::uint32_t ordinal = ordinal_of(d.payload);
+    auto [it, fresh] = last.try_emplace(
+        {d.receiver.value(), d.sender.value()}, ordinal);
+    if (!fresh) {
+      if (it->second >= ordinal) {
+        std::ostringstream out;
+        out << "node " << d.receiver << " saw causal publish #" << ordinal
+            << " from sender " << d.sender << " after its later #"
+            << it->second;
+        return out.str();
+      }
+      it->second = ordinal;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_fifo(const RunTrace& t) {
+  // Same-sender FIFO for plain publishes only holds while no sequencer
+  // crashes: retried ingress legs race recovery (see pubsub/system.h).
+  if (t.scenario != nullptr && t.scenario->num_crashes() > 0) {
+    return std::nullopt;
+  }
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+           std::uint64_t>
+      last;
+  for (const pubsub::Delivery& d : t.log) {
+    if (d.payload & kCausalPayloadBit) continue;
+    const std::uint32_t ordinal = ordinal_of(d.payload);
+    auto [it, fresh] = last.try_emplace(
+        {d.receiver.value(), d.sender.value(), d.group.value()}, ordinal);
+    if (!fresh) {
+      if (it->second >= ordinal) {
+        std::ostringstream out;
+        out << "node " << d.receiver << " saw plain publish #" << ordinal
+            << " (sender " << d.sender << ", group " << d.group
+            << ") after its later #" << it->second;
+        return out.str();
+      }
+      it->second = ordinal;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::size_t RunTrace::record_of(const pubsub::Delivery& d) const {
+  for (std::size_t i = 0; i < publishes.size(); ++i) {
+    if (publishes[i].payload == d.payload) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<Oracle> default_oracles() {
+  return {
+      {"exception", check_exception},
+      {"graph-safety", check_graph_safety},
+      {"liveness", check_liveness},
+      {"buffers", check_buffers},
+      {"consistency", check_consistency},
+      {"causality", check_causality},
+      {"fifo", check_fifo},
+  };
+}
+
+std::optional<OracleVerdict> check_oracles(const RunTrace& trace,
+                                           const std::vector<Oracle>& oracles) {
+  for (const Oracle& oracle : oracles) {
+    if (auto violation = oracle.check(trace)) {
+      return OracleVerdict{oracle.name, std::move(*violation)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace decseq::fuzz

@@ -1,0 +1,108 @@
+// Invariant oracles over a completed scenario run.
+//
+// The runner executes a Scenario and records everything observable — the
+// facade delivery log, one record per issued publish (with the expected
+// receiver set frozen at publish time), the graph-validator verdicts of
+// every membership epoch, receiver-buffer occupancy after every drain, and
+// any exception the protocol stack threw. Oracles are pure functions over
+// that trace; each returns a description of the first violation it finds,
+// or nullopt. The set is pluggable so future subsystems (e.g. a replicated
+// app layer) can register their own invariants without touching the
+// runner.
+//
+// Default set:
+//  * exception    — the protocol stack must never throw on a generated
+//                   scenario (CHECK failures are bugs, not test noise);
+//  * graph-safety — C1/C2 + path structure via seqgraph/validator on every
+//                   epoch's graph;
+//  * liveness     — every accepted message reaches exactly the target
+//                   group's members, exactly once each; rejections only for
+//                   publishes that raced a same-phase FIN;
+//  * buffers      — no message left parked in a receiver reorder buffer
+//                   after any drain (no-stuck-buffers);
+//  * consistency  — Theorem 1's observable: all receiver pairs order their
+//                   common messages identically (metrics/logio oracle);
+//  * causality    — a subscribing sender's causal chain is observed in
+//                   issue order by every receiver (§3.3);
+//  * fifo         — per-(sender, group) plain publishes arrive in publish
+//                   order at every receiver; skipped when the scenario
+//                   crashes sequencers (retried ingress legs may reorder
+//                   same-sender traffic across a failure window, see
+//                   protocol/network.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "fuzz/scenario.h"
+#include "pubsub/system.h"
+
+namespace decseq::fuzz {
+
+/// Payload tag bit marking causal publishes; the low bits carry the global
+/// publish ordinal (unique per scenario), which is what the causality and
+/// FIFO oracles order by.
+inline constexpr std::uint64_t kCausalPayloadBit = 1ULL << 63;
+
+/// Everything recorded about one issued publish op.
+struct PublishRecord {
+  std::uint64_t payload = 0;  ///< ordinal | kCausalPayloadBit if causal
+  std::uint32_t ordinal = 0;  ///< global issue order across the scenario
+  std::uint32_t sender = 0;
+  std::uint32_t group_index = 0;  ///< scenario group index
+  bool causal = false;
+  /// The ingress rejected the message (it lost the race against a FIN).
+  bool rejected = false;
+  /// A FIN for the group was scheduled in the same phase, so rejection is
+  /// a legal outcome.
+  bool fin_race_allowed = false;
+  /// Facade-global message id (plain publishes only; causal ids are
+  /// matched through the payload tag).
+  MsgId id;
+  /// Group members at publish time — the exact expected receiver set.
+  std::vector<NodeId> expected_receivers;
+};
+
+/// The observable trace of one scenario execution.
+struct RunTrace {
+  const Scenario* scenario = nullptr;
+  std::vector<pubsub::Delivery> log;
+  std::vector<PublishRecord> publishes;
+  /// Graph-validator errors, prefixed with their epoch index.
+  std::vector<std::string> graph_errors;
+  /// Receiver-buffer occupancy after each phase's drain.
+  std::vector<std::size_t> buffered_after_phase;
+  bool threw = false;
+  std::string exception_what;
+
+  /// Index of the publish record owning a delivery (payload tags are
+  /// unique), or SIZE_MAX if the delivery matches no record.
+  [[nodiscard]] std::size_t record_of(const pubsub::Delivery& d) const;
+};
+
+struct Oracle {
+  std::string name;
+  std::function<std::optional<std::string>(const RunTrace&)> check;
+};
+
+/// The default oracle set described above.
+[[nodiscard]] std::vector<Oracle> default_oracles();
+
+/// The first violated oracle and what it saw.
+struct OracleVerdict {
+  std::string oracle;
+  std::string detail;
+};
+
+/// Run the oracles in order and return the first violation (the order
+/// matters: `exception` runs first, because a run that threw produces a
+/// partial trace the downstream oracles would misread as e.g. lost
+/// messages).
+[[nodiscard]] std::optional<OracleVerdict> check_oracles(
+    const RunTrace& trace, const std::vector<Oracle>& oracles);
+
+}  // namespace decseq::fuzz

@@ -1,0 +1,49 @@
+// Self-contained replay files for failing fuzz scenarios.
+//
+// A .repro file is a line-oriented text rendering of one Scenario —
+// everything needed to re-execute the failure bit-identically (the system
+// seed pins the topology, host attachment, placement tie-breaks, and
+// channel loss draws; the script is explicit data). The format is
+// deliberately human-editable: a developer can delete a line from a repro
+// and re-run it, which is manual shrinking.
+//
+//   # comment (ignored, as are blank lines)
+//   scenario v1
+//   seed 42                     header, any order, all required
+//   hosts 12
+//   clusters 4
+//   loss 0.02                   doubles print with %.17g => exact round-trip
+//   rto 40
+//   phase                       one block per phase, in order
+//   create 0 1 2 5              membership ops keep file order (kCreate
+//   join 0 7                    claims scenario group indices in order)
+//   leave 1 4
+//   remove 2
+//   crash 7 12.5 60             victim start duration
+//   fin 1 200 0                 group at initiator-rank
+//   pub 10.5 3 0                at sender group
+//   pubc 11 4 1                 causal variant
+//   end
+//
+// read_repro throws decseq::CheckFailure on any malformed input (unknown
+// keyword, wrong arity, trailing tokens, missing header field, unclosed
+// phase), so a corrupted corpus file fails loudly instead of replaying
+// something else.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/scenario.h"
+
+namespace decseq::fuzz {
+
+void write_repro(const Scenario& scenario, std::ostream& out);
+[[nodiscard]] Scenario read_repro(std::istream& in);
+
+/// File wrappers; save overwrites, load throws CheckFailure if the file
+/// cannot be opened or parsed.
+void save_repro(const Scenario& scenario, const std::string& path);
+[[nodiscard]] Scenario load_repro(const std::string& path);
+
+}  // namespace decseq::fuzz

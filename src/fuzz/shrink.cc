@@ -1,0 +1,239 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace decseq::fuzz {
+
+namespace {
+
+/// Erase every op that references group `g` and renumber indices above it
+/// down by one. Does not touch kCreate ops (callers erase those first).
+void strip_group_refs(Scenario& s, std::uint32_t g) {
+  const auto renumber = [g](std::uint32_t& index) {
+    if (index > g) --index;
+  };
+  for (Phase& phase : s.phases) {
+    std::erase_if(phase.reconfig, [g](const MembershipOp& op) {
+      return op.kind != MembershipOp::Kind::kCreate && op.group == g;
+    });
+    std::erase_if(phase.publishes,
+                  [g](const PublishOp& op) { return op.group == g; });
+    std::erase_if(phase.terminations,
+                  [g](const TerminationOp& op) { return op.group == g; });
+    for (MembershipOp& op : phase.reconfig) {
+      if (op.kind != MembershipOp::Kind::kCreate) renumber(op.group);
+    }
+    for (PublishOp& op : phase.publishes) renumber(op.group);
+    for (TerminationOp& op : phase.terminations) renumber(op.group);
+  }
+}
+
+/// Erase the kCreate op claiming scenario group index `g`. Returns false if
+/// `g` is out of range.
+bool erase_create(Scenario& s, std::uint32_t g) {
+  std::uint32_t index = 0;
+  for (Phase& phase : s.phases) {
+    for (auto it = phase.reconfig.begin(); it != phase.reconfig.end(); ++it) {
+      if (it->kind != MembershipOp::Kind::kCreate) continue;
+      if (index++ == g) {
+        phase.reconfig.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Scenario remove_scenario_group(Scenario s, std::uint32_t group) {
+  DECSEQ_CHECK_MSG(erase_create(s, group),
+                   "no scenario group with index " << group);
+  strip_group_refs(s, group);
+  return s;
+}
+
+Scenario drop_phase(Scenario s, std::size_t phase) {
+  DECSEQ_CHECK(phase < s.phases.size());
+  // Scenario indices of the groups this phase creates: [base, base + k).
+  std::uint32_t base = 0;
+  for (std::size_t p = 0; p < phase; ++p) {
+    for (const MembershipOp& op : s.phases[p].reconfig) {
+      if (op.kind == MembershipOp::Kind::kCreate) ++base;
+    }
+  }
+  std::uint32_t k = 0;
+  for (const MembershipOp& op : s.phases[phase].reconfig) {
+    if (op.kind == MembershipOp::Kind::kCreate) ++k;
+  }
+  s.phases.erase(s.phases.begin() + static_cast<std::ptrdiff_t>(phase));
+  // Highest first, so each strip's renumbering leaves the rest in place.
+  for (std::uint32_t i = k; i-- > 0;) strip_group_refs(s, base + i);
+  return s;
+}
+
+ShrinkResult shrink(const Scenario& scenario,
+                    const std::function<bool(const Scenario&)>& still_fails,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.scenario = scenario;
+  Scenario& best = result.scenario;
+
+  const auto budget_left = [&] { return result.runs < options.max_runs; };
+  // Accept `candidate` as the new best iff it still fails. Each evaluation
+  // costs one run of the budget.
+  const auto accept = [&](const Scenario& candidate) {
+    if (!budget_left() || candidate == best) return false;
+    ++result.runs;
+    if (!still_fails(candidate)) return false;
+    best = candidate;
+    return true;
+  };
+
+  // Per-pass helpers; each returns true if it shrank anything.
+
+  const auto pass_drop_phases = [&] {
+    bool shrank = false;
+    bool progress = true;
+    while (progress && best.phases.size() > 1 && budget_left()) {
+      progress = false;
+      for (std::size_t p = best.phases.size(); p-- > 0;) {
+        if (best.phases.size() <= 1) break;
+        if (accept(drop_phase(best, p))) {
+          shrank = progress = true;
+          break;  // indices shifted; rescan
+        }
+      }
+    }
+    return shrank;
+  };
+
+  const auto pass_drop_groups = [&] {
+    bool shrank = false;
+    bool progress = true;
+    while (progress && best.num_groups() > 1 && budget_left()) {
+      progress = false;
+      for (std::uint32_t g =
+               static_cast<std::uint32_t>(best.num_groups());
+           g-- > 0;) {
+        if (best.num_groups() <= 1) break;
+        if (accept(remove_scenario_group(best, g))) {
+          shrank = progress = true;
+          break;
+        }
+      }
+    }
+    return shrank;
+  };
+
+  // Delta-debugging over the flattened publish list: try removing
+  // contiguous chunks, halving the chunk size down to single publishes.
+  const auto drop_publish_range = [](Scenario s, std::size_t begin,
+                                     std::size_t count) {
+    std::size_t index = 0;
+    for (Phase& phase : s.phases) {
+      std::erase_if(phase.publishes, [&](const PublishOp&) {
+        const std::size_t i = index++;
+        return i >= begin && i < begin + count;
+      });
+    }
+    return s;
+  };
+  const auto pass_drop_publishes = [&] {
+    bool shrank = false;
+    for (std::size_t chunk = std::max<std::size_t>(best.num_publishes() / 2, 1);
+         chunk >= 1 && budget_left(); chunk /= 2) {
+      bool progress = true;
+      while (progress && budget_left()) {
+        progress = false;
+        const std::size_t total = best.num_publishes();
+        for (std::size_t begin = 0; begin + chunk <= total; begin += chunk) {
+          if (accept(drop_publish_range(best, begin, chunk))) {
+            shrank = progress = true;
+            break;  // publish indices shifted; rescan at this chunk size
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return shrank;
+  };
+
+  const auto pass_drop_faults = [&] {
+    bool shrank = false;
+    for (std::size_t p = 0; p < best.phases.size() && budget_left(); ++p) {
+      for (std::size_t c = best.phases[p].crashes.size(); c-- > 0;) {
+        Scenario candidate = best;
+        candidate.phases[p].crashes.erase(
+            candidate.phases[p].crashes.begin() +
+            static_cast<std::ptrdiff_t>(c));
+        if (accept(candidate)) shrank = true;
+      }
+      for (std::size_t f = best.phases[p].terminations.size(); f-- > 0;) {
+        Scenario candidate = best;
+        candidate.phases[p].terminations.erase(
+            candidate.phases[p].terminations.begin() +
+            static_cast<std::ptrdiff_t>(f));
+        if (accept(candidate)) shrank = true;
+      }
+      // Membership churn (join/leave; removes already die with their group).
+      for (std::size_t m = best.phases[p].reconfig.size(); m-- > 0;) {
+        if (best.phases[p].reconfig[m].kind == MembershipOp::Kind::kCreate) {
+          continue;
+        }
+        Scenario candidate = best;
+        candidate.phases[p].reconfig.erase(
+            candidate.phases[p].reconfig.begin() +
+            static_cast<std::ptrdiff_t>(m));
+        if (accept(candidate)) shrank = true;
+      }
+    }
+    return shrank;
+  };
+
+  const auto pass_narrow_crashes = [&] {
+    bool shrank = false;
+    for (std::size_t p = 0; p < best.phases.size() && budget_left(); ++p) {
+      for (std::size_t c = 0; c < best.phases[p].crashes.size(); ++c) {
+        // Halve the window, from either end.
+        Scenario half = best;
+        half.phases[p].crashes[c].duration /= 2.0;
+        if (accept(half)) shrank = true;
+        Scenario tail = best;
+        tail.phases[p].crashes[c].start +=
+            tail.phases[p].crashes[c].duration / 2.0;
+        tail.phases[p].crashes[c].duration /= 2.0;
+        if (accept(tail)) shrank = true;
+      }
+    }
+    return shrank;
+  };
+
+  const auto pass_simplify_params = [&] {
+    bool shrank = false;
+    if (best.loss_probability != 0.0) {
+      Scenario candidate = best;
+      candidate.loss_probability = 0.0;
+      if (accept(candidate)) shrank = true;
+    }
+    return shrank;
+  };
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    ++result.rounds;
+    progress = false;
+    if (pass_drop_phases()) progress = true;
+    if (pass_drop_groups()) progress = true;
+    if (pass_drop_publishes()) progress = true;
+    if (pass_drop_faults()) progress = true;
+    if (pass_narrow_crashes()) progress = true;
+    if (pass_simplify_params()) progress = true;
+  }
+  return result;
+}
+
+}  // namespace decseq::fuzz

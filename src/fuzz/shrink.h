@@ -1,0 +1,54 @@
+// Automatic scenario minimization.
+//
+// Given a failing scenario and a predicate ("does this candidate still
+// fail the same way?"), the shrinker greedily applies structural
+// reductions — drop whole phases, drop groups (with every op that
+// references them), delta-debug the publish list in halving chunks, drop
+// and narrow fault-schedule entries, zero the loss rate — re-running the
+// predicate after each candidate and keeping any reduction that preserves
+// the failure. Passes repeat to a fixpoint under a bounded number of
+// predicate evaluations, so a shrink never runs away even when the
+// predicate is expensive.
+//
+// All mutations keep the scenario well-formed by construction: removing a
+// group renumbers the scenario group indices above it and drops the
+// publishes, terminations, and membership churn that named it, so the
+// runner's deterministic-skip rules never see a dangling reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/scenario.h"
+
+namespace decseq::fuzz {
+
+/// Drop scenario group `group`: erase its kCreate op, every op referencing
+/// it, and renumber higher group indices down by one. Exposed for the
+/// shrinker's unit tests.
+[[nodiscard]] Scenario remove_scenario_group(Scenario s, std::uint32_t group);
+
+/// Drop phase `phase` entirely, removing the groups it created (as
+/// remove_scenario_group does) from the rest of the scenario.
+[[nodiscard]] Scenario drop_phase(Scenario s, std::size_t phase);
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (each one re-runs the scenario).
+  std::size_t max_runs = 400;
+};
+
+struct ShrinkResult {
+  Scenario scenario;      ///< smallest failing scenario found
+  std::size_t runs = 0;   ///< predicate evaluations spent
+  std::size_t rounds = 0; ///< full pass sweeps until fixpoint (or budget)
+};
+
+/// Minimize `scenario` under `still_fails`, which must return true for the
+/// original scenario's failure mode (typically: same failing oracle name).
+[[nodiscard]] ShrinkResult shrink(
+    const Scenario& scenario,
+    const std::function<bool(const Scenario&)>& still_fails,
+    const ShrinkOptions& options = {});
+
+}  // namespace decseq::fuzz

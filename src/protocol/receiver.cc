@@ -20,7 +20,7 @@ Receiver::Receiver(NodeId node, std::vector<GroupId> subscriptions,
   for (const GroupId g : subscriptions) claim_slot(group_slot_, g.value());
   for (const AtomId a : relevant_atoms) claim_slot(atom_slot_, a.value());
   closed_.resize(next_.size(), false);
-  waiting_.resize(next_.size());
+  wait_head_.resize(next_.size(), kNone);
 }
 
 bool Receiver::deliverable(const Message& message) const {
@@ -30,6 +30,7 @@ bool Receiver::deliverable(const Message& message) const {
                                     << message.group());
   DECSEQ_CHECK_MSG(message.group_seq != 0, "message missing group sequence");
   if (message.group_seq != next_[static_cast<std::size_t>(gs)]) return false;
+  if (testhooks::g_skip_stamp_validation) return true;
   for (const Stamp& s : message.stamps) {
     const std::int32_t as = atom_slot(s.atom);
     if (as < 0) continue;  // not relevant to this node
@@ -45,6 +46,7 @@ std::pair<std::int32_t, SeqNo> Receiver::first_blocker(
   if (message.group_seq != next_[static_cast<std::size_t>(gs)]) {
     return {gs, message.group_seq};
   }
+  if (testhooks::g_skip_stamp_validation) return {-1, 0};
   for (const Stamp& s : message.stamps) {
     const std::int32_t as = atom_slot(s.atom);
     if (as >= 0 && s.seq != next_[static_cast<std::size_t>(as)]) {
@@ -87,14 +89,25 @@ void Receiver::park(const Message& message, sim::Time now) {
 void Receiver::index_waiter(std::uint32_t idx) {
   const auto [slot, seq] = first_blocker(pending_[idx].message);
   DECSEQ_CHECK(slot >= 0);  // callers only park non-deliverable messages
-  const auto [it, inserted] =
-      waiting_[static_cast<std::size_t>(slot)].try_emplace(seq, idx);
-  if (inserted) {
-    pending_[idx].next = kNone;
-  } else {
-    pending_[idx].next = it->second;  // chain behind the existing waiter
-    it->second = idx;
+  std::uint32_t& head = wait_head_[static_cast<std::size_t>(slot)];
+  for (std::uint32_t n = head; n != kNone; n = wait_nodes_[n].next) {
+    if (wait_nodes_[n].value == seq) {
+      pending_[idx].next = wait_nodes_[n].waiter;  // chain behind the
+      wait_nodes_[n].waiter = idx;                 // existing waiter
+      return;
+    }
   }
+  std::uint32_t node;
+  if (wait_free_.empty()) {
+    node = static_cast<std::uint32_t>(wait_nodes_.size());
+    wait_nodes_.push_back({seq, idx, head});
+  } else {
+    node = wait_free_.back();
+    wait_free_.pop_back();
+    wait_nodes_[node] = {seq, idx, head};
+  }
+  pending_[idx].next = kNone;
+  head = node;
   // A required value already below the counter can never match again: the
   // waiter stays parked forever, exactly like the seed's fixpoint scan that
   // never found it deliverable.
@@ -103,18 +116,27 @@ void Receiver::index_waiter(std::uint32_t idx) {
 void Receiver::advance(std::int32_t slot) {
   auto& counter = next_[static_cast<std::size_t>(slot)];
   ++counter;
-  auto& index = waiting_[static_cast<std::size_t>(slot)];
-  const auto it = index.find(counter);
-  if (it == index.end()) return;
-  // Detach the whole chain into the ready queue; each entry re-checks its
+  // Unlink the index entry for the counter's new value, if any, and detach
+  // its whole waiter chain into the ready queue; each entry re-checks its
   // remaining counters there.
-  std::uint32_t idx = it->second;
-  index.erase(it);
-  while (idx != kNone) {
-    const std::uint32_t next = pending_[idx].next;
-    pending_[idx].next = kNone;
-    ready_.push_back(idx);
-    idx = next;
+  std::uint32_t* link = &wait_head_[static_cast<std::size_t>(slot)];
+  while (*link != kNone) {
+    WaitNode& node = wait_nodes_[*link];
+    if (node.value != counter) {
+      link = &node.next;
+      continue;
+    }
+    std::uint32_t idx = node.waiter;
+    const std::uint32_t freed = *link;
+    *link = node.next;
+    wait_free_.push_back(freed);
+    while (idx != kNone) {
+      const std::uint32_t next = pending_[idx].next;
+      pending_[idx].next = kNone;
+      ready_.push_back(idx);
+      idx = next;
+    }
+    return;
   }
 }
 
@@ -125,10 +147,16 @@ void Receiver::deliver(const Message& message, sim::Time now) {
   advance(gs);
   for (const Stamp& s : message.stamps) {
     const std::int32_t as = atom_slot(s.atom);
-    if (as >= 0) {
-      DECSEQ_CHECK(next_[static_cast<std::size_t>(as)] == s.seq);
-      advance(as);
+    if (as < 0) continue;
+    if (testhooks::g_skip_stamp_validation) {
+      // Injected bug: atom counters trail whatever arrives instead of
+      // gating it, so cross-group order degrades to arrival order.
+      next_[static_cast<std::size_t>(as)] =
+          std::max(next_[static_cast<std::size_t>(as)], s.seq + 1);
+      continue;
     }
+    DECSEQ_CHECK(next_[static_cast<std::size_t>(as)] == s.seq);
+    advance(as);
   }
   if (message.is_fin()) closed_[static_cast<std::size_t>(gs)] = true;
   ++delivered_count_;

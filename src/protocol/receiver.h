@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -36,6 +35,16 @@
 #include "seqgraph/graph.h"
 
 namespace decseq::protocol {
+
+namespace testhooks {
+/// Fault injection for the fuzzer's self-test (tests/fuzz_test.cc and
+/// fuzz_driver --inject-stamp-bug): when set, receivers validate and advance
+/// only the group-local counter and ignore overlap stamps entirely — exactly
+/// the cross-group ordering bug the stamps exist to prevent. The fuzzer must
+/// detect the resulting pairwise-consistency violation and shrink it to a
+/// minimal scenario. Never set outside tests.
+inline bool g_skip_stamp_validation = false;
+}  // namespace testhooks
 
 /// Delivery state machine for one subscriber node.
 class Receiver {
@@ -121,11 +130,25 @@ class Receiver {
   std::vector<SeqNo> next_;
   /// Per-slot closed flag (meaningful for group slots: FIN delivered).
   std::vector<bool> closed_;
-  /// Per-slot index of parked waiters: required value → head of a chain of
-  /// pending_ indices linked through PendingSlot::next. A correct run has
-  /// at most one waiter per (slot, value); chains only appear under
-  /// hand-crafted duplicate traffic in tests.
-  std::vector<std::unordered_map<SeqNo, std::uint32_t>> waiting_;
+  /// One (required value → waiter chain) entry of a slot's waiting index.
+  /// Entries live in a shared slab (wait_nodes_) recycled through
+  /// wait_free_, so parking a message allocates nothing once the slab is
+  /// warm — the former unordered_map index paid one hash-node allocation
+  /// per park, the last allocating step on the publish→deliver path.
+  struct WaitNode {
+    SeqNo value = 0;
+    std::uint32_t waiter = kNone;  ///< head of a pending_ index chain
+    std::uint32_t next = kNone;    ///< next entry in the same slot's list
+  };
+  /// Per-slot waiting index: head of a singly-linked list of WaitNodes in
+  /// wait_nodes_, one per distinct blocked-on value. Lists are as short as
+  /// the number of distinct values parked against that counter (a correct
+  /// run has at most one waiter per (slot, value); chains only appear under
+  /// hand-crafted duplicate traffic in tests), so lookup is a short pointer
+  /// chase instead of a hash probe plus node allocation.
+  std::vector<std::uint32_t> wait_head_;
+  std::vector<WaitNode> wait_nodes_;
+  std::vector<std::uint32_t> wait_free_;
 
   /// Reorder-buffer slab + free list; parked messages keep their payload
   /// blocks alive by reference, nothing is copied.

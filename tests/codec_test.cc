@@ -36,6 +36,30 @@ TEST(Varint, SmallValuesAreOneByte) {
   EXPECT_EQ(buffer.size(), 3u);  // second value took two bytes
 }
 
+TEST(Varint, ByteLengthTransitions) {
+  // LEB128 crosses from k to k+1 bytes exactly at 2^(7k). Pin the edges on
+  // both sides for the 1-, 2-, 4-, and 8-byte encodings (and, cheaply, the
+  // whole ladder up to the 10-byte cap for a full 64-bit value).
+  for (const unsigned k : {1u, 2u, 4u, 8u}) {
+    const std::uint64_t boundary = 1ULL << (7 * k);
+    EXPECT_EQ(varint_size(boundary - 1), k) << "below 2^" << 7 * k;
+    EXPECT_EQ(varint_size(boundary), k + 1) << "at 2^" << 7 * k;
+    for (const std::uint64_t v : {boundary - 1, boundary, boundary + 1}) {
+      std::vector<std::uint8_t> buffer;
+      encode_varint(v, buffer);
+      EXPECT_EQ(buffer.size(), varint_size(v)) << v;
+      std::size_t offset = 0;
+      const auto decoded = decode_varint(buffer, offset);
+      ASSERT_TRUE(decoded.has_value()) << v;
+      EXPECT_EQ(*decoded, v);
+    }
+  }
+  for (unsigned k = 1; k <= 9; ++k) {
+    EXPECT_EQ(varint_size((1ULL << (7 * k)) - 1), k);
+  }
+  EXPECT_EQ(varint_size(~0ULL), 10u);  // 64 bits / 7 rounds up to 10
+}
+
 TEST(Varint, TruncationDetected) {
   std::vector<std::uint8_t> buffer;
   encode_varint(1ULL << 40, buffer);
@@ -79,6 +103,54 @@ TEST(Codec, CompactForTypicalMessages) {
       {{AtomId(4), 9}, {AtomId(11), 13}});
   EXPECT_LE(encoded_size(m), 16u);
   EXPECT_LT(encoded_size(m), vector_timestamp_bytes(128) / 50);
+}
+
+Message message_with_stamps(std::size_t count) {
+  StampVec stamps;
+  for (std::size_t i = 0; i < count; ++i) {
+    stamps.push_back({AtomId(static_cast<unsigned>(i)), 100 + i});
+  }
+  return Message::make(
+      {.id = MsgId(5), .group = GroupId(2), .sender = NodeId(3),
+       .group_seq = 9},
+      std::move(stamps));
+}
+
+TEST(Codec, StampVecSpillsToHeapAtExactlyNineStamps) {
+  // kInlineStamps == 8: the 8th stamp still lives inline, the 9th forces
+  // the spill. Both sides of the boundary must round-trip through the
+  // codec identically — the wire format doesn't know about the storage.
+  StampVec v;
+  for (std::size_t i = 0; i < kInlineStamps; ++i) {
+    v.push_back({AtomId(static_cast<unsigned>(i)), i + 1});
+    EXPECT_TRUE(v.is_inline()) << "stamp " << i + 1 << " spilled early";
+  }
+  v.push_back({AtomId(8), 9});
+  EXPECT_FALSE(v.is_inline()) << "9th stamp should spill to heap";
+
+  for (const std::size_t count : {kInlineStamps, kInlineStamps + 1}) {
+    const Message m = message_with_stamps(count);
+    EXPECT_EQ(m.stamps.is_inline(), count <= kInlineStamps);
+    const auto decoded = decode_message(encode_message(m));
+    ASSERT_TRUE(decoded.has_value()) << count << " stamps";
+    ASSERT_EQ(decoded->stamps.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(decoded->stamps[i].atom, m.stamps[i].atom);
+      EXPECT_EQ(decoded->stamps[i].seq, m.stamps[i].seq);
+    }
+  }
+}
+
+TEST(Codec, TruncatedSpilledStampMessageRejectedEverywhere) {
+  // A message whose stamp list spilled past the inline capacity must still
+  // reject truncation at every byte offset (the decoder's stamp loop walks
+  // into the spilled region).
+  const auto wire = encode_message(message_with_stamps(kInlineStamps + 1));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(
+        wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_message(prefix).has_value()) << "cut at " << cut;
+  }
 }
 
 TEST(Codec, RejectsBadMagicAndVersion) {

@@ -1,0 +1,47 @@
+// Replays the committed fuzz corpus (fuzz/corpus/*.repro) and requires
+// every scenario to pass the full oracle set. Each corpus file is a
+// previously interesting scenario — a shrunken failure that was fixed, or
+// a seed that exercises a rare schedule — so this is the regression net
+// for the whole protocol stack, and runs under the sanitizer CI job too.
+//
+// DECSEQ_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/oracle.h"
+#include "fuzz/repro.h"
+#include "fuzz/runner.h"
+
+namespace decseq::fuzz {
+namespace {
+
+TEST(FuzzReplay, CorpusPassesAllOracles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = DECSEQ_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(fs::is_directory(dir)) << "missing corpus dir " << dir;
+
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".repro") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "empty corpus in " << dir;
+
+  const std::vector<Oracle> oracles = default_oracles();
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    const Scenario scenario = load_repro(file.string());
+    const RunTrace trace = run_scenario(scenario);
+    const auto verdict = check_oracles(trace, oracles);
+    EXPECT_FALSE(verdict.has_value())
+        << scenario.summary() << " violated [" << verdict->oracle
+        << "]: " << verdict->detail;
+  }
+}
+
+}  // namespace
+}  // namespace decseq::fuzz

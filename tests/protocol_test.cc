@@ -1,13 +1,56 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <vector>
 
 #include "protocol/message.h"
 #include "protocol/receiver.h"
 #include "seqgraph/graph.h"
 #include "tests/test_util.h"
+
+// ---------------------------------------------------------------------------
+// Instrumented allocator (same idiom as bench/dataplane_bench.cc): counts
+// every heap allocation in the test binary so the zero-allocation claims of
+// the receiver's slab design are asserted, not assumed. Pure counting plus
+// malloc passthrough — safe binary-wide, including under sanitizers.
+// ---------------------------------------------------------------------------
+namespace {
+thread_local std::size_t g_test_allocs = 0;
+
+void* test_counted_alloc(std::size_t size) {
+  ++g_test_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return test_counted_alloc(size); }
+void* operator new[](std::size_t size) { return test_counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_test_allocs;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace decseq::protocol {
 namespace {
@@ -185,6 +228,47 @@ TEST_F(ReceiverTest, BufferedFinClosesGroupOnlyAfterCascade) {
   r.receive(make_msg(1, G(0), 1), 0.0);
   EXPECT_TRUE(r.group_closed(G(0)));
   EXPECT_EQ(delivered_.size(), 3u);
+}
+
+TEST_F(ReceiverTest, ParkWakeDeliverPathIsAllocationFree) {
+  // The whole publish→park→wake→deliver cycle must stop allocating once
+  // the slabs are warm: payload blocks come from the per-thread pool,
+  // parked messages from the pending_ slab, and the waiting index from the
+  // WaitNode slab (the former per-park unordered_map hash node was the last
+  // allocating step on this path).
+  Receiver r = make({G(0), G(1)}, {AtomId(0)});
+  delivered_.reserve(1024);  // keep the fixture's log out of the measurement
+
+  // One cycle: a G(1) message arrives blocked on the atom stamp (parks),
+  // then the G(0) message carrying the prior stamp delivers and wakes it.
+  const auto cycle = [&](SeqNo k) {
+    StampVec blocked;
+    blocked.push_back({AtomId(0), 2 * k});
+    r.receive(Message::make({.id = MsgId(2 * static_cast<unsigned>(k)),
+                             .group = G(1),
+                             .sender = N(0),
+                             .group_seq = k},
+                            std::move(blocked)),
+              0.0);
+    StampVec due;
+    due.push_back({AtomId(0), 2 * k - 1});
+    r.receive(Message::make({.id = MsgId(2 * static_cast<unsigned>(k) - 1),
+                             .group = G(0),
+                             .sender = N(0),
+                             .group_seq = k},
+                            std::move(due)),
+              0.0);
+  };
+
+  for (SeqNo k = 1; k <= 16; ++k) cycle(k);  // warm the slabs and pools
+  ASSERT_EQ(delivered_.size(), 32u);
+
+  const std::size_t allocs_before = g_test_allocs;
+  for (SeqNo k = 17; k <= 116; ++k) cycle(k);
+  const std::size_t allocs = g_test_allocs - allocs_before;
+
+  EXPECT_EQ(allocs, 0u) << "park/wake/deliver path allocated";
+  EXPECT_EQ(delivered_.size(), 232u);
 }
 
 TEST(RelevantAtoms, ComputedFromOverlapMembership) {

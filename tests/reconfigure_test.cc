@@ -81,6 +81,65 @@ TEST(Reconfigure, EmptyBatchIsANoop) {
   EXPECT_TRUE(system.membership().is_alive(g));
 }
 
+TEST(Reconfigure, CrashWindowRacingReconfigureDrainsClean) {
+  // A sequencer crash window that is still open when a membership batch
+  // arrives: reconfigure()'s drain-first semantics must push the old
+  // epoch's traffic through the retransmission backlog and the recovery
+  // event before the graph is rebuilt — without losing a message, wedging
+  // a receiver reorder buffer, or breaking pairwise order. This is the
+  // schedule the fuzzer's fault generator produces when a crash window
+  // overlaps a phase boundary (src/fuzz/scenario.h).
+  auto config = test::small_config(98);
+  config.network.channel.retransmit_timeout_ms = 40.0;
+  config.network.channel.max_retransmits = 2000;
+  PubSubSystem system(config);
+  const GroupId g0 = system.create_group({N(0), N(1), N(2), N(3)});
+  const GroupId g1 = system.create_group({N(2), N(3), N(4), N(5)});
+  auto& sim = system.simulator();
+
+  // Traffic into both (overlapping) groups around the crash.
+  for (int i = 0; i < 12; ++i) {
+    sim.schedule_at(2.0 + i * 5.0, [&system, g0, g1, i] {
+      const GroupId target = (i % 2 == 0) ? g0 : g1;
+      system.publish(N(static_cast<unsigned>(i) % 6), target,
+                     static_cast<std::uint64_t>(i));
+    });
+  }
+  // Fail the machine hosting g0's ingress atom mid-traffic (so the crash
+  // provably sits on the hot path); recovery is scheduled after the last
+  // publish, so only the reconfigure's drain can complete the epoch.
+  const SeqNodeId victim =
+      system.colocation().node_of(system.graph().path(g0).front());
+  sim.schedule_at(15.0, [&system, victim] {
+    system.fail_sequencing_node(victim);
+  });
+  sim.schedule_at(500.0, [&system, victim] {
+    system.recover_sequencing_node(victim);
+  });
+
+  const auto created = system.reconfigure({
+      PubSubSystem::MembershipChange::join(g0, N(6)),
+      PubSubSystem::MembershipChange::leave(g1, N(5)),
+      PubSubSystem::MembershipChange::create({N(5), N(6), N(7)}),
+  });
+  ASSERT_EQ(created.size(), 1u);
+
+  // Old epoch fully flushed: every publish reached its whole group, no
+  // receiver is holding a parked message, and pairwise order held.
+  EXPECT_EQ(system.deliveries().size(), 6u * 4u + 6u * 4u)
+      << "12 publishes x 4 members each";
+  EXPECT_EQ(system.network().buffered_at_receivers(), 0u);
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+
+  // The new epoch (rebuilt graph, changed overlaps) still sequences.
+  system.publish(N(6), g0, 100);
+  system.publish(N(4), g1, 101);
+  system.publish(N(7), created[0], 102);
+  system.run();
+  EXPECT_EQ(system.network().buffered_at_receivers(), 0u);
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+}
+
 TEST(Dot, RendersAtomsEdgesAndPaths) {
   PubSubSystem system(test::small_config(94));
   system.create_group({N(0), N(1), N(2), N(3)});
