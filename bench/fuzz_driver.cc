@@ -10,9 +10,9 @@
 //
 // Usage:
 //   fuzz_driver [--seed S] [--count N] [--budget-ms B] [--out DIR]
-//               [--max-shrink-runs R] [--inject-stamp-bug]
+//               [--max-shrink-runs R] [--hostile] [--inject-stamp-bug]
 //   fuzz_driver --replay FILE [FILE...]
-//   fuzz_driver --seed S --emit FILE
+//   fuzz_driver [--hostile] --seed S --emit FILE
 //
 //   --seed S            base seed; scenario i uses seed S + i (default 1)
 //   --count N           scenarios to run (default 50)
@@ -20,6 +20,9 @@
 //                       (0 = no budget; for bounded CI jobs)
 //   --out DIR           where shrunken .repro files go (default .)
 //   --max-shrink-runs R shrink budget in scenario re-executions (default 400)
+//   --hostile           host-fault-focused generation: much higher odds of
+//                       sequencer crashes, publisher crashes, cluster
+//                       partitions, and tiny channel retransmit budgets
 //   --inject-stamp-bug  disable receiver stamp validation (the hidden bug
 //                       the fuzzer must find; self-test / demo only)
 //   --replay FILE...    re-execute saved repros instead of sweeping
@@ -53,17 +56,31 @@ struct Options {
   double budget_ms = 0.0;
   std::string out = ".";
   std::size_t max_shrink_runs = 400;
+  bool hostile = false;
   bool inject_stamp_bug = false;
   std::vector<std::string> replays;
   std::string emit;
+
+  /// Generator knobs for this run; --hostile cranks every fault kind.
+  [[nodiscard]] fuzz::GeneratorOptions generator() const {
+    fuzz::GeneratorOptions gen;
+    if (hostile) {
+      gen.crash_probability = 0.7;
+      gen.publisher_crash_probability = 0.6;
+      gen.partition_probability = 0.5;
+      gen.small_budget_probability = 0.5;
+    }
+    return gen;
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--count N] [--budget-ms B] [--out DIR]\n"
-               "          [--max-shrink-runs R] [--inject-stamp-bug]\n"
+               "          [--max-shrink-runs R] [--hostile] "
+               "[--inject-stamp-bug]\n"
                "       %s --replay FILE [FILE...]\n"
-               "       %s --seed S --emit FILE\n",
+               "       %s [--hostile] --seed S --emit FILE\n",
                argv0, argv0, argv0);
   std::exit(2);
 }
@@ -86,6 +103,8 @@ Options parse_args(int argc, char** argv) {
       opt.out = value();
     } else if (arg == "--max-shrink-runs") {
       opt.max_shrink_runs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hostile") {
+      opt.hostile = true;
     } else if (arg == "--inject-stamp-bug") {
       opt.inject_stamp_bug = true;
     } else if (arg == "--replay") {
@@ -136,7 +155,8 @@ int sweep(const Options& opt, const std::vector<fuzz::Oracle>& set) {
   for (std::size_t i = 0; i < opt.count; ++i) {
     if (opt.budget_ms > 0.0 && elapsed_ms() > opt.budget_ms) break;
     const std::uint64_t seed = opt.seed + i;
-    const fuzz::Scenario scenario = fuzz::generate_scenario(seed);
+    const fuzz::Scenario scenario = fuzz::generate_scenario(seed,
+                                                            opt.generator());
     ++ran;
     const auto verdict = check(scenario, set);
     if (!verdict) {
@@ -176,7 +196,8 @@ int main(int argc, char** argv) {
   protocol::testhooks::g_skip_stamp_validation = opt.inject_stamp_bug;
   const std::vector<fuzz::Oracle> set = fuzz::default_oracles();
   if (!opt.emit.empty()) {
-    const fuzz::Scenario scenario = fuzz::generate_scenario(opt.seed);
+    const fuzz::Scenario scenario =
+        fuzz::generate_scenario(opt.seed, opt.generator());
     fuzz::save_repro(scenario, opt.emit);
     std::printf("wrote seed %" PRIu64 " (%s) to %s\n", opt.seed,
                 scenario.summary().c_str(), opt.emit.c_str());

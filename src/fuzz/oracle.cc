@@ -61,6 +61,16 @@ std::optional<std::string> check_liveness(const RunTrace& t) {
       }
       continue;
     }
+    if (r.ingress_failed) {
+      if (!r.ingress_failure_allowed) {
+        return who.str() +
+               " failed ingress with no publisher-crash window to blame";
+      }
+      if (counts.contains(r.payload)) {
+        return who.str() + " failed ingress yet was delivered";
+      }
+      continue;
+    }
     const auto it = counts.find(r.payload);
     const std::size_t distinct = it == counts.end() ? 0 : it->second.size();
     for (const NodeId expected : r.expected_receivers) {
@@ -128,17 +138,32 @@ std::optional<std::string> check_causality(const RunTrace& t) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_channel_faults(const RunTrace& t) {
+  if (t.stuck_channel_faults.empty()) return std::nullopt;
+  std::ostringstream out;
+  out << t.stuck_channel_faults.size()
+      << " channel(s) still faulted after a drain, first: "
+      << t.stuck_channel_faults.front();
+  return out.str();
+}
+
 std::optional<std::string> check_fifo(const RunTrace& t) {
-  // Same-sender FIFO for plain publishes only holds while no sequencer
-  // crashes: retried ingress legs race recovery (see pubsub/system.h).
-  if (t.scenario != nullptr && t.scenario->num_crashes() > 0) {
-    return std::nullopt;
-  }
+  // Loss-aware same-sender FIFO. Non-retried plain publishes of one
+  // (sender, group) share a constant-delay ingress leg, so they reach the
+  // ingress sequencer — and therefore every receiver — in publish order.
+  // An ingress-*retried* publish (its machine was down on arrival) may
+  // legitimately be sequenced after the sender's later traffic: its
+  // deliveries are excluded from the chain instead of skipping the whole
+  // oracle on crash scenarios.
+  std::unordered_map<std::uint64_t, const PublishRecord*> by_payload;
+  for (const PublishRecord& r : t.publishes) by_payload.emplace(r.payload, &r);
   std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
            std::uint64_t>
       last;
   for (const pubsub::Delivery& d : t.log) {
     if (d.payload & kCausalPayloadBit) continue;
+    const auto rit = by_payload.find(d.payload);
+    if (rit != by_payload.end() && rit->second->ingress_retried) continue;
     const std::uint32_t ordinal = ordinal_of(d.payload);
     auto [it, fresh] = last.try_emplace(
         {d.receiver.value(), d.sender.value(), d.group.value()}, ordinal);
@@ -171,6 +196,7 @@ std::vector<Oracle> default_oracles() {
       {"graph-safety", check_graph_safety},
       {"liveness", check_liveness},
       {"buffers", check_buffers},
+      {"channel-faults", check_channel_faults},
       {"consistency", check_consistency},
       {"causality", check_causality},
       {"fifo", check_fifo},

@@ -20,15 +20,19 @@
 //                   publishes that raced a same-phase FIN;
 //  * buffers      — no message left parked in a receiver reorder buffer
 //                   after any drain (no-stuck-buffers);
+//  * channel-faults — a surfaced channel-exhaustion fault must be cleared
+//                   (by recovery or a late ack) before the phase drains;
+//                   an edge still faulted at a drain is a lost recovery;
 //  * consistency  — Theorem 1's observable: all receiver pairs order their
 //                   common messages identically (metrics/logio oracle);
 //  * causality    — a subscribing sender's causal chain is observed in
 //                   issue order by every receiver (§3.3);
 //  * fifo         — per-(sender, group) plain publishes arrive in publish
-//                   order at every receiver; skipped when the scenario
-//                   crashes sequencers (retried ingress legs may reorder
-//                   same-sender traffic across a failure window, see
-//                   protocol/network.h).
+//                   order at every receiver. Loss-aware: deliveries of
+//                   ingress-retried publishes are excluded from the chain
+//                   (a retry legitimately races the sender's later
+//                   traffic), so the oracle runs on crash-window scenarios
+//                   instead of being skipped.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +64,17 @@ struct PublishRecord {
   /// A FIN for the group was scheduled in the same phase, so rejection is
   /// a legal outcome.
   bool fin_race_allowed = false;
+  /// The publisher host crashed before the ingress leg completed: the
+  /// message never entered the network (surfaced failure, not a loss).
+  bool ingress_failed = false;
+  /// A publisher-crash window targets this sender in the same phase, so an
+  /// ingress failure is a legal outcome.
+  bool ingress_failure_allowed = false;
+  /// The ingress leg was retried at least once (the ingress machine was
+  /// down): the message may be ingress-sequenced out of publish order
+  /// relative to the sender's other traffic, so the FIFO oracle excludes
+  /// it from the per-(sender, group) chain.
+  bool ingress_retried = false;
   /// Facade-global message id (plain publishes only; causal ids are
   /// matched through the payload tag).
   MsgId id;
@@ -76,6 +91,12 @@ struct RunTrace {
   std::vector<std::string> graph_errors;
   /// Receiver-buffer occupancy after each phase's drain.
   std::vector<std::size_t> buffered_after_phase;
+  /// Channel-exhaustion events surfaced across all epochs (informational:
+  /// a fault that recovers is legal; one still standing at a drain is not).
+  std::size_t channel_fault_events = 0;
+  /// Edges still in the fault state after a phase drained ("phase P:
+  /// A->B"); recovery should have cleared every one.
+  std::vector<std::string> stuck_channel_faults;
   bool threw = false;
   std::string exception_what;
 

@@ -103,6 +103,9 @@ void write_repro(const Scenario& s, std::ostream& out) {
   out << "clusters " << s.num_clusters << "\n";
   out << "loss " << fmt(s.loss_probability) << "\n";
   out << "rto " << fmt(s.retransmit_timeout_ms) << "\n";
+  // Written only when non-default, so pre-budget readers (and byte-exact
+  // golden files) are unaffected by scenarios that never touch the knob.
+  if (s.max_retransmits != 5000) out << "budget " << s.max_retransmits << "\n";
   for (const Phase& phase : s.phases) {
     out << "phase\n";
     for (const MembershipOp& op : phase.reconfig) {
@@ -126,6 +129,14 @@ void write_repro(const Scenario& s, std::ostream& out) {
     for (const CrashWindow& c : phase.crashes) {
       out << "crash " << c.victim << ' ' << fmt(c.start) << ' '
           << fmt(c.duration) << "\n";
+    }
+    for (const PublisherCrash& c : phase.publisher_crashes) {
+      out << "pubcrash " << c.victim << ' ' << fmt(c.start) << ' '
+          << fmt(c.duration) << "\n";
+    }
+    for (const PartitionWindow& w : phase.partitions) {
+      out << "cut " << w.cut_seed << ' ' << fmt(w.start) << ' '
+          << fmt(w.duration) << "\n";
     }
     for (const TerminationOp& t : phase.terminations) {
       out << "fin " << t.group << ' ' << fmt(t.at) << ' ' << t.initiator_rank
@@ -176,6 +187,11 @@ Scenario read_repro(std::istream& in) {
       parser.want_arity(tokens, 2);
       s.retransmit_timeout_ms = parser.parse_double(tokens[1]);
       saw_rto = true;
+    } else if (kw == "budget") {
+      // Optional (format extension): absent in pre-budget files, which
+      // keep the old 5000 default.
+      parser.want_arity(tokens, 2);
+      s.max_retransmits = parser.parse_u32(tokens[1]);
     } else {
       parser.fail("unknown header keyword '" + kw + "'");
     }
@@ -225,6 +241,20 @@ Scenario read_repro(std::istream& in) {
         c.start = parser.parse_double(tokens[2]);
         c.duration = parser.parse_double(tokens[3]);
         phase.crashes.push_back(c);
+      } else if (kw == "pubcrash") {
+        parser.want_arity(tokens, 4);
+        PublisherCrash c;
+        c.victim = parser.parse_u32(tokens[1]);
+        c.start = parser.parse_double(tokens[2]);
+        c.duration = parser.parse_double(tokens[3]);
+        phase.publisher_crashes.push_back(c);
+      } else if (kw == "cut") {
+        parser.want_arity(tokens, 4);
+        PartitionWindow w;
+        w.cut_seed = parser.parse_u64(tokens[1]);
+        w.start = parser.parse_double(tokens[2]);
+        w.duration = parser.parse_double(tokens[3]);
+        phase.partitions.push_back(w);
       } else if (kw == "fin") {
         parser.want_arity(tokens, 4);
         TerminationOp t;

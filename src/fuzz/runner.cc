@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <exception>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "pubsub/system.h"
 #include "seqgraph/validator.h"
 
@@ -31,8 +33,24 @@ pubsub::SystemConfig scenario_config(const Scenario& s) {
   config.hosts.num_clusters = std::min<std::size_t>(s.num_clusters, s.num_hosts);
   config.network.channel.loss_probability = s.loss_probability;
   config.network.channel.retransmit_timeout_ms = s.retransmit_timeout_ms;
-  config.network.channel.max_retransmits = 5000;
+  config.network.channel.max_retransmits = s.max_retransmits;
   return config;
+}
+
+/// Two-sided machine partition derived from a cut seed: machine i lands on
+/// side splitmix64(seed + i) & 1 (degenerate all-one-side cuts get machine
+/// 0 flipped so the cut is never empty).
+std::vector<char> derive_cut(std::uint64_t cut_seed,
+                             std::size_t num_machines) {
+  std::vector<char> side(num_machines, 0);
+  bool mixed = false;
+  for (std::size_t i = 0; i < num_machines; ++i) {
+    std::uint64_t x = cut_seed + i;
+    side[i] = static_cast<char>(splitmix64(x) & 1);
+    if (side[i] != side[0]) mixed = true;
+  }
+  if (!mixed && num_machines >= 2) side[0] = side[0] == 0 ? 1 : 0;
+  return side;
 }
 
 /// Sorted, deduplicated, in-range member list for a kCreate op; empty means
@@ -169,6 +187,62 @@ void execute(const Scenario& s, const RunnerOptions& options,
                       });
     }
 
+    // Publisher crashes: same overlapping-window discipline as machine
+    // crashes, per host.
+    std::vector<char> host_down(std::max<std::uint32_t>(s.num_hosts, 1), 0);
+    std::vector<char> pub_window_active(phase.publisher_crashes.size(), 0);
+    // Hosts any publisher-crash window targets this phase: their publishes
+    // may legally fail ingress, and causal publishes degrade to plain ones
+    // (a causal chain owned by a crashing host would wedge behind its own
+    // failed head — a harness artifact, not a protocol behavior).
+    std::unordered_set<std::uint32_t> crash_senders;
+    for (std::size_t w = 0; w < phase.publisher_crashes.size(); ++w) {
+      const PublisherCrash& crash = phase.publisher_crashes[w];
+      const NodeId victim(crash.victim % s.num_hosts);
+      crash_senders.insert(victim.value());
+      char* down = &host_down[victim.value()];
+      char* active = &pub_window_active[w];
+      sim.schedule_at(base + crash.start, [&system, victim, down, active] {
+        if (*down) return;
+        system.fail_publisher(victim);
+        *down = 1;
+        *active = 1;
+      });
+      sim.schedule_at(base + crash.start + crash.duration,
+                      [&system, victim, down, active] {
+                        if (!*active) return;
+                        system.recover_publisher(victim);
+                        *down = 0;
+                        *active = 0;
+                      });
+    }
+
+    // Cluster partitions: sever the channels crossing a seed-derived
+    // machine cut, heal them when the window closes. Each window owns
+    // exactly the edges it severed (a concurrently-down edge is skipped),
+    // so overlapping windows compose. Storage is sized up front — the
+    // recovery callback reads its window's severed-edge list by address.
+    std::vector<std::vector<std::pair<AtomId, AtomId>>> severed_edges(
+        phase.partitions.size());
+    for (std::size_t w = 0; w < phase.partitions.size(); ++w) {
+      if (num_machines < 2) break;  // nothing to cut
+      const PartitionWindow& window = phase.partitions[w];
+      auto* severed = &severed_edges[w];
+      sim.schedule_at(base + window.start,
+                      [&system, severed, cut_seed = window.cut_seed,
+                       num_machines] {
+                        *severed = system.network_mutable().sever_node_cut(
+                            derive_cut(cut_seed, num_machines));
+                      });
+      sim.schedule_at(base + window.start + window.duration,
+                      [&system, severed] {
+                        for (const auto& [from, to] : *severed) {
+                          system.network_mutable().recover_link(from, to);
+                        }
+                        severed->clear();
+                      });
+    }
+
     // Scenario groups with a FIN scheduled this phase: their publishes may
     // legally lose the race against the FIN, and causal publishes degrade
     // to plain ones (a queued causal publish released after the FIN would
@@ -182,8 +256,11 @@ void execute(const Scenario& s, const RunnerOptions& options,
         const GroupId gid = group_ids[fin.group];
         if (system.network().group_terminated(gid)) return;
         const auto& members = system.membership().members(gid);
-        system.terminate_group(
-            gid, members[fin.initiator_rank % members.size()]);
+        const NodeId initiator = members[fin.initiator_rank % members.size()];
+        // A crashed host cannot initiate a termination; the FIN is skipped
+        // (deterministically) rather than faked from a dead publisher.
+        if (system.network().publisher_failed(initiator)) return;
+        system.terminate_group(gid, initiator);
         fin_fired[fin.group] = 1;
       });
     }
@@ -194,15 +271,17 @@ void execute(const Scenario& s, const RunnerOptions& options,
     std::vector<std::pair<std::size_t, MsgId>> plain_ids;
     for (const PublishOp& op : phase.publishes) {
       const bool fin_race = fin_this_phase.contains(op.group);
+      const bool crash_sender =
+          crash_senders.contains(op.sender % s.num_hosts);
       sim.schedule_at(
           base + op.at,
           [&system, &group_ids, &alive, &trace, &next_ordinal, &plain_ids, op,
-           fin_race, num_hosts = s.num_hosts] {
+           fin_race, crash_sender, num_hosts = s.num_hosts] {
             if (!alive(op.group)) return;
             const GroupId gid = group_ids[op.group];
             if (system.network().group_terminated(gid)) return;  // post-FIN
             const NodeId sender(op.sender % num_hosts);
-            const bool causal = op.causal && !fin_race &&
+            const bool causal = op.causal && !fin_race && !crash_sender &&
                                 system.membership().is_member(gid, sender);
             PublishRecord record;
             record.ordinal = next_ordinal++;
@@ -212,6 +291,7 @@ void execute(const Scenario& s, const RunnerOptions& options,
             record.group_index = op.group;
             record.causal = causal;
             record.fin_race_allowed = fin_race;
+            record.ingress_failure_allowed = crash_sender;
             record.expected_receivers = system.membership().members(gid);
             if (causal) {
               system.publish_causal(sender, gid, record.payload);
@@ -226,10 +306,21 @@ void execute(const Scenario& s, const RunnerOptions& options,
     system.run();
 
     for (const auto& [index, id] : plain_ids) {
-      trace.publishes[index].rejected = system.record(id).rejected;
+      const protocol::MessageRecord& rec = system.record(id);
+      trace.publishes[index].rejected = rec.rejected;
+      trace.publishes[index].ingress_failed = rec.ingress_failed;
+      trace.publishes[index].ingress_retried = rec.ingress_retries > 0;
     }
     trace.buffered_after_phase.push_back(
         system.network().buffered_at_receivers());
+    // Channel-fault bookkeeping for this epoch (the network — and its
+    // fault log — is rebuilt at the next boundary).
+    trace.channel_fault_events += system.network().channel_faults().size();
+    for (const auto& [from, to] : system.network().faulted_edges()) {
+      std::ostringstream edge;
+      edge << "phase " << p << ": " << from << "->" << to;
+      trace.stuck_channel_faults.push_back(edge.str());
+    }
   }
 
   trace.log = system.deliveries();

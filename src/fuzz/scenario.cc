@@ -29,6 +29,14 @@ std::size_t Scenario::num_crashes() const {
   return count;
 }
 
+std::size_t Scenario::num_host_faults() const {
+  std::size_t count = 0;
+  for (const Phase& phase : phases) {
+    count += phase.publisher_crashes.size() + phase.partitions.size();
+  }
+  return count;
+}
+
 std::string Scenario::summary() const {
   std::size_t fins = 0, joins_leaves = 0, causal = 0;
   for (const Phase& phase : phases) {
@@ -44,12 +52,22 @@ std::string Scenario::summary() const {
       if (op.causal) ++causal;
     }
   }
+  std::size_t pub_crashes = 0, partitions = 0;
+  for (const Phase& phase : phases) {
+    pub_crashes += phase.publisher_crashes.size();
+    partitions += phase.partitions.size();
+  }
   std::ostringstream out;
   out << phases.size() << " phase" << (phases.size() == 1 ? "" : "s") << ", "
       << num_hosts << " hosts, " << num_groups() << " groups, "
       << num_publishes() << " pubs (" << causal << " causal), loss="
       << loss_probability << ", " << num_crashes() << " crashes, " << fins
       << " fins, " << joins_leaves << " membership churn ops";
+  if (pub_crashes + partitions > 0) {
+    out << ", " << pub_crashes << " publisher crashes, " << partitions
+        << " partitions";
+  }
+  if (max_retransmits != 5000) out << ", budget=" << max_retransmits;
   return out.str();
 }
 
@@ -147,7 +165,7 @@ Scenario generate_scenario(std::uint64_t seed,
 
     // --- Fault schedule. ---
     const double horizon = options.phase_horizon_ms;
-    if (rng.next_bool(0.4)) {
+    if (rng.next_bool(options.crash_probability)) {
       const std::size_t windows = 1 + rng.next_below(2);
       for (std::size_t w = 0; w < windows; ++w) {
         CrashWindow crash;
@@ -194,6 +212,37 @@ Scenario generate_scenario(std::uint64_t seed,
               });
 
     s.phases.push_back(std::move(phase));
+  }
+
+  // --- Host-level faults (publisher crashes, cluster partitions). ---
+  // Drawn after the whole phase script on purpose: the draws above are
+  // untouched, so every pre-existing seed keeps its exact membership /
+  // traffic / sequencer-fault content and only *gains* host faults.
+  if (rng.next_bool(options.small_budget_probability)) {
+    // Tiny enough that a typical crash or partition window outlasts the
+    // budget (with rto 40 and backoff, budget k exhausts after roughly
+    // 40 * (2^k - 1) ms), so surfaced channel faults actually occur.
+    s.max_retransmits = static_cast<std::uint32_t>(1 + rng.next_below(4));
+  }
+  for (Phase& phase : s.phases) {
+    const double horizon = options.phase_horizon_ms;
+    if (rng.next_bool(options.publisher_crash_probability)) {
+      const std::size_t windows = 1 + rng.next_below(2);
+      for (std::size_t w = 0; w < windows; ++w) {
+        PublisherCrash crash;
+        crash.victim = static_cast<std::uint32_t>(rng.next_below(64));
+        crash.start = rng.next_double() * horizon * 0.7;
+        crash.duration = 60.0 + rng.next_double() * 300.0;
+        phase.publisher_crashes.push_back(crash);
+      }
+    }
+    if (rng.next_bool(options.partition_probability)) {
+      PartitionWindow window;
+      window.cut_seed = rng();
+      window.start = rng.next_double() * horizon * 0.6;
+      window.duration = 40.0 + rng.next_double() * 260.0;
+      phase.partitions.push_back(window);
+    }
   }
   return s;
 }

@@ -47,6 +47,35 @@ struct CrashWindow {
   friend bool operator==(const CrashWindow&, const CrashWindow&) = default;
 };
 
+/// Fail-stop one publisher host for [start, start + duration): while down
+/// it publishes nothing (its scripted publishes record an ingress failure
+/// instead of entering the network) and any ingress retry loop it was
+/// driving is abandoned. The victim index is reduced modulo num_hosts at
+/// run time.
+struct PublisherCrash {
+  std::uint32_t victim = 0;
+  double start = 0.0;
+  double duration = 0.0;
+
+  friend bool operator==(const PublisherCrash&, const PublisherCrash&) =
+      default;
+};
+
+/// Partition the sequencing machines into two sides for
+/// [start, start + duration): every inter-sequencer channel crossing the
+/// cut is severed (arrival-time semantics — in-flight traffic dies inside
+/// the window) and healed at the end. The cut itself is derived
+/// deterministically from `cut_seed` and the epoch's machine count at run
+/// time, so the op survives membership changes and shrinking.
+struct PartitionWindow {
+  std::uint64_t cut_seed = 0;
+  double start = 0.0;
+  double duration = 0.0;
+
+  friend bool operator==(const PartitionWindow&, const PartitionWindow&) =
+      default;
+};
+
 /// Close a group's sequence space mid-run (the §3.2 FIN). The initiator is
 /// picked by rank among the group's current members (mod size), so the op
 /// survives membership shrinking.
@@ -76,6 +105,8 @@ struct Phase {
   std::vector<MembershipOp> reconfig;
   std::vector<PublishOp> publishes;
   std::vector<CrashWindow> crashes;
+  std::vector<PublisherCrash> publisher_crashes;
+  std::vector<PartitionWindow> partitions;
   std::vector<TerminationOp> terminations;
 
   friend bool operator==(const Phase&, const Phase&) = default;
@@ -90,6 +121,11 @@ struct Scenario {
   std::uint32_t num_clusters = 4;
   double loss_probability = 0.0;
   double retransmit_timeout_ms = 40.0;
+  /// Channel retransmission budget before a fault is surfaced (and the
+  /// ingress-retry backoff ceiling's base). The default matches the
+  /// pre-budget repro format; the generator sometimes dials it far down so
+  /// ordinary crash windows outlast it and exercise the fault path.
+  std::uint32_t max_retransmits = 5000;
 
   std::vector<Phase> phases;
 
@@ -102,6 +138,8 @@ struct Scenario {
   [[nodiscard]] std::size_t num_publishes() const;
   /// Total crash windows across all phases.
   [[nodiscard]] std::size_t num_crashes() const;
+  /// Total host-level fault windows (publisher crashes + partitions).
+  [[nodiscard]] std::size_t num_host_faults() const;
   /// One-line feature summary ("3 phases, 6 groups, 42 pubs, ...") for
   /// driver output and corpus bookkeeping.
   [[nodiscard]] std::string summary() const;
@@ -119,6 +157,16 @@ struct GeneratorOptions {
   std::uint32_t max_publishes_per_phase = 30;
   double max_loss = 0.25;
   double phase_horizon_ms = 500.0;
+  /// Chance a phase gets sequencer crash windows.
+  double crash_probability = 0.4;
+  /// Chance a phase gets publisher-crash windows (host-level fault).
+  double publisher_crash_probability = 0.3;
+  /// Chance a phase gets a cluster-partition window (host-level fault).
+  double partition_probability = 0.25;
+  /// Chance the scenario runs with a tiny channel retransmission budget,
+  /// so ordinary crash/partition windows outlast it and the surfaced
+  /// channel-fault path (not just the happy retransmit path) is exercised.
+  double small_budget_probability = 0.25;
 };
 
 /// Deterministically derive a scenario from a 64-bit seed: same seed, same

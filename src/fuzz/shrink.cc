@@ -172,6 +172,20 @@ ShrinkResult shrink(const Scenario& scenario,
             static_cast<std::ptrdiff_t>(c));
         if (accept(candidate)) shrank = true;
       }
+      for (std::size_t c = best.phases[p].publisher_crashes.size(); c-- > 0;) {
+        Scenario candidate = best;
+        candidate.phases[p].publisher_crashes.erase(
+            candidate.phases[p].publisher_crashes.begin() +
+            static_cast<std::ptrdiff_t>(c));
+        if (accept(candidate)) shrank = true;
+      }
+      for (std::size_t c = best.phases[p].partitions.size(); c-- > 0;) {
+        Scenario candidate = best;
+        candidate.phases[p].partitions.erase(
+            candidate.phases[p].partitions.begin() +
+            static_cast<std::ptrdiff_t>(c));
+        if (accept(candidate)) shrank = true;
+      }
       for (std::size_t f = best.phases[p].terminations.size(); f-- > 0;) {
         Scenario candidate = best;
         candidate.phases[p].terminations.erase(
@@ -195,20 +209,27 @@ ShrinkResult shrink(const Scenario& scenario,
   };
 
   const auto pass_narrow_crashes = [&] {
-    bool shrank = false;
-    for (std::size_t p = 0; p < best.phases.size() && budget_left(); ++p) {
-      for (std::size_t c = 0; c < best.phases[p].crashes.size(); ++c) {
-        // Halve the window, from either end.
-        Scenario half = best;
-        half.phases[p].crashes[c].duration /= 2.0;
-        if (accept(half)) shrank = true;
-        Scenario tail = best;
-        tail.phases[p].crashes[c].start +=
-            tail.phases[p].crashes[c].duration / 2.0;
-        tail.phases[p].crashes[c].duration /= 2.0;
-        if (accept(tail)) shrank = true;
+    // Halve a fault window, from either end. Applies to every timed
+    // window kind: sequencer crashes, publisher crashes, partitions.
+    const auto narrow = [&](auto member) {
+      bool shrank = false;
+      for (std::size_t p = 0; p < best.phases.size() && budget_left(); ++p) {
+        for (std::size_t c = 0; c < (best.phases[p].*member).size(); ++c) {
+          Scenario half = best;
+          (half.phases[p].*member)[c].duration /= 2.0;
+          if (accept(half)) shrank = true;
+          Scenario tail = best;
+          (tail.phases[p].*member)[c].start +=
+              (tail.phases[p].*member)[c].duration / 2.0;
+          (tail.phases[p].*member)[c].duration /= 2.0;
+          if (accept(tail)) shrank = true;
+        }
       }
-    }
+      return shrank;
+    };
+    bool shrank = narrow(&Phase::crashes);
+    if (narrow(&Phase::publisher_crashes)) shrank = true;
+    if (narrow(&Phase::partitions)) shrank = true;
     return shrank;
   };
 

@@ -1,5 +1,6 @@
 #include "protocol/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -57,6 +58,7 @@ SequencingNetwork::SequencingNetwork(
       receivers_(membership.num_nodes()),
       seqnode_load_(colocation.num_nodes(), 0),
       node_down_(colocation.num_nodes(), false),
+      publisher_down_(membership.num_nodes(), false),
       physical_network_(physical_network) {
   DECSEQ_CHECK_MSG(!options_.tree_distribution || physical_network_ != nullptr,
                    "tree distribution needs the physical network graph");
@@ -80,6 +82,12 @@ SequencingNetwork::SequencingNetwork(
           *sim_, *rng_, machine_distance(from, to), options_.channel);
       channel->set_receiver([this, to](Message m) {
         handle_at_atom(to, std::move(m));
+      });
+      // Exhaustion surfaces here as an edge-tagged fault record instead of
+      // killing the run; the channel keeps probing and recover_node /
+      // recover_link clear the state (see channel_faults()).
+      channel->set_fault_callback([this, from, to](const sim::ChannelFault& f) {
+        channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
       });
       channels_.emplace(std::pair{from, to}, std::move(channel));
     }
@@ -127,9 +135,18 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
                    "publish to group " << group << " with no path");
   DECSEQ_CHECK_MSG(!terminated_groups_.contains(group),
                    "group " << group << " was terminated");
+  DECSEQ_CHECK_MSG(!is_fin || !publisher_failed(sender),
+                   "group termination initiated from crashed publisher "
+                       << sender);
   if (is_fin) terminated_groups_.insert(group);
   const MsgId id(static_cast<MsgId::underlying_type>(records_.size()));
   records_.push_back({sender, group, sim_->now(), std::nullopt, 0, 0});
+  if (publisher_failed(sender)) {
+    // The publisher host is down: the publish never leaves it. Recorded as
+    // an ingress failure the publisher (and the fuzzer's oracles) can see.
+    records_.back().ingress_failed = true;
+    return id;
+  }
 
   // The one payload copy of the message's lifetime: publish bytes into the
   // shared block. Everything downstream passes the reference around.
@@ -146,18 +163,43 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
   // per-pair delay preserves each sender's send order, and the ingress
   // sequencer defines the global order on arrival.
   sim_->schedule_after(delay, [this, ingress, block = std::move(block)] {
-    arrive_at_ingress(ingress, block);
+    arrive_at_ingress(ingress, block, /*attempts=*/0);
   });
   return id;
 }
 
-void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload) {
+double SequencingNetwork::ingress_backoff_delay(std::uint32_t attempts) {
+  // Exponential and capped like the channels' schedule, but deliberately
+  // NOT jittered: a sender's pending publishes retry in lockstep, so the
+  // FIFO tie-break keeps them in publish order through the outage. Jitter
+  // decorrelates independent hosts; within one sender's serialized retry
+  // pipeline it would only scramble that order.
+  const sim::ChannelOptions& ch = options_.channel;
+  const double cap = ch.retransmit_timeout_ms * ch.max_backoff_factor;
+  double delay = ch.retransmit_timeout_ms;
+  for (std::uint32_t i = 1; i < attempts && delay < cap; ++i) {
+    delay *= ch.backoff_factor;
+  }
+  return std::min(delay, cap);
+}
+
+void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
+                                          std::uint32_t attempts) {
   const SeqNodeId node = colocation_->node_of(ingress);
   if (node_down_[node.value()]) {
-    // Publisher retry: try again after the retransmission timeout.
-    sim_->schedule_after(options_.channel.retransmit_timeout_ms,
-                         [this, ingress, payload = std::move(payload)] {
-                           arrive_at_ingress(ingress, payload);
+    MessageRecord& rec = records_[payload->id().value()];
+    if (publisher_failed(rec.sender)) {
+      // The retrying publisher died: nobody is left to drive the loop.
+      rec.ingress_failed = true;
+      return;
+    }
+    // Publisher retry, with the channels' exponential backoff so a long
+    // ingress-machine outage costs O(log) retries, not a retry storm.
+    ++rec.ingress_retries;
+    const std::uint32_t next = attempts + 1;
+    sim_->schedule_after(ingress_backoff_delay(next),
+                         [this, ingress, payload = std::move(payload), next] {
+                           arrive_at_ingress(ingress, payload, next);
                          });
     return;
   }
@@ -225,9 +267,53 @@ void SequencingNetwork::recover_node(SeqNodeId node) {
   node_down_[node.value()] = false;
   for (auto& [edge, channel] : channels_) {
     if (colocation_->node_of(edge.second) == node) {
+      // Clears any surfaced fault and retransmits the held window (the
+      // channel's resume-on-recovery semantics).
       channel->set_receiver_down(false);
     }
   }
+}
+
+std::vector<std::pair<AtomId, AtomId>> SequencingNetwork::sever_node_cut(
+    const std::vector<char>& side) {
+  std::vector<std::pair<AtomId, AtomId>> severed;
+  for (const auto& [edge, channel] : channels_) {
+    const SeqNodeId a = colocation_->node_of(edge.first);
+    const SeqNodeId b = colocation_->node_of(edge.second);
+    DECSEQ_CHECK(a.value() < side.size() && b.value() < side.size());
+    if (side[a.value()] == side[b.value()]) continue;  // same side
+    if (channel->link_down()) continue;                // already severed
+    severed.push_back(edge);
+  }
+  // channels_ iterates in hash order; sort so the severing (and its RNG
+  // consumption downstream) is deterministic.
+  std::sort(severed.begin(), severed.end());
+  for (const auto& edge : severed) fail_link(edge.first, edge.second);
+  return severed;
+}
+
+void SequencingNetwork::fail_publisher(NodeId node) {
+  DECSEQ_CHECK(node.valid() && node.value() < publisher_down_.size());
+  DECSEQ_CHECK_MSG(!publisher_down_[node.value()],
+                   "publisher " << node << " already down");
+  publisher_down_[node.value()] = true;
+}
+
+void SequencingNetwork::recover_publisher(NodeId node) {
+  DECSEQ_CHECK(node.valid() && node.value() < publisher_down_.size());
+  DECSEQ_CHECK_MSG(publisher_down_[node.value()],
+                   "publisher " << node << " not down");
+  publisher_down_[node.value()] = false;
+}
+
+std::vector<std::pair<AtomId, AtomId>> SequencingNetwork::faulted_edges()
+    const {
+  std::vector<std::pair<AtomId, AtomId>> edges;
+  for (const auto& [edge, channel] : channels_) {
+    if (channel->faulted()) edges.push_back(edge);
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
 }
 
 void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {

@@ -62,6 +62,27 @@ struct MessageRecord {
   /// never delivered (the publisher lost the race, as with any send to a
   /// group that just ceased to exist).
   bool rejected = false;
+  /// The publisher host crashed before the ingress leg completed (either
+  /// it was already down at publish time, or it died while retrying into a
+  /// failed ingress machine): the message never entered the sequencing
+  /// network and is never delivered. Surfaced to the publisher — the
+  /// paper's fail-free assumption covers sequencers, not publishers.
+  bool ingress_failed = false;
+  /// Ingress-leg retries this message needed (ingress machine down when it
+  /// arrived). Retried messages can be ingress-sequenced out of publish
+  /// order relative to the sender's other traffic.
+  std::uint32_t ingress_retries = 0;
+};
+
+/// One channel-exhaustion event, recorded when the inter-sequencer channel
+/// `from -> to` exhausted its retransmission budget (sim::ChannelFault
+/// surfaced with the edge attached).
+struct ChannelFaultRecord {
+  AtomId from;
+  AtomId to;
+  std::uint64_t seq = 0;
+  std::uint32_t attempts = 0;
+  sim::Time at = 0.0;
 };
 
 /// A full simulated deployment of the ordering protocol.
@@ -111,10 +132,13 @@ class SequencingNetwork {
   // --- Failure injection (beyond the paper's fail-free assumption). ---
   // Fail-stop model with synchronous state replication: a failed
   // sequencing machine stops receiving — upstream retransmission buffers
-  // (§3.1) hold its traffic and publishers retry their ingress legs — and
-  // recovery resumes with the counters intact, so no sequence number is
-  // ever lost or duplicated. Keep downtime below retransmit_timeout_ms *
-  // max_retransmits or the channel gives up loudly.
+  // (§3.1) hold its traffic and publishers retry their ingress legs with
+  // exponential backoff — and recovery resumes with the counters intact,
+  // so no sequence number is ever lost or duplicated. A downtime longer
+  // than the channels' retransmission budget does not abort: the affected
+  // channels surface faults (see channel_faults()/faulted_edges()) and
+  // keep probing; recover_node()/recover_link() clear them and retransmit
+  // the held window immediately.
   void fail_node(SeqNodeId node);
   void recover_node(SeqNodeId node);
   [[nodiscard]] bool node_failed(SeqNodeId node) const {
@@ -124,10 +148,42 @@ class SequencingNetwork {
 
   /// Sever / restore the directed inter-sequencer link `from -> to` (it
   /// must be an edge some group's path uses). Messages queue in the §3.1
-  /// retransmission buffer until recovery.
+  /// retransmission buffer until recovery; partition semantics are
+  /// arrival-time (in-flight traffic dies inside the window, see
+  /// sim/channel.h "Failure model").
   void fail_link(AtomId from, AtomId to);
   void recover_link(AtomId from, AtomId to);
   [[nodiscard]] bool link_failed(AtomId from, AtomId to) const;
+
+  /// Partition the sequencing machines into two sides (`side[machine]` is
+  /// 0 or 1) and sever every directed inter-atom channel crossing the cut
+  /// that is not already down. Returns the severed edges in deterministic
+  /// (from, to) order — pass each to recover_link() to heal the partition.
+  [[nodiscard]] std::vector<std::pair<AtomId, AtomId>> sever_node_cut(
+      const std::vector<char>& side);
+
+  /// Fail-stop a publisher host: it stops publishing (a publish from a
+  /// downed publisher records ingress_failed and goes nowhere) and any
+  /// in-progress ingress retry loops it was driving are abandoned at their
+  /// next retry. Subscriber state on the host is unaffected — the
+  /// receiving endpoint's reliable channels hold its traffic exactly as
+  /// for a sequencing-machine crash.
+  void fail_publisher(NodeId node);
+  void recover_publisher(NodeId node);
+  [[nodiscard]] bool publisher_failed(NodeId node) const {
+    return node.valid() && node.value() < publisher_down_.size() &&
+           publisher_down_[node.value()];
+  }
+
+  /// Every channel-exhaustion event since construction, in the order the
+  /// channels surfaced them (deterministic under the simulator).
+  [[nodiscard]] const std::vector<ChannelFaultRecord>& channel_faults() const {
+    return channel_faults_;
+  }
+
+  /// Edges whose channel is faulted *right now* (budget exhausted, not yet
+  /// recovered or drained), sorted by (from, to).
+  [[nodiscard]] std::vector<std::pair<AtomId, AtomId>> faulted_edges() const;
 
   [[nodiscard]] const MessageRecord& record(MsgId id) const {
     DECSEQ_CHECK(id.valid() && id.value() < records_.size());
@@ -200,11 +256,17 @@ class SequencingNetwork {
   void handle_at_atom(AtomId atom, Message message);
   MsgId inject(NodeId sender, GroupId group, std::uint64_t payload,
                std::vector<std::uint8_t> body, bool is_fin);
-  /// Ingress-leg arrival; retries while the ingress machine is down
-  /// (publisher retry, mirroring the channels' retransmission). Takes the
-  /// shared payload block: the ordering header does not exist until the
-  /// ingress sequencer assigns the group sequence number here.
-  void arrive_at_ingress(AtomId ingress, PayloadRef payload);
+  /// Ingress-leg arrival; retries with exponential backoff while the
+  /// ingress machine is down (publisher retry, mirroring the channels'
+  /// retransmission) and abandons the message — ingress_failed — if the
+  /// publisher itself dies mid-retry. Takes the shared payload block: the
+  /// ordering header does not exist until the ingress sequencer assigns
+  /// the group sequence number here. `attempts` counts the retries so far.
+  void arrive_at_ingress(AtomId ingress, PayloadRef payload,
+                         std::uint32_t attempts);
+  /// Delay before ingress retry `attempts`: the channels' backoff formula
+  /// (exponential, capped, jittered) applied to the ingress retry loop.
+  [[nodiscard]] double ingress_backoff_delay(std::uint32_t attempts);
   void forward(AtomId from, AtomId to, Message message);
   void distribute(AtomId last_atom, Message message);
   [[nodiscard]] FanOutPlan& fanout_plan(GroupId group, AtomId last_atom);
@@ -242,6 +304,10 @@ class SequencingNetwork {
   std::vector<MessageRecord> records_;
   std::vector<std::size_t> seqnode_load_;
   std::vector<bool> node_down_;
+  /// Per-publisher-host fail-stop flags, indexed by NodeId value.
+  std::vector<bool> publisher_down_;
+  /// Channel-exhaustion log (append-only; see channel_faults()).
+  std::vector<ChannelFaultRecord> channel_faults_;
   Tracer tracer_;
   /// Lazily built distribution plans indexed by group id value.
   std::vector<std::unique_ptr<FanOutPlan>> fanout_plans_;

@@ -183,6 +183,15 @@ sim::Time PubSubSystem::run() {
   while (pending) {
     pending = false;
     for (auto& [sender, state] : causal_) {
+      // A causal head that failed ingress (the publisher host crashed)
+      // will never be delivered back to release the chain; the rest of the
+      // queue belonged to the crashed host, so the whole chain is dropped
+      // rather than wedging the drain.
+      if (state.in_flight.has_value() &&
+          network_->record(*state.in_flight).ingress_failed) {
+        state.in_flight.reset();
+        state.queue.clear();
+      }
       if (state.in_flight.has_value() || !state.queue.empty()) pending = true;
     }
     if (pending) {

@@ -154,6 +154,14 @@ class PubSubSystem {
     network_->recover_node(node);
   }
 
+  /// Crash / restore a publisher host mid-run (fail-stop; see
+  /// protocol::SequencingNetwork::fail_publisher). Publishes from a downed
+  /// host record ingress_failed instead of entering the network; a causal
+  /// chain whose in-flight message fails ingress is dropped at the next
+  /// run() — the messages queued behind it belonged to the crashed host.
+  void fail_publisher(NodeId node) { network_->fail_publisher(node); }
+  void recover_publisher(NodeId node) { network_->recover_publisher(node); }
+
   /// Drain the simulator: every published message is sequenced, distributed,
   /// and delivered. Returns simulated completion time (ms).
   sim::Time run();

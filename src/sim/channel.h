@@ -15,14 +15,47 @@
 // front, the receiver's reorder window starts at the next sequence number
 // to deliver. No tree maps, no per-packet node allocations.
 //
-// Retransmission timing: every unacked packet carries its own deadline
-// (last transmission + timeout), but the channel arms a single cancellable
-// simulator timer at the earliest of them instead of one event per packet.
-// When the output buffer drains the timer is cancelled, so an acked packet
-// never wakes the simulator: a loss-free run fires zero retransmit-timer
-// callbacks (asserted by tests via retransmit_timer_fires()).
+// Retransmission timing: every unacked packet carries its own deadline,
+// but the channel arms a single cancellable simulator timer at the
+// earliest of them instead of one event per packet. When the output buffer
+// drains the timer is cancelled, so an acked packet never wakes the
+// simulator: a loss-free run fires zero retransmit-timer callbacks
+// (asserted by tests via retransmit_timer_fires()).
+//
+// Retransmissions back off exponentially per packet: retry i of one packet
+// waits retransmit_timeout_ms * backoff_factor^(i-1), capped at
+// max_backoff_factor * retransmit_timeout_ms, with multiplicative jitter in
+// [1, 1 + backoff_jitter) so co-timed packets decorrelate. During an
+// outage of duration W a packet is therefore retransmitted O(log(W/rto))
+// times, not W/rto times. The first transmission's deadline is exactly
+// retransmit_timeout_ms with no jitter (and no RNG draw), so loss-free
+// runs consume no extra randomness.
+//
+// Failure model (partitions and faults):
+//  * set_link_down(true) severs the link. Link state is sampled both when
+//    a transmission is launched and when it arrives: traffic (data and
+//    acks) already in flight when the partition starts dies inside it.
+//    A partition therefore behaves like a physical cut, not a send-time
+//    loss coin — nothing leaks through the window in either direction.
+//  * set_receiver_down(true) fail-stops the receiving endpoint: arrivals
+//    are dropped without acknowledgment (the sender's buffers hold
+//    everything), also sampled at arrival time.
+//  * Exhausting max_retransmits on any packet does NOT abort: the channel
+//    enters a surfaced fault state — faulted() turns true, fault() carries
+//    the packet/attempt/time, and the fault callback fires once per
+//    transition. A faulted channel keeps probing at the capped backoff
+//    cadence (the analogue of TCP's persist timer), so a fault is a
+//    status, never a wedge: if the outage heals by itself a probe gets
+//    through, the acks drain the buffer, and the fault clears.
+//  * Recovery (set_link_down(false) / set_receiver_down(false)) models the
+//    transport re-establishing the connection: the fault clears, every
+//    unacked packet's attempt budget resets, and the whole window is
+//    retransmitted immediately rather than waiting out the current
+//    backoff. Duplicates this may create are suppressed by sequence number
+//    at the receiver, as always.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -39,10 +72,29 @@ namespace decseq::sim {
 struct ChannelOptions {
   double loss_probability = 0.0;  ///< per-transmission drop chance
   Time retransmit_timeout_ms = 200.0;
-  /// Safety valve for tests: after this many retransmissions of one packet
-  /// the channel gives up and fails loudly (the paper assumes fail-free
-  /// sequencers; silent message loss would corrupt the sequence space).
+  /// Retransmissions of one packet before the channel declares itself
+  /// faulted (surfaced via faulted()/the fault callback — the paper
+  /// assumes fail-free sequencers, so a real deployment must report
+  /// transport exhaustion upward, never die). Probing continues at the
+  /// capped backoff cadence while faulted.
   std::size_t max_retransmits = 100;
+  /// Exponential backoff base: retry i waits retransmit_timeout_ms *
+  /// backoff_factor^(i-1) (before the cap and jitter below).
+  double backoff_factor = 2.0;
+  /// Backoff ceiling as a multiple of retransmit_timeout_ms.
+  double max_backoff_factor = 64.0;
+  /// Multiplicative jitter: each retry delay is scaled by a uniform draw
+  /// from [1, 1 + backoff_jitter).
+  double backoff_jitter = 0.1;
+};
+
+/// Everything known about a channel's surfaced fault: the packet whose
+/// retransmission budget ran out, how often it was sent, and when the
+/// channel gave up fast-path retrying.
+struct ChannelFault {
+  std::uint64_t seq = 0;
+  std::uint32_t attempts = 0;
+  Time at = 0.0;
 };
 
 /// One-directional reliable FIFO channel carrying payloads of type T.
@@ -50,10 +102,14 @@ template <typename T>
 class Channel {
  public:
   using DeliverFn = std::function<void(T)>;
+  using FaultFn = std::function<void(const ChannelFault&)>;
 
   Channel(Simulator& sim, Rng& rng, Time delay_ms, ChannelOptions options = {})
       : sim_(&sim), rng_(&rng), delay_ms_(delay_ms), options_(options) {
     DECSEQ_CHECK(delay_ms >= 0.0);
+    DECSEQ_CHECK(options_.backoff_factor >= 1.0);
+    DECSEQ_CHECK(options_.max_backoff_factor >= 1.0);
+    DECSEQ_CHECK(options_.backoff_jitter >= 0.0);
   }
 
   // In-flight events capture `this`; the channel must stay put once armed.
@@ -64,19 +120,34 @@ class Channel {
   /// exactly once.
   void set_receiver(DeliverFn deliver) { deliver_ = std::move(deliver); }
 
+  /// Notification for entering the fault state (invoked once per
+  /// transition, from inside the retransmit timer). The callback must not
+  /// destroy the channel; it may inspect status and schedule recovery.
+  void set_fault_callback(FaultFn on_fault) { on_fault_ = std::move(on_fault); }
+
   /// Fail-stop the receiving endpoint: while down, arriving transmissions
   /// are dropped without acknowledgment, so the sender's retransmission
   /// buffer holds everything and the timer keeps retrying; after
-  /// set_receiver_down(false), retransmissions drain in order. Models a
-  /// crashed sequencing machine whose state survives (synchronous
-  /// replication) but which stops talking.
-  void set_receiver_down(bool down) { receiver_down_ = down; }
+  /// set_receiver_down(false), the whole unacked window is retransmitted
+  /// immediately (see "Failure model" above). Models a crashed sequencing
+  /// machine whose state survives (synchronous replication) but which
+  /// stops talking.
+  void set_receiver_down(bool down) {
+    const bool was = receiver_down_;
+    receiver_down_ = down;
+    if (was && !down) resume();
+  }
   [[nodiscard]] bool receiver_down() const { return receiver_down_; }
 
-  /// Sever the physical link: transmissions and acknowledgments sent while
-  /// down vanish (a 100% loss window). Both endpoints stay alive; the
-  /// retransmission machinery repairs everything on recovery.
-  void set_link_down(bool down) { link_down_ = down; }
+  /// Sever the physical link: transmissions and acknowledgments vanish if
+  /// the link is down when they are sent *or* when they would arrive (a
+  /// partition kills in-flight traffic). Both endpoints stay alive; on
+  /// set_link_down(false) the unacked window retransmits immediately.
+  void set_link_down(bool down) {
+    const bool was = link_down_;
+    link_down_ = down;
+    if (was && !down) resume();
+  }
   [[nodiscard]] bool link_down() const { return link_down_; }
 
   /// Queue a payload for in-order delivery to the receiver.
@@ -88,6 +159,16 @@ class Channel {
     transmit(seq);
     if (!timer_.valid()) arm_timer(out_.back().deadline);
   }
+
+  /// The channel exhausted max_retransmits on some packet and has not yet
+  /// recovered (by an ack draining the buffer, or by resume-on-recovery).
+  [[nodiscard]] bool faulted() const { return fault_.has_value(); }
+  /// Details of the current fault; nullopt while healthy.
+  [[nodiscard]] const std::optional<ChannelFault>& fault() const {
+    return fault_;
+  }
+  /// Times the channel has entered the fault state over its lifetime.
+  [[nodiscard]] std::size_t faults_entered() const { return faults_entered_; }
 
   /// Packets still awaiting acknowledgment (the "output retransmission
   /// buffer" size from §3.1's state list).
@@ -108,7 +189,7 @@ class Channel {
  private:
   struct OutPacket {
     T payload;
-    /// When this packet times out (last transmission + timeout).
+    /// When this packet times out (last transmission + current backoff).
     Time deadline;
     std::uint32_t attempts = 0;  ///< retransmissions so far
   };
@@ -121,9 +202,23 @@ class Channel {
 
   void transmit(std::uint64_t seq) {
     ++transmissions_;
-    if (link_down_) return;  // severed link
+    if (link_down_) return;  // severed at launch
     if (rng_->next_bool(options_.loss_probability)) return;  // dropped
     sim_->schedule_after(delay_ms_, [this, seq] { on_data(seq); });
+  }
+
+  /// Delay before retransmission `attempts` of a packet fires again:
+  /// exponential in the attempt count, capped, jittered. Consumes one RNG
+  /// draw — only ever called on the (rare) retransmit path.
+  [[nodiscard]] Time backoff_delay(std::uint32_t attempts) {
+    const double cap =
+        options_.retransmit_timeout_ms * options_.max_backoff_factor;
+    double delay = options_.retransmit_timeout_ms;
+    for (std::uint32_t i = 1; i < attempts && delay < cap; ++i) {
+      delay *= options_.backoff_factor;
+    }
+    delay = std::min(delay, cap);
+    return delay * (1.0 + rng_->next_double() * options_.backoff_jitter);
   }
 
   void arm_timer(Time deadline) {
@@ -134,7 +229,9 @@ class Channel {
   /// packet whose deadline passed, then re-arm at the earliest remaining
   /// deadline. The timer is armed at (or before) the true earliest
   /// deadline; an early expiry — possible after acks released the packets
-  /// it was armed for — just re-arms.
+  /// it was armed for — just re-arms. A packet crossing its retransmission
+  /// budget flips the channel into the fault state (once) but keeps
+  /// probing at the capped cadence.
   void on_timer() {
     timer_ = Simulator::TimerId();
     if (out_.empty()) return;  // raced with the draining ack
@@ -145,20 +242,50 @@ class Channel {
       OutPacket& packet = out_[i];
       if (packet.deadline <= now) {
         any_due = true;
-        const std::size_t attempts = ++packet.attempts;
-        DECSEQ_CHECK_MSG(attempts <= options_.max_retransmits,
-                         "packet " << send_base_ + i << " lost " << attempts
-                                   << " times");
+        const std::uint32_t attempts = ++packet.attempts;
+        if (attempts > options_.max_retransmits && !fault_.has_value()) {
+          fault_ = ChannelFault{send_base_ + i, attempts, now};
+          ++faults_entered_;
+          if (on_fault_) on_fault_(*fault_);
+        }
         transmit(send_base_ + i);
-        packet.deadline = now + options_.retransmit_timeout_ms;
+        packet.deadline = now + backoff_delay(attempts);
       }
       if (packet.deadline < earliest) earliest = packet.deadline;
     }
     if (any_due) ++retransmit_timer_fires_;
+    // Once faulted with the endpoint *known* down (receiver crashed, link
+    // severed), further probes are pointless and would keep the simulator
+    // busy forever on an unrecovered outage: park until the recovery
+    // notification resumes the channel. A fault with neither flag set
+    // (pure loss exhausted the budget) keeps probing — only a delivered
+    // probe can clear it.
+    if (fault_.has_value() && (receiver_down_ || link_down_)) return;
     arm_timer(earliest);
   }
 
+  /// Recovery notification (link or receiver back up): clear any fault,
+  /// reset every packet's attempt budget, and retransmit the whole unacked
+  /// window now instead of waiting out the current (possibly capped)
+  /// backoff.
+  void resume() {
+    fault_.reset();
+    if (out_.empty()) return;
+    const Time now = sim_->now();
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      out_[i].attempts = 0;
+      out_[i].deadline = now + options_.retransmit_timeout_ms;
+      transmit(send_base_ + i);
+    }
+    if (timer_.valid()) {
+      sim_->cancel(timer_);
+      timer_ = Simulator::TimerId();
+    }
+    arm_timer(now + options_.retransmit_timeout_ms);
+  }
+
   void on_data(std::uint64_t seq) {
+    if (link_down_) return;      // died inside the partition (arrival-time cut)
     if (receiver_down_) return;  // crashed endpoint: silence, no ack
     // Fast path — the loss-free steady state: the next expected packet
     // arrives and nothing is parked behind it, so it goes straight to the
@@ -197,16 +324,21 @@ class Channel {
     if (link_down_) return;
     if (rng_->next_bool(options_.loss_probability)) return;
     sim_->schedule_after(delay_ms_, [this, cumulative] {
+      if (link_down_) return;  // the ack died inside the partition
       // Release every packet the receiver has consumed; once nothing is
       // left unacked, disarm the retransmit timer — acked packets never
-      // wake the simulator again.
+      // wake the simulator again — and clear any fault: the "lost" window
+      // made it through after all.
       while (!out_.empty() && send_base_ < cumulative) {
         out_.pop_front();
         ++send_base_;
       }
-      if (out_.empty() && timer_.valid()) {
-        sim_->cancel(timer_);
-        timer_ = Simulator::TimerId();
+      if (out_.empty()) {
+        fault_.reset();
+        if (timer_.valid()) {
+          sim_->cancel(timer_);
+          timer_ = Simulator::TimerId();
+        }
       }
     });
   }
@@ -216,6 +348,7 @@ class Channel {
   Time delay_ms_;
   ChannelOptions options_;
   DeliverFn deliver_;
+  FaultFn on_fault_;
 
   std::uint64_t next_send_seq_ = 0;
   std::uint64_t next_deliver_seq_ = 0;
@@ -231,6 +364,10 @@ class Channel {
   /// at or before the earliest outstanding deadline whenever out_ is
   /// non-empty.
   Simulator::TimerId timer_;
+  /// Set while some packet has exhausted max_retransmits and the buffer
+  /// has neither drained nor been resumed by a recovery notification.
+  std::optional<ChannelFault> fault_;
+  std::size_t faults_entered_ = 0;
   std::size_t reorder_buffered_ = 0;
   std::size_t transmissions_ = 0;
   std::size_t retransmit_timer_fires_ = 0;

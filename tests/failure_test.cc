@@ -6,6 +6,7 @@
 // hold across crash windows.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -198,6 +199,148 @@ TEST(Failure, UnrelatedGroupsUnaffectedByCrash) {
   system.run();
   EXPECT_EQ(system.deliveries_to(N(1)).size(), 1u);
   (void)g1;
+}
+
+TEST(Failure, OutageLongerThanBudgetSurfacesChannelFault) {
+  // Shrink the retransmission budget so a node outage outlives it: the
+  // channels into the downed machine must surface faults (queryable via
+  // channel_faults()/faulted_edges()), keep their buffers, and recover —
+  // never abort the run.
+  auto config = crash_config(76);
+  config.network.channel.max_retransmits = 2;  // exhausts by ~350ms at rto 50
+  PubSubSystem system(config);
+  const GroupId g0 = system.create_group({N(0), N(1), N(2), N(3)});
+  const GroupId g1 = system.create_group({N(2), N(3), N(4), N(5)});
+  const GroupId g2 = system.create_group({N(4), N(5), N(6), N(7)});
+  (void)g1;
+  (void)g2;
+
+  // First machine-crossing edge on some path whose upstream atoms all live
+  // elsewhere: failing its destination machine stalls exactly that channel
+  // while the ingress keeps feeding it.
+  GroupId victim_group = g0;
+  AtomId from, to;
+  SeqNodeId downed;
+  bool found = false;
+  for (const GroupId g : system.graph().groups()) {
+    const auto& path = system.graph().path(g);
+    for (std::size_t i = 0; i + 1 < path.size() && !found; ++i) {
+      const SeqNodeId dest = system.colocation().node_of(path[i + 1]);
+      bool upstream_clear = true;
+      for (std::size_t k = 0; k <= i; ++k) {
+        if (system.colocation().node_of(path[k]) == dest) {
+          upstream_clear = false;
+          break;
+        }
+      }
+      if (upstream_clear) {
+        victim_group = g;
+        from = path[i];
+        to = path[i + 1];
+        downed = dest;
+        found = true;
+      }
+    }
+    if (found) break;
+  }
+  ASSERT_TRUE(found) << "expected a machine-crossing path edge";
+
+  NodeId sender = N(0);
+  for (const NodeId n : system.membership().members(victim_group)) {
+    sender = n;
+    break;
+  }
+  system.fail_sequencing_node(downed);
+  for (std::uint64_t i = 0; i < 4; ++i) system.publish(sender, victim_group, i);
+
+  // Mid-outage, past the ~350ms exhaustion point: the fault is visible.
+  system.simulator().schedule_at(700.0, [&] {
+    EXPECT_FALSE(system.network().channel_faults().empty())
+        << "budget exhaustion must be recorded";
+    const auto edges = system.network().faulted_edges();
+    EXPECT_TRUE(std::find(edges.begin(), edges.end(),
+                          std::make_pair(from, to)) != edges.end())
+        << "the stalled channel must report itself faulted";
+  });
+  system.simulator().schedule_at(1000.0, [&] {
+    system.recover_sequencing_node(downed);
+  });
+  system.run();
+
+  EXPECT_TRUE(system.network().faulted_edges().empty())
+      << "recovery must clear every live fault";
+  std::set<std::pair<NodeId, std::uint64_t>> seen;
+  for (const auto& d : system.deliveries()) {
+    EXPECT_TRUE(seen.insert({d.receiver, d.payload}).second);
+  }
+  for (const NodeId n : system.membership().members(victim_group)) {
+    EXPECT_EQ(system.deliveries_to(n).size(), 4u)
+        << "faulted channels still deliver after recovery";
+  }
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+}
+
+TEST(Failure, CrashedPublisherFailsIngressVisibly) {
+  PubSubSystem system(crash_config(78));
+  const GroupId g = system.create_group({N(0), N(1), N(2)});
+
+  system.fail_publisher(N(0));
+  const MsgId dead = system.publish(N(0), g, 7);
+  system.run();
+  EXPECT_TRUE(system.record(dead).ingress_failed)
+      << "a publish from a crashed host must fail visibly, not hang";
+  for (const auto& d : system.deliveries()) EXPECT_NE(d.payload, 7u);
+
+  // Other hosts are unaffected, and recovery restores the crashed one.
+  system.recover_publisher(N(0));
+  system.publish(N(0), g, 8);
+  system.publish(N(1), g, 9);
+  system.run();
+  std::set<std::uint64_t> at_n2;
+  for (const auto& d : system.deliveries_to(N(2))) at_n2.insert(d.payload);
+  EXPECT_EQ(at_n2, (std::set<std::uint64_t>{8, 9}));
+}
+
+TEST(Failure, PublisherCrashMidRetryAbandonsIngress) {
+  // The publisher's host dies while its message is stuck in the ingress
+  // retry loop (ingress machine down): the retries stop attributing the
+  // message to a live sender and abandon it as ingress_failed instead of
+  // retrying forever on behalf of a corpse.
+  PubSubSystem system(crash_config(79));
+  const GroupId g = system.create_group({N(0), N(1), N(2)});
+  const SeqNodeId ingress_node =
+      system.colocation().node_of(system.graph().path(g).front());
+
+  system.fail_sequencing_node(ingress_node);
+  const MsgId id = system.publish(N(1), g, 11);
+  system.simulator().schedule_at(200.0, [&] { system.fail_publisher(N(1)); });
+  system.simulator().schedule_at(600.0, [&] {
+    system.recover_sequencing_node(ingress_node);
+  });
+  system.run();
+
+  EXPECT_TRUE(system.record(id).ingress_failed);
+  EXPECT_GE(system.record(id).ingress_retries, 1u)
+      << "the message must have cycled the retry loop before abandonment";
+  for (const auto& d : system.deliveries()) EXPECT_NE(d.payload, 11u);
+}
+
+TEST(Failure, CausalChainFromCrashedPublisherIsDropped) {
+  // A causal publish that fails ingress must drop its queued successors
+  // instead of wedging run(): the chain's ordering obligation dies with
+  // the publisher.
+  PubSubSystem system(crash_config(80));
+  const GroupId g = system.create_group({N(0), N(1), N(2)});
+  system.fail_publisher(N(0));
+  system.publish_causal(N(0), g, 21);
+  system.publish_causal(N(0), g, 22);
+  system.publish(N(1), g, 23);
+  system.run();  // must terminate despite the dead chain
+
+  std::set<std::uint64_t> at_n2;
+  for (const auto& d : system.deliveries_to(N(2))) at_n2.insert(d.payload);
+  EXPECT_EQ(at_n2, (std::set<std::uint64_t>{23}))
+      << "the crashed publisher's chain must vanish, the live one flow";
 }
 
 }  // namespace

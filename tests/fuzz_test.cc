@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -168,6 +169,69 @@ TEST(FuzzRepro, RejectsMalformedInput) {
   EXPECT_NO_THROW(parse("# hi\n" + header + "\nphase\ncreate 0 1\nend\n"));
 }
 
+TEST(FuzzOracle, FifoForgivesRetriedIngressButCatchesPlainInversion) {
+  const std::vector<Oracle> oracles = default_oracles();
+  RunTrace t;
+  for (std::uint32_t ordinal : {0u, 1u, 2u}) {
+    PublishRecord r;
+    r.ordinal = ordinal;
+    r.payload = ordinal;
+    r.id = MsgId(ordinal);
+    r.expected_receivers = {NodeId(1)};
+    t.publishes.push_back(r);
+  }
+  // Publish #0's ingress leg was retried (its machine was down): the retry
+  // may legitimately land after the sender's later traffic.
+  t.publishes[0].ingress_retried = true;
+  t.log.push_back({NodeId(1), MsgId(1), GroupId(0), NodeId(0), 1, 0.0, 1.0});
+  t.log.push_back({NodeId(1), MsgId(2), GroupId(0), NodeId(0), 2, 0.0, 2.0});
+  t.log.push_back({NodeId(1), MsgId(0), GroupId(0), NodeId(0), 0, 0.0, 3.0});
+  EXPECT_FALSE(check_oracles(t, oracles).has_value())
+      << "the retried publish's late arrival is not a FIFO violation";
+
+  // Inverting the two NON-retried publishes is a real violation; the
+  // oracle must run (not be skipped) despite the fault in the trace.
+  std::swap(t.log[0], t.log[1]);
+  const auto verdict = check_oracles(t, oracles);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->oracle, "fifo");
+}
+
+TEST(FuzzOracle, ChannelFaultsCatchStuckFault) {
+  const std::vector<Oracle> oracles = default_oracles();
+  RunTrace t;
+  // Faults that entered and later recovered are legal (informational).
+  t.channel_fault_events = 3;
+  EXPECT_FALSE(check_oracles(t, oracles).has_value());
+  // An edge still faulted after a phase drain means a lost recovery.
+  t.stuck_channel_faults.push_back("phase 0: 2->5");
+  const auto verdict = check_oracles(t, oracles);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->oracle, "channel-faults");
+}
+
+TEST(FuzzOracle, LivenessCatchesUnexplainedIngressFailure) {
+  const std::vector<Oracle> oracles = default_oracles();
+  RunTrace t;
+  PublishRecord r;
+  r.payload = 0;
+  r.expected_receivers = {NodeId(1)};
+  r.ingress_failed = true;
+  t.publishes.push_back(r);
+  // Failed ingress with no publisher-crash window to blame: violation.
+  auto verdict = check_oracles(t, oracles);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->oracle, "liveness");
+  // Blamed on a crash window: clean, and nobody expects a delivery.
+  t.publishes[0].ingress_failure_allowed = true;
+  EXPECT_FALSE(check_oracles(t, oracles).has_value());
+  // A message that failed ingress must never also be delivered.
+  t.log.push_back({NodeId(1), MsgId(0), GroupId(0), NodeId(0), 0, 0.0, 1.0});
+  verdict = check_oracles(t, oracles);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->oracle, "liveness");
+}
+
 /// Hand-built scenario for the mutation-algebra tests:
 ///   phase 0: create g0, create g1; fin g1; pubs to g0 and g1
 ///   phase 1: create g2; join(g0), leave(g2); pub to g2; crash
@@ -218,6 +282,132 @@ TEST(FuzzShrink, DropPhaseRemovesItsGroupsEverywhere) {
   EXPECT_EQ(shrunk.phases[0].publishes[0].group, 0u);
   ASSERT_EQ(shrunk.phases[0].reconfig.size(), 2u);
   EXPECT_EQ(shrunk.phases[0].reconfig[1].group, 0u);  // leave g2 -> g0
+}
+
+TEST(FuzzRepro, HostFaultFieldsRoundTrip) {
+  Scenario s = two_phase_fixture();
+  s.max_retransmits = 3;
+  s.phases[0].publisher_crashes.push_back({5, 12.5, 80.0});
+  s.phases[1].partitions.push_back({0xdeadbeefULL, 7.25, 150.0});
+  std::stringstream buffer;
+  write_repro(s, buffer);
+  EXPECT_EQ(read_repro(buffer), s);
+}
+
+TEST(FuzzRepro, PreHostFaultFilesKeepDefaults) {
+  // A v1 file written before host faults existed (no budget / pubcrash /
+  // cut lines) must still parse, with the old defaults.
+  std::istringstream in(
+      "scenario v1\nseed 1\nhosts 8\nclusters 2\nloss 0\nrto 40\n"
+      "phase\ncreate 0 1\npub 1.0 0 0\nend\n");
+  const Scenario s = read_repro(in);
+  EXPECT_EQ(s.max_retransmits, 5000u);
+  ASSERT_EQ(s.phases.size(), 1u);
+  EXPECT_TRUE(s.phases[0].publisher_crashes.empty());
+  EXPECT_TRUE(s.phases[0].partitions.empty());
+}
+
+TEST(FuzzShrink, HostFaultWindowsDroppedAndNarrowed) {
+  Scenario s = two_phase_fixture();
+  s.phases[0].publisher_crashes.push_back({2, 5.0, 100.0});
+  s.phases[1].partitions.push_back({99, 10.0, 200.0});
+
+  // Against a predicate indifferent to faults, every host-fault window is
+  // shrinkable noise and must be stripped.
+  const ShrinkResult stripped =
+      shrink(s, [](const Scenario&) { return true; }, {.max_runs = 500});
+  EXPECT_EQ(stripped.scenario.num_host_faults(), 0u);
+
+  // Against one that needs the partition, the window survives but the
+  // narrowing pass halves it down.
+  const ShrinkResult kept = shrink(
+      s,
+      [](const Scenario& candidate) {
+        for (const Phase& p : candidate.phases) {
+          if (!p.partitions.empty()) return true;
+        }
+        return false;
+      },
+      {.max_runs = 500});
+  std::size_t windows = 0;
+  double total_duration = 0.0;
+  for (const Phase& p : kept.scenario.phases) {
+    for (const PartitionWindow& w : p.partitions) {
+      ++windows;
+      total_duration += w.duration;
+    }
+  }
+  ASSERT_EQ(windows, 1u);
+  EXPECT_LT(total_duration, 200.0) << "narrowing must shrink the window";
+}
+
+/// Generator knobs matching the driver's --hostile mode.
+GeneratorOptions hostile_options() {
+  GeneratorOptions gen;
+  gen.crash_probability = 0.7;
+  gen.publisher_crash_probability = 0.6;
+  gen.partition_probability = 0.5;
+  gen.small_budget_probability = 0.5;
+  return gen;
+}
+
+TEST(FuzzRunner, HostileSeedsPassOraclesAndExerciseFaults) {
+  // Host-fault-heavy generation: every scenario must run abort-free and
+  // clean through the full oracle set, and the sweep as a whole must
+  // actually exercise the fault machinery (budget exhaustion, abandoned
+  // ingress) — otherwise the knobs are decorative.
+  const std::vector<Oracle> oracles = default_oracles();
+  std::size_t with_host_faults = 0;
+  std::size_t with_channel_faults = 0;
+  std::size_t abandoned_publishes = 0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const Scenario scenario = generate_scenario(seed, hostile_options());
+    if (scenario.num_host_faults() > 0) ++with_host_faults;
+    const RunTrace trace = run_scenario(scenario);
+    EXPECT_FALSE(trace.threw)
+        << "seed " << seed << " aborted: " << trace.exception_what;
+    const auto verdict = check_oracles(trace, oracles);
+    EXPECT_FALSE(verdict.has_value())
+        << "seed " << seed << " (" << scenario.summary() << ") violated ["
+        << verdict->oracle << "]: " << verdict->detail;
+    if (trace.channel_fault_events > 0) ++with_channel_faults;
+    for (const PublishRecord& r : trace.publishes) {
+      if (r.ingress_failed) ++abandoned_publishes;
+    }
+  }
+  EXPECT_GE(with_host_faults, 5u);
+  EXPECT_GE(with_channel_faults, 1u)
+      << "no scenario drove a channel past its budget";
+  EXPECT_GE(abandoned_publishes, 1u)
+      << "no publisher crash ever abandoned a publish";
+}
+
+TEST(FuzzEndToEnd, ExhaustedBudgetScenarioRunsAndShrinksCleanly) {
+  // Outage windows longer than the retransmission budget used to hit the
+  // channel's give-up CHECK and abort the whole run. Hunt a hostile seed
+  // that exhausts a budget, confirm it runs clean, and shrink it against
+  // a "still exhausts" predicate — the fault must survive minimization.
+  std::optional<Scenario> found;
+  for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    const Scenario scenario = generate_scenario(seed, hostile_options());
+    const RunTrace trace = run_scenario(scenario);
+    EXPECT_FALSE(trace.threw)
+        << "seed " << seed << " aborted: " << trace.exception_what;
+    if (trace.channel_fault_events > 0) found = scenario;
+  }
+  ASSERT_TRUE(found.has_value())
+      << "no hostile seed in 1..40 exhausted a channel budget";
+
+  const ShrinkResult result = shrink(
+      *found,
+      [](const Scenario& candidate) {
+        return run_scenario(candidate).channel_fault_events > 0;
+      },
+      {.max_runs = 120});
+  const RunTrace small = run_scenario(result.scenario);
+  EXPECT_FALSE(small.threw);
+  EXPECT_GT(small.channel_fault_events, 0u);
+  EXPECT_LE(result.scenario.num_publishes(), found->num_publishes());
 }
 
 // The acceptance self-test: hide a real ordering bug behind the test hook,

@@ -309,5 +309,196 @@ TEST(Channel, LinkFailureWindowRecovers) {
   EXPECT_EQ(ch.unacked(), 0u);
 }
 
+TEST(Channel, ExhaustedBudgetSurfacesFaultWithoutAbort) {
+  // The old channel aborted the whole process when a packet crossed
+  // max_retransmits. Now it must surface a fault — status flag plus one
+  // callback per transition — keep its state, and recover cleanly when the
+  // endpoint comes back.
+  Simulator sim;
+  Rng rng(11);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 10.0;
+  options.max_retransmits = 3;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+  std::vector<ChannelFault> faults;
+  ch.set_fault_callback([&](const ChannelFault& f) { faults.push_back(f); });
+
+  ch.set_receiver_down(true);
+  ch.send(7);
+  // Budget 3 at rto 10 exhausts by ~90ms even with maximal jitter; probe
+  // the surfaced state mid-outage, well before the recovery below.
+  sim.schedule_at(150.0, [&] {
+    EXPECT_TRUE(ch.faulted());
+    ASSERT_TRUE(ch.fault().has_value());
+    EXPECT_EQ(ch.fault()->seq, 0u);
+    EXPECT_GT(ch.fault()->attempts, options.max_retransmits);
+    EXPECT_EQ(faults.size(), 1u) << "callback fires once per transition";
+  });
+  sim.schedule_at(200.0, [&] { ch.set_receiver_down(false); });
+  EXPECT_NO_THROW(sim.run()) << "exhaustion must not abort the run";
+
+  EXPECT_EQ(got, (std::vector<int>{7})) << "recovery still delivers";
+  EXPECT_FALSE(ch.faulted()) << "recovery clears the fault";
+  EXPECT_EQ(ch.faults_entered(), 1u);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].seq, 0u);
+  EXPECT_EQ(ch.unacked(), 0u);
+  EXPECT_EQ(sim.pending(), 0u)
+      << "a parked fault must not leave the simulator spinning";
+}
+
+TEST(Channel, BackoffKeepsOutageRetransmitsLogarithmic) {
+  // During a W-long outage a packet is retried O(log(W/rto)) times, not
+  // W/rto times. A 5000ms window at rto 10 would have been ~500 linear
+  // retransmissions; exponential backoff capped at 64*rto needs ~a dozen.
+  Simulator sim;
+  Rng rng(12);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 10.0;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<std::pair<int, Time>> got;
+  ch.set_receiver([&](int v) { got.push_back({v, sim.now()}); });
+
+  ch.set_link_down(true);
+  ch.send(1);
+  sim.schedule_at(5000.0, [&] { ch.set_link_down(false); });
+  sim.run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_GT(got[0].second, 5000.0);
+  EXPECT_GE(ch.transmissions(), 8u) << "probing must continue all window";
+  EXPECT_LE(ch.transmissions(), 20u)
+      << "retransmit storm: backoff is not exponential";
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, PartitionKillsInFlightTrafficAtArrival) {
+  // Link state is sampled at arrival time too: a packet launched before
+  // the cut but arriving inside it dies. Without that, the transmission
+  // launched at t=0 would slip through at t=10 despite the 5..100 window.
+  Simulator sim;
+  Rng rng(13);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 50.0;
+  Channel<int> ch(sim, rng, 10.0, options);
+  std::vector<std::pair<int, Time>> got;
+  ch.set_receiver([&](int v) { got.push_back({v, sim.now()}); });
+
+  ch.send(1);
+  sim.schedule_at(5.0, [&] { ch.set_link_down(true); });
+  sim.schedule_at(100.0, [&] { ch.set_link_down(false); });
+  sim.run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_GT(got[0].second, 100.0)
+      << "the in-flight transmission must die inside the partition";
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, LostAckRepairedByCumulativeReack) {
+  // Kill only the acknowledgment (delivered at t=10, ack in flight when
+  // the link cuts at 15). The recovery retransmission is a duplicate the
+  // receiver suppresses and re-acks cumulatively — exactly-once delivery,
+  // and the retransmit timer (rto 100) never had to fire.
+  Simulator sim;
+  Rng rng(14);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 100.0;
+  Channel<int> ch(sim, rng, 10.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+
+  ch.send(42);
+  sim.schedule_at(15.0, [&] { ch.set_link_down(true); });
+  sim.schedule_at(30.0, [&] { ch.set_link_down(false); });
+  sim.run();
+
+  EXPECT_EQ(got, (std::vector<int>{42})) << "duplicate must be suppressed";
+  EXPECT_EQ(ch.unacked(), 0u) << "the cumulative re-ack must drain the buffer";
+  EXPECT_EQ(ch.retransmit_timer_fires(), 0u)
+      << "repair came from the recovery resend, not the timer";
+  EXPECT_EQ(ch.transmissions(), 2u);
+}
+
+TEST(Channel, ReceiverOutageShorterThanBudgetAvoidsFault) {
+  // Budget 5 at rto 10 only exhausts after ~310ms of backoff; a 100ms
+  // outage heals first, so the channel never reports a fault.
+  Simulator sim;
+  Rng rng(15);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 10.0;
+  options.max_retransmits = 5;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+
+  ch.set_receiver_down(true);
+  ch.send(1);
+  ch.send(2);
+  sim.schedule_at(100.0, [&] { ch.set_receiver_down(false); });
+  sim.run();
+
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_EQ(ch.faults_entered(), 0u)
+      << "an outage inside the budget is not a fault";
+  EXPECT_FALSE(ch.faulted());
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, PureLossFaultClearsWhenProbeLands) {
+  // Exhaust the budget through loss alone (no down flag): the channel
+  // keeps probing at the capped cadence, and the first probe+ack that
+  // survive clear the fault without any recovery notification.
+  Simulator sim;
+  Rng rng(16);
+  ChannelOptions options;
+  options.loss_probability = 0.9;
+  options.retransmit_timeout_ms = 5.0;
+  options.max_retransmits = 2;
+  options.max_backoff_factor = 4.0;  // keep the probe cadence brisk
+  Channel<int> ch(sim, rng, 1.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  sim.run();
+
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_GE(ch.faults_entered(), 1u)
+      << "90% loss with budget 2 must trip the fault state at least once";
+  EXPECT_FALSE(ch.faulted()) << "the surviving probe+ack cleared it";
+  EXPECT_EQ(ch.unacked(), 0u);
+}
+
+TEST(Channel, LinkFlapsPreserveExactlyOnceFifo) {
+  // Traffic spread across repeated partition windows (plus ambient loss):
+  // every payload still arrives exactly once, in order.
+  Simulator sim;
+  Rng rng(17);
+  ChannelOptions options;
+  options.loss_probability = 0.1;
+  options.retransmit_timeout_ms = 20.0;
+  Channel<int> ch(sim, rng, 5.0, options);
+  std::vector<int> got;
+  ch.set_receiver([&](int v) { got.push_back(v); });
+
+  for (int i = 0; i < 30; ++i) {
+    sim.schedule_at(i * 4.0, [&ch, i] { ch.send(i); });
+  }
+  for (const auto& [down, up] : {std::pair{30.0, 60.0}, {100.0, 140.0}}) {
+    sim.schedule_at(down, [&] { ch.set_link_down(true); });
+    sim.schedule_at(up, [&] { ch.set_link_down(false); });
+  }
+  sim.run();
+
+  ASSERT_EQ(got.size(), 30u) << "flaps must not lose or duplicate";
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(ch.unacked(), 0u);
+  EXPECT_FALSE(ch.faulted());
+}
+
 }  // namespace
 }  // namespace decseq::sim
