@@ -43,6 +43,15 @@ inline std::size_t bench_threads() {
   return env_or("DECSEQ_BENCH_THREADS", hw == 0 ? 1 : hw);
 }
 
+/// JSON object describing the execution environment, embedded into every
+/// BENCH_*.json so numbers recorded on a single-core container are
+/// self-describing (wall-clock figures depend on both values).
+inline std::string env_json() {
+  return "{\"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"bench_threads\": " + std::to_string(bench_threads()) + "}";
+}
+
 /// Parallel trial driver. Runs `fn(trial_index)` for every index in
 /// [0, num_trials) on a worker pool and returns the results in trial order.
 ///

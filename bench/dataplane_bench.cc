@@ -106,6 +106,41 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+// Replace the nothrow family too: under sanitizers the library's nothrow
+// new would come from a different allocator than the std::free above.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  g_alloc_bytes += size;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  g_alloc_bytes += size;
+  const std::size_t a = static_cast<std::size_t>(align);
+  return std::aligned_alloc(a, (size + a - 1) / a * a);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return operator new(size, align, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace decseq::bench {
 namespace {
@@ -706,6 +741,7 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"dataplane\",\n"
        << "  \"seed\": " << seed << ",\n"
+       << "  \"env\": " << env_json() << ",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
        << "  \"scenario\": {\"style\": \"fig3\", \"hosts\": 128, "
           "\"groups\": "

@@ -398,6 +398,7 @@ int main() {
   json << "{\n"
        << "  \"bench\": \"engine\",\n"
        << "  \"seed\": " << seed << ",\n"
+       << "  \"env\": " << env_json() << ",\n"
        << "  \"scenario\": {\"style\": \"fig6\", \"groups\": " << num_groups
        << ", \"scale\": " << scale << "},\n"
        << "  \"engine_stress\": {\n"

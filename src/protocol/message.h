@@ -138,6 +138,12 @@ struct Message {
   PayloadRef data;
   /// Group-local sequence number, assigned at ingress; 1-based, 0 = unset.
   SeqNo group_seq = 0;
+  /// Position on the group's sequencing path (0 = ingress). Transient
+  /// routing state, not wire format: the runtime compiles each group's path
+  /// into a flat hop table at graph-build time, and this index makes the
+  /// per-hop forwarding decision two array loads (see
+  /// SequencingNetwork::handle_at_atom). Reset to 0 by the codec on decode.
+  std::uint32_t path_pos = 0;
   /// Stamps collected along the group's sequencing path, in path order.
   StampVec stamps;
 

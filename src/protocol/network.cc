@@ -11,8 +11,8 @@ namespace decseq::protocol {
 namespace {
 
 /// Pooled shared wrapper around a finalized message, so a fan-out over N
-/// subscribers schedules N events that each capture {this, receiver, ref}
-/// (24 bytes, well inside the simulator's inline-callback buffer) instead
+/// subscribers schedules events that each capture {this, plan, span, ref}
+/// (32 bytes, well inside the simulator's inline-callback buffer) instead
 /// of N deep copies of the stamp list and body into N heap-spilled
 /// lambdas. The header inside is immutable from here on — sequencing is
 /// complete once distribute() runs.
@@ -31,6 +31,7 @@ class SharedMessage : public common::RefPooled<SharedMessage> {
     message_.data.reset();
     message_.stamps.clear();  // keeps any spilled stamp capacity
     message_.group_seq = 0;
+    message_.path_pos = 0;
   }
 
   Message message_;
@@ -54,7 +55,7 @@ SequencingNetwork::SequencingNetwork(
       hosts_(&hosts),
       oracle_(&oracle),
       options_(options),
-      atom_state_(graph.num_atoms()),
+      atom_next_seq_(graph.num_atoms(), 1),
       receivers_(membership.num_nodes()),
       seqnode_load_(colocation.num_nodes(), 0),
       node_down_(colocation.num_nodes(), false),
@@ -62,36 +63,7 @@ SequencingNetwork::SequencingNetwork(
       physical_network_(physical_network) {
   DECSEQ_CHECK_MSG(!options_.tree_distribution || physical_network_ != nullptr,
                    "tree distribution needs the physical network graph");
-  // Routing tables from the group paths.
-  for (const GroupId g : graph.groups()) {
-    const auto& path = graph.path(g);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      atom_state_[path[i].value()].next_hop[g] = path[i + 1];
-      atom_state_[path[i + 1].value()].prev_hop[g] = path[i];
-    }
-    atom_state_[path.front().value()].next_group_seq[g] = 1;
-  }
-
-  // One FIFO channel per directed path edge in use.
-  for (const GroupId g : graph.groups()) {
-    const auto& path = graph.path(g);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const AtomId from = path[i], to = path[i + 1];
-      if (channels_.contains({from, to})) continue;
-      auto channel = std::make_unique<sim::Channel<Message>>(
-          *sim_, *rng_, machine_distance(from, to), options_.channel);
-      channel->set_receiver([this, to](Message m) {
-        handle_at_atom(to, std::move(m));
-      });
-      // Exhaustion surfaces here as an edge-tagged fault record instead of
-      // killing the run; the channel keeps probing and recover_node /
-      // recover_link clear the state (see channel_faults()).
-      channel->set_fault_callback([this, from, to](const sim::ChannelFault& f) {
-        channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
-      });
-      channels_.emplace(std::pair{from, to}, std::move(channel));
-    }
-  }
+  compile_routes();
 
   // One receiver per subscriber that belongs to at least one group.
   for (std::size_t n = 0; n < membership.num_nodes(); ++n) {
@@ -108,6 +80,92 @@ SequencingNetwork::SequencingNetwork(
   }
 }
 
+void SequencingNetwork::compile_routes() {
+  const std::vector<GroupId> groups = graph_->groups();
+
+  // One FIFO channel per directed path edge in use, stored sorted by
+  // (from, to). Build the edge set first, then the channels, so hop
+  // compilation below can resolve Channel* by binary search.
+  for (const GroupId g : groups) {
+    const auto& path = graph_->path(g);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      channel_edges_.emplace_back(path[i], path[i + 1]);
+    }
+  }
+  std::sort(channel_edges_.begin(), channel_edges_.end());
+  channel_edges_.erase(
+      std::unique(channel_edges_.begin(), channel_edges_.end()),
+      channel_edges_.end());
+  channels_.reserve(channel_edges_.size());
+  for (const auto& [from, to] : channel_edges_) {
+    auto channel = std::make_unique<sim::Channel<Message>>(
+        *sim_, *rng_, machine_distance(from, to), options_.channel);
+    channel->set_receiver([this, to](Message m) {
+      handle_at_atom(to, std::move(m));
+    });
+    // Exhaustion surfaces here as an edge-tagged fault record instead of
+    // killing the run; the channel keeps probing and recover_node /
+    // recover_link clear the state (see channel_faults()).
+    channel->set_fault_callback([this, from, to](const sim::ChannelFault& f) {
+      channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
+    });
+    channels_.push_back(std::move(channel));
+  }
+
+  // Flatten every group's path into the hop table. This is the state the
+  // seed kept in per-atom hash maps (next_hop / prev_hop / next_group_seq);
+  // from here on a hop is group_routes_[g].first_hop + path_pos.
+  GroupId::underlying_type max_group = 0;
+  std::size_t total_hops = 0;
+  for (const GroupId g : groups) {
+    max_group = std::max(max_group, g.value());
+    total_hops += graph_->path(g).size();
+  }
+  group_routes_.resize(groups.empty() ? 0 : max_group + 1);
+  route_hops_.reserve(total_hops);
+  for (const GroupId g : groups) {
+    const auto& path = graph_->path(g);
+    GroupRoute& route = group_routes_[g.value()];
+    route.first_hop = static_cast<std::uint32_t>(route_hops_.size());
+    route.num_hops = static_cast<std::uint32_t>(path.size());
+    route.ingress = path.front();
+    route.ingress_node = colocation_->node_of(path.front());
+    route.ingress_router = machine_of_atom(path.front());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      RouteHop hop;
+      hop.atom = path[i];
+      hop.node = colocation_->node_of(path[i]);
+      hop.stamps = graph_->atom(path[i]).stamps(g);
+      if (i + 1 < path.size()) {
+        hop.forward = channels_[channel_index(path[i], path[i + 1])].get();
+        hop.next_node = colocation_->node_of(path[i + 1]);
+        hop.crosses_machine = hop.node != hop.next_node;
+      }
+      route_hops_.push_back(hop);
+    }
+  }
+}
+
+std::size_t SequencingNetwork::channel_index(AtomId from, AtomId to) const {
+  const std::pair<AtomId, AtomId> edge{from, to};
+  const auto it =
+      std::lower_bound(channel_edges_.begin(), channel_edges_.end(), edge);
+  DECSEQ_CHECK_MSG(it != channel_edges_.end() && *it == edge,
+                   "no channel " << from << " -> " << to);
+  return static_cast<std::size_t>(it - channel_edges_.begin());
+}
+
+std::vector<AtomId> SequencingNetwork::compiled_route(GroupId g) const {
+  if (!g.valid() || g.value() >= group_routes_.size()) return {};
+  const GroupRoute& route = group_routes_[g.value()];
+  std::vector<AtomId> atoms;
+  atoms.reserve(route.num_hops);
+  for (std::uint32_t i = 0; i < route.num_hops; ++i) {
+    atoms.push_back(route_hops_[route.first_hop + i].atom);
+  }
+  return atoms;
+}
+
 RouterId SequencingNetwork::machine_of_atom(AtomId a) const {
   return assignment_->machine_of(colocation_->node_of(a));
 }
@@ -121,16 +179,26 @@ double SequencingNetwork::machine_distance(AtomId a, AtomId b) {
 MsgId SequencingNetwork::publish(NodeId sender, GroupId group,
                                  std::uint64_t payload,
                                  std::vector<std::uint8_t> body) {
-  return inject(sender, group, payload, std::move(body), /*is_fin=*/false);
+  return inject(sender, group, payload, body.data(), body.size(),
+                /*is_fin=*/false);
+}
+
+MsgId SequencingNetwork::publish(NodeId sender, GroupId group,
+                                 std::uint64_t payload,
+                                 const std::uint8_t* body,
+                                 std::size_t body_size) {
+  DECSEQ_CHECK(body != nullptr || body_size == 0);
+  return inject(sender, group, payload, body, body_size, /*is_fin=*/false);
 }
 
 MsgId SequencingNetwork::terminate_group(GroupId group, NodeId initiator) {
-  return inject(initiator, group, 0, {}, /*is_fin=*/true);
+  return inject(initiator, group, 0, nullptr, 0, /*is_fin=*/true);
 }
 
 MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
                                 std::uint64_t payload,
-                                std::vector<std::uint8_t> body, bool is_fin) {
+                                const std::uint8_t* body,
+                                std::size_t body_size, bool is_fin) {
   DECSEQ_CHECK_MSG(graph_->has_path(group),
                    "publish to group " << group << " with no path");
   DECSEQ_CHECK_MSG(!terminated_groups_.contains(group),
@@ -151,20 +219,21 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
   // The one payload copy of the message's lifetime: publish bytes into the
   // shared block. Everything downstream passes the reference around.
   PayloadRef block = PayloadBlock::create(id, group, sender, sim_->now(),
-                                          payload, body.data(), body.size(),
-                                          is_fin);
+                                          payload, body, body_size, is_fin);
   tracer_.record({TraceEvent::Kind::kPublished, id, sim_->now(), AtomId{},
                   SeqNodeId{}, sender, 0});
 
-  const AtomId ingress = graph_->path(group).front();
+  const GroupRoute& route = group_route(group);
   const double delay =
-      oracle_->distance(hosts_->router_of(sender), machine_of_atom(ingress));
+      oracle_->distance(hosts_->router_of(sender), route.ingress_router);
   // The ingress leg needs no inter-sequencer FIFO machinery: a constant
   // per-pair delay preserves each sender's send order, and the ingress
   // sequencer defines the global order on arrival.
-  sim_->schedule_after(delay, [this, ingress, block = std::move(block)] {
-    arrive_at_ingress(ingress, block, /*attempts=*/0);
-  });
+  sim_->schedule_after(delay,
+                       [this, ingress = route.ingress,
+                        block = std::move(block)] {
+                         arrive_at_ingress(ingress, block, /*attempts=*/0);
+                       });
   return id;
 }
 
@@ -185,7 +254,8 @@ double SequencingNetwork::ingress_backoff_delay(std::uint32_t attempts) {
 
 void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
                                           std::uint32_t attempts) {
-  const SeqNodeId node = colocation_->node_of(ingress);
+  GroupRoute& route = group_route(payload->group());
+  const SeqNodeId node = route.ingress_node;
   if (node_down_[node.value()]) {
     MessageRecord& rec = records_[payload->id().value()];
     if (publisher_failed(rec.sender)) {
@@ -203,9 +273,7 @@ void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
                          });
     return;
   }
-  AtomState& ingress_state = atom_state_[ingress.value()];
-  const GroupId group = payload->group();
-  if (ingress_state.closed_ingress.contains(group)) {
+  if (route.ingress_closed) {
     // The FIN beat this message to the ingress: the group's sequence space
     // is closed and the publish is rejected (paper §3.2: the termination
     // message signifies the *end* of the sequence space).
@@ -213,14 +281,13 @@ void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
     records_[payload->id().value()].rejected = true;
     return;
   }
-  if (payload->is_fin()) ingress_state.closed_ingress.insert(group);
+  if (payload->is_fin()) route.ingress_closed = true;
   ++seqnode_load_[node.value()];
   // Ingress: assign the group-local sequence number (paper §3.1). Only now
   // does the message grow its mutable ordering header.
-  auto& counter = ingress_state.next_group_seq.at(group);
   Message message;
   message.data = std::move(payload);
-  message.group_seq = counter++;
+  message.group_seq = route.next_seq++;
   tracer_.record({TraceEvent::Kind::kIngress, message.id(), sim_->now(),
                   ingress, node, NodeId{}, message.group_seq});
   handle_at_atom(ingress, std::move(message));
@@ -231,63 +298,55 @@ void SequencingNetwork::fail_node(SeqNodeId node) {
   DECSEQ_CHECK_MSG(!node_down_[node.value()], "node " << node
                                                       << " already down");
   node_down_[node.value()] = true;
-  for (auto& [edge, channel] : channels_) {
-    if (colocation_->node_of(edge.second) == node) {
-      channel->set_receiver_down(true);
+  for (std::size_t i = 0; i < channel_edges_.size(); ++i) {
+    if (colocation_->node_of(channel_edges_[i].second) == node) {
+      channels_[i]->set_receiver_down(true);
     }
   }
 }
 
 void SequencingNetwork::fail_link(AtomId from, AtomId to) {
-  const auto it = channels_.find({from, to});
-  DECSEQ_CHECK_MSG(it != channels_.end(),
-                   "no channel " << from << " -> " << to);
-  DECSEQ_CHECK_MSG(!it->second->link_down(), "link already down");
-  it->second->set_link_down(true);
+  sim::Channel<Message>& channel = *channels_[channel_index(from, to)];
+  DECSEQ_CHECK_MSG(!channel.link_down(), "link already down");
+  channel.set_link_down(true);
 }
 
 void SequencingNetwork::recover_link(AtomId from, AtomId to) {
-  const auto it = channels_.find({from, to});
-  DECSEQ_CHECK_MSG(it != channels_.end(),
-                   "no channel " << from << " -> " << to);
-  DECSEQ_CHECK_MSG(it->second->link_down(), "link not down");
-  it->second->set_link_down(false);
+  sim::Channel<Message>& channel = *channels_[channel_index(from, to)];
+  DECSEQ_CHECK_MSG(channel.link_down(), "link not down");
+  channel.set_link_down(false);
 }
 
 bool SequencingNetwork::link_failed(AtomId from, AtomId to) const {
-  const auto it = channels_.find({from, to});
-  DECSEQ_CHECK_MSG(it != channels_.end(),
-                   "no channel " << from << " -> " << to);
-  return it->second->link_down();
+  return channels_[channel_index(from, to)]->link_down();
 }
 
 void SequencingNetwork::recover_node(SeqNodeId node) {
   DECSEQ_CHECK(node.valid() && node.value() < node_down_.size());
   DECSEQ_CHECK_MSG(node_down_[node.value()], "node " << node << " not down");
   node_down_[node.value()] = false;
-  for (auto& [edge, channel] : channels_) {
-    if (colocation_->node_of(edge.second) == node) {
+  for (std::size_t i = 0; i < channel_edges_.size(); ++i) {
+    if (colocation_->node_of(channel_edges_[i].second) == node) {
       // Clears any surfaced fault and retransmits the held window (the
       // channel's resume-on-recovery semantics).
-      channel->set_receiver_down(false);
+      channels_[i]->set_receiver_down(false);
     }
   }
 }
 
 std::vector<std::pair<AtomId, AtomId>> SequencingNetwork::sever_node_cut(
     const std::vector<char>& side) {
+  // channel_edges_ is sorted by (from, to), so the severing (and its RNG
+  // consumption downstream) is deterministic without re-sorting.
   std::vector<std::pair<AtomId, AtomId>> severed;
-  for (const auto& [edge, channel] : channels_) {
-    const SeqNodeId a = colocation_->node_of(edge.first);
-    const SeqNodeId b = colocation_->node_of(edge.second);
+  for (std::size_t i = 0; i < channel_edges_.size(); ++i) {
+    const SeqNodeId a = colocation_->node_of(channel_edges_[i].first);
+    const SeqNodeId b = colocation_->node_of(channel_edges_[i].second);
     DECSEQ_CHECK(a.value() < side.size() && b.value() < side.size());
     if (side[a.value()] == side[b.value()]) continue;  // same side
-    if (channel->link_down()) continue;                // already severed
-    severed.push_back(edge);
+    if (channels_[i]->link_down()) continue;           // already severed
+    severed.push_back(channel_edges_[i]);
   }
-  // channels_ iterates in hash order; sort so the severing (and its RNG
-  // consumption downstream) is deterministic.
-  std::sort(severed.begin(), severed.end());
   for (const auto& edge : severed) fail_link(edge.first, edge.second);
   return severed;
 }
@@ -309,15 +368,23 @@ void SequencingNetwork::recover_publisher(NodeId node) {
 std::vector<std::pair<AtomId, AtomId>> SequencingNetwork::faulted_edges()
     const {
   std::vector<std::pair<AtomId, AtomId>> edges;
-  for (const auto& [edge, channel] : channels_) {
-    if (channel->faulted()) edges.push_back(edge);
+  for (std::size_t i = 0; i < channel_edges_.size(); ++i) {
+    if (channels_[i]->faulted()) edges.push_back(channel_edges_[i]);
   }
-  std::sort(edges.begin(), edges.end());
-  return edges;
+  return edges;  // channel_edges_ order is already sorted (from, to)
 }
 
 void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
-  AtomState& state = atom_state_[atom.value()];
+  // The whole forwarding decision: the group's compiled route plus the
+  // message's position on it. No hash maps, no graph walks.
+  const GroupRoute& route = group_routes_[message.group().value()];
+  DECSEQ_CHECK_MSG(message.path_pos < route.num_hops,
+                   "message " << message.id() << " at " << atom
+                              << " off its compiled route");
+  const RouteHop& hop = route_hops_[route.first_hop + message.path_pos];
+  DECSEQ_CHECK_MSG(hop.atom == atom,
+                   "message " << message.id() << " at " << atom
+                              << " off its compiled route");
   // Stamp if this atom sequences an overlap of the message's group;
   // messages of other groups only transit (the Fig 2(b) redirection).
   //
@@ -329,48 +396,27 @@ void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
   // carrying this atom's stamp, and a post-FIN message of the surviving
   // group would then share no sequencer with it — two overlap members
   // could order the pair differently (found by the chaos property test).
-  if (graph_->atom(atom).stamps(message.group())) {
-    message.stamps.push_back({atom, state.next_overlap_seq++});
+  if (hop.stamps) {
+    message.stamps.push_back({atom, atom_next_seq_[atom.value()]++});
     tracer_.record({TraceEvent::Kind::kStamped, message.id(), sim_->now(),
-                    atom, colocation_->node_of(atom), NodeId{},
-                    message.stamps.back().seq});
+                    atom, hop.node, NodeId{}, message.stamps.back().seq});
   } else if (tracer_.enabled()) {
     tracer_.record({TraceEvent::Kind::kTransited, message.id(), sim_->now(),
-                    atom, colocation_->node_of(atom), NodeId{}, 0});
+                    atom, hop.node, NodeId{}, 0});
   }
-  // Mark the atom retired when the FIN passes (diagnostics; actual removal
-  // happens at the next rebuild).
-  if (message.is_fin() && graph_->atom(atom).stamps(message.group())) {
-    state.retired = true;
-  }
-  const auto next = state.next_hop.find(message.group());
-  if (next == state.next_hop.end()) {
+  if (hop.forward == nullptr) {
     distribute(atom, std::move(message));
-  } else {
-    const AtomId next_atom = next->second;
-    if (message.is_fin()) {
-      // Drop the dead group's forwarding state behind the FIN.
-      state.next_hop.erase(message.group());
-      atom_state_[next_atom.value()].prev_hop.erase(message.group());
-    }
-    forward(atom, next_atom, std::move(message));
+    return;
   }
-}
-
-void SequencingNetwork::forward(AtomId from, AtomId to, Message message) {
   // Count machine load once per visit: a hop between co-located atoms stays
   // on the same sequencing node.
-  const SeqNodeId from_node = colocation_->node_of(from);
-  const SeqNodeId to_node = colocation_->node_of(to);
-  if (from_node != to_node) {
-    ++seqnode_load_[to_node.value()];
+  if (hop.crosses_machine) {
+    ++seqnode_load_[hop.next_node.value()];
     tracer_.record({TraceEvent::Kind::kForwarded, message.id(), sim_->now(),
-                    from, to_node, NodeId{}, 0});
+                    atom, hop.next_node, NodeId{}, 0});
   }
-  const auto it = channels_.find({from, to});
-  DECSEQ_CHECK_MSG(it != channels_.end(),
-                   "no channel " << from << " -> " << to);
-  it->second->send(std::move(message));
+  ++message.path_pos;
+  hop.forward->send(std::move(message));
 }
 
 SequencingNetwork::FanOutPlan& SequencingNetwork::fanout_plan(
@@ -403,6 +449,24 @@ SequencingNetwork::FanOutPlan& SequencingNetwork::fanout_plan(
                      "group member " << member << " has no receiver");
     slot->targets.push_back({receiver, delay});
   }
+  // Group the fan-out into spans of equal delay so distribution schedules
+  // one simulator event per burst of same-time arrivals. The stable sort
+  // keeps members of a span in membership order, and equal-delay targets
+  // previously occupied consecutive event-queue slots anyway (FIFO
+  // tie-break), so delivery order is bit-identical to per-target events.
+  std::stable_sort(slot->targets.begin(), slot->targets.end(),
+                   [](const FanOutTarget& a, const FanOutTarget& b) {
+                     return a.delay < b.delay;
+                   });
+  for (std::uint32_t i = 0; i < slot->targets.size();) {
+    std::uint32_t j = i + 1;
+    while (j < slot->targets.size() &&
+           slot->targets[j].delay == slot->targets[i].delay) {
+      ++j;
+    }
+    slot->spans.push_back({i, j, slot->targets[i].delay});
+    i = j;
+  }
   return *slot;
 }
 
@@ -414,15 +478,33 @@ void SequencingNetwork::distribute(AtomId last_atom, Message message) {
   tracer_.record({TraceEvent::Kind::kExited, message.id(), sim_->now(),
                   last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
 
+  if (message.is_fin()) {
+    // The FIN exits last (FIFO channels: every pre-FIN message already
+    // cleared every hop), so the dead group's compiled route can be dropped
+    // whole — the epoch's tables hold no state for terminated groups.
+    GroupRoute& route = group_routes_[message.group().value()];
+    for (std::uint32_t i = 0; i < route.num_hops; ++i) {
+      route_hops_[route.first_hop + i] = RouteHop{};
+    }
+    route.num_hops = 0;
+  }
+
   FanOutPlan& plan = fanout_plan(message.group(), last_atom);
   if (plan.tree != nullptr) distribution_stress_.add_tree(*plan.tree);
   // The sequencing path is complete: freeze the message and share one copy
-  // across the whole fan-out.
+  // across the whole fan-out; each span wakes its whole same-time burst in
+  // one event.
   auto shared = SharedMessage::create(std::move(message));
-  for (const FanOutTarget& target : plan.targets) {
-    sim_->schedule_after(target.delay,
-                         [this, receiver = target.receiver, shared] {
-                           receiver->receive(shared->message(), sim_->now());
+  for (std::uint32_t si = 0; si < plan.spans.size(); ++si) {
+    sim_->schedule_after(plan.spans[si].delay,
+                         [this, plan = &plan, si, shared] {
+                           const FanOutPlan::Span& span = plan->spans[si];
+                           const sim::Time now = sim_->now();
+                           for (std::uint32_t t = span.begin; t < span.end;
+                                ++t) {
+                             plan->targets[t].receiver->receive(
+                                 shared->message(), now);
+                           }
                          });
   }
 }

@@ -12,7 +12,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -117,6 +116,19 @@ class SequencingNetwork {
   MsgId publish(NodeId sender, GroupId group, std::uint64_t payload = 0,
                 std::vector<std::uint8_t> body = {});
 
+  /// Span-style publish: identical semantics, but the body bytes are read
+  /// straight from `body[0..body_size)` into the payload block — no
+  /// intermediate std::vector, so a steady-state publisher re-sending from
+  /// a fixed buffer never touches the allocator. `body` may be null iff
+  /// `body_size` is 0.
+  MsgId publish(NodeId sender, GroupId group, std::uint64_t payload,
+                const std::uint8_t* body, std::size_t body_size);
+
+  /// Pre-size the message-record log: publishing up to `messages` messages
+  /// over this network's lifetime will not reallocate it (capacity
+  /// planning for allocation-free steady state; see bench/system_bench).
+  void reserve_messages(std::size_t messages) { records_.reserve(messages); }
+
   /// End `group`'s sequence space (§3.2): a termination message — the
   /// paper's "TCP FIN" — travels the group's sequencing path, ordered like
   /// any message. Each sequencing atom that inspects it retires lazily
@@ -214,27 +226,57 @@ class SequencingNetwork {
     return distribution_stress_;
   }
 
+  /// The compiled sequencing route of `g`, as the flat hop table sees it —
+  /// must mirror graph().path(g) for every live group of the epoch, and is
+  /// empty once the group's FIN exited (its forwarding state is dropped).
+  /// Introspection for tests: routing is table-driven, so the table *is*
+  /// the protocol state worth pinning across rebuilds.
+  [[nodiscard]] std::vector<AtomId> compiled_route(GroupId g) const;
+
  private:
-  struct AtomState {
-    SeqNo next_overlap_seq = 1;
-    /// Group-local counters for groups this atom is ingress for.
-    std::unordered_map<GroupId, SeqNo> next_group_seq;
-    /// Next atom on the path, per group routed through here.
-    std::unordered_map<GroupId, AtomId> next_hop;
-    /// Previous atom on the path (the §3.1 reverse-path table; used for
-    /// diagnostics and lazy retirement).
-    std::unordered_map<GroupId, AtomId> prev_hop;
-    /// Set once a FIN for one of the atom's groups passed: the overlap no
-    /// longer exists and the next graph rebuild will remove the atom. Until
-    /// then it keeps stamping its surviving group — §3.2's lazy removal
-    /// ("adding ignored sequence numbers ... does not hurt correctness,
-    /// only efficiency"); stopping early would let a post-FIN survivor
-    /// message miss its ordering point against in-flight pre-FIN messages.
-    bool retired = false;
-    /// Groups whose FIN passed this atom as their ingress: their sequence
-    /// space is closed, and data messages that lost the race against the
-    /// FIN (published earlier, arrived later) are rejected here.
-    std::unordered_set<GroupId> closed_ingress;
+  /// One compiled hop of a group's sequencing path. The routing state the
+  /// seed kept in per-atom hash maps (`next_hop`, `prev_hop`, the
+  /// `(from, to) -> channel` map) is flattened at construction — the
+  /// quiescent epoch boundary where PubSubSystem rebuilds the graph — into
+  /// one contiguous array of these, indexed by
+  /// `group_routes_[g].first_hop + message.path_pos`: the per-hop
+  /// forwarding decision is two array loads, no hashing, no tree walks.
+  /// The reverse path (§3.1) is the same table read backward.
+  struct RouteHop {
+    /// Channel to the next atom on the path; null at the egress hop (the
+    /// message leaves for distribution).
+    sim::Channel<Message>* forward = nullptr;
+    /// The atom at this position (guards against stale path_pos values).
+    AtomId atom;
+    /// Sequencing machine hosting `atom`.
+    SeqNodeId node;
+    /// Machine hosting the next hop's atom (meaningful iff forward != null).
+    SeqNodeId next_node;
+    /// Whether `atom` stamps this group's messages (a double-overlap atom
+    /// of the group). Stays true after the partner group's FIN: §3.2's lazy
+    /// removal — the atom keeps stamping until the next graph rebuild
+    /// removes it, because a pre-FIN message of the dead group may still be
+    /// in flight carrying this atom's numbers.
+    bool stamps = false;
+    /// Whether the forward leg crosses to a different sequencing machine
+    /// (load accounting and the kForwarded trace record).
+    bool crosses_machine = false;
+  };
+
+  /// Per-group compiled routing state: the hop-table span plus the ingress
+  /// identity and its group-local sequence counter (each group has exactly
+  /// one ingress atom, so the counter lives here, not per atom).
+  struct GroupRoute {
+    std::uint32_t first_hop = 0;  ///< offset into route_hops_
+    std::uint32_t num_hops = 0;   ///< 0: no path, or FIN dropped the route
+    AtomId ingress;
+    SeqNodeId ingress_node;
+    RouterId ingress_router;
+    /// Next group-local sequence number the ingress assigns (§3.1).
+    SeqNo next_seq = 1;
+    /// The group's FIN passed the ingress: the sequence space is closed and
+    /// data messages that lost the race against the FIN are rejected.
+    bool ingress_closed = false;
   };
 
   /// One distribution-leg destination: the member's receiver and its
@@ -248,14 +290,24 @@ class SequencingNetwork {
   /// resolved (receiver, delay) list, plus the delivery tree in tree mode
   /// so per-message stress accounting keeps working. Saves a membership
   /// walk, router lookups, and distance/tree queries on every message.
+  /// Targets are stable-sorted by delay and grouped into spans of equal
+  /// delay, so the fan-out schedules one simulator event per *burst* of
+  /// same-time arrivals instead of one per delivery (see distribute()).
   struct FanOutPlan {
+    /// Targets that arrive together: targets[begin..end) share `delay`.
+    struct Span {
+      std::uint32_t begin;
+      std::uint32_t end;
+      double delay;
+    };
     std::vector<FanOutTarget> targets;
+    std::vector<Span> spans;
     std::unique_ptr<topology::MulticastTree> tree;
   };
 
   void handle_at_atom(AtomId atom, Message message);
   MsgId inject(NodeId sender, GroupId group, std::uint64_t payload,
-               std::vector<std::uint8_t> body, bool is_fin);
+               const std::uint8_t* body, std::size_t body_size, bool is_fin);
   /// Ingress-leg arrival; retries with exponential backoff while the
   /// ingress machine is down (publisher retry, mirroring the channels'
   /// retransmission) and abandons the message — ingress_failed — if the
@@ -267,11 +319,22 @@ class SequencingNetwork {
   /// Delay before ingress retry `attempts`: the channels' backoff formula
   /// (exponential, capped, jittered) applied to the ingress retry loop.
   [[nodiscard]] double ingress_backoff_delay(std::uint32_t attempts);
-  void forward(AtomId from, AtomId to, Message message);
   void distribute(AtomId last_atom, Message message);
   [[nodiscard]] FanOutPlan& fanout_plan(GroupId group, AtomId last_atom);
   [[nodiscard]] double machine_distance(AtomId a, AtomId b);
   [[nodiscard]] RouterId machine_of_atom(AtomId a) const;
+  /// Compile the per-group hop tables and the dense ingress state from the
+  /// sequencing graph (constructor only; the tables are immutable for the
+  /// epoch except for FIN route drops).
+  void compile_routes();
+  [[nodiscard]] GroupRoute& group_route(GroupId g) {
+    DECSEQ_CHECK(g.valid() && g.value() < group_routes_.size());
+    return group_routes_[g.value()];
+  }
+  /// Index of the directed channel `from -> to` in channels_ / channel
+  /// edges (cold paths only: failure injection and fault introspection;
+  /// the hot path reads Channel* straight from the hop table).
+  [[nodiscard]] std::size_t channel_index(AtomId from, AtomId to) const;
 
   sim::Simulator* sim_;
   Rng* rng_;
@@ -283,21 +346,18 @@ class SequencingNetwork {
   topology::DistanceOracle* oracle_;
   NetworkOptions options_;
 
-  std::vector<AtomState> atom_state_;
-  /// Hash for a directed inter-atom edge; atom ids are dense 32-bit values.
-  struct EdgeHash {
-    std::size_t operator()(const std::pair<AtomId, AtomId>& e) const {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(e.first.value()) << 32) |
-          e.second.value();
-      return std::hash<std::uint64_t>{}(key);
-    }
-  };
-  /// Directed inter-atom channels, created for every path edge in use.
-  /// Looked up on every forward() — O(1) hashing, not a tree walk.
-  std::unordered_map<std::pair<AtomId, AtomId>,
-                     std::unique_ptr<sim::Channel<Message>>, EdgeHash>
-      channels_;
+  /// Per-atom overlap sequence counters (dense, indexed by atom id).
+  std::vector<SeqNo> atom_next_seq_;
+  /// Compiled routing tables (see RouteHop / GroupRoute): every group's
+  /// path flattened into one contiguous hop array.
+  std::vector<RouteHop> route_hops_;
+  std::vector<GroupRoute> group_routes_;
+  /// Directed inter-atom channels for every path edge in use, parallel to
+  /// channel_edges_ and sorted by (from, to) — cold-path lookups binary
+  /// search, iteration is deterministic without re-sorting, and the hot
+  /// path never looks up at all (hop tables hold the Channel*).
+  std::vector<std::pair<AtomId, AtomId>> channel_edges_;
+  std::vector<std::unique_ptr<sim::Channel<Message>>> channels_;
   /// Receivers indexed by node id value; null for non-subscribers.
   std::vector<std::unique_ptr<Receiver>> receivers_;
   std::unordered_set<GroupId> terminated_groups_;

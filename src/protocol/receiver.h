@@ -25,12 +25,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/ring_buffer.h"
 #include "protocol/message.h"
 #include "seqgraph/graph.h"
 
@@ -155,7 +155,7 @@ class Receiver {
   std::vector<PendingSlot> pending_;
   std::vector<std::uint32_t> free_slots_;
   /// Waiters woken by a counter advance, pending their re-check (FIFO).
-  std::deque<std::uint32_t> ready_;
+  common::RingBuffer<std::uint32_t> ready_;
 
   std::size_t buffered_count_ = 0;
   std::size_t delivered_count_ = 0;

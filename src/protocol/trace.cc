@@ -17,9 +17,19 @@ const char* to_string(TraceEvent::Kind kind) {
   return "?";
 }
 
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> result;
+  result.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    result.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return result;
+}
+
 std::vector<TraceEvent> Tracer::for_message(MsgId id) const {
   std::vector<TraceEvent> result;
-  for (const TraceEvent& e : events_) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
     if (e.message == id) result.push_back(e);
   }
   return result;

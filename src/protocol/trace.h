@@ -5,9 +5,15 @@
 // forwards between machines, exit to distribution, and per-receiver
 // delivery — into a bounded ring buffer. Tests assert protocol behaviour on
 // traces; the explore CLI prints them for debugging placements.
+//
+// Cost model: disabled tracing is one predictable branch per record() call
+// and nothing else. Enabled tracing is allocation-free in steady state —
+// enable() sizes the ring storage up front, and record() is a store into
+// the next slot (oldest events are overwritten once the ring is full). The
+// full-system zero-alloc benchmarks therefore hold with tracing on.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -41,23 +47,38 @@ struct TraceEvent {
 /// Bounded in-memory trace sink. Disabled (and free) by default.
 class Tracer {
  public:
-  /// Start recording; keeps at most `capacity` most-recent events.
+  /// Start recording; keeps at most `capacity` most-recent events. The ring
+  /// storage is allocated here, once — record() never touches the
+  /// allocator. Re-enabling with the same capacity keeps recorded events;
+  /// a different capacity re-sizes the ring and drops them.
   void enable(std::size_t capacity = 65536) {
     enabled_ = true;
-    capacity_ = capacity;
+    if (capacity != ring_.size()) {
+      ring_.clear();
+      ring_.resize(capacity);
+      head_ = 0;
+      size_ = 0;
+    }
   }
   void disable() { enabled_ = false; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  void record(TraceEvent event) {
-    if (!enabled_) return;
-    if (events_.size() == capacity_) events_.pop_front();
-    events_.push_back(event);
+  void record(const TraceEvent& event) {
+    if (!enabled_ || ring_.empty()) return;
+    ring_[(head_ + size_) % ring_.size()] = event;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % ring_.size();  // overwrote the oldest
+    }
   }
 
-  [[nodiscard]] const std::deque<TraceEvent>& events() const {
-    return events_;
-  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// The recorded events, oldest first (a copy — the live storage is a
+  /// ring; introspection is for tests and tools, not hot paths).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
 
   /// All recorded events of one message, in order.
   [[nodiscard]] std::vector<TraceEvent> for_message(MsgId id) const;
@@ -65,12 +86,19 @@ class Tracer {
   /// Human-readable one-line-per-event rendering of a message's trace.
   [[nodiscard]] std::string format(MsgId id) const;
 
-  void clear() { events_.clear(); }
+  /// Drop recorded events; keeps the ring storage (and the enabled state).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
  private:
   bool enabled_ = false;
-  std::size_t capacity_ = 0;
-  std::deque<TraceEvent> events_;
+  /// Ring storage, sized once by enable(). Slot (head_ + i) % ring_.size()
+  /// holds the i-th oldest of size_ recorded events.
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace decseq::protocol

@@ -117,6 +117,21 @@ MsgId PubSubSystem::publish(NodeId sender, GroupId group,
       network_->publish(sender, group, payload, std::move(body)).value());
 }
 
+MsgId PubSubSystem::publish(NodeId sender, GroupId group,
+                            std::uint64_t payload, const std::uint8_t* body,
+                            std::size_t body_size) {
+  DECSEQ_CHECK(network_ != nullptr);
+  return MsgId(
+      epoch_base_ +
+      network_->publish(sender, group, payload, body, body_size).value());
+}
+
+void PubSubSystem::reserve(std::size_t messages, std::size_t deliveries) {
+  DECSEQ_CHECK(network_ != nullptr);
+  network_->reserve_messages(messages);
+  log_.reserve(deliveries);
+}
+
 const protocol::MessageRecord& PubSubSystem::record(MsgId id) const {
   DECSEQ_CHECK_MSG(id.valid() && id.value() >= epoch_base_,
                    "message " << id << " predates the current epoch");

@@ -123,6 +123,18 @@ class PubSubSystem {
   MsgId publish(NodeId sender, GroupId group, std::uint64_t payload = 0,
                 std::vector<std::uint8_t> body = {});
 
+  /// Span-style publish: body bytes are read straight from
+  /// `body[0..body_size)` — no intermediate std::vector, so a steady-state
+  /// publisher re-sending from a fixed buffer never touches the allocator.
+  MsgId publish(NodeId sender, GroupId group, std::uint64_t payload,
+                const std::uint8_t* body, std::size_t body_size);
+
+  /// Capacity planning for allocation-free steady state: size the epoch's
+  /// message-record log for `messages` published messages and the delivery
+  /// log for `deliveries` entries (both totals since the last rebuild).
+  /// Within those bounds neither log reallocates while traffic flows.
+  void reserve(std::size_t messages, std::size_t deliveries);
+
   /// The runtime record of a message published through this facade (by its
   /// global id). Valid until the next membership change.
   [[nodiscard]] const protocol::MessageRecord& record(MsgId id) const;

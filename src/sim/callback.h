@@ -9,6 +9,12 @@
 // from the hot path entirely. Larger captures still work via a heap
 // fallback; the simulator counts them so benches can report an
 // allocations-per-event proxy.
+//
+// The heap fallback itself is pooled: spilled blocks are recycled through a
+// thread-local freelist bucketed by 64-byte size class, so a workload that
+// repeatedly schedules the same oversized capture allocates once per
+// concurrent spill, not once per event. spill_pool_stats() exposes the
+// fresh/reused split; benches assert that steady-state spills are reuses.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +24,92 @@
 #include <utility>
 
 namespace decseq::sim {
+
+/// Allocation behaviour of the callback spill pool on this thread:
+/// `fresh` blocks came from operator new, `reused` from the freelist.
+struct SpillPoolStats {
+  std::size_t fresh = 0;
+  std::size_t reused = 0;
+};
+
+namespace detail {
+
+/// Thread-local freelist recycler for callback heap spills. Blocks are
+/// rounded up to 64-byte classes; freed blocks become intrusive list nodes
+/// (the capture is already destroyed, so its bytes are free real estate).
+/// Blocks above the largest class fall through to plain new/delete, as do
+/// over-aligned captures (the pool only guarantees max_align_t).
+class SpillPool {
+ public:
+  static constexpr std::size_t kClassBytes = 64;
+  static constexpr std::size_t kNumClasses = 16;  // pools up to 1 KiB
+
+  [[nodiscard]] static void* allocate(std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    State& state = instance();
+    if (cls < kNumClasses && state.free[cls] != nullptr) {
+      Node* node = state.free[cls];
+      state.free[cls] = node->next;
+      node->~Node();
+      ++state.stats.reused;
+      return node;
+    }
+    ++state.stats.fresh;
+    return ::operator new(cls < kNumClasses ? (cls + 1) * kClassBytes
+                                            : bytes);
+  }
+
+  static void deallocate(void* block, std::size_t bytes) noexcept {
+    const std::size_t cls = class_of(bytes);
+    if (cls >= kNumClasses) {
+      ::operator delete(block);
+      return;
+    }
+    State& state = instance();
+    state.free[cls] = ::new (block) Node{state.free[cls]};
+  }
+
+  [[nodiscard]] static const SpillPoolStats& stats() {
+    return instance().stats;
+  }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  struct State {
+    Node* free[kNumClasses] = {};
+    SpillPoolStats stats;
+
+    ~State() {
+      for (Node*& head : free) {
+        while (head != nullptr) {
+          Node* node = head;
+          head = node->next;
+          node->~Node();
+          ::operator delete(node);
+        }
+      }
+    }
+  };
+
+  [[nodiscard]] static std::size_t class_of(std::size_t bytes) {
+    return (bytes + kClassBytes - 1) / kClassBytes - 1;
+  }
+
+  [[nodiscard]] static State& instance() {
+    thread_local State state;
+    return state;
+  }
+};
+
+}  // namespace detail
+
+/// This thread's spill-pool counters (see SpillPool above). Steady-state
+/// workloads should only grow `reused`.
+[[nodiscard]] inline const SpillPoolStats& spill_pool_stats() {
+  return detail::SpillPool::stats();
+}
 
 /// Move-only `void()` callable with `InlineBytes` of inline storage.
 template <std::size_t InlineBytes>
@@ -45,7 +137,23 @@ class InlineCallback {
                   std::is_nothrow_move_constructible_v<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &inline_ops<Fn>;
+    } else if constexpr (alignof(Fn) <= alignof(std::max_align_t)) {
+      // Spill through the recycling pool: the common oversized capture is
+      // scheduled over and over (retry loops, fan-out wrappers), and the
+      // freelist turns those into allocation-free reuses.
+      void* block = detail::SpillPool::allocate(sizeof(Fn));
+      Fn* fn;
+      try {
+        fn = ::new (block) Fn(std::forward<F>(f));
+      } catch (...) {
+        detail::SpillPool::deallocate(block, sizeof(Fn));
+        throw;
+      }
+      ::new (static_cast<void*>(storage_)) Fn*(fn);
+      ops_ = &pooled_heap_ops<Fn>;
     } else {
+      // Over-aligned captures bypass the pool (it only hands out
+      // max_align_t-aligned blocks); plain new honours the alignment.
       ::new (static_cast<void*>(storage_))
           Fn*(new Fn(std::forward<F>(f)));
       ops_ = &heap_ops<Fn>;
@@ -111,6 +219,28 @@ class InlineCallback {
       },
       [](unsigned char* s) {
         delete *std::launder(reinterpret_cast<Fn**>(s));
+      },
+      [](unsigned char* src, unsigned char* dst) {
+        // The source holds a raw pointer (trivially destructible): just
+        // copy it across; ownership moves with it.
+        ::new (static_cast<void*>(dst))
+            Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      /*on_heap=*/true,
+  };
+
+  /// Like heap_ops, but the spilled block returns to the thread-local
+  /// freelist instead of operator delete, ready for the next spill of the
+  /// same size class.
+  template <typename Fn>
+  static constexpr Ops pooled_heap_ops = {
+      [](unsigned char* s) {
+        (**std::launder(reinterpret_cast<Fn**>(s)))();
+      },
+      [](unsigned char* s) {
+        Fn* fn = *std::launder(reinterpret_cast<Fn**>(s));
+        fn->~Fn();
+        detail::SpillPool::deallocate(fn, sizeof(Fn));
       },
       [](unsigned char* src, unsigned char* dst) {
         // The source holds a raw pointer (trivially destructible): just

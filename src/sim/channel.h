@@ -10,10 +10,13 @@
 // inject loss to exercise the recovery path.
 //
 // Buffer layout (see docs/PROTOCOL.md, "Event engine"): both buffers are
-// deques indexed by contiguous sequence numbers — the sender's output
-// buffer starts at the lowest unacked packet and cumulative acks pop its
-// front, the receiver's reorder window starts at the next sequence number
-// to deliver. No tree maps, no per-packet node allocations.
+// flat ring buffers (common/ring_buffer.h) indexed by contiguous sequence
+// numbers — the sender's output buffer starts at the lowest unacked packet
+// and cumulative acks pop its front, the receiver's reorder window starts
+// at the next sequence number to deliver. No tree maps, and once the rings
+// reach the flow's high-water mark, no per-packet heap traffic at all
+// (a deque here would churn ~512-byte nodes forever as packets flow
+// through).
 //
 // Retransmission timing: every unacked packet carries its own deadline,
 // but the channel arms a single cancellable simulator timer at the
@@ -57,13 +60,13 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/ring_buffer.h"
 #include "common/rng.h"
 #include "sim/simulator.h"
 
@@ -357,9 +360,9 @@ class Channel {
   bool receiver_down_ = false;
   bool link_down_ = false;
   /// Output retransmission buffer, contiguous [send_base_, next_send_seq_).
-  std::deque<OutPacket> out_;
+  common::RingBuffer<OutPacket> out_;
   /// Receiver reorder window, slot i holds sequence next_deliver_seq_ + i.
-  std::deque<std::optional<T>> reorder_;
+  common::RingBuffer<std::optional<T>> reorder_;
   /// The channel's single retransmit timer (invalid when disarmed). Armed
   /// at or before the earliest outstanding deadline whenever out_ is
   /// non-empty.

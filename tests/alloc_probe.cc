@@ -1,0 +1,85 @@
+// Counting operator new/delete for the whole test binary (see
+// alloc_probe.h). Pure counting plus malloc passthrough — safe
+// binary-wide, including under sanitizers.
+#include "tests/alloc_probe.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+thread_local std::size_t g_test_allocs = 0;
+
+void* test_counted_alloc(std::size_t size) {
+  ++g_test_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+namespace decseq::test {
+
+std::size_t alloc_count() { return g_test_allocs; }
+
+}  // namespace decseq::test
+
+void* operator new(std::size_t size) { return test_counted_alloc(size); }
+void* operator new[](std::size_t size) { return test_counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_test_allocs;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+// The nothrow family must be replaced alongside the throwing one: under
+// ASan the library-provided nothrow new (used by e.g. std::stable_sort's
+// temporary buffer) would otherwise come from the sanitizer's allocator
+// while our replaced operator delete frees with std::free — an
+// alloc-dealloc mismatch. Defining all variants keeps every path on
+// malloc/free.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_test_allocs;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_test_allocs;
+  return std::malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  ++g_test_allocs;
+  const std::size_t a = static_cast<std::size_t>(align);
+  return std::aligned_alloc(a, (size + a - 1) / a * a);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return operator new(size, align, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

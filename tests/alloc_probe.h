@@ -1,0 +1,19 @@
+// Binary-wide instrumented allocator for the test binary.
+//
+// alloc_probe.cc replaces the global operator new/delete with a counting
+// passthrough (same idiom as bench/dataplane_bench.cc), so zero-allocation
+// claims — the receiver's slab design, the full-system steady state — are
+// asserted against real heap traffic, not modeled. One TU owns the
+// replacement (the ODR allows exactly one per binary); every test reads
+// the counter through this header.
+#pragma once
+
+#include <cstddef>
+
+namespace decseq::test {
+
+/// Heap allocations performed by this thread since the binary started.
+/// Diff it around the section under test.
+[[nodiscard]] std::size_t alloc_count();
+
+}  // namespace decseq::test

@@ -10,47 +10,8 @@
 #include "protocol/message.h"
 #include "protocol/receiver.h"
 #include "seqgraph/graph.h"
+#include "tests/alloc_probe.h"
 #include "tests/test_util.h"
-
-// ---------------------------------------------------------------------------
-// Instrumented allocator (same idiom as bench/dataplane_bench.cc): counts
-// every heap allocation in the test binary so the zero-allocation claims of
-// the receiver's slab design are asserted, not assumed. Pure counting plus
-// malloc passthrough — safe binary-wide, including under sanitizers.
-// ---------------------------------------------------------------------------
-namespace {
-thread_local std::size_t g_test_allocs = 0;
-
-void* test_counted_alloc(std::size_t size) {
-  ++g_test_allocs;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return test_counted_alloc(size); }
-void* operator new[](std::size_t size) { return test_counted_alloc(size); }
-void* operator new(std::size_t size, std::align_val_t align) {
-  ++g_test_allocs;
-  const std::size_t a = static_cast<std::size_t>(align);
-  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return operator new(size, align);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
 
 namespace decseq::protocol {
 namespace {
@@ -263,9 +224,9 @@ TEST_F(ReceiverTest, ParkWakeDeliverPathIsAllocationFree) {
   for (SeqNo k = 1; k <= 16; ++k) cycle(k);  // warm the slabs and pools
   ASSERT_EQ(delivered_.size(), 32u);
 
-  const std::size_t allocs_before = g_test_allocs;
+  const std::size_t allocs_before = test::alloc_count();
   for (SeqNo k = 17; k <= 116; ++k) cycle(k);
-  const std::size_t allocs = g_test_allocs - allocs_before;
+  const std::size_t allocs = test::alloc_count() - allocs_before;
 
   EXPECT_EQ(allocs, 0u) << "park/wake/deliver path allocated";
   EXPECT_EQ(delivered_.size(), 232u);

@@ -140,6 +140,43 @@ TEST(Reconfigure, CrashWindowRacingReconfigureDrainsClean) {
   EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
 }
 
+TEST(Reconfigure, RebuildRecompilesDenseRoutingTables) {
+  // Routing is table-driven (network.cc compiles each group's path into a
+  // flat hop span at construction), so a membership rebuild must leave the
+  // tables exactly mirroring the *new* graph: fresh groups get routes, every
+  // surviving group's span matches its possibly-changed path, and a removed
+  // group's old-epoch span must not leak into the rebuilt runtime.
+  PubSubSystem system(test::small_config(99));
+  const GroupId g0 = system.create_group({N(0), N(1), N(2), N(3)});
+  const GroupId g1 = system.create_group({N(2), N(3), N(4), N(5)});
+  for (const GroupId g : {g0, g1}) {
+    EXPECT_EQ(system.network().compiled_route(g), system.graph().path(g));
+  }
+  system.publish(N(0), g0, 1);
+  system.run();
+
+  const auto created = system.reconfigure({
+      PubSubSystem::MembershipChange::remove(g0),
+      PubSubSystem::MembershipChange::join(g1, N(6)),
+      PubSubSystem::MembershipChange::create({N(0), N(5), N(7)}),
+  });
+  ASSERT_EQ(created.size(), 1u);
+  for (const GroupId g : {g1, created[0]}) {
+    EXPECT_EQ(system.network().compiled_route(g), system.graph().path(g))
+        << "recompiled table diverges from the rebuilt graph for " << g;
+  }
+  EXPECT_TRUE(system.network().compiled_route(g0).empty())
+      << "removed group's old-epoch hop span leaked into the new runtime";
+
+  // The recompiled tables actually route: traffic in the new epoch reaches
+  // every member, in order.
+  system.publish(N(6), g1, 2);
+  system.publish(N(7), created[0], 3);
+  system.run();
+  EXPECT_EQ(system.network().buffered_at_receivers(), 0u);
+  EXPECT_FALSE(test::find_order_violation(system.deliveries()).has_value());
+}
+
 TEST(Dot, RendersAtomsEdgesAndPaths) {
   PubSubSystem system(test::small_config(94));
   system.create_group({N(0), N(1), N(2), N(3)});

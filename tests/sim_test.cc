@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/callback.h"
 #include "sim/channel.h"
 #include "sim/simulator.h"
+#include "tests/alloc_probe.h"
 
 namespace decseq::sim {
 namespace {
@@ -498,6 +501,42 @@ TEST(Channel, LinkFlapsPreserveExactlyOnceFifo) {
   for (int i = 0; i < 30; ++i) EXPECT_EQ(got[i], i);
   EXPECT_EQ(ch.unacked(), 0u);
   EXPECT_FALSE(ch.faulted());
+}
+
+TEST(Callback, SpillPoolRecyclesOversizedCaptures) {
+  // A capture too big for the inline buffer spills to the heap, but the
+  // spill goes through the thread-local freelist: after the first block of
+  // a size class is warmed, repeated schedule/fire cycles of the same
+  // oversized capture reuse it — zero fresh blocks, zero heap allocations.
+  using Callback = InlineCallback<24>;
+  struct Payload {
+    unsigned char pad[160];
+  };
+  Payload payload{};
+  int fired = 0;
+  const auto make = [&] {
+    return Callback([payload, &fired] {
+      ++fired;
+      (void)payload;
+    });
+  };
+  {
+    Callback warm = make();  // first spill of this size class: fresh block
+    ASSERT_TRUE(warm.heap_allocated());
+    warm();
+  }
+
+  const SpillPoolStats before = spill_pool_stats();
+  const std::size_t allocs_before = test::alloc_count();
+  for (int i = 0; i < 64; ++i) {
+    Callback cb = make();
+    cb();
+  }
+  const SpillPoolStats& after = spill_pool_stats();
+  EXPECT_EQ(after.fresh, before.fresh) << "warm spills must not allocate";
+  EXPECT_EQ(after.reused, before.reused + 64);
+  EXPECT_EQ(test::alloc_count() - allocs_before, 0u);
+  EXPECT_EQ(fired, 65);
 }
 
 }  // namespace

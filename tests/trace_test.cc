@@ -2,6 +2,10 @@
 // protocol's three phases (ingress -> sequencing -> distribution).
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "pubsub/system.h"
 #include "tests/test_util.h"
 
@@ -76,6 +80,68 @@ TEST(Trace, FormatIsHumanReadable) {
   EXPECT_NE(text.find("published by node 0"), std::string::npos);
   EXPECT_NE(text.find("ingress"), std::string::npos);
   EXPECT_NE(text.find("delivered to node"), std::string::npos);
+}
+
+TEST(Trace, TracingIsInvisibleAndDeterministic) {
+  // Tracing must be a pure observer: on a fixed seed, a tracing-enabled run
+  // produces the same delivery log (every field, including times) as an
+  // untraced run, and two traced runs produce identical trace contents.
+  // This is the golden guard for the pooled-ring tracer — record() sits on
+  // the hot stamping/forwarding path and must not perturb the schedule.
+  struct Result {
+    std::vector<std::string> log;
+    std::string traces;
+  };
+  const auto run_once = [](bool traced) {
+    pubsub::PubSubSystem system(test::small_config(105));
+    const GroupId g0 = system.create_group({N(0), N(1), N(2), N(3)});
+    const GroupId g1 = system.create_group({N(2), N(3), N(4), N(5)});
+    if (traced) system.network_mutable().tracer().enable();
+    std::vector<MsgId> ids;
+    for (unsigned i = 0; i < 10; ++i) {
+      ids.push_back(
+          system.publish(N(i % 6), (i % 2 != 0) ? g1 : g0, 100 + i));
+    }
+    system.run();
+    Result r;
+    for (const auto& d : system.deliveries()) {
+      std::ostringstream line;
+      line << d.receiver << ' ' << d.message << ' ' << d.group << ' '
+           << d.sender << ' ' << d.payload << ' ' << d.sent_at << ' '
+           << d.delivered_at;
+      r.log.push_back(line.str());
+    }
+    if (traced) {
+      for (const MsgId id : ids) r.traces += system.trace(id) + "\n";
+    }
+    return r;
+  };
+
+  const Result untraced = run_once(false);
+  const Result traced_a = run_once(true);
+  const Result traced_b = run_once(true);
+  EXPECT_EQ(untraced.log, traced_a.log)
+      << "enabling the tracer changed what the application observed";
+  EXPECT_EQ(traced_a.log, traced_b.log);
+  EXPECT_FALSE(traced_a.traces.empty());
+  EXPECT_EQ(traced_a.traces, traced_b.traces)
+      << "trace contents must be a deterministic function of the seed";
+}
+
+TEST(Trace, ReEnableSameCapacityKeepsEvents) {
+  // enable() is idempotent for a given capacity: re-enabling must not wipe
+  // the ring (callers toggle tracing around phases), while changing the
+  // capacity re-sizes storage and starts fresh.
+  Tracer tracer;
+  tracer.enable(/*capacity=*/8);
+  for (unsigned i = 0; i < 3; ++i) {
+    tracer.record({TraceEvent::Kind::kPublished, MsgId(i), 0.0, AtomId{},
+                   SeqNodeId{}, N(0), 0});
+  }
+  tracer.enable(/*capacity=*/8);
+  EXPECT_EQ(tracer.events().size(), 3u);
+  tracer.enable(/*capacity=*/16);
+  EXPECT_TRUE(tracer.events().empty()) << "capacity change starts fresh";
 }
 
 TEST(Trace, RingBufferBounded) {
