@@ -45,7 +45,8 @@ SequencingNetwork::SequencingNetwork(
     const placement::Assignment& assignment,
     const membership::GroupMembership& membership,
     const topology::HostMap& hosts, topology::DistanceOracle& oracle,
-    NetworkOptions options, const topology::Graph* physical_network)
+    NetworkOptions options, const topology::Graph* physical_network,
+    runtime::ShardedEngine* engine)
     : sim_(&sim),
       rng_(&rng),
       graph_(&graph),
@@ -60,10 +61,35 @@ SequencingNetwork::SequencingNetwork(
       seqnode_load_(colocation.num_nodes(), 0),
       node_down_(colocation.num_nodes(), false),
       publisher_down_(membership.num_nodes(), false),
-      physical_network_(physical_network) {
+      physical_network_(physical_network),
+      engine_(engine) {
   DECSEQ_CHECK_MSG(!options_.tree_distribution || physical_network_ != nullptr,
                    "tree distribution needs the physical network graph");
+  DECSEQ_CHECK_MSG(engine_ == nullptr || !options_.tree_distribution,
+                   "tree distribution is not available in sharded mode");
+  if (engine_ != nullptr) {
+    shard_seqnode_load_.assign(
+        engine_->num_shards(),
+        std::vector<std::size_t>(colocation.num_nodes(), 0));
+    shard_channel_faults_.resize(engine_->num_shards());
+    engine_->set_ingest([this](std::uint32_t shard, runtime::IngressItem&& i) {
+      ingest(shard, std::move(i));
+    });
+  }
   compile_routes();
+
+  if (engine_ != nullptr) {
+    build_shard_receivers();
+    // Distribution plans are built lazily on first exit in single-threaded
+    // mode; in sharded mode the first exit happens on a worker, and the
+    // build reads the shared distance oracle — so build every plan here,
+    // at construction, on the coordinator.
+    fanout_plans_.resize(group_routes_.size());
+    for (const GroupId g : graph_->groups()) {
+      (void)fanout_plan(g, graph_->path(g).back());
+    }
+    return;
+  }
 
   // One receiver per subscriber that belongs to at least one group.
   for (std::size_t n = 0; n < membership.num_nodes(); ++n) {
@@ -77,6 +103,47 @@ SequencingNetwork::SequencingNetwork(
                           SeqNodeId{}, node, 0});
           if (on_delivery_) on_delivery_(node, m, at);
         });
+  }
+}
+
+void SequencingNetwork::build_shard_receivers() {
+  const runtime::ShardPlan& plan = engine_->plan();
+  shard_receivers_.resize(engine_->num_shards());
+  for (auto& per_node : shard_receivers_) {
+    per_node.resize(membership_->num_nodes());
+  }
+  for (std::size_t n = 0; n < membership_->num_nodes(); ++n) {
+    const NodeId node(static_cast<NodeId::underlying_type>(n));
+    const std::vector<GroupId> subs = membership_->groups_of(node);
+    if (subs.empty()) continue;
+    const std::vector<AtomId> relevant = relevant_atoms_for(node, *graph_);
+    for (std::uint32_t s = 0; s < engine_->num_shards(); ++s) {
+      std::vector<GroupId> shard_subs;
+      for (const GroupId g : subs) {
+        if (plan.shard(g) == s) shard_subs.push_back(g);
+      }
+      if (shard_subs.empty()) continue;
+      // An atom relevant to this node sequences two groups the node
+      // subscribes to, so its unit is one of shard_subs' units — filtering
+      // by shard keeps every counter the sub-receiver will ever consult.
+      std::vector<AtomId> shard_atoms;
+      for (const AtomId a : relevant) {
+        const std::uint32_t unit = plan.unit_of_atom[a.value()];
+        DECSEQ_CHECK(unit != runtime::kNoUnit);
+        if (plan.shard_of_unit[unit] == s) shard_atoms.push_back(a);
+      }
+      shard_receivers_[s][n] = std::make_unique<Receiver>(
+          node, std::move(shard_subs), std::move(shard_atoms),
+          [this, node, s](const Message& m, sim::Time at) {
+            // Cross back to the coordinator as plain data: payload blocks
+            // are pooled per thread and must not leave this shard.
+            const GroupRoute& route = group_routes_[m.group().value()];
+            engine_->push_delivery(
+                s, {node, m.id(), m.group(), m.sender(), m.payload(),
+                    m.sent_at(), at, route.unit,
+                    engine_->next_unit_pos(route.unit), m.is_fin()});
+          });
+    }
   }
 }
 
@@ -98,17 +165,42 @@ void SequencingNetwork::compile_routes() {
       channel_edges_.end());
   channels_.reserve(channel_edges_.size());
   for (const auto& [from, to] : channel_edges_) {
+    // A path edge joins two atoms of the same unit, so in sharded mode the
+    // channel lives wholly on the unit's shard: its timers run on that
+    // shard's simulator and its retransmit jitter draws from the unit's
+    // own RNG stream (shard-count-invariant by construction).
+    sim::Simulator* channel_sim = sim_;
+    Rng* channel_rng = rng_;
+    std::uint32_t shard = 0;
+    if (engine_ != nullptr) {
+      const std::uint32_t unit = engine_->plan().unit_of_atom[from.value()];
+      DECSEQ_CHECK(unit != runtime::kNoUnit &&
+                   unit == engine_->plan().unit_of_atom[to.value()]);
+      shard = engine_->plan().shard_of_unit[unit];
+      channel_sim = &engine_->shard_sim(shard);
+      channel_rng = &engine_->unit_rng(unit);
+    }
     auto channel = std::make_unique<sim::Channel<Message>>(
-        *sim_, *rng_, machine_distance(from, to), options_.channel);
+        *channel_sim, *channel_rng, machine_distance(from, to),
+        options_.channel);
     channel->set_receiver([this, to](Message m) {
       handle_at_atom(to, std::move(m));
     });
     // Exhaustion surfaces here as an edge-tagged fault record instead of
     // killing the run; the channel keeps probing and recover_node /
     // recover_link clear the state (see channel_faults()).
-    channel->set_fault_callback([this, from, to](const sim::ChannelFault& f) {
-      channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
-    });
+    if (engine_ != nullptr) {
+      channel->set_fault_callback(
+          [this, from, to, shard](const sim::ChannelFault& f) {
+            shard_channel_faults_[shard].push_back(
+                {from, to, f.seq, f.attempts, f.at});
+          });
+    } else {
+      channel->set_fault_callback(
+          [this, from, to](const sim::ChannelFault& f) {
+            channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
+          });
+    }
     channels_.push_back(std::move(channel));
   }
 
@@ -131,6 +223,10 @@ void SequencingNetwork::compile_routes() {
     route.ingress = path.front();
     route.ingress_node = colocation_->node_of(path.front());
     route.ingress_router = machine_of_atom(path.front());
+    if (engine_ != nullptr) {
+      route.unit = engine_->plan().unit(g);
+      route.shard = engine_->plan().shard_of_unit[route.unit];
+    }
     for (std::size_t i = 0; i < path.size(); ++i) {
       RouteHop hop;
       hop.atom = path[i];
@@ -216,6 +312,25 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
     return id;
   }
 
+  if (engine_ != nullptr) {
+    DECSEQ_CHECK_MSG(!tracer_.enabled(),
+                     "per-message tracing is not available in sharded mode");
+    // Cross to the owning shard as raw bytes: the payload block is pooled
+    // per thread, so the worker materializes it at ingest (see ingest()).
+    const GroupRoute& route = group_route(group);
+    runtime::IngressItem item;
+    item.id = id;
+    item.group = group;
+    item.sender = sender;
+    item.payload = payload;
+    item.delay =
+        oracle_->distance(hosts_->router_of(sender), route.ingress_router);
+    item.is_fin = is_fin;
+    item.body.assign(body, body + body_size);
+    engine_->push_ingress(route.shard, std::move(item));
+    return id;
+  }
+
   // The one payload copy of the message's lifetime: publish bytes into the
   // shared block. Everything downstream passes the reference around.
   PayloadRef block = PayloadBlock::create(id, group, sender, sim_->now(),
@@ -237,6 +352,24 @@ MsgId SequencingNetwork::inject(NodeId sender, GroupId group,
   return id;
 }
 
+void SequencingNetwork::ingest(std::uint32_t shard,
+                               runtime::IngressItem&& item) {
+  sim::Simulator& shard_sim = engine_->shard_sim(shard);
+  // The fence protocol advanced this shard's clock to the publish time
+  // before the item could be drained, so sent_at and the arrival schedule
+  // match the single-threaded run exactly.
+  DECSEQ_CHECK(records_[item.id.value()].published_at == shard_sim.now());
+  PayloadRef block = PayloadBlock::create(
+      item.id, item.group, item.sender, shard_sim.now(), item.payload,
+      item.body.data(), item.body.size(), item.is_fin);
+  const GroupRoute& route = group_route(item.group);
+  shard_sim.schedule_after(item.delay,
+                           [this, ingress = route.ingress,
+                            block = std::move(block)] {
+                             arrive_at_ingress(ingress, block, /*attempts=*/0);
+                           });
+}
+
 double SequencingNetwork::ingress_backoff_delay(std::uint32_t attempts) {
   // Exponential and capped like the channels' schedule, but deliberately
   // NOT jittered: a sender's pending publishes retry in lockstep, so the
@@ -255,6 +388,7 @@ double SequencingNetwork::ingress_backoff_delay(std::uint32_t attempts) {
 void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
                                           std::uint32_t attempts) {
   GroupRoute& route = group_route(payload->group());
+  sim::Simulator& sim = route_sim(route);
   const SeqNodeId node = route.ingress_node;
   if (node_down_[node.value()]) {
     MessageRecord& rec = records_[payload->id().value()];
@@ -267,10 +401,10 @@ void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
     // ingress-machine outage costs O(log) retries, not a retry storm.
     ++rec.ingress_retries;
     const std::uint32_t next = attempts + 1;
-    sim_->schedule_after(ingress_backoff_delay(next),
-                         [this, ingress, payload = std::move(payload), next] {
-                           arrive_at_ingress(ingress, payload, next);
-                         });
+    sim.schedule_after(ingress_backoff_delay(next),
+                       [this, ingress, payload = std::move(payload), next] {
+                         arrive_at_ingress(ingress, payload, next);
+                       });
     return;
   }
   if (route.ingress_closed) {
@@ -282,13 +416,17 @@ void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
     return;
   }
   if (payload->is_fin()) route.ingress_closed = true;
-  ++seqnode_load_[node.value()];
+  if (engine_ != nullptr) {
+    ++shard_seqnode_load_[route.shard][node.value()];
+  } else {
+    ++seqnode_load_[node.value()];
+  }
   // Ingress: assign the group-local sequence number (paper §3.1). Only now
   // does the message grow its mutable ordering header.
   Message message;
   message.data = std::move(payload);
   message.group_seq = route.next_seq++;
-  tracer_.record({TraceEvent::Kind::kIngress, message.id(), sim_->now(),
+  tracer_.record({TraceEvent::Kind::kIngress, message.id(), sim.now(),
                   ingress, node, NodeId{}, message.group_seq});
   handle_at_atom(ingress, std::move(message));
 }
@@ -398,8 +536,10 @@ void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
   // could order the pair differently (found by the chaos property test).
   if (hop.stamps) {
     message.stamps.push_back({atom, atom_next_seq_[atom.value()]++});
-    tracer_.record({TraceEvent::Kind::kStamped, message.id(), sim_->now(),
-                    atom, hop.node, NodeId{}, message.stamps.back().seq});
+    if (tracer_.enabled()) {
+      tracer_.record({TraceEvent::Kind::kStamped, message.id(), sim_->now(),
+                      atom, hop.node, NodeId{}, message.stamps.back().seq});
+    }
   } else if (tracer_.enabled()) {
     tracer_.record({TraceEvent::Kind::kTransited, message.id(), sim_->now(),
                     atom, hop.node, NodeId{}, 0});
@@ -411,9 +551,15 @@ void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
   // Count machine load once per visit: a hop between co-located atoms stays
   // on the same sequencing node.
   if (hop.crosses_machine) {
-    ++seqnode_load_[hop.next_node.value()];
-    tracer_.record({TraceEvent::Kind::kForwarded, message.id(), sim_->now(),
-                    atom, hop.next_node, NodeId{}, 0});
+    if (engine_ != nullptr) {
+      ++shard_seqnode_load_[route.shard][hop.next_node.value()];
+    } else {
+      ++seqnode_load_[hop.next_node.value()];
+    }
+    if (tracer_.enabled()) {
+      tracer_.record({TraceEvent::Kind::kForwarded, message.id(), sim_->now(),
+                      atom, hop.next_node, NodeId{}, 0});
+    }
   }
   ++message.path_pos;
   hop.forward->send(std::move(message));
@@ -444,7 +590,11 @@ SequencingNetwork::FanOutPlan& SequencingNetwork::fanout_plan(
     const double delay = slot->tree != nullptr
                              ? slot->tree->delay_to(router)
                              : oracle_->distance(egress, router);
-    Receiver* receiver = receivers_[member.value()].get();
+    // Sharded mode resolves the member's sub-receiver on the group's
+    // shard: the fan-out runs on that shard's thread and the target's
+    // counters live there.
+    Receiver* receiver =
+        receiver_for(member, group_routes_[group.value()].shard);
     DECSEQ_CHECK_MSG(receiver != nullptr,
                      "group member " << member << " has no receiver");
     slot->targets.push_back({receiver, delay});
@@ -471,18 +621,21 @@ SequencingNetwork::FanOutPlan& SequencingNetwork::fanout_plan(
 }
 
 void SequencingNetwork::distribute(AtomId last_atom, Message message) {
+  GroupRoute& route = group_routes_[message.group().value()];
+  sim::Simulator& sim = route_sim(route);
   MessageRecord& rec = records_[message.id().value()];
-  rec.exited_at = sim_->now();
+  rec.exited_at = sim.now();
   rec.stamps = message.stamps.size();
   rec.header_bytes = ordering_header_bytes(message);
-  tracer_.record({TraceEvent::Kind::kExited, message.id(), sim_->now(),
-                  last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
+  if (tracer_.enabled()) {
+    tracer_.record({TraceEvent::Kind::kExited, message.id(), sim.now(),
+                    last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
+  }
 
   if (message.is_fin()) {
     // The FIN exits last (FIFO channels: every pre-FIN message already
     // cleared every hop), so the dead group's compiled route can be dropped
     // whole — the epoch's tables hold no state for terminated groups.
-    GroupRoute& route = group_routes_[message.group().value()];
     for (std::uint32_t i = 0; i < route.num_hops; ++i) {
       route_hops_[route.first_hop + i] = RouteHop{};
     }
@@ -493,30 +646,81 @@ void SequencingNetwork::distribute(AtomId last_atom, Message message) {
   if (plan.tree != nullptr) distribution_stress_.add_tree(*plan.tree);
   // The sequencing path is complete: freeze the message and share one copy
   // across the whole fan-out; each span wakes its whole same-time burst in
-  // one event.
+  // one event. In sharded mode everything — the shared header, the span
+  // events, the target sub-receivers — stays on the group's shard.
   auto shared = SharedMessage::create(std::move(message));
   for (std::uint32_t si = 0; si < plan.spans.size(); ++si) {
-    sim_->schedule_after(plan.spans[si].delay,
-                         [this, plan = &plan, si, shared] {
-                           const FanOutPlan::Span& span = plan->spans[si];
-                           const sim::Time now = sim_->now();
-                           for (std::uint32_t t = span.begin; t < span.end;
-                                ++t) {
-                             plan->targets[t].receiver->receive(
-                                 shared->message(), now);
-                           }
-                         });
+    sim.schedule_after(plan.spans[si].delay,
+                       [plan = &plan, si, shared, sim = &sim] {
+                         const FanOutPlan::Span& span = plan->spans[si];
+                         const sim::Time now = sim->now();
+                         for (std::uint32_t t = span.begin; t < span.end;
+                              ++t) {
+                           plan->targets[t].receiver->receive(
+                               shared->message(), now);
+                         }
+                       });
   }
 }
 
+const std::vector<std::size_t>& SequencingNetwork::seqnode_load() const {
+  if (engine_ == nullptr) return seqnode_load_;
+  merged_seqnode_load_.assign(seqnode_load_.size(), 0);
+  for (const auto& per_shard : shard_seqnode_load_) {
+    for (std::size_t n = 0; n < per_shard.size(); ++n) {
+      merged_seqnode_load_[n] += per_shard[n];
+    }
+  }
+  return merged_seqnode_load_;
+}
+
+const std::vector<ChannelFaultRecord>& SequencingNetwork::channel_faults()
+    const {
+  if (engine_ == nullptr) return channel_faults_;
+  merged_channel_faults_.clear();
+  for (const auto& per_shard : shard_channel_faults_) {
+    merged_channel_faults_.insert(merged_channel_faults_.end(),
+                                  per_shard.begin(), per_shard.end());
+  }
+  // Each shard's log is time-ordered already; a global (at, from, to, seq)
+  // sort makes the merged view independent of the shard layout.
+  std::stable_sort(merged_channel_faults_.begin(),
+                   merged_channel_faults_.end(),
+                   [](const ChannelFaultRecord& a,
+                      const ChannelFaultRecord& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.from != b.from) return a.from < b.from;
+                     if (a.to != b.to) return a.to < b.to;
+                     return a.seq < b.seq;
+                   });
+  return merged_channel_faults_;
+}
+
 std::size_t SequencingNetwork::deliveries(NodeId node) const {
-  if (!node.valid() || node.value() >= receivers_.size()) return 0;
+  if (!node.valid() || node.value() >= membership_->num_nodes()) return 0;
+  if (engine_ != nullptr) {
+    std::size_t total = 0;
+    for (const auto& per_node : shard_receivers_) {
+      if (per_node[node.value()] != nullptr) {
+        total += per_node[node.value()]->delivered();
+      }
+    }
+    return total;
+  }
   const auto& receiver = receivers_[node.value()];
   return receiver == nullptr ? 0 : receiver->delivered();
 }
 
 std::size_t SequencingNetwork::buffered_at_receivers() const {
   std::size_t total = 0;
+  if (engine_ != nullptr) {
+    for (const auto& per_node : shard_receivers_) {
+      for (const auto& receiver : per_node) {
+        if (receiver != nullptr) total += receiver->buffered();
+      }
+    }
+    return total;
+  }
   for (const auto& receiver : receivers_) {
     if (receiver != nullptr) total += receiver->buffered();
   }
@@ -524,6 +728,22 @@ std::size_t SequencingNetwork::buffered_at_receivers() const {
 }
 
 const Receiver& SequencingNetwork::receiver(NodeId node) const {
+  if (engine_ != nullptr) {
+    // A node's state may be split across shards; this accessor only makes
+    // sense when all of its subscriptions landed on one.
+    const Receiver* found = nullptr;
+    for (const auto& per_node : shard_receivers_) {
+      if (node.valid() && node.value() < per_node.size() &&
+          per_node[node.value()] != nullptr) {
+        DECSEQ_CHECK_MSG(found == nullptr,
+                         "node " << node
+                                 << " has sub-receivers on several shards");
+        found = per_node[node.value()].get();
+      }
+    }
+    DECSEQ_CHECK_MSG(found != nullptr, "node " << node << " has no receiver");
+    return *found;
+  }
   DECSEQ_CHECK_MSG(node.valid() && node.value() < receivers_.size() &&
                        receivers_[node.value()] != nullptr,
                    "node " << node << " has no receiver");

@@ -24,6 +24,7 @@
 #include "protocol/message.h"
 #include "protocol/receiver.h"
 #include "protocol/trace.h"
+#include "runtime/sharded_engine.h"
 #include "seqgraph/graph.h"
 #include "sim/channel.h"
 #include "sim/simulator.h"
@@ -93,6 +94,14 @@ class SequencingNetwork {
 
   /// `physical_network` is only needed for tree distribution (it is where
   /// the delivery trees are built); pass nullptr otherwise.
+  ///
+  /// `engine` selects the sharded runtime: channels, sequencing state, and
+  /// receivers are pinned to the engine's shards (per the engine's
+  /// ShardPlan) instead of running on `sim`, publishes cross to the owning
+  /// shard via the engine's ingress rings, and deliveries come back through
+  /// its delivery rings (the facade merges and commits them — the
+  /// set_delivery_callback() path is bypassed). Restrictions in sharded
+  /// mode: no tree distribution, no per-message tracing.
   SequencingNetwork(sim::Simulator& sim, Rng& rng,
                     const seqgraph::SequencingGraph& graph,
                     const placement::Colocation& colocation,
@@ -101,7 +110,11 @@ class SequencingNetwork {
                     const topology::HostMap& hosts,
                     topology::DistanceOracle& oracle,
                     NetworkOptions options = {},
-                    const topology::Graph* physical_network = nullptr);
+                    const topology::Graph* physical_network = nullptr,
+                    runtime::ShardedEngine* engine = nullptr);
+
+  /// Whether this network runs on a sharded engine.
+  [[nodiscard]] bool sharded() const { return engine_ != nullptr; }
 
   SequencingNetwork(const SequencingNetwork&) = delete;
   SequencingNetwork& operator=(const SequencingNetwork&) = delete;
@@ -188,10 +201,10 @@ class SequencingNetwork {
   }
 
   /// Every channel-exhaustion event since construction, in the order the
-  /// channels surfaced them (deterministic under the simulator).
-  [[nodiscard]] const std::vector<ChannelFaultRecord>& channel_faults() const {
-    return channel_faults_;
-  }
+  /// channels surfaced them (deterministic under the simulator). Sharded
+  /// mode records per shard and merges here by (at, from, to, seq) — a
+  /// shard-count-independent order; call only at a fence (between run()s).
+  [[nodiscard]] const std::vector<ChannelFaultRecord>& channel_faults() const;
 
   /// Edges whose channel is faulted *right now* (budget exhausted, not yet
   /// recovered or drained), sorted by (from, to).
@@ -205,9 +218,8 @@ class SequencingNetwork {
 
   /// Messages handled per sequencing node (counted once per visit to the
   /// machine, however many co-located atoms touch the message there).
-  [[nodiscard]] const std::vector<std::size_t>& seqnode_load() const {
-    return seqnode_load_;
-  }
+  /// Sharded mode counts per shard and sums here; call only at a fence.
+  [[nodiscard]] const std::vector<std::size_t>& seqnode_load() const;
 
   /// Messages delivered per subscriber node.
   [[nodiscard]] std::size_t deliveries(NodeId node) const;
@@ -277,6 +289,12 @@ class SequencingNetwork {
     /// The group's FIN passed the ingress: the sequence space is closed and
     /// data messages that lost the race against the FIN are rejected.
     bool ingress_closed = false;
+    /// Sharded mode: the overlap unit this group belongs to and the worker
+    /// shard the unit is pinned to (see runtime/shard_plan.h). The hot path
+    /// reads the shard straight off the route — no plan lookups per
+    /// message. Both 0 in single-threaded mode.
+    std::uint32_t unit = 0;
+    std::uint32_t shard = 0;
   };
 
   /// One distribution-leg destination: the member's receiver and its
@@ -335,6 +353,24 @@ class SequencingNetwork {
   /// edges (cold paths only: failure injection and fault introspection;
   /// the hot path reads Channel* straight from the hop table).
   [[nodiscard]] std::size_t channel_index(AtomId from, AtomId to) const;
+  /// The simulator a group's protocol events run on: its shard's simulator
+  /// in sharded mode, the shared one otherwise.
+  [[nodiscard]] sim::Simulator& route_sim(const GroupRoute& route) {
+    return engine_ != nullptr ? engine_->shard_sim(route.shard) : *sim_;
+  }
+  /// The receiver that handles `member`'s subscriptions living on `shard`.
+  [[nodiscard]] Receiver* receiver_for(NodeId member, std::uint32_t shard) {
+    return engine_ != nullptr ? shard_receivers_[shard][member.value()].get()
+                              : receivers_[member.value()].get();
+  }
+  /// Worker-side ingest hook (sharded mode): materialize the payload block
+  /// on the owning shard's thread and schedule the ingress arrival.
+  void ingest(std::uint32_t shard, runtime::IngressItem&& item);
+  /// Build the per-(shard, node) sub-receivers for sharded mode: each holds
+  /// the slice of the node's subscriptions (and relevant atoms) whose unit
+  /// lives on that shard, so its counters are disjoint from every other
+  /// shard's and delivery decisions stay shard-local.
+  void build_shard_receivers();
 
   sim::Simulator* sim_;
   Rng* rng_;
@@ -359,7 +395,14 @@ class SequencingNetwork {
   std::vector<std::pair<AtomId, AtomId>> channel_edges_;
   std::vector<std::unique_ptr<sim::Channel<Message>>> channels_;
   /// Receivers indexed by node id value; null for non-subscribers.
+  /// Single-threaded mode only — sharded mode uses shard_receivers_.
   std::vector<std::unique_ptr<Receiver>> receivers_;
+  /// Sharded mode: sub-receivers indexed [shard][node id value]; null where
+  /// the node subscribes to nothing on that shard. A node with groups in
+  /// several units may have one sub-receiver per shard; their counter
+  /// spaces are disjoint (a group and all atoms relevant to it live in one
+  /// unit), so splitting them changes no deliver-or-buffer decision.
+  std::vector<std::vector<std::unique_ptr<Receiver>>> shard_receivers_;
   std::unordered_set<GroupId> terminated_groups_;
   std::vector<MessageRecord> records_;
   std::vector<std::size_t> seqnode_load_;
@@ -368,11 +411,19 @@ class SequencingNetwork {
   std::vector<bool> publisher_down_;
   /// Channel-exhaustion log (append-only; see channel_faults()).
   std::vector<ChannelFaultRecord> channel_faults_;
+  /// Sharded mode: per-shard counters the workers write during slices,
+  /// merged into the mutable caches below when an accessor is called at a
+  /// fence (workers parked — the dispatch mutex orders the accesses).
+  std::vector<std::vector<std::size_t>> shard_seqnode_load_;
+  std::vector<std::vector<ChannelFaultRecord>> shard_channel_faults_;
+  mutable std::vector<std::size_t> merged_seqnode_load_;
+  mutable std::vector<ChannelFaultRecord> merged_channel_faults_;
   Tracer tracer_;
   /// Lazily built distribution plans indexed by group id value.
   std::vector<std::unique_ptr<FanOutPlan>> fanout_plans_;
   topology::LinkStress distribution_stress_;
   const topology::Graph* physical_network_ = nullptr;
+  runtime::ShardedEngine* engine_ = nullptr;
   DeliveryFn on_delivery_;
 };
 

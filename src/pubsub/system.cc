@@ -1,5 +1,7 @@
 #include "pubsub/system.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/log.h"
@@ -32,6 +34,9 @@ PubSubSystem::PubSubSystem(const SystemConfig& config)
 
 void PubSubSystem::rebuild() {
   DECSEQ_CHECK_MSG(sim_.idle(), "membership change while messages in flight");
+  DECSEQ_CHECK_MSG(engine_ == nullptr ||
+                       (engine_->idle() && !engine_->ingress_pending()),
+                   "membership change while messages in flight");
   for (const auto& [sender, state] : causal_) {
     DECSEQ_CHECK_MSG(!state.in_flight.has_value() && state.queue.empty(),
                      "membership change while causal publishes from "
@@ -55,9 +60,26 @@ void PubSubSystem::rebuild() {
   assignment_ = std::make_unique<placement::Assignment>(
       placement::assign_machines(*graph_, *colocation_, membership_, *hosts_,
                                  net_graph_, config_.assignment, rng_));
+  // The engine (and its thread pool) is rebuilt per epoch, like the
+  // network: units are a property of the current sequencing graph. Its
+  // shard clocks start at zero and are advanced to the facade's clock so
+  // payload timestamps line up across epochs.
+  network_.reset();  // old network's channels hold timers on the old engine
+  if (config_.shards > 0) {
+    engine_ = std::make_unique<runtime::ShardedEngine>(
+        runtime::build_shard_plan(
+            *graph_, membership_,
+            static_cast<std::uint32_t>(config_.shards)),
+        config_.seed, epoch_counter_);
+    engine_->advance_to(sim_.now());
+  } else {
+    engine_.reset();
+  }
+  ++epoch_counter_;
   network_ = std::make_unique<protocol::SequencingNetwork>(
       sim_, rng_, *graph_, *colocation_, *assignment_, membership_, *hosts_,
-      *oracle_, config_.network, &net_graph_);
+      *oracle_, config_.network, &net_graph_, engine_.get());
+  if (engine_ != nullptr) return;  // deliveries merge via the engine's rings
   network_->set_delivery_callback(
       [this](NodeId receiver, const protocol::Message& m, sim::Time at) {
         if (m.is_fin()) return;  // control message: closes the group quietly
@@ -190,30 +212,125 @@ void PubSubSystem::pump_causal_queue(NodeId sender) {
   state.in_flight = network_->publish(sender, next.group, next.payload);
 }
 
+bool PubSubSystem::causal_pending() const {
+  for (const auto& [sender, state] : causal_) {
+    if (state.in_flight.has_value() || !state.queue.empty()) return true;
+  }
+  return false;
+}
+
+void PubSubSystem::resolve_failed_causal() {
+  for (auto& [sender, state] : causal_) {
+    // A causal head that failed ingress (the publisher host crashed) will
+    // never be delivered back to release the chain; the rest of the queue
+    // belonged to the crashed host, so the whole chain is dropped rather
+    // than wedging the drain.
+    if (state.in_flight.has_value() &&
+        network_->record(*state.in_flight).ingress_failed) {
+      state.in_flight.reset();
+      state.queue.clear();
+    }
+  }
+}
+
+void PubSubSystem::commit_deliveries() {
+  batch_.clear();
+  engine_->drain_deliveries(batch_);
+  // The shard-count-invariant merge: time first; ties across units by unit
+  // id, within a unit by the unit's own delivery-stream position (which
+  // preserves the exact order a lone simulator would produce for it).
+  std::sort(batch_.begin(), batch_.end(),
+            [](const runtime::DeliveryEvent& a,
+               const runtime::DeliveryEvent& b) {
+              if (a.delivered_at != b.delivered_at) {
+                return a.delivered_at < b.delivered_at;
+              }
+              if (a.unit != b.unit) return a.unit < b.unit;
+              return a.unit_pos < b.unit_pos;
+            });
+  for (const runtime::DeliveryEvent& ev : batch_) {
+    if (!ev.fin) {
+      log_.push_back({ev.receiver, MsgId(epoch_base_ + ev.message.value()),
+                      ev.group, ev.sender, ev.payload, ev.sent_at,
+                      ev.delivered_at});
+    }
+    // A sender receiving its own message back releases its next queued
+    // causal publish; in lockstep the control clock sits at the delivery
+    // time, so the release publishes exactly when the callback would have.
+    if (ev.receiver == ev.sender) {
+      const auto it = causal_.find(ev.sender);
+      if (it != causal_.end() && it->second.in_flight == ev.message) {
+        it->second.in_flight.reset();
+        pump_causal_queue(ev.sender);
+      }
+    }
+  }
+}
+
+sim::Time PubSubSystem::run_sharded() {
+  DECSEQ_CHECK_MSG(user_callback_ == nullptr,
+                   "delivery callbacks are not available in sharded mode");
+  while (true) {
+    resolve_failed_causal();
+    if (sim_.idle() && engine_->idle() && !engine_->ingress_pending() &&
+        !causal_pending()) {
+      break;
+    }
+    if (!causal_pending()) {
+      // Free-run: nothing on a shard can feed back into the control plane,
+      // so every shard races ahead to the next control event in parallel.
+      // Exclusive fences (run_before) keep fence-time protocol events
+      // after fence-time control events, like the FIFO tie-break would.
+      const sim::Time fence = sim_.next_event_time();
+      engine_->run_before(fence);
+      if (std::isinf(fence)) {  // control idle: the shards just drained
+        commit_deliveries();
+        continue;
+      }
+      engine_->advance_to(fence);
+      sim_.run_until(fence);
+      commit_deliveries();
+      continue;
+    }
+    // Lockstep: a delivery can release a causal publish, so fences fall on
+    // every event time — the release re-enters the network at exactly the
+    // simulated instant the single-threaded callback would have fired.
+    sim::Time fence;
+    if (engine_->ingress_pending()) {
+      // Queued publishes were stamped at the current instant; they must be
+      // ingested before any clock moves past it, so re-fence at "now" (the
+      // slice ingests first, then runs whatever lands at this time).
+      fence = std::max(sim_.now(), engine_->max_now());
+    } else {
+      fence = std::min(sim_.next_event_time(), engine_->next_event_time());
+      DECSEQ_CHECK_MSG(std::isfinite(fence),
+                       "causal publishes stuck with an idle simulator");
+    }
+    engine_->advance_to(fence);
+    sim_.advance_to(fence);
+    sim_.run_until(fence);
+    engine_->run_until(fence);
+    commit_deliveries();
+  }
+  // Leave every clock at the run's completion time, like the lone
+  // simulator's clock would be.
+  const sim::Time end = std::max(sim_.now(), engine_->max_now());
+  sim_.advance_to(end);
+  if (std::isfinite(end)) engine_->advance_to(end);
+  return end;
+}
+
 sim::Time PubSubSystem::run() {
+  if (engine_ != nullptr) return run_sharded();
   sim_.run();
   // Causal queues may release messages upon delivery; keep draining until
   // nothing is pending anywhere.
-  bool pending = true;
-  while (pending) {
-    pending = false;
-    for (auto& [sender, state] : causal_) {
-      // A causal head that failed ingress (the publisher host crashed)
-      // will never be delivered back to release the chain; the rest of the
-      // queue belonged to the crashed host, so the whole chain is dropped
-      // rather than wedging the drain.
-      if (state.in_flight.has_value() &&
-          network_->record(*state.in_flight).ingress_failed) {
-        state.in_flight.reset();
-        state.queue.clear();
-      }
-      if (state.in_flight.has_value() || !state.queue.empty()) pending = true;
-    }
-    if (pending) {
-      DECSEQ_CHECK_MSG(!sim_.idle(),
-                       "causal publishes stuck with an idle simulator");
-      sim_.run();
-    }
+  while (true) {
+    resolve_failed_causal();
+    if (!causal_pending()) break;
+    DECSEQ_CHECK_MSG(!sim_.idle(),
+                     "causal publishes stuck with an idle simulator");
+    sim_.run();
   }
   return sim_.now();
 }

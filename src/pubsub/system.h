@@ -35,6 +35,8 @@
 #include "placement/assignment.h"
 #include "placement/colocation.h"
 #include "protocol/network.h"
+#include "runtime/shard_plan.h"
+#include "runtime/sharded_engine.h"
 #include "seqgraph/graph.h"
 #include "sim/simulator.h"
 #include "topology/hosts.h"
@@ -60,6 +62,14 @@ struct SystemConfig {
   placement::ColocationOptions colocation;
   placement::AssignmentOptions assignment;
   protocol::NetworkOptions network;
+  /// Worker shards for the sequencing runtime. 0 = classic single-threaded
+  /// path (everything on the facade's simulator). N >= 1 = the sharded
+  /// runtime: overlap units are pinned to N shards (clamped to the number
+  /// of units; shard 1 of N runs inline, the rest on worker threads), and
+  /// the delivery log is byte-identical for every N — see
+  /// runtime/sharded_engine.h for the determinism argument. Restrictions:
+  /// no per-message tracing, no tree distribution, no delivery callbacks.
+  std::size_t shards = 0;
 };
 
 /// One in-order delivery, as observed by the application.
@@ -219,10 +229,24 @@ class PubSubSystem {
     return *network_;
   }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The sharded engine, or null in single-threaded mode. Rebuilt (like the
+  /// network) on every membership change.
+  [[nodiscard]] const runtime::ShardedEngine* engine() const {
+    return engine_.get();
+  }
 
  private:
   void rebuild();
   void pump_causal_queue(NodeId sender);
+  sim::Time run_sharded();
+  /// Drain the shards' delivery rings, merge by (time, unit, unit position)
+  /// — the shard-count-invariant order — and append to the log; releases
+  /// causal chains whose head came back to its sender.
+  void commit_deliveries();
+  [[nodiscard]] bool causal_pending() const;
+  /// Drop causal chains whose in-flight head failed ingress (the publisher
+  /// host crashed): nobody is left to release them.
+  void resolve_failed_causal();
 
   SystemConfig config_;
   Rng rng_;
@@ -236,7 +260,13 @@ class PubSubSystem {
   std::unique_ptr<placement::Assignment> assignment_;
 
   sim::Simulator sim_;
+  std::unique_ptr<runtime::ShardedEngine> engine_;
   std::unique_ptr<protocol::SequencingNetwork> network_;
+  /// Membership epochs seen so far; parameterizes the per-unit RNG streams
+  /// so channel jitter differs across epochs like the shared stream would.
+  std::uint64_t epoch_counter_ = 0;
+  /// Scratch for commit_deliveries (reused across fences).
+  std::vector<runtime::DeliveryEvent> batch_;
 
   std::vector<Delivery> log_;
   protocol::SequencingNetwork::DeliveryFn user_callback_;

@@ -1,0 +1,108 @@
+#include "runtime/shard_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace decseq::runtime {
+namespace {
+
+/// Tiny union-find over dense atom ids (path-compressing, union by rank is
+/// unnecessary at these sizes).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ShardPlan build_shard_plan(const seqgraph::SequencingGraph& graph,
+                           const membership::GroupMembership& membership,
+                           std::uint32_t num_shards) {
+  DECSEQ_CHECK(num_shards >= 1);
+  ShardPlan plan;
+  plan.unit_of_group.assign(membership.num_group_slots(), kNoUnit);
+  plan.unit_of_atom.assign(graph.num_atoms(), kNoUnit);
+
+  // 1. Union the atoms along every live group's path. Two groups end up in
+  //    the same class iff their paths share an atom (transitively) — this
+  //    coarsens the overlap components, since overlapping groups share
+  //    their overlap's atom by construction.
+  UnionFind uf(graph.num_atoms());
+  for (GroupId g : membership.live_groups()) {
+    if (!graph.has_path(g)) continue;
+    const auto& path = graph.path(g);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      uf.unite(path[0].value(), path[i].value());
+    }
+  }
+
+  // 2. Assign dense unit ids in ascending-group-id order, so the numbering
+  //    depends only on the graph, never on the shard count.
+  std::vector<std::uint32_t> unit_of_root(graph.num_atoms(), kNoUnit);
+  std::vector<GroupId> live = membership.live_groups();
+  std::sort(live.begin(), live.end(),
+            [](GroupId a, GroupId b) { return a.value() < b.value(); });
+  for (GroupId g : live) {
+    if (!graph.has_path(g)) continue;
+    const std::size_t root = uf.find(graph.path(g).front().value());
+    if (unit_of_root[root] == kNoUnit) {
+      unit_of_root[root] = plan.num_units++;
+      plan.unit_key.push_back(static_cast<std::uint32_t>(g.value()));
+    }
+    plan.unit_of_group[g.value()] = unit_of_root[root];
+  }
+  for (std::size_t a = 0; a < graph.num_atoms(); ++a) {
+    plan.unit_of_atom[a] = unit_of_root[uf.find(a)];
+  }
+
+  // More shards than units would only spawn workers with nothing pinned to
+  // them; clamp (unit numbering above is already shard-count-independent).
+  plan.num_shards =
+      std::max<std::uint32_t>(1, std::min(num_shards, plan.num_units));
+
+  // 3. Longest-processing-time greedy: estimate each unit's load as the sum
+  //    over its groups of path length + subscriber count (a static proxy
+  //    for per-message stamping and fan-out work), then place units
+  //    heaviest-first onto the least-loaded shard. Ties break toward the
+  //    lower shard / lower unit id, keeping the layout deterministic.
+  std::vector<std::uint64_t> unit_load(plan.num_units, 0);
+  for (GroupId g : live) {
+    if (!graph.has_path(g)) continue;
+    unit_load[plan.unit_of_group[g.value()]] +=
+        graph.path(g).size() + membership.members(g).size();
+  }
+  std::vector<std::uint32_t> order(plan.num_units);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return unit_load[a] > unit_load[b];
+                   });
+  plan.shard_of_unit.assign(plan.num_units, 0);
+  std::vector<std::uint64_t> shard_load(plan.num_shards, 0);
+  for (std::uint32_t u : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < plan.num_shards; ++s) {
+      if (shard_load[s] < shard_load[best]) best = s;
+    }
+    plan.shard_of_unit[u] = best;
+    shard_load[best] += unit_load[u];
+  }
+  return plan;
+}
+
+}  // namespace decseq::runtime

@@ -1,0 +1,69 @@
+// Shard partitioning for the multi-core runtime (paper §1, §3).
+//
+// Groups in different connected components of the overlap graph never need
+// mutual ordering — the paper's core insight is exactly a parallelism
+// boundary. A ShardPlan partitions the sequencing graph along it:
+//
+//  * a *unit* is a set of groups whose compiled sequencing paths share an
+//    atom (union-find over path atoms). Units coarsen the overlap
+//    components — same component always implies same unit — and every
+//    no-overlap group (a single ingress-only atom) is its own island unit.
+//    All protocol state a message can touch (its group's route, the atoms
+//    that stamp it, the channels between them, the subscribers' counters
+//    for it) stays inside its unit, so units are independent event systems.
+//  * each unit is pinned to one *shard* (a worker with its own simulator).
+//    Assignment is longest-processing-time greedy over a static load
+//    estimate, deterministic for a given graph.
+//
+// Unit ids are dense, assigned in ascending-group-id discovery order, so
+// they are a pure function of the sequencing graph — independent of the
+// shard count. The determinism-preserving merge keys on (time, unit,
+// per-unit stream position), which is why unit ids must not depend on N.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "membership/membership.h"
+#include "seqgraph/graph.h"
+
+namespace decseq::runtime {
+
+inline constexpr std::uint32_t kNoUnit = 0xffffffffu;
+
+struct ShardPlan {
+  /// Dense group-id value -> unit id (kNoUnit for groups with no path).
+  std::vector<std::uint32_t> unit_of_group;
+  /// Dense atom-id value -> unit id (kNoUnit for atoms on no live path).
+  std::vector<std::uint32_t> unit_of_atom;
+  /// Unit id -> shard index.
+  std::vector<std::uint32_t> shard_of_unit;
+  /// Unit id -> the smallest group id value in the unit (a shard-count
+  /// independent key, used to seed the unit's RNG).
+  std::vector<std::uint32_t> unit_key;
+  std::uint32_t num_units = 0;
+  std::uint32_t num_shards = 1;
+
+  [[nodiscard]] std::uint32_t unit(GroupId g) const {
+    DECSEQ_CHECK(g.valid() && g.value() < unit_of_group.size());
+    return unit_of_group[g.value()];
+  }
+  [[nodiscard]] std::uint32_t shard(GroupId g) const {
+    const std::uint32_t u = unit(g);
+    DECSEQ_CHECK(u != kNoUnit);
+    return shard_of_unit[u];
+  }
+};
+
+/// Build the plan for one membership epoch. `num_shards` >= 1; units are
+/// derived from the graph alone, then spread over the shards by
+/// longest-processing-time greedy on estimated load (path length plus
+/// subscriber fan-out per group). Both steps are deterministic.
+[[nodiscard]] ShardPlan build_shard_plan(
+    const seqgraph::SequencingGraph& graph,
+    const membership::GroupMembership& membership, std::uint32_t num_shards);
+
+}  // namespace decseq::runtime

@@ -206,7 +206,13 @@ class Channel {
   void transmit(std::uint64_t seq) {
     ++transmissions_;
     if (link_down_) return;  // severed at launch
-    if (rng_->next_bool(options_.loss_probability)) return;  // dropped
+    // The loss coin is only tossed when loss is possible: a loss-free
+    // channel consumes no randomness per packet, so its RNG stream position
+    // is independent of traffic volume (and the hot path skips a draw).
+    if (options_.loss_probability > 0.0 &&
+        rng_->next_bool(options_.loss_probability)) {
+      return;  // dropped
+    }
     sim_->schedule_after(delay_ms_, [this, seq] { on_data(seq); });
   }
 
@@ -325,7 +331,10 @@ class Channel {
 
   void send_ack(std::uint64_t cumulative) {
     if (link_down_) return;
-    if (rng_->next_bool(options_.loss_probability)) return;
+    if (options_.loss_probability > 0.0 &&
+        rng_->next_bool(options_.loss_probability)) {
+      return;  // the ack dropped
+    }
     sim_->schedule_after(delay_ms_, [this, cumulative] {
       if (link_down_) return;  // the ack died inside the partition
       // Release every packet the receiver has consumed; once nothing is

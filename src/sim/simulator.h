@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -121,6 +122,41 @@ class Simulator {
     }
     if (now_ < deadline) now_ = deadline;
     return fired;
+  }
+
+  /// Fire every event strictly before `deadline` and stop, WITHOUT bumping
+  /// the clock to the deadline (now() stays at the last fired event). This
+  /// is the sharded runtime's slice primitive: a worker shard runs its
+  /// events up to — but excluding — the next coordination fence, and the
+  /// coordinator advances every clock to the fence together (advance_to),
+  /// so events *at* the fence time still fire after the fence's control
+  /// events, exactly like the single-simulator FIFO tie-break.
+  std::size_t run_before(Time deadline) {
+    std::size_t fired = 0;
+    while (!heap_.empty() && heap_.front().time < deadline) {
+      fire_next();
+      ++fired;
+    }
+    return fired;
+  }
+
+  /// Time of the earliest pending event; +infinity when idle.
+  [[nodiscard]] Time next_event_time() const {
+    return heap_.empty() ? std::numeric_limits<Time>::infinity()
+                         : heap_.front().time;
+  }
+
+  /// Jump the clock forward to `t` (no-op if already past it). Only legal
+  /// when no pending event would thereby fire late — the virtual-time
+  /// coordination fence: every shard is advanced to the fence before any
+  /// fence-time mutation (channel recovery, fence-time publishes) runs, so
+  /// those mutations observe the same now() they would in a single
+  /// simulator.
+  void advance_to(Time t) {
+    DECSEQ_CHECK_MSG(heap_.empty() || heap_.front().time >= t,
+                     "advance_to(" << t << ") would skip an event at "
+                                   << heap_.front().time);
+    if (now_ < t) now_ = t;
   }
 
   [[nodiscard]] bool idle() const { return heap_.empty(); }

@@ -1,0 +1,141 @@
+// Lock-free rings (runtime/ring.h): single-threaded contract tests plus
+// two-thread stress runs. The stress tests are the ones ThreadSanitizer
+// cares about — they hammer the producer/consumer hand-off so a missing
+// release/acquire pair shows up as a data race or a corrupted sequence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/ring.h"
+
+namespace decseq::runtime {
+namespace {
+
+TEST(RingCapacity, RoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ring_capacity_for(0), 2u);
+  EXPECT_EQ(ring_capacity_for(1), 2u);
+  EXPECT_EQ(ring_capacity_for(2), 2u);
+  EXPECT_EQ(ring_capacity_for(3), 4u);
+  EXPECT_EQ(ring_capacity_for(1000), 1024u);
+  EXPECT_EQ(ring_capacity_for(1024), 1024u);
+}
+
+TEST(SpscRing, FifoAndFull) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99)) << "full ring must reject, not overwrite";
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapsAroundManyLaps) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.push(i));
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, MovesElements) {
+  SpscRing<std::vector<int>> ring(2);
+  ASSERT_TRUE(ring.push(std::vector<int>{1, 2, 3}));
+  std::vector<int> out;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MpscRing, FifoAndFullSingleProducer) {
+  MpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, WrapsAroundManyLaps) {
+  MpscRing<std::uint64_t> ring(8);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.push(i));
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+// Two threads, small ring, constant wrap pressure: the consumer must see
+// every element exactly once and in FIFO order.
+TEST(SpscRingStress, TwoThreadsPreserveFifo) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    std::uint64_t out = 0;
+    if (ring.pop(out)) {
+      ASSERT_EQ(out, expected) << "reordered or duplicated element";
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// Several producers race for tickets; the consumer checks that each
+// producer's stream stays FIFO and that nothing is lost or duplicated.
+TEST(MpscRingStress, FourProducersPreservePerProducerFifo) {
+  constexpr std::uint64_t kPerProducer = 50'000;
+  constexpr std::uint64_t kProducers = 4;
+  MpscRing<std::uint64_t> ring(64);
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t tagged = (p << 56) | i;
+        while (!ring.push(tagged)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t seen = 0;
+  while (seen < kPerProducer * kProducers) {
+    std::uint64_t out = 0;
+    if (ring.pop(out)) {
+      const std::uint64_t p = out >> 56;
+      const std::uint64_t i = out & ((1ull << 56) - 1);
+      ASSERT_LT(p, kProducers);
+      ASSERT_EQ(i, next[p]) << "producer " << p << " stream reordered";
+      ++next[p];
+      ++seen;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace decseq::runtime

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,49 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_DOUBLE_EQ(sim.now(), 5.0);
   sim.run();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunBeforeIsExclusiveAndKeepsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { fired += 10; });
+  sim.run_before(5.0);
+  EXPECT_EQ(fired, 1) << "the fence-time event must NOT fire";
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0)
+      << "run_before leaves the clock at the last fired event";
+  sim.run_before(std::numeric_limits<Time>::infinity());
+  EXPECT_EQ(fired, 11) << "an infinite fence drains everything";
+}
+
+TEST(Simulator, NextEventTimePeeksWithoutRunning) {
+  Simulator sim;
+  EXPECT_TRUE(std::isinf(sim.next_event_time()));
+  sim.schedule_at(3.0, [] {});
+  sim.schedule_at(7.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 3.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  sim.run();
+  EXPECT_TRUE(std::isinf(sim.next_event_time()));
+}
+
+TEST(Simulator, AdvanceToMovesIdleClockForward) {
+  Simulator sim;
+  sim.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  sim.advance_to(4.0);  // same instant is fine
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  sim.schedule_at(10.0, [] {});
+  sim.advance_to(10.0);  // up to (not past) the next event is fine
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.run();
+}
+
+TEST(Simulator, AdvanceToRefusesToSkipEvents) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  EXPECT_THROW(sim.advance_to(3.0), CheckFailure)
+      << "advancing past a pending event would silently drop it";
 }
 
 TEST(Simulator, CancelPreventsFiring) {
