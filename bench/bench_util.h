@@ -19,6 +19,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/rng.h"
 #include "common/stats.h"
 #include "membership/generators.h"
@@ -50,6 +54,24 @@ inline std::string env_json() {
   return "{\"hardware_concurrency\": " +
          std::to_string(std::thread::hardware_concurrency()) +
          ", \"bench_threads\": " + std::to_string(bench_threads()) + "}";
+}
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// Monotone over the process lifetime — measure deltas by recording before
+/// and after the phase under test, and remember that earlier phases set a
+/// floor. The scale bench asserts its memory ceiling against this.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// Parallel trial driver. Runs `fn(trial_index)` for every index in

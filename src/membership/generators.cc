@@ -30,8 +30,16 @@ GroupMembership zipf_membership(const ZipfWorkloadParams& params, Rng& rng) {
 
     std::vector<NodeId> members;
     if (params.selection == MemberSelection::kUniform) {
-      // Uniform sample without replacement: shuffle prefix of a copy.
-      rng.shuffle(all_nodes);
+      // Uniform sample without replacement via partial Fisher–Yates: only
+      // the first `size` slots are drawn, so generating a group costs
+      // O(size) instead of O(num_nodes) — the difference between seconds
+      // and days at 1M hosts × 100k groups.
+      for (std::size_t i = 0; i < size; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(
+                    rng.next_below(params.num_nodes - i));
+        std::swap(all_nodes[i], all_nodes[j]);
+      }
       members.assign(all_nodes.begin(),
                      all_nodes.begin() + static_cast<long>(size));
     } else {

@@ -16,13 +16,21 @@ GroupId GroupMembership::add_group(std::vector<NodeId> members) {
     DECSEQ_CHECK_MSG(m.valid() && m.value() < num_nodes_,
                      "member " << m << " out of range");
   }
+  const GroupId g(static_cast<GroupId::underlying_type>(groups_.size()));
+  // New ids are strictly increasing, so appending keeps every inverted row
+  // sorted.
+  for (const NodeId m : members) node_subs_[m.value()].push_back(g);
   groups_.push_back({std::move(members), /*alive=*/true});
   ++live_groups_;
-  return GroupId(static_cast<GroupId::underlying_type>(groups_.size() - 1));
+  return g;
 }
 
 void GroupMembership::remove_group(GroupId g) {
   DECSEQ_CHECK(is_alive(g));
+  for (const NodeId m : groups_[g.value()].members) {
+    auto& subs = node_subs_[m.value()];
+    subs.erase(std::lower_bound(subs.begin(), subs.end(), g));
+  }
   groups_[g.value()].members.clear();
   groups_[g.value()].alive = false;
   --live_groups_;
@@ -36,6 +44,8 @@ void GroupMembership::add_member(GroupId g, NodeId node) {
   DECSEQ_CHECK_MSG(it == members.end() || *it != node,
                    "node " << node << " already in group " << g);
   members.insert(it, node);
+  auto& subs = node_subs_[node.value()];
+  subs.insert(std::lower_bound(subs.begin(), subs.end(), g), g);
 }
 
 void GroupMembership::remove_member(GroupId g, NodeId node) {
@@ -45,6 +55,8 @@ void GroupMembership::remove_member(GroupId g, NodeId node) {
   DECSEQ_CHECK_MSG(it != members.end() && *it == node,
                    "node " << node << " not in group " << g);
   members.erase(it);
+  auto& subs = node_subs_[node.value()];
+  subs.erase(std::lower_bound(subs.begin(), subs.end(), g));
   if (members.empty()) {
     groups_[g.value()].alive = false;
     --live_groups_;
@@ -57,16 +69,19 @@ const std::vector<NodeId>& GroupMembership::members(GroupId g) const {
 
 bool GroupMembership::is_member(GroupId g, NodeId node) const {
   const auto& m = slot(g).members;
+  if (!in_range(node)) return false;
+  // Binary-search whichever side is shorter: a node's subscription list is
+  // usually far shorter than a popular group's member list.
+  const auto& subs = node_subs_[node.value()];
+  if (subs.size() < m.size()) {
+    return std::binary_search(subs.begin(), subs.end(), g);
+  }
   return std::binary_search(m.begin(), m.end(), node);
 }
 
 std::vector<GroupId> GroupMembership::groups_of(NodeId node) const {
-  std::vector<GroupId> result;
-  for (std::size_t i = 0; i < groups_.size(); ++i) {
-    const GroupId g(static_cast<GroupId::underlying_type>(i));
-    if (groups_[i].alive && is_member(g, node)) result.push_back(g);
-  }
-  return result;
+  if (!in_range(node)) return {};
+  return node_subs_[node.value()];
 }
 
 std::vector<GroupId> GroupMembership::live_groups() const {
@@ -83,19 +98,34 @@ std::vector<GroupId> GroupMembership::live_groups() const {
 std::vector<NodeId> GroupMembership::intersect(GroupId a, GroupId b) const {
   const auto& ma = slot(a).members;
   const auto& mb = slot(b).members;
+  const auto& small = ma.size() <= mb.size() ? ma : mb;
+  const auto& large = ma.size() <= mb.size() ? mb : ma;
   std::vector<NodeId> out;
+  // Skewed sizes (a hot group vs a niche one): probing the large side per
+  // small member costs small*log(large) instead of a small+large merge.
+  if (large.size() / 16 > small.size()) {
+    for (const NodeId n : small) {
+      if (std::binary_search(large.begin(), large.end(), n)) out.push_back(n);
+    }
+    return out;
+  }
   std::set_intersection(ma.begin(), ma.end(), mb.begin(), mb.end(),
                         std::back_inserter(out));
   return out;
 }
 
 std::size_t GroupMembership::subscription_count(NodeId node) const {
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < groups_.size(); ++i) {
-    const GroupId g(static_cast<GroupId::underlying_type>(i));
-    if (groups_[i].alive && is_member(g, node)) ++count;
+  return in_range(node) ? node_subs_[node.value()].size() : 0;
+}
+
+std::size_t GroupMembership::memory_bytes() const {
+  std::size_t total = groups_.capacity() * sizeof(Slot) +
+                      node_subs_.capacity() * sizeof(std::vector<GroupId>);
+  for (const Slot& s : groups_) total += s.members.capacity() * sizeof(NodeId);
+  for (const auto& subs : node_subs_) {
+    total += subs.capacity() * sizeof(GroupId);
   }
-  return count;
+  return total;
 }
 
 }  // namespace decseq::membership

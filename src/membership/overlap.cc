@@ -1,16 +1,191 @@
 #include "membership/overlap.h"
 
+#include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "common/bitset.h"
 
 namespace decseq::membership {
 
-OverlapIndex::OverlapIndex(const GroupMembership& membership) {
-  const std::vector<GroupId> groups = membership.live_groups();
+namespace {
+
+/// Threshold above which a group's member list is worth compiling into a
+/// rank/select row for O(1) probing (instead of per-pair binary searches).
+constexpr std::size_t kProbeRowThreshold = 512;
+
+/// splitmix64 finalizer — the accumulator's hash.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Flat open-addressing accumulator for packed (groupA << 32 | groupB) pair
+/// counts. The streaming build increments it O(Σ_node k_node²) times; a
+/// node/bucket map would pay an allocation and a pointer chase per distinct
+/// pair, this pays one mixed probe into two flat arrays.
+class PairCountMap {
+ public:
+  /// Keys are packed pairs of valid GroupIds, so all-ones can't occur.
+  static constexpr std::uint64_t kEmpty =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit PairCountMap(std::size_t expected) {
+    std::size_t cap = 64;
+    while (cap < expected * 2) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    counts_.assign(cap, 0);
+  }
+
+  void increment(std::uint64_t key) {
+    if ((size_ + 1) * 4 > keys_.size() * 3) grow();
+    const std::size_t slot = find(key);
+    if (keys_[slot] == kEmpty) {
+      keys_[slot] = key;
+      ++size_;
+    }
+    ++counts_[slot];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) fn(keys_[i], counts_[i]);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t find(std::uint64_t key) const {
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t slot = mix(key) & mask;
+    while (keys_[slot] != kEmpty && keys_[slot] != key) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_counts = std::move(counts_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    counts_.assign(old_counts.size() * 2, 0);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      const std::size_t slot = find(old_keys[i]);
+      keys_[slot] = old_keys[i];
+      counts_[slot] = old_counts[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> counts_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+OverlapIndex::OverlapIndex(const GroupMembership& membership,
+                           OverlapBuild mode) {
   by_group_.resize(membership.num_group_slots());
   component_of_.assign(membership.num_group_slots(),
                        std::numeric_limits<std::size_t>::max());
+  if (mode == OverlapBuild::kStreaming) {
+    build_streaming(membership);
+  } else {
+    build_reference(membership);
+  }
+  build_adjacency_and_components(membership);
+}
+
+void OverlapIndex::build_streaming(const GroupMembership& membership) {
+  // Phase 1 — streaming candidate generation: every node emits its
+  // co-subscription pairs into the flat accumulator. Total work is
+  // O(Σ_node k_node²) on the inverted index, independent of how many hosts
+  // exist or how many group pairs *don't* co-occur anywhere.
+  PairCountMap counts(membership.num_groups() * 2);
+  for (std::size_t n = 0; n < membership.num_nodes(); ++n) {
+    const auto& subs =
+        membership.subscriptions(NodeId(static_cast<NodeId::underlying_type>(n)));
+    const std::size_t k = subs.size();
+    if (k < 2) continue;
+    stats_.pair_increments += k * (k - 1) / 2;
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      const std::uint64_t hi = std::uint64_t{subs[i].value()} << 32;
+      for (std::size_t j = i + 1; j < k; ++j) {
+        counts.increment(hi | subs[j].value());
+      }
+    }
+  }
+  stats_.candidate_pairs = counts.size();
+
+  // Phase 2 — confirmed double overlaps (>= 2 shared members), sorted into
+  // the same (first, second) order the pairwise reference scan produces.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> confirmed;
+  counts.for_each([&](std::uint64_t key, std::uint32_t count) {
+    if (count >= 2) confirmed.emplace_back(key, count);
+  });
+  std::sort(confirmed.begin(), confirmed.end());
+
+  // Phase 3 — materialize shared-member lists, only for confirmed pairs
+  // (the only thing seqgraph/placement consume). Groups reused across many
+  // overlaps get a succinct probe row: build cost O(|g|) once, then each
+  // pair costs |small| O(1) probes instead of an O(|small|+|large|) merge.
+  std::vector<std::uint32_t> occurrences(membership.num_group_slots(), 0);
+  for (const auto& [key, count] : confirmed) {
+    ++occurrences[key >> 32];
+    ++occurrences[key & 0xffffffffu];
+  }
+  std::unordered_map<std::uint32_t, RankSelectBitset> rows;
+  const auto row_for = [&](GroupId g) -> const RankSelectBitset& {
+    const auto [it, inserted] = rows.try_emplace(g.value());
+    if (inserted) {
+      const auto& members = membership.members(g);
+      std::vector<std::uint32_t> positions;
+      positions.reserve(members.size());
+      for (const NodeId m : members) positions.push_back(m.value());
+      it->second =
+          RankSelectBitset::from_sorted(positions, membership.num_nodes());
+      ++stats_.rows_built;
+      stats_.row_bytes += it->second.memory_bytes();
+    }
+    return it->second;
+  };
+
+  overlaps_.reserve(confirmed.size());
+  for (const auto& [key, count] : confirmed) {
+    const GroupId a(static_cast<GroupId::underlying_type>(key >> 32));
+    const GroupId b(static_cast<GroupId::underlying_type>(key & 0xffffffffu));
+    const auto& ma = membership.members(a);
+    const auto& mb = membership.members(b);
+    const bool a_small = ma.size() <= mb.size();
+    const auto& small = a_small ? ma : mb;
+    const GroupId large_id = a_small ? b : a;
+    const std::size_t large_size = a_small ? mb.size() : ma.size();
+
+    std::vector<NodeId> shared;
+    shared.reserve(count);
+    if (large_size >= kProbeRowThreshold &&
+        occurrences[large_id.value()] >= 2) {
+      const RankSelectBitset& row = row_for(large_id);
+      for (const NodeId m : small) {
+        if (row.test(m.value())) shared.push_back(m);
+      }
+    } else {
+      shared = membership.intersect(a, b);
+    }
+    DECSEQ_CHECK_MSG(shared.size() == count,
+                     "pair count " << count << " != |" << a << " ∩ " << b
+                                   << "| = " << shared.size());
+    overlaps_.push_back({a, b, std::move(shared)});
+  }
+}
+
+void OverlapIndex::build_reference(const GroupMembership& membership) {
+  const std::vector<GroupId> groups = membership.live_groups();
 
   // Bitset per group: the pairwise scan is then word-parallel
   // (O(G^2 * N/64)) and the member list is materialized only for actual
@@ -31,17 +206,22 @@ OverlapIndex::OverlapIndex(const GroupMembership& membership) {
            member_bits[i].intersection_bits(member_bits[j])) {
         shared.push_back(NodeId(static_cast<NodeId::underlying_type>(bit)));
       }
-      const std::size_t idx = overlaps_.size();
       overlaps_.push_back({groups[i], groups[j], std::move(shared)});
-      by_group_[groups[i].value()].push_back(idx);
-      by_group_[groups[j].value()].push_back(idx);
     }
+  }
+}
+
+void OverlapIndex::build_adjacency_and_components(
+    const GroupMembership& membership) {
+  for (std::size_t idx = 0; idx < overlaps_.size(); ++idx) {
+    by_group_[overlaps_[idx].first.value()].push_back(idx);
+    by_group_[overlaps_[idx].second.value()].push_back(idx);
   }
 
   // Connected components over the group overlap graph via union-find-free
-  // BFS (the graph is tiny).
+  // BFS (the graph is small relative to the overlap list).
   std::vector<bool> visited(membership.num_group_slots(), false);
-  for (const GroupId g : groups) {
+  for (const GroupId g : membership.live_groups()) {
     if (visited[g.value()] || by_group_[g.value()].empty()) continue;
     std::vector<GroupId> component;
     std::vector<GroupId> frontier{g};
@@ -72,6 +252,23 @@ const std::vector<std::size_t>& OverlapIndex::overlaps_of(GroupId g) const {
 std::size_t OverlapIndex::component_of(GroupId g) const {
   DECSEQ_CHECK(g.valid() && g.value() < component_of_.size());
   return component_of_[g.value()];
+}
+
+std::size_t OverlapIndex::memory_bytes() const {
+  std::size_t total = overlaps_.capacity() * sizeof(Overlap) +
+                      by_group_.capacity() * sizeof(std::vector<std::size_t>) +
+                      components_.capacity() * sizeof(std::vector<GroupId>) +
+                      component_of_.capacity() * sizeof(std::size_t);
+  for (const Overlap& o : overlaps_) {
+    total += o.members.capacity() * sizeof(NodeId);
+  }
+  for (const auto& list : by_group_) {
+    total += list.capacity() * sizeof(std::size_t);
+  }
+  for (const auto& component : components_) {
+    total += component.capacity() * sizeof(GroupId);
+  }
+  return total;
 }
 
 }  // namespace decseq::membership

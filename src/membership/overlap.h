@@ -31,12 +31,29 @@ struct Overlap {
   }
 };
 
-/// Index over all double overlaps of a membership snapshot.
+/// How the index is built.
+enum class OverlapBuild {
+  /// Streaming candidate generation off the inverted node→groups index:
+  /// every node emits its co-subscription pairs into a flat open-addressing
+  /// accumulator, so cost is O(Σ_node k_node²) on the co-subscription
+  /// structure — independent of the host universe — and shared-member lists
+  /// are materialized only for the confirmed double overlaps (via succinct
+  /// rank/select rows for large groups). Scales to 1M hosts × 100k groups.
+  kStreaming,
+  /// The original materialized pairwise product: one bitset per group,
+  /// every pair intersected — O(G² · N/64). Retained as the differential
+  /// oracle for tests and as the scale bench's legacy comparator.
+  kMaterializedReference,
+};
+
+/// Index over all double overlaps of a membership snapshot. Both build
+/// modes produce identical results (same overlaps in the same order, same
+/// shared-member lists, same components) — asserted by a differential
+/// property test.
 class OverlapIndex {
  public:
-  /// Build by intersecting every pair of live groups. O(G^2 * N) worst
-  /// case; trivially fast at the paper's scales (G <= 64, N <= 128).
-  explicit OverlapIndex(const GroupMembership& membership);
+  explicit OverlapIndex(const GroupMembership& membership,
+                        OverlapBuild mode = OverlapBuild::kStreaming);
 
   [[nodiscard]] std::size_t num_overlaps() const { return overlaps_.size(); }
   [[nodiscard]] const std::vector<Overlap>& overlaps() const {
@@ -65,12 +82,29 @@ class OverlapIndex {
   /// Component index of a group, or SIZE_MAX if it has no overlaps.
   [[nodiscard]] std::size_t component_of(GroupId g) const;
 
+  /// Build instrumentation (streaming mode; zeros for the reference build).
+  struct BuildStats {
+    std::size_t candidate_pairs = 0;  ///< distinct co-subscribed group pairs
+    std::size_t pair_increments = 0;  ///< Σ_node k_node·(k_node-1)/2
+    std::size_t rows_built = 0;       ///< succinct probe rows materialized
+    std::size_t row_bytes = 0;        ///< their total heap bytes
+  };
+  [[nodiscard]] const BuildStats& build_stats() const { return stats_; }
+
+  /// Heap bytes held by the index (overlap lists, adjacency, components).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
+  void build_streaming(const GroupMembership& membership);
+  void build_reference(const GroupMembership& membership);
+  void build_adjacency_and_components(const GroupMembership& membership);
+
   std::vector<Overlap> overlaps_;
   std::vector<std::vector<std::size_t>> by_group_;  // slot-indexed
   std::vector<std::vector<GroupId>> components_;
   std::vector<std::size_t> component_of_;           // slot-indexed
   std::vector<std::size_t> empty_;
+  BuildStats stats_;
 };
 
 }  // namespace decseq::membership

@@ -67,6 +67,61 @@ TEST(Membership, GroupsOfAndSubscriptionCount) {
   EXPECT_EQ(m.subscription_count(N(0)), 1u);
 }
 
+TEST(Membership, InvertedIndexMatchesBruteForceScanUnderChurn) {
+  // groups_of / subscription_count / is_member are served by the inverted
+  // node->groups index; they must agree exactly with a brute-force scan of
+  // every group slot, including tombstoned groups and node-level churn.
+  Rng rng(404);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t num_nodes = 4 + rng.next_below(40);
+    GroupMembership m(num_nodes);
+    std::vector<GroupId> created;
+    const std::size_t num_groups = 1 + rng.next_below(20);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      std::vector<NodeId> members;
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (rng.next_bool(0.3)) {
+          members.push_back(NodeId(static_cast<NodeId::underlying_type>(n)));
+        }
+      }
+      if (members.empty()) continue;
+      created.push_back(m.add_group(std::move(members)));
+    }
+    // Churn: tombstone some groups outright, drain others member by member
+    // (the last leave kills the group), and add/remove single members.
+    for (const GroupId g : created) {
+      if (!m.is_alive(g)) continue;
+      const double dice = rng.next_double();
+      if (dice < 0.2) {
+        m.remove_group(g);
+      } else if (dice < 0.4) {
+        while (m.is_alive(g)) m.remove_member(g, m.members(g).front());
+      } else if (dice < 0.6) {
+        const NodeId n(static_cast<NodeId::underlying_type>(
+            rng.next_below(num_nodes)));
+        if (!m.is_member(g, n)) m.add_member(g, n);
+      }
+    }
+
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      const NodeId node(static_cast<NodeId::underlying_type>(n));
+      std::vector<GroupId> brute;
+      for (std::size_t s = 0; s < m.num_group_slots(); ++s) {
+        const GroupId g(static_cast<GroupId::underlying_type>(s));
+        if (!m.is_alive(g)) continue;
+        const auto& members = m.members(g);
+        if (std::binary_search(members.begin(), members.end(), node)) {
+          brute.push_back(g);
+        }
+      }
+      ASSERT_EQ(m.groups_of(node), brute) << "trial " << trial;
+      ASSERT_EQ(m.subscription_count(node), brute.size());
+      ASSERT_EQ(m.subscriptions(node), brute);
+      for (const GroupId g : brute) ASSERT_TRUE(m.is_member(g, node));
+    }
+  }
+}
+
 TEST(Membership, Intersect) {
   GroupMembership m(8);
   const GroupId g0 = m.add_group({N(0), N(1), N(2), N(5)});

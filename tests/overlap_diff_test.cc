@@ -1,0 +1,128 @@
+// Differential property test for the streaming overlap index.
+//
+// The streaming build (inverted-index pair counting + lazy shared-member
+// materialization) must be *exactly* equivalent to the retained brute-force
+// reference (materialized pairwise bitset product): same overlaps in the
+// same order, same shared-member lists, same adjacency, same components.
+// 200 seeded random memberships cover dead groups (tombstoned and drained),
+// singleton overlaps (one shared member — not a double overlap), and
+// disconnected overlap components.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "membership/membership.h"
+#include "membership/overlap.h"
+
+namespace decseq::membership {
+namespace {
+
+GroupMembership random_membership(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t num_nodes = 4 + rng.next_below(60);
+  GroupMembership m(num_nodes);
+
+  // A few disjoint node clusters force disconnected overlap components;
+  // groups drawn within one cluster can never overlap another's.
+  const std::size_t num_clusters = 1 + rng.next_below(3);
+  const std::size_t num_groups = 2 + rng.next_below(24);
+  std::vector<GroupId> created;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::size_t cluster = rng.next_below(num_clusters);
+    const std::size_t lo = cluster * num_nodes / num_clusters;
+    const std::size_t hi = (cluster + 1) * num_nodes / num_clusters;
+    std::vector<NodeId> members;
+    for (std::size_t n = lo; n < hi; ++n) {
+      // High enough that double overlaps are common, low enough that
+      // singleton overlaps (exactly one shared member) also appear.
+      if (rng.next_bool(0.4)) {
+        members.push_back(NodeId(static_cast<NodeId::underlying_type>(n)));
+      }
+    }
+    if (members.empty()) continue;
+    created.push_back(m.add_group(std::move(members)));
+  }
+
+  // Tombstone some groups two ways: remove_group, and draining members one
+  // by one until the last leave kills the group.
+  for (const GroupId g : created) {
+    if (!m.is_alive(g)) continue;
+    const double dice = rng.next_double();
+    if (dice < 0.15) {
+      m.remove_group(g);
+    } else if (dice < 0.25) {
+      while (m.is_alive(g)) m.remove_member(g, m.members(g).front());
+    }
+  }
+  return m;
+}
+
+TEST(OverlapDifferential, StreamingMatchesBruteForceOn200Seeds) {
+  std::size_t total_overlaps = 0, total_singletons = 0, multi_component = 0,
+              dead_slots = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const GroupMembership m = random_membership(seed);
+    const OverlapIndex streaming(m, OverlapBuild::kStreaming);
+    const OverlapIndex reference(m, OverlapBuild::kMaterializedReference);
+
+    ASSERT_EQ(streaming.num_overlaps(), reference.num_overlaps())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < reference.num_overlaps(); ++i) {
+      const Overlap& s = streaming.overlap(i);
+      const Overlap& r = reference.overlap(i);
+      ASSERT_EQ(s.first, r.first) << "seed " << seed << " overlap " << i;
+      ASSERT_EQ(s.second, r.second) << "seed " << seed << " overlap " << i;
+      ASSERT_EQ(s.members, r.members) << "seed " << seed << " overlap " << i;
+      ASSERT_GE(s.members.size(), 2u);
+    }
+    ASSERT_EQ(streaming.components().size(), reference.components().size())
+        << "seed " << seed;
+    for (std::size_t c = 0; c < reference.components().size(); ++c) {
+      ASSERT_EQ(streaming.components()[c], reference.components()[c])
+          << "seed " << seed << " component " << c;
+    }
+    for (std::size_t slot = 0; slot < m.num_group_slots(); ++slot) {
+      const GroupId g(static_cast<GroupId::underlying_type>(slot));
+      ASSERT_EQ(streaming.overlaps_of(g), reference.overlaps_of(g))
+          << "seed " << seed << " group " << g;
+      ASSERT_EQ(streaming.component_of(g), reference.component_of(g))
+          << "seed " << seed << " group " << g;
+      if (!m.is_alive(g)) {
+        ++dead_slots;
+        ASSERT_TRUE(streaming.overlaps_of(g).empty());
+      }
+    }
+
+    // Coverage accounting so the generator can't silently degenerate.
+    total_overlaps += streaming.num_overlaps();
+    if (streaming.components().size() > 1) ++multi_component;
+    for (const GroupId a : m.live_groups()) {
+      for (const GroupId b : m.live_groups()) {
+        if (a < b && m.intersect(a, b).size() == 1) ++total_singletons;
+      }
+    }
+  }
+  EXPECT_GT(total_overlaps, 1000u) << "workload must produce real overlaps";
+  EXPECT_GT(total_singletons, 100u)
+      << "workload must exercise singleton (non-double) overlaps";
+  EXPECT_GT(multi_component, 20u)
+      << "workload must exercise disconnected components";
+  EXPECT_GT(dead_slots, 100u) << "workload must exercise tombstoned groups";
+}
+
+TEST(OverlapDifferential, StreamingStatsReflectTheBuild) {
+  Rng rng(7);
+  const auto m = zipf_membership({.num_nodes = 256, .num_groups = 64}, rng);
+  const OverlapIndex idx(m, OverlapBuild::kStreaming);
+  const auto& stats = idx.build_stats();
+  EXPECT_GT(stats.pair_increments, 0u);
+  EXPECT_GE(stats.candidate_pairs, idx.num_overlaps());
+  // The reference build reports no streaming stats.
+  const OverlapIndex ref(m, OverlapBuild::kMaterializedReference);
+  EXPECT_EQ(ref.build_stats().pair_increments, 0u);
+}
+
+}  // namespace
+}  // namespace decseq::membership
