@@ -1,0 +1,63 @@
+// decseqd entry point: one rank of a sequencing cluster.
+//
+//   decseqd --config <path> --rank <n> --coordinator-port <port>
+//           [--coordinator-ip <ip>] [--trace <path>] [--log <path>]
+//
+// The process binds an ephemeral UDP port, JOINs the coordinator, runs the
+// sequencing protocol until the coordinator's SHUTDOWN, writes its
+// per-receiver delivery trace, and exits 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "app/decseqd.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config <path> --rank <n> --coordinator-port "
+               "<port> [--coordinator-ip <ip>] [--trace <path>] "
+               "[--log <path>]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  decseq::app::DaemonOptions options;
+  bool have_config = false;
+  bool have_rank = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      options.config_path = value();
+      have_config = true;
+    } else if (arg == "--rank") {
+      options.rank = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      have_rank = true;
+    } else if (arg == "--coordinator-port") {
+      options.coordinator_port =
+          static_cast<std::uint16_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--coordinator-ip") {
+      options.coordinator_ip = value();
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+    } else if (arg == "--log") {
+      options.log_path = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!have_config || !have_rank || options.coordinator_port == 0) {
+    usage(argv[0]);
+  }
+  decseq::app::Daemon daemon(std::move(options));
+  return daemon.run();
+}

@@ -1,0 +1,146 @@
+#include "app/replay.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace decseq::app {
+
+namespace {
+
+/// The fuzz runner's member normalization: in-range, sorted, deduplicated;
+/// empty result = the create op is skipped (its group index stays dead).
+std::vector<NodeId> normalize_members(const std::vector<std::uint32_t>& raw,
+                                      std::uint32_t num_hosts) {
+  std::vector<NodeId> members;
+  members.reserve(raw.size());
+  for (const std::uint32_t m : raw) {
+    if (m < num_hosts) members.push_back(NodeId(m));
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  return members;
+}
+
+}  // namespace
+
+ClusterScript script_from_scenario(const fuzz::Scenario& s) {
+  DECSEQ_CHECK_MSG(!s.phases.empty(), "scenario has no phases");
+  const fuzz::Phase& phase = s.phases.front();
+
+  ClusterScript script;
+  script.system_seed = s.system_seed;
+  script.num_hosts = s.num_hosts;
+  script.num_clusters = s.num_clusters;
+  script.retransmit_timeout_ms = s.retransmit_timeout_ms;
+
+  // Scenario group index -> dense group id (creation order), or -1 for
+  // skipped creates.
+  std::vector<std::int32_t> index_to_id;
+  for (const fuzz::MembershipOp& op : phase.reconfig) {
+    if (op.kind != fuzz::MembershipOp::Kind::kCreate) continue;
+    auto members = normalize_members(op.members, s.num_hosts);
+    if (members.empty()) {
+      index_to_id.push_back(-1);
+      continue;
+    }
+    index_to_id.push_back(static_cast<std::int32_t>(script.groups.size()));
+    script.groups.push_back(std::move(members));
+  }
+
+  // Merge terminations and publishes by scheduled time. The runner
+  // schedules all terminations before any publish, so the simulator's
+  // FIFO tie-break fires a same-time FIN before a same-time publish;
+  // enumerating FINs first and stable-sorting by time reproduces that.
+  struct RawOp {
+    ScriptOp::Kind kind;
+    double at;
+    std::uint32_t sender;
+    std::uint32_t scenario_group;
+    std::uint32_t initiator_rank;
+  };
+  std::vector<RawOp> raw;
+  for (const fuzz::TerminationOp& fin : phase.terminations) {
+    raw.push_back({ScriptOp::Kind::kTerminate, fin.at, 0, fin.group,
+                   fin.initiator_rank});
+  }
+  for (const fuzz::PublishOp& pub : phase.publishes) {
+    raw.push_back({ScriptOp::Kind::kPublish, pub.at, pub.sender, pub.group,
+                   0});
+  }
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const RawOp& a, const RawOp& b) { return a.at < b.at; });
+
+  std::unordered_set<std::uint32_t> terminated;
+  std::uint32_t next_ordinal = 0;
+  for (const RawOp& op : raw) {
+    if (op.scenario_group >= index_to_id.size()) continue;
+    const std::int32_t gid = index_to_id[op.scenario_group];
+    if (gid < 0) continue;  // skipped create
+    if (terminated.contains(static_cast<std::uint32_t>(gid))) continue;
+    ScriptOp out;
+    out.ordinal = next_ordinal++;
+    out.at = op.at;
+    out.group = static_cast<std::uint32_t>(gid);
+    if (op.kind == ScriptOp::Kind::kTerminate) {
+      const auto& members = script.groups[static_cast<std::size_t>(gid)];
+      out.kind = ScriptOp::Kind::kTerminate;
+      out.sender =
+          members[op.initiator_rank % members.size()].value();
+      terminated.insert(static_cast<std::uint32_t>(gid));
+    } else {
+      out.kind = ScriptOp::Kind::kPublish;
+      out.sender = op.sender % s.num_hosts;
+    }
+    script.ops.push_back(out);
+  }
+  return script;
+}
+
+std::unique_ptr<pubsub::PubSubSystem> make_reference_system(
+    const ClusterScript& script) {
+  // The fuzz runner's 66-router transit-stub deployment, minus the channel
+  // loss: over real UDP, loss is the network's business (and the channel
+  // layer's to repair), not the scenario's — delivery *content and order*
+  // are loss-invariant, which is the point of the comparison.
+  pubsub::SystemConfig config;
+  config.seed = script.system_seed;
+  config.topology.transit_domains = 2;
+  config.topology.routers_per_transit = 3;
+  config.topology.stubs_per_transit_router = 2;
+  config.topology.routers_per_stub = 5;
+  config.topology.extra_transit_links = 2;
+  config.hosts.num_hosts = script.num_hosts;
+  config.hosts.num_clusters =
+      std::min<std::size_t>(script.num_clusters, script.num_hosts);
+  config.network.channel.retransmit_timeout_ms =
+      script.retransmit_timeout_ms;
+
+  auto system = std::make_unique<pubsub::PubSubSystem>(config);
+  std::vector<std::vector<NodeId>> member_lists = script.groups;
+  const std::vector<GroupId> ids =
+      system->create_groups(std::move(member_lists));
+  // Dense creation-order ids are the script's group numbering; pin it.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    DECSEQ_CHECK(ids[i].value() == i);
+  }
+  return system;
+}
+
+std::vector<pubsub::Delivery> run_reference(const ClusterScript& script,
+                                            pubsub::PubSubSystem& system) {
+  for (const ScriptOp& op : script.ops) {
+    const GroupId group(op.group);
+    if (op.kind == ScriptOp::Kind::kPublish) {
+      system.publish(NodeId(op.sender), group, op.ordinal);
+    } else {
+      system.terminate_group(group, NodeId(op.sender));
+    }
+    system.run();  // lockstep: full drain between ops
+  }
+  return system.deliveries();
+}
+
+}  // namespace decseq::app

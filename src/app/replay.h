@@ -1,0 +1,74 @@
+// Turning a fuzz-corpus scenario into a cluster workload + its reference.
+//
+// The conformance suite replays committed fuzz scenarios (fuzz/corpus/
+// *.repro) against a decseqd cluster over real UDP and compares
+// per-receiver delivery traces against the in-memory simulator running the
+// *same* workload. Real sockets have no global clock, so "the same
+// workload" is defined here, once, for both sides:
+//
+//   * The scenario's first phase provides the membership (kCreate ops with
+//     the fuzz runner's normalize_members semantics) and the traffic: its
+//     publishes and terminations merged into one list ordered by scheduled
+//     time, terminations first on ties (matching the runner's
+//     schedule-order tie-break). Causal publishes run as plain ones —
+//     causality is the facade's sender-side pacing, not protocol state,
+//     and the harness paces explicitly. Publishes to skipped groups or
+//     after a group's FIN are dropped from the script (deterministically),
+//     mirroring the runner's alive/terminated guards.
+//   * Each surviving op gets a dense ordinal that doubles as the payload,
+//     so a delivery is attributable to its op from either side's trace.
+//
+// The reference is the scenario's PubSubSystem built with the fuzz
+// runner's topology parameters but loss 0 and the single-threaded runtime
+// — then driven op by op with a full drain between ops (lockstep). The
+// cluster harness drives the daemons the same way: issue one op, wait for
+// its full delivery fan-out, issue the next. In lockstep, the protocol's
+// per-group total order plus per-receiver determinism makes the full
+// per-receiver trace of the two executions identical — which is exactly
+// what the suite asserts, datagram loss and retransmissions included.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fuzz/scenario.h"
+#include "pubsub/system.h"
+
+namespace decseq::app {
+
+/// One lockstep operation of the derived workload.
+struct ScriptOp {
+  enum class Kind : std::uint8_t { kPublish, kTerminate };
+  Kind kind = Kind::kPublish;
+  std::uint32_t ordinal = 0;  ///< dense op index; publish payload
+  double at = 0.0;            ///< scenario time (ordering only)
+  std::uint32_t sender = 0;   ///< publishing host / FIN initiator host
+  std::uint32_t group = 0;    ///< dense group id (creation order)
+};
+
+struct ClusterScript {
+  std::uint64_t system_seed = 1;
+  std::uint32_t num_hosts = 0;
+  std::uint32_t num_clusters = 0;
+  double retransmit_timeout_ms = 40.0;
+  /// Member lists in creation order; index = GroupId value on both sides.
+  std::vector<std::vector<NodeId>> groups;
+  std::vector<ScriptOp> ops;
+};
+
+/// Derive the workload from a scenario's first phase (see file header).
+[[nodiscard]] ClusterScript script_from_scenario(const fuzz::Scenario& s);
+
+/// The reference deployment for a script: fuzz-runner topology, loss 0,
+/// classic runtime, groups created. Callers snapshot the cluster config
+/// from it (app/cluster_config.h) and then drive it with run_reference.
+[[nodiscard]] std::unique_ptr<pubsub::PubSubSystem> make_reference_system(
+    const ClusterScript& script);
+
+/// Execute the script in lockstep on the reference system and return its
+/// delivery log (facade order; FINs are not logged).
+std::vector<pubsub::Delivery> run_reference(const ClusterScript& script,
+                                            pubsub::PubSubSystem& system);
+
+}  // namespace decseq::app

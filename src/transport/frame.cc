@@ -1,0 +1,148 @@
+#include "transport/frame.h"
+
+#include <array>
+
+namespace decseq::transport {
+
+namespace {
+
+/// Table for the reflected IEEE polynomial, built once at startup.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+constexpr std::size_t kCrcOffset = 20;
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint8_t flags,
+                                       EdgeId edge, std::uint64_t seq,
+                                       const std::uint8_t* payload,
+                                       std::size_t payload_size) {
+  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload_size);
+  out[0] = kFrameMagic0;
+  out[1] = kFrameMagic1;
+  out[2] = kFrameVersion;
+  out[3] = static_cast<std::uint8_t>(type);
+  out[4] = flags;
+  // out[5..7] reserved, already zero
+  put_u32le(out.data() + 8, edge);
+  put_u64le(out.data() + 12, seq);
+  // CRC computed with its own field zeroed, then patched in.
+  if (payload_size > 0) {
+    std::copy(payload, payload + payload_size,
+              out.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes));
+  }
+  put_u32le(out.data() + kCrcOffset, crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<Frame> decode_frame(const std::uint8_t* data, std::size_t size) {
+  if (size < kFrameHeaderBytes) return std::nullopt;
+  if (data[0] != kFrameMagic0 || data[1] != kFrameMagic1) return std::nullopt;
+  if (data[2] != kFrameVersion) return std::nullopt;
+  const std::uint8_t type = data[3];
+  if (type < 1 || type > 4) return std::nullopt;
+  if (data[5] != 0 || data[6] != 0 || data[7] != 0) return std::nullopt;
+  const std::uint32_t stated = get_u32le(data + kCrcOffset);
+  // Recompute over the frame with the CRC field zeroed — without mutating
+  // the caller's buffer: CRC over [0, 20), four zero bytes, then the rest.
+  static constexpr std::uint8_t kZeros[4] = {0, 0, 0, 0};
+  std::uint32_t c = crc32(data, kCrcOffset);
+  c = crc32(kZeros, 4, c);
+  c = crc32(data + kFrameHeaderBytes, size - kFrameHeaderBytes, c);
+  if (c != stated) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.flags = data[4];
+  frame.edge = get_u32le(data + 8);
+  frame.seq = get_u64le(data + 12);
+  frame.payload = data + kFrameHeaderBytes;
+  frame.payload_size = size - kFrameHeaderBytes;
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_peers(const std::vector<PeerAddr>& peers) {
+  std::vector<std::uint8_t> out(peers.size() * 10);
+  std::uint8_t* p = out.data();
+  for (const PeerAddr& peer : peers) {
+    put_u32le(p, peer.rank);
+    // The address is stored as its four network-order bytes, verbatim.
+    p[4] = static_cast<std::uint8_t>(peer.ip_be);
+    p[5] = static_cast<std::uint8_t>(peer.ip_be >> 8);
+    p[6] = static_cast<std::uint8_t>(peer.ip_be >> 16);
+    p[7] = static_cast<std::uint8_t>(peer.ip_be >> 24);
+    p[8] = static_cast<std::uint8_t>(peer.port);
+    p[9] = static_cast<std::uint8_t>(peer.port >> 8);
+    p += 10;
+  }
+  return out;
+}
+
+std::optional<std::vector<PeerAddr>> decode_peers(const Frame& frame) {
+  if (frame.type != FrameType::kPeers) return std::nullopt;
+  if (frame.payload_size != frame.seq * 10) return std::nullopt;
+  std::vector<PeerAddr> peers(static_cast<std::size_t>(frame.seq));
+  const std::uint8_t* p = frame.payload;
+  for (PeerAddr& peer : peers) {
+    peer.rank = get_u32le(p);
+    peer.ip_be = static_cast<std::uint32_t>(p[4]) |
+                 static_cast<std::uint32_t>(p[5]) << 8 |
+                 static_cast<std::uint32_t>(p[6]) << 16 |
+                 static_cast<std::uint32_t>(p[7]) << 24;
+    peer.port = static_cast<std::uint16_t>(p[8] |
+                                           static_cast<std::uint16_t>(p[9])
+                                               << 8);
+    p += 10;
+  }
+  return peers;
+}
+
+}  // namespace decseq::transport

@@ -1,0 +1,63 @@
+#include "transport/udp_proxy.h"
+
+#include <utility>
+#include <vector>
+
+namespace decseq::transport {
+
+UdpProxy::UdpProxy(std::uint64_t seed, ProxyChaosOptions options)
+    : io_("127.0.0.1", 0), rng_(seed), options_(options) {
+  io_.set_datagram_sink(
+      [this](const std::uint8_t* data, std::size_t size,
+             const Origin& origin) { on_datagram(data, size, origin); });
+}
+
+void UdpProxy::set_endpoints(UdpAddr a, UdpAddr b) {
+  a_ = a;
+  b_ = b;
+}
+
+void UdpProxy::on_datagram(const std::uint8_t* data, std::size_t size,
+                           const Origin& origin) {
+  const UdpAddr from{origin.ip_be, origin.port};
+  UdpAddr to;
+  if (from == a_) {
+    to = b_;
+  } else if (from == b_) {
+    to = a_;
+  } else {
+    ++dropped_;  // stray traffic; not one of ours
+    return;
+  }
+  if (outage_ || (options_.drop_probability > 0.0 &&
+                  rng_.next_bool(options_.drop_probability))) {
+    ++dropped_;
+    return;
+  }
+  forward(to, data, size);
+  if (options_.duplicate_probability > 0.0 &&
+      rng_.next_bool(options_.duplicate_probability)) {
+    ++duplicated_;
+    forward(to, data, size);
+  }
+}
+
+void UdpProxy::forward(UdpAddr to, const std::uint8_t* data,
+                       std::size_t size) {
+  if (options_.reorder_probability > 0.0 &&
+      rng_.next_bool(options_.reorder_probability)) {
+    // Hold this one back; datagrams sent meanwhile overtake it.
+    ++delayed_;
+    const double delay = rng_.next_double() * options_.reorder_delay_ms;
+    std::vector<std::uint8_t> copy(data, data + size);
+    io_.schedule_after(delay, [this, to, copy = std::move(copy)] {
+      ++forwarded_;
+      io_.send_to(to, copy.data(), copy.size());
+    });
+    return;
+  }
+  ++forwarded_;
+  io_.send_to(to, data, size);
+}
+
+}  // namespace decseq::transport

@@ -1,0 +1,72 @@
+// Deterministic fault-injection UDP forwarder.
+//
+// Sits between two real UDP endpoints: each endpoint is configured to talk
+// to the proxy's address instead of its peer, and the proxy relays every
+// datagram to whichever configured endpoint did NOT send it — applying a
+// seeded chaos policy on the way: drop with probability p, duplicate with
+// probability q, and delay ("reorder") with probability r by a uniform
+// draw up to reorder_delay_ms (a delayed datagram genuinely overtakes its
+// successors). An outage window (set_outage(true)) swallows everything
+// until lifted — the forced-partition fixture for the retransmit /
+// backoff / fault-surfacing end-to-end test.
+//
+// Built from the same pieces as everything else: a UdpTransport provides
+// the socket and the timer heap (delayed forwards are just timers), and
+// the Rng seed makes a given traffic pattern's fault schedule reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "transport/udp_transport.h"
+
+namespace decseq::transport {
+
+struct ProxyChaosOptions {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  double reorder_delay_ms = 5.0;
+};
+
+class UdpProxy {
+ public:
+  UdpProxy(std::uint64_t seed, ProxyChaosOptions options = {});
+
+  /// The address endpoints should send to instead of each other.
+  [[nodiscard]] UdpAddr local_addr() const { return io_.local_addr(); }
+
+  /// The two real endpoints. A datagram from an unknown source is dropped.
+  void set_endpoints(UdpAddr a, UdpAddr b);
+
+  void set_chaos(ProxyChaosOptions options) { options_ = options; }
+  /// While true, every datagram (both directions) is swallowed.
+  void set_outage(bool outage) { outage_ = outage; }
+  [[nodiscard]] bool outage() const { return outage_; }
+
+  /// Pump the proxy; call interleaved with the endpoints' own polls.
+  std::size_t poll(double max_wait_ms) { return io_.poll(max_wait_ms); }
+
+  [[nodiscard]] std::size_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::size_t delayed() const { return delayed_; }
+
+ private:
+  void on_datagram(const std::uint8_t* data, std::size_t size,
+                   const Origin& origin);
+  void forward(UdpAddr to, const std::uint8_t* data, std::size_t size);
+
+  UdpTransport io_;
+  Rng rng_;
+  ProxyChaosOptions options_;
+  UdpAddr a_{};
+  UdpAddr b_{};
+  bool outage_ = false;
+  std::size_t forwarded_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t delayed_ = 0;
+};
+
+}  // namespace decseq::transport

@@ -314,5 +314,38 @@ TEST(Codec, WireVsNominalHeaderBytes) {
   }
 }
 
+TEST(Codec, GoldenWireBytes) {
+  // Pin the exact wire bytes of a representative message. The codec is
+  // byte-oriented by construction (LEB128 varints, no unaligned or
+  // host-endian loads anywhere — audited when the transport frame header
+  // was added), so this encoding is identical on every platform; any codec
+  // change that shifts a byte lands here.
+  const Message m = Message::make(
+      {.id = MsgId(3), .group = GroupId(2), .sender = NodeId(5),
+       .group_seq = 300, .payload = 9, .body = {'o', 'k'}},
+      {{AtomId(4), 1}});
+  const std::vector<std::uint8_t> expected = {
+      0xD5, 0x01,  // magic, version
+      0x03,        // id
+      0x02,        // group
+      0x05,        // sender
+      0xAC, 0x02,  // group_seq = 300: LEB128 little-endian groups
+      0x09,        // payload
+      0x01,        // stamp count
+      0x04, 0x01,  // stamp: atom 4, seq 1
+      0x02,        // body length
+      'o', 'k',    // body verbatim
+  };
+  EXPECT_EQ(encode_message(m), expected);
+
+  const auto decoded = decode_message(expected);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id(), MsgId(3));
+  EXPECT_EQ(decoded->group_seq, 300u);
+  ASSERT_EQ(decoded->stamps.size(), 1u);
+  EXPECT_EQ(decoded->stamps[0], (Stamp{AtomId(4), 1}));
+  EXPECT_EQ(encode_message(*decoded), expected);
+}
+
 }  // namespace
 }  // namespace decseq::protocol

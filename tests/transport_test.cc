@@ -1,0 +1,511 @@
+// Transport layer tests: frame wire format and robustness, reliable
+// channels over the simulated fabric, a real-UDP loopback channel, and the
+// in-process cluster conformance check — NodeEngine ranks over
+// SimTransport replaying committed fuzz scenarios against the in-memory
+// PubSubSystem (the single-process twin of tests/transport_cluster_test).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/repro.h"
+#include "app/cluster_config.h"
+#include "app/decseqd.h"
+#include "app/replay.h"
+#include "protocol/codec.h"
+#include "sim/simulator.h"
+#include "transport/channel.h"
+#include "transport/frame.h"
+#include "transport/sim_transport.h"
+#include "transport/udp_transport.h"
+
+namespace decseq::transport {
+namespace {
+
+// --- Frame format --------------------------------------------------------
+
+TEST(Frame, Crc32MatchesIeeeCheckVector) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926
+  // pins polynomial, reflection, init, and final xor all at once.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits, sizeof(digits)), 0xCBF43926u);
+}
+
+TEST(Frame, Crc32ChainsIncrementally) {
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  const std::uint32_t prefix = crc32(digits, 4);
+  EXPECT_EQ(crc32(digits + 4, 5, prefix), 0xCBF43926u);
+}
+
+TEST(Frame, GoldenLayout) {
+  // Pin every byte position of the 24-byte header. Together with the CRC
+  // check-vector test this makes the format platform-stable: any change to
+  // field order, width, or endianness lands here.
+  const std::uint8_t payload[] = {0xAA, 0xBB};
+  const auto frame =
+      encode_frame(FrameType::kData, kFrameFlagFin, /*edge=*/0x01020304,
+                   /*seq=*/0x1122334455667788ULL, payload, sizeof(payload));
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + sizeof(payload));
+
+  std::vector<std::uint8_t> expected = {
+      0xDC, 0x5E,              // magic
+      0x01,                    // version
+      0x01,                    // type = DATA
+      0x01,                    // flags = FIN
+      0x00, 0x00, 0x00,        // reserved
+      0x04, 0x03, 0x02, 0x01,  // edge id, little-endian
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // seq, little-endian
+      0x00, 0x00, 0x00, 0x00,  // CRC placeholder (zeroed for computation)
+      0xAA, 0xBB,              // payload verbatim
+  };
+  const std::uint32_t crc = crc32(expected.data(), expected.size());
+  expected[20] = static_cast<std::uint8_t>(crc);
+  expected[21] = static_cast<std::uint8_t>(crc >> 8);
+  expected[22] = static_cast<std::uint8_t>(crc >> 16);
+  expected[23] = static_cast<std::uint8_t>(crc >> 24);
+  EXPECT_EQ(frame, expected);
+
+  const auto decoded = decode_frame(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kData);
+  EXPECT_EQ(decoded->flags, kFrameFlagFin);
+  EXPECT_EQ(decoded->edge, 0x01020304u);
+  EXPECT_EQ(decoded->seq, 0x1122334455667788ULL);
+  ASSERT_EQ(decoded->payload_size, 2u);
+  EXPECT_EQ(decoded->payload[0], 0xAA);
+  EXPECT_EQ(decoded->payload[1], 0xBB);
+}
+
+TEST(Frame, RejectsEveryTruncation) {
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  const auto frame = encode_frame(FrameType::kData, 0, 7, 9, payload,
+                                  sizeof(payload));
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_FALSE(decode_frame(frame.data(), n).has_value())
+        << "prefix of " << n << " bytes decoded";
+  }
+  EXPECT_TRUE(decode_frame(frame.data(), frame.size()).has_value());
+}
+
+TEST(Frame, RejectsEveryBitFlip) {
+  const std::uint8_t payload[] = {0x10, 0x20, 0x30};
+  const auto frame =
+      encode_frame(FrameType::kAck, 0, 123, 456, payload, sizeof(payload));
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = frame;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(decode_frame(corrupt.data(), corrupt.size()).has_value())
+          << "flip of byte " << byte << " bit " << bit << " survived";
+    }
+  }
+}
+
+TEST(Frame, RejectsRandomGarbage) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t size = rng.next_below(81);
+    std::vector<std::uint8_t> junk(size);
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const auto decoded = decode_frame(junk.data(), junk.size());
+    // A random buffer passing magic + version + reserved + CRC checks is a
+    // ~2^-80 event; with a fixed seed this is deterministic anyway.
+    EXPECT_FALSE(decoded.has_value());
+  }
+}
+
+TEST(Frame, PeersAddressBookRoundTrips) {
+  const std::vector<PeerAddr> peers = {
+      {0, 0x0100007F, 40001},  // 127.0.0.1 network order
+      {1, 0x0100007F, 40002},
+      {2, 0xFFFFFFFF, 65535},
+  };
+  const auto payload = encode_peers(peers);
+  const auto frame = encode_frame(FrameType::kPeers, 0, 0, peers.size(),
+                                  payload.data(), payload.size());
+  const auto decoded = decode_frame(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.has_value());
+  const auto book = decode_peers(*decoded);
+  ASSERT_TRUE(book.has_value());
+  ASSERT_EQ(book->size(), peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    EXPECT_EQ((*book)[i].rank, peers[i].rank);
+    EXPECT_EQ((*book)[i].ip_be, peers[i].ip_be);
+    EXPECT_EQ((*book)[i].port, peers[i].port);
+  }
+}
+
+// --- Reliable channels over the simulated fabric -------------------------
+
+/// Two endpoints joined by one chaotic edge, with a channel pair on it.
+struct SimLink {
+  sim::Simulator sim;
+  SimNet net{sim, 99};
+  Rng rng{7};
+  ChannelSet set_a;
+  ChannelSet set_b;
+  std::unique_ptr<SendChannel> sender;
+  std::unique_ptr<RecvChannel> receiver;
+  std::vector<std::uint64_t> received;
+
+  explicit SimLink(SimEdgeOptions options, ChannelOptions channel = {}) {
+    net.add_endpoints(2);
+    net.add_edge(1, 0, 1, options);
+    sender = std::make_unique<SendChannel>(net.endpoint(0), rng, 1, channel);
+    receiver = std::make_unique<RecvChannel>(
+        net.endpoint(1), 1,
+        [this](const std::uint8_t* payload, std::size_t size, std::uint8_t) {
+          std::vector<std::uint8_t> buffer(payload, payload + size);
+          std::size_t offset = 0;
+          const auto value = protocol::decode_varint(buffer, offset);
+          ASSERT_TRUE(value.has_value());
+          received.push_back(*value);
+        });
+    set_a.add_sender(sender.get());
+    set_b.add_receiver(receiver.get());
+    net.endpoint(0).set_datagram_sink(
+        [this](const std::uint8_t* d, std::size_t n, const Origin& o) {
+          set_a.handle(d, n, o);
+        });
+    net.endpoint(1).set_datagram_sink(
+        [this](const std::uint8_t* d, std::size_t n, const Origin& o) {
+          set_b.handle(d, n, o);
+        });
+  }
+
+  void send_value(std::uint64_t value) {
+    std::vector<std::uint8_t> payload;
+    protocol::encode_varint(value, payload);
+    sender->send(payload.data(), payload.size());
+  }
+};
+
+TEST(Channel, InOrderExactlyOnceUnderLossDupAndReorder) {
+  SimEdgeOptions chaos;
+  chaos.loss_probability = 0.3;
+  chaos.duplicate_probability = 0.15;
+  chaos.jitter_ms = 2.0;  // enough to genuinely reorder in flight
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 5.0;
+  SimLink link(chaos, options);
+
+  constexpr std::uint64_t kCount = 500;
+  for (std::uint64_t i = 0; i < kCount; ++i) link.send_value(i);
+  link.sim.run();
+
+  ASSERT_EQ(link.received.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(link.received[i], i);
+  EXPECT_EQ(link.sender->unacked(), 0u);
+  EXPECT_FALSE(link.sender->faulted());
+  // The chaos actually happened: more transmissions than payloads, drops
+  // recorded by the fabric, and everything that arrived was accepted.
+  EXPECT_GT(link.sender->transmissions(), kCount);
+  EXPECT_GT(link.net.datagrams_dropped(), 0u);
+  EXPECT_EQ(link.set_b.rejected(), 0u);
+}
+
+TEST(Channel, FaultSurfacesOnOutageAndClearsOnRecovery) {
+  SimEdgeOptions healthy;  // default: lossless
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 4.0;
+  options.max_retransmits = 3;
+  SimLink link(healthy, options);
+
+  std::vector<ChannelFault> faults;
+  link.sender->set_fault_callback(
+      [&faults](const ChannelFault& fault) { faults.push_back(fault); });
+
+  // Total outage: every datagram (data and acks alike) is lost.
+  SimEdgeOptions outage;
+  outage.loss_probability = 1.0;
+  link.net.set_edge_options(1, outage);
+
+  link.send_value(42);
+  link.sim.run_until(link.sim.now() + 2000.0);
+  ASSERT_TRUE(link.sender->faulted());
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_GT(faults[0].attempts, 3u);
+  EXPECT_TRUE(link.received.empty());
+
+  // The channel must keep probing while faulted — lift the outage and the
+  // next probe delivers, the ack drains the window, the fault clears.
+  link.net.set_edge_options(1, healthy);
+  link.sim.run();
+  ASSERT_EQ(link.received.size(), 1u);
+  EXPECT_EQ(link.received[0], 42u);
+  EXPECT_FALSE(link.sender->faulted());
+  EXPECT_EQ(link.sender->unacked(), 0u);
+}
+
+TEST(Channel, GarbageDatagramsAreCountedNotActedOn) {
+  SimLink link(SimEdgeOptions{});
+  Rng rng(5);
+  Origin origin;
+
+  // Garbage of every flavor into the receiving demultiplexer: random
+  // bytes, truncated real frames, bit-flipped real frames, and real frames
+  // for an unknown edge.
+  std::vector<std::uint8_t> payload = {0x55};
+  const auto real = encode_frame(FrameType::kData, 0, 1, 0, payload.data(),
+                                 payload.size());
+  std::size_t fed = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(65));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    link.set_b.handle(junk.data(), junk.size(), origin);
+    ++fed;
+  }
+  for (std::size_t n = 0; n < real.size(); ++n) {
+    link.set_b.handle(real.data(), n, origin);
+    ++fed;
+  }
+  for (std::size_t byte = 0; byte < real.size(); ++byte) {
+    auto corrupt = real;
+    corrupt[byte] ^= 0x40;
+    link.set_b.handle(corrupt.data(), corrupt.size(), origin);
+    ++fed;
+  }
+  const auto unknown_edge =
+      encode_frame(FrameType::kData, 0, 999, 0, payload.data(),
+                   payload.size());
+  link.set_b.handle(unknown_edge.data(), unknown_edge.size(), origin);
+  ++fed;
+
+  EXPECT_EQ(link.set_b.rejected(), fed);
+  EXPECT_TRUE(link.received.empty());
+  EXPECT_EQ(link.receiver->next_deliver_seq(), 0u);
+
+  // The channel still works: none of the garbage desynced anything.
+  link.send_value(7);
+  link.send_value(8);
+  link.sim.run();
+  ASSERT_EQ(link.received.size(), 2u);
+  EXPECT_EQ(link.received[0], 7u);
+  EXPECT_EQ(link.received[1], 8u);
+}
+
+TEST(Channel, InsaneSequenceNumberCannotSizeAnAllocation) {
+  SimLink link(SimEdgeOptions{});
+  Origin origin;
+  std::vector<std::uint8_t> payload = {0x01};
+  // A validly-framed DATA packet whose seq is absurd: beyond the reorder
+  // window it must be dropped (and counted), not buffered at index 2^60.
+  const auto insane = encode_frame(FrameType::kData, 0, 1, 1ULL << 60,
+                                   payload.data(), payload.size());
+  EXPECT_FALSE(link.set_b.handle(insane.data(), insane.size(), origin));
+  EXPECT_EQ(link.set_b.rejected(), 1u);
+  EXPECT_EQ(link.receiver->reorder_buffered(), 0u);
+
+  const auto edge_of_window =
+      encode_frame(FrameType::kData, 0, 1, RecvChannel::kMaxReorderWindow - 1,
+                   payload.data(), payload.size());
+  EXPECT_TRUE(
+      link.set_b.handle(edge_of_window.data(), edge_of_window.size(), origin));
+  EXPECT_EQ(link.receiver->reorder_buffered(), 1u);
+}
+
+// --- Real-UDP loopback channel -------------------------------------------
+
+TEST(UdpChannel, LoopbackDeliversInOrder) {
+  UdpTransport a;
+  UdpTransport b;
+  a.add_edge(1, b.local_addr());
+  b.add_edge(1, a.local_addr());
+
+  Rng rng(3);
+  ChannelOptions options;
+  options.retransmit_timeout_ms = 5.0;
+  SendChannel sender(a, rng, 1, options);
+  std::vector<std::uint64_t> received;
+  RecvChannel receiver(
+      b, 1,
+      [&received](const std::uint8_t* payload, std::size_t size,
+                  std::uint8_t) {
+        std::vector<std::uint8_t> buffer(payload, payload + size);
+        std::size_t offset = 0;
+        received.push_back(*protocol::decode_varint(buffer, offset));
+      });
+  ChannelSet set_a;
+  ChannelSet set_b;
+  set_a.add_sender(&sender);
+  set_b.add_receiver(&receiver);
+  a.set_datagram_sink([&set_a](const std::uint8_t* d, std::size_t n,
+                               const Origin& o) { set_a.handle(d, n, o); });
+  b.set_datagram_sink([&set_b](const std::uint8_t* d, std::size_t n,
+                               const Origin& o) { set_b.handle(d, n, o); });
+
+  constexpr std::uint64_t kCount = 100;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    std::vector<std::uint8_t> payload;
+    protocol::encode_varint(i, payload);
+    sender.send(payload.data(), payload.size());
+  }
+  // Real time: pump both endpoints until delivered or a generous deadline.
+  const double deadline = a.now_ms() + 10000.0;
+  while ((received.size() < kCount || sender.unacked() > 0) &&
+         a.now_ms() < deadline) {
+    a.poll(1.0);
+    b.poll(1.0);
+  }
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(received[i], i);
+  EXPECT_EQ(sender.unacked(), 0u);
+  EXPECT_FALSE(sender.faulted());
+}
+
+// --- In-process cluster conformance --------------------------------------
+
+/// (group, sender, payload) per receiver, in delivery order — the trace
+/// shape both executions are reduced to.
+using Trace = std::map<std::uint32_t,
+                       std::vector<std::tuple<std::uint32_t, std::uint32_t,
+                                              std::uint64_t>>>;
+
+Trace reference_trace(const std::vector<pubsub::Delivery>& deliveries) {
+  Trace trace;
+  for (const pubsub::Delivery& d : deliveries) {
+    trace[d.receiver.value()].emplace_back(d.group.value(), d.sender.value(),
+                                           d.payload);
+  }
+  return trace;
+}
+
+/// Replay a committed fuzz scenario on `num_ranks` NodeEngines over a
+/// chaotic SimNet and require the per-receiver delivery traces to equal
+/// the in-memory PubSubSystem's on the same lockstep workload.
+void run_sim_cluster_conformance(const std::string& repro,
+                                 std::uint32_t num_ranks) {
+  const std::string path =
+      std::string(DECSEQ_FUZZ_CORPUS_DIR) + "/" + repro;
+  const fuzz::Scenario scenario = fuzz::load_repro(path);
+  const app::ClusterScript script = app::script_from_scenario(scenario);
+  ASSERT_FALSE(script.ops.empty());
+
+  auto system = app::make_reference_system(script);
+  const app::ClusterConfig config = app::build_cluster_config(
+      *system, num_ranks, /*retransmit_timeout_ms=*/5.0,
+      /*max_retransmits=*/200, /*seed=*/1234);
+  const Trace expected =
+      reference_trace(app::run_reference(script, *system));
+
+  sim::Simulator sim;
+  SimNet net(sim, 4321);
+  net.add_endpoints(num_ranks);
+  SimEdgeOptions chaos;
+  chaos.loss_probability = 0.1;
+  chaos.duplicate_probability = 0.05;
+  chaos.jitter_ms = 1.0;
+  for (const app::EdgeSpec& edge : app::build_edge_table(config)) {
+    if (edge.kind == app::EdgeKind::kControlCommand ||
+        edge.kind == app::EdgeKind::kControlReport ||
+        edge.src_rank == edge.dst_rank) {
+      continue;
+    }
+    net.add_edge(edge.id, edge.src_rank, edge.dst_rank, chaos);
+  }
+
+  Trace actual;
+  std::vector<std::unique_ptr<ChannelSet>> sets;
+  std::vector<std::unique_ptr<app::NodeEngine>> engines;
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    sets.push_back(std::make_unique<ChannelSet>());
+    engines.push_back(std::make_unique<app::NodeEngine>(
+        net.endpoint(r), *sets.back(), config, r,
+        [&actual](NodeId receiver, const protocol::Message& m, double) {
+          if (m.is_fin()) return;  // the facade's log excludes FINs too
+          actual[receiver.value()].emplace_back(
+              m.group().value(), m.sender().value(), m.payload());
+        }));
+    ChannelSet* set = sets.back().get();
+    net.endpoint(r).set_datagram_sink(
+        [set](const std::uint8_t* d, std::size_t n, const Origin& o) {
+          set->handle(d, n, o);
+        });
+  }
+
+  for (const app::ScriptOp& op : script.ops) {
+    const std::uint32_t rank = config.hosts[op.sender].rank;
+    engines[rank]->publish(op.ordinal, NodeId(op.sender), GroupId(op.group),
+                           op.ordinal,
+                           op.kind == app::ScriptOp::Kind::kTerminate);
+    sim.run();  // lockstep: full drain between ops
+  }
+
+  std::size_t delivered = 0;
+  std::size_t fins = 0;
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    EXPECT_EQ(sets[r]->rejected(), 0u) << "rank " << r;
+    EXPECT_EQ(engines[r]->faulted_channels(), 0u) << "rank " << r;
+    delivered += engines[r]->stats().delivered;
+    fins += engines[r]->stats().fins_delivered;
+  }
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(actual, expected);
+  (void)fins;
+}
+
+TEST(SimCluster, ConformsOnCorpusSeed7ThreeRanks) {
+  run_sim_cluster_conformance("seed-7.repro", 3);
+}
+
+TEST(SimCluster, ConformsOnCorpusSeed1FourRanks) {
+  run_sim_cluster_conformance("seed-1.repro", 4);
+}
+
+TEST(SimCluster, ConformsOnHostileSeed2TwoRanks) {
+  run_sim_cluster_conformance("hostile-seed-2.repro", 2);
+}
+
+// --- Control codec -------------------------------------------------------
+
+TEST(ControlCodec, CommandRoundTrips) {
+  app::Command command;
+  command.kind = app::Command::Kind::kTerminate;
+  command.ordinal = 17;
+  command.sender = 3;
+  command.group = 5;
+  command.payload = 0xABCDEF;
+  const auto bytes = app::encode_command(command);
+  const auto decoded = app::decode_command(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, command.kind);
+  EXPECT_EQ(decoded->ordinal, command.ordinal);
+  EXPECT_EQ(decoded->sender, command.sender);
+  EXPECT_EQ(decoded->group, command.group);
+  EXPECT_EQ(decoded->payload, command.payload);
+  EXPECT_FALSE(app::decode_command(bytes.data(), bytes.size() - 1));
+}
+
+TEST(ControlCodec, ReportRoundTrips) {
+  app::Report report;
+  report.kind = app::Report::Kind::kDelivery;
+  report.rank = 2;
+  report.receiver = 9;
+  report.group = 4;
+  report.sender = 11;
+  report.payload = 77;
+  report.group_seq = 13;
+  const auto bytes = app::encode_report(report);
+  const auto decoded = app::decode_report(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, report.kind);
+  EXPECT_EQ(decoded->rank, report.rank);
+  EXPECT_EQ(decoded->receiver, report.receiver);
+  EXPECT_EQ(decoded->group, report.group);
+  EXPECT_EQ(decoded->sender, report.sender);
+  EXPECT_EQ(decoded->payload, report.payload);
+  EXPECT_EQ(decoded->group_seq, report.group_seq);
+  EXPECT_FALSE(app::decode_report(bytes.data(), bytes.size() - 1));
+}
+
+}  // namespace
+}  // namespace decseq::transport
