@@ -1,0 +1,415 @@
+// Zero-downtime reconfiguration benchmark: what does a membership change
+// cost while the system keeps delivering?
+//
+// Two sections, written to BENCH_churn.json (path overridable via
+// DECSEQ_BENCH_JSON):
+//  1. reconfiguration — a live system (paper topology, Zipf groups) takes a
+//     stream of reconfigure_async() batches *mid-traffic*: a burst is
+//     published, the cutover lands while those messages are still in
+//     flight, and a post-cutover burst chases the fences. Per transition it
+//     records the control-plane wall time of the reconfigure_async() call
+//     (incremental overlap + graph delta + placement extension + span
+//     compilation) and the simulated drain time until the last cutover
+//     fence delivers (transition_active() goes false). Afterwards it reads
+//     the network's cumulative gate-held counter and *asserts* that no
+//     message of a group outside any transition's affected closure was
+//     ever stalled — the headline "untouched groups never stop" claim.
+//  2. compile — delta-vs-recompute cost of C1/C2 maintenance: two
+//     SequencingGraphManagers (incremental on/off) replay the identical
+//     single-group join/leave stream at increasing deployment sizes,
+//     timing each apply. The deployment is *blocked* — independent
+//     16-node/8-group overlap components — because that is the regime the
+//     sublinearity claim is about: a single-group delta re-lays only its
+//     own component, so its cost stays flat as more components are added,
+//     while the full recompute tracks the total group count. (Under a
+//     global Zipf workload one giant component contains nearly every
+//     group, and a "delta" honestly costs the same as a rebuild.) The
+//     delta path must beat the full recompute at the largest size
+//     (asserted); the recorded growth factors show the scaling.
+//
+// Environment knobs (besides the bench_util ones):
+//   DECSEQ_BENCH_RUNS — transitions in section 1 (default 10; --quick 3)
+//   DECSEQ_BENCH_JSON — output path for BENCH_churn.json
+// CLI: --quick shrinks the topology, transition count, and compile sweep
+//      for CI smoke runs (the stalled-untouched and delta-beats-full
+//      assertions still run).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "membership/generators.h"
+#include "pubsub/system.h"
+#include "seqgraph/incremental.h"
+
+namespace decseq::bench {
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One reconfigure_async() transition, measured.
+struct TransitionSample {
+  double control_wall_ms = 0.0;  ///< reconfigure_async() call itself
+  double drain_sim_ms = 0.0;     ///< sim time until the fences delivered
+  protocol::ReconfigureReport report;
+  std::size_t affected_groups = 0;  ///< closure size (delta stats)
+  std::size_t atoms_created = 0;
+  std::size_t atoms_retired = 0;
+};
+
+/// Self-rescheduling probe: samples transition_active() every 0.01 sim-ms
+/// and records the first quiescent instant. Copyable so schedule_after can
+/// re-arm it from inside its own firing.
+struct DrainProbe {
+  pubsub::PubSubSystem* system;
+  double started_at;
+  double* out_drain_ms;
+  void operator()() const {
+    if (!system->transition_active()) {
+      *out_drain_ms = system->simulator().now() - started_at;
+      return;
+    }
+    system->simulator().schedule_after(0.01, *this);
+  }
+};
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+}  // namespace decseq::bench
+
+int main(int argc, char** argv) {
+  using namespace decseq;
+  using namespace decseq::bench;
+  using std::printf;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t seed = base_seed();
+  const std::size_t transitions =
+      env_or("DECSEQ_BENCH_RUNS", quick ? 3 : 10);
+  const std::size_t num_groups = 32;
+
+  printf("# churn_bench: zero-downtime reconfiguration, seed %llu, "
+         "%zu groups, %zu transitions%s\n",
+         static_cast<unsigned long long>(seed), num_groups, transitions,
+         quick ? " (quick)" : "");
+
+  // --- 1. Live reconfiguration: latency + messages stalled. ---
+  pubsub::SystemConfig config = paper_config(seed);
+  if (quick) {
+    // CI smoke: a few hundred routers instead of 10,000.
+    config.topology.transit_domains = 2;
+    config.topology.routers_per_transit = 4;
+    config.topology.stubs_per_transit_router = 2;
+    config.topology.routers_per_stub = 16;
+  }
+  pubsub::PubSubSystem system(config);
+  Rng rng(seed + 7);
+  install_zipf_groups(system, rng, num_groups);
+
+  // Every group id value that any transition's affected closure ever
+  // contained (dirty groups + component-mates + created/removed). The
+  // complement is the "untouched" set the stall assertion ranges over.
+  std::set<std::uint32_t> ever_affected;
+  std::vector<TransitionSample> samples;
+  std::uint64_t payload = 0;
+
+  for (std::size_t t = 0; t < transitions; ++t) {
+    const double t0 = system.simulator().now();
+    // Pre-cutover burst: one message per live group, in flight when the
+    // reconfiguration lands.
+    for (const GroupId g : system.membership().live_groups()) {
+      system.publish(rng.pick(system.membership().members(g)), g, payload++);
+    }
+
+    TransitionSample sample;
+    system.simulator().schedule_at(t0 + 0.5, [&] {
+      // Build the batch against the live view: one join, one leave, and on
+      // every third transition a create + remove as well.
+      using Change = pubsub::PubSubSystem::MembershipChange;
+      const auto groups = system.membership().live_groups();
+      std::vector<Change> batch;
+      const GroupId joined = rng.pick(groups);
+      NodeId newcomer(static_cast<unsigned>(
+          rng.next_below(system.membership().num_nodes())));
+      while (system.membership().is_member(joined, newcomer)) {
+        newcomer = NodeId(static_cast<unsigned>(
+            rng.next_below(system.membership().num_nodes())));
+      }
+      batch.push_back(Change::join(joined, newcomer));
+      for (const GroupId g : groups) {
+        if (g != joined && system.membership().members(g).size() >= 3) {
+          batch.push_back(
+              Change::leave(g, rng.pick(system.membership().members(g))));
+          break;
+        }
+      }
+      if (t % 3 == 2 && groups.size() > 4) {
+        std::vector<NodeId> members;
+        while (members.size() < 3) {
+          NodeId n(static_cast<unsigned>(
+              rng.next_below(system.membership().num_nodes())));
+          if (std::find(members.begin(), members.end(), n) == members.end()) {
+            members.push_back(n);
+          }
+        }
+        batch.push_back(Change::create(std::move(members)));
+        for (const GroupId g : groups) {
+          if (g != joined) {
+            batch.push_back(Change::remove(g));
+            break;
+          }
+        }
+      }
+
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = system.reconfigure_async(std::move(batch));
+      sample.control_wall_ms = wall_ms_since(start);
+      sample.report = result.report;
+      sample.affected_groups = result.delta.affected_groups.size();
+      sample.atoms_created = result.delta.atoms_created;
+      sample.atoms_retired = result.delta.atoms_retired;
+      for (const GroupId g : result.delta.affected_groups) {
+        ever_affected.insert(g.value());
+      }
+      for (const GroupId g : result.created) ever_affected.insert(g.value());
+      DrainProbe{&system, system.simulator().now(),
+                 &sample.drain_sim_ms}();
+      // Post-cutover burst: new-epoch traffic chasing the fences — this is
+      // what receiver gates hold (stall) on refenced groups.
+      for (const GroupId g : system.membership().live_groups()) {
+        system.publish(rng.pick(system.membership().members(g)), g,
+                       payload++);
+      }
+    });
+    system.run();
+    DECSEQ_CHECK_MSG(!system.transition_active(),
+                     "transition " << t << " did not drain");
+    printf("reconfig,%zu,control_wall_ms,%.3f,drain_sim_ms,%.3f,"
+           "refenced,%zu,created,%zu,removed,%zu,fences,%zu,affected,%zu,"
+           "atoms_created,%zu,atoms_retired,%zu\n",
+           t, sample.control_wall_ms, sample.drain_sim_ms,
+           sample.report.groups_refenced, sample.report.groups_created,
+           sample.report.groups_removed, sample.report.fences_outstanding,
+           sample.affected_groups, sample.atoms_created,
+           sample.atoms_retired);
+    samples.push_back(sample);
+  }
+
+  // Stall accounting: cumulative messages ever held by a receiver cutover
+  // gate, per group id value. A group no transition ever touched must have
+  // stalled nothing — the zero-downtime claim, asserted.
+  const std::vector<std::size_t> gate_held =
+      system.network().gate_held_by_group();
+  std::size_t stalled_touched = 0, stalled_untouched = 0;
+  for (std::uint32_t g = 0; g < gate_held.size(); ++g) {
+    if (ever_affected.count(g) != 0) {
+      stalled_touched += gate_held[g];
+    } else {
+      stalled_untouched += gate_held[g];
+      DECSEQ_CHECK_MSG(gate_held[g] == 0,
+                       "untouched group " << g << " had " << gate_held[g]
+                                          << " messages stalled by cutover "
+                                             "gates");
+    }
+  }
+  printf("stalled,untouched,%zu,touched,%zu\n", stalled_untouched,
+         stalled_touched);
+
+  std::vector<double> control_ms, drain_ms;
+  for (const TransitionSample& s : samples) {
+    control_ms.push_back(s.control_wall_ms);
+    drain_ms.push_back(s.drain_sim_ms);
+  }
+
+  // --- 2. Delta vs full-recompute C1/C2 compile cost. ---
+  // Blocked deployment: `blocks` independent 16-node neighborhoods, 8
+  // groups each, members drawn within the block — so overlap components
+  // never span blocks and a single-group delta re-lays at most one
+  // 8-group component. Identical join/leave streams (joiners come from
+  // the group's own block, keeping components block-local) go through an
+  // incremental and a full-rebuild manager; sublinearity shows up as the
+  // delta mean staying near-flat across sizes while the full mean tracks
+  // the total group count.
+  constexpr std::size_t kBlockNodes = 16;
+  constexpr std::size_t kBlockGroups = 8;
+  struct CompilePoint {
+    std::size_t groups = 0;
+    std::size_t nodes = 0;
+    double delta_us_mean = 0.0;
+    double full_us_mean = 0.0;
+  };
+  std::vector<std::size_t> sweep_blocks =
+      quick ? std::vector<std::size_t>{2, 4, 8}
+            : std::vector<std::size_t>{4, 8, 16, 32};
+  const std::size_t ops = quick ? 10 : 30;
+  std::vector<CompilePoint> compile;
+  for (const std::size_t blocks : sweep_blocks) {
+    CompilePoint point;
+    point.groups = blocks * kBlockGroups;
+    point.nodes = blocks * kBlockNodes;
+    Rng setup_rng(seed + 11);
+    membership::GroupMembership initial(point.nodes);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t k = 0; k < kBlockGroups; ++k) {
+        std::vector<NodeId> pool;
+        for (std::size_t n = 0; n < kBlockNodes; ++n) {
+          pool.push_back(NodeId(static_cast<unsigned>(b * kBlockNodes + n)));
+        }
+        setup_rng.shuffle(pool);
+        pool.resize(3 + setup_rng.next_below(4));  // 3-6 members
+        initial.add_group(std::move(pool));
+      }
+    }
+    seqgraph::SequencingGraphManager delta_mgr(initial, {},
+                                               /*incremental=*/true);
+    seqgraph::SequencingGraphManager full_mgr(initial, {},
+                                              /*incremental=*/false);
+    Rng op_rng(seed + 13);
+    double delta_us = 0.0, full_us = 0.0;
+    std::size_t timed = 0;
+    for (std::size_t op = 0; op < ops; ++op) {
+      // Pick the op off the delta manager's view; both managers apply the
+      // identical change so their memberships never diverge. Group slots
+      // are allocated in creation order, so slot / kBlockGroups is the
+      // group's block.
+      const auto live = delta_mgr.membership().live_groups();
+      const GroupId g = op_rng.pick(live);
+      const std::size_t block = g.value() / kBlockGroups;
+      const bool join = (op % 2 == 0);
+      NodeId node(static_cast<unsigned>(block * kBlockNodes +
+                                        op_rng.next_below(kBlockNodes)));
+      if (join) {
+        if (delta_mgr.membership().is_member(g, node)) continue;
+      } else {
+        if (delta_mgr.membership().members(g).size() < 3) continue;
+        node = op_rng.pick(delta_mgr.membership().members(g));
+      }
+      const auto d0 = std::chrono::steady_clock::now();
+      if (join) {
+        delta_mgr.add_subscription(g, node);
+      } else {
+        delta_mgr.remove_subscription(g, node);
+      }
+      delta_us += wall_ms_since(d0) * 1e3;
+      const auto f0 = std::chrono::steady_clock::now();
+      if (join) {
+        full_mgr.add_subscription(g, node);
+      } else {
+        full_mgr.remove_subscription(g, node);
+      }
+      full_us += wall_ms_since(f0) * 1e3;
+      ++timed;
+    }
+    point.delta_us_mean = timed == 0 ? 0.0
+                                     : delta_us / static_cast<double>(timed);
+    point.full_us_mean = timed == 0 ? 0.0
+                                    : full_us / static_cast<double>(timed);
+    printf("compile,groups,%zu,nodes,%zu,ops,%zu,delta_us,%.1f,full_us,%.1f,"
+           "speedup,%.2f\n",
+           point.groups, point.nodes, timed, point.delta_us_mean,
+           point.full_us_mean,
+           point.delta_us_mean <= 0.0
+               ? 0.0
+               : point.full_us_mean / point.delta_us_mean);
+    compile.push_back(point);
+  }
+  // The incremental path must beat the global recompute where it matters:
+  // the largest deployment. (Smaller sizes are too noise-prone to gate.)
+  DECSEQ_CHECK_MSG(
+      compile.back().delta_us_mean < compile.back().full_us_mean,
+      "incremental C1/C2 maintenance ("
+          << compile.back().delta_us_mean << "us/op) did not beat the full "
+          << "recompute (" << compile.back().full_us_mean << "us/op) at "
+          << compile.back().groups << " groups");
+
+  // --- BENCH_churn.json ---
+  const char* json_path = std::getenv("DECSEQ_BENCH_JSON");
+  std::ofstream json(json_path != nullptr ? json_path : "BENCH_churn.json");
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"churn\",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"env\": " << env_json() << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"scenario\": {\"hosts\": " << config.hosts.num_hosts
+       << ", \"groups\": " << num_groups
+       << ", \"transitions\": " << transitions << "},\n"
+       << "  \"note\": \"control_wall_ms = reconfigure_async() call "
+          "(incremental overlap+graph delta, placement extension, span "
+          "compilation); drain_sim_ms = simulated time until the last "
+          "cutover fence delivered; stalled counts are cumulative "
+          "gate-held messages, asserted 0 for groups outside every "
+          "affected closure\",\n"
+       << "  \"reconfiguration\": {\n"
+       << "    \"control_wall_ms_mean\": " << mean_of(control_ms) << ",\n"
+       << "    \"drain_sim_ms_mean\": " << mean_of(drain_ms) << ",\n"
+       << "    \"stalled_untouched_total\": " << stalled_untouched << ",\n"
+       << "    \"stalled_touched_total\": " << stalled_touched << ",\n"
+       << "    \"transitions\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TransitionSample& s = samples[i];
+    json << "      {\"control_wall_ms\": " << s.control_wall_ms
+         << ", \"drain_sim_ms\": " << s.drain_sim_ms
+         << ", \"groups_refenced\": " << s.report.groups_refenced
+         << ", \"groups_created\": " << s.report.groups_created
+         << ", \"groups_removed\": " << s.report.groups_removed
+         << ", \"fences\": " << s.report.fences_outstanding
+         << ", \"affected_groups\": " << s.affected_groups
+         << ", \"atoms_created\": " << s.atoms_created
+         << ", \"atoms_retired\": " << s.atoms_retired << "}"
+         << (i + 1 < samples.size() ? ",\n" : "\n");
+  }
+  json << "    ]\n  },\n"
+       << "  \"compile\": {\n"
+       << "    \"ops_per_size\": " << ops << ",\n"
+       << "    \"delta_growth\": "
+       << (compile.front().delta_us_mean <= 0.0
+               ? 0.0
+               : compile.back().delta_us_mean /
+                     compile.front().delta_us_mean)
+       << ",\n"
+       << "    \"full_growth\": "
+       << (compile.front().full_us_mean <= 0.0
+               ? 0.0
+               : compile.back().full_us_mean / compile.front().full_us_mean)
+       << ",\n"
+       << "    \"sizes\": [\n";
+  for (std::size_t i = 0; i < compile.size(); ++i) {
+    const CompilePoint& p = compile[i];
+    json << "      {\"groups\": " << p.groups << ", \"nodes\": " << p.nodes
+         << ", \"delta_us_mean\": " << p.delta_us_mean
+         << ", \"full_us_mean\": " << p.full_us_mean << ", \"speedup\": "
+         << (p.delta_us_mean <= 0.0 ? 0.0
+                                    : p.full_us_mean / p.delta_us_mean)
+         << "}" << (i + 1 < compile.size() ? ",\n" : "\n");
+  }
+  json << "    ]\n  }\n}\n";
+  json.flush();
+  if (!json.good()) {
+    std::fprintf(stderr, "error: could not write %s\n",
+                 json_path != nullptr ? json_path : "BENCH_churn.json");
+    return 1;
+  }
+  return 0;
+}

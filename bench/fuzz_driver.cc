@@ -10,9 +10,10 @@
 //
 // Usage:
 //   fuzz_driver [--seed S] [--count N] [--budget-ms B] [--out DIR]
-//               [--max-shrink-runs R] [--hostile] [--inject-stamp-bug]
+//               [--max-shrink-runs R] [--hostile] [--churn]
+//               [--inject-stamp-bug]
 //   fuzz_driver --replay FILE [FILE...]
-//   fuzz_driver [--hostile] --seed S --emit FILE
+//   fuzz_driver [--hostile] [--churn] --seed S --emit FILE
 //
 //   --seed S            base seed; scenario i uses seed S + i (default 1)
 //   --count N           scenarios to run (default 50)
@@ -23,10 +24,16 @@
 //   --hostile           host-fault-focused generation: much higher odds of
 //                       sequencer crashes, publisher crashes, cluster
 //                       partitions, and tiny channel retransmit budgets
+//   --churn             reconfiguration-focused generation: more phases,
+//                       near-certain group creation per boundary, and more
+//                       join/leave ops per batch (composes with --hostile)
 //   --inject-stamp-bug  disable receiver stamp validation (the hidden bug
 //                       the fuzzer must find; self-test / demo only)
 //   --replay FILE...    re-execute saved repros instead of sweeping
 //   --emit FILE         write the scenario for --seed as a repro, no run
+//
+// Membership ops the runner had to skip (lost scenario weight) are printed
+// per scenario; the generator's validation should keep them rare.
 //
 // Exit status: 0 all scenarios passed, 1 any oracle violation, 2 usage.
 #include <chrono>
@@ -57,11 +64,13 @@ struct Options {
   std::string out = ".";
   std::size_t max_shrink_runs = 400;
   bool hostile = false;
+  bool churn = false;
   bool inject_stamp_bug = false;
   std::vector<std::string> replays;
   std::string emit;
 
-  /// Generator knobs for this run; --hostile cranks every fault kind.
+  /// Generator knobs for this run; --hostile cranks every fault kind,
+  /// --churn cranks reconfiguration pressure.
   [[nodiscard]] fuzz::GeneratorOptions generator() const {
     fuzz::GeneratorOptions gen;
     if (hostile) {
@@ -69,6 +78,11 @@ struct Options {
       gen.publisher_crash_probability = 0.6;
       gen.partition_probability = 0.5;
       gen.small_budget_probability = 0.5;
+    }
+    if (churn) {
+      gen.max_phases = 5;
+      gen.reconfigure_probability = 0.95;
+      gen.max_churn_ops_per_phase = 4;
     }
     return gen;
   }
@@ -105,6 +119,8 @@ Options parse_args(int argc, char** argv) {
       opt.max_shrink_runs = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--hostile") {
       opt.hostile = true;
+    } else if (arg == "--churn") {
+      opt.churn = true;
     } else if (arg == "--inject-stamp-bug") {
       opt.inject_stamp_bug = true;
     } else if (arg == "--replay") {
@@ -121,24 +137,35 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-/// Run one scenario and report the first violated oracle.
-std::optional<fuzz::OracleVerdict> check(const fuzz::Scenario& scenario,
-                                         const std::vector<fuzz::Oracle>& set) {
+/// Run one scenario and report the first violated oracle. When `skipped` is
+/// given, it receives the runner's skipped-membership-op log.
+std::optional<fuzz::OracleVerdict> check(
+    const fuzz::Scenario& scenario, const std::vector<fuzz::Oracle>& set,
+    std::vector<std::string>* skipped = nullptr) {
   const fuzz::RunTrace trace = fuzz::run_scenario(scenario);
+  if (skipped != nullptr) *skipped = trace.skipped_membership_ops;
   return fuzz::check_oracles(trace, set);
+}
+
+void print_skips(const std::vector<std::string>& skipped) {
+  for (const std::string& entry : skipped) {
+    std::printf("     skipped membership op: %s\n", entry.c_str());
+  }
 }
 
 int replay_files(const Options& opt, const std::vector<fuzz::Oracle>& set) {
   int failures = 0;
   for (const std::string& path : opt.replays) {
     const fuzz::Scenario scenario = fuzz::load_repro(path);
-    if (const auto verdict = check(scenario, set)) {
+    std::vector<std::string> skipped;
+    if (const auto verdict = check(scenario, set, &skipped)) {
       std::printf("FAIL %s: [%s] %s\n", path.c_str(),
                   verdict->oracle.c_str(), verdict->detail.c_str());
       ++failures;
     } else {
       std::printf("PASS %s: %s\n", path.c_str(), scenario.summary().c_str());
     }
+    print_skips(skipped);
   }
   return failures == 0 ? 0 : 1;
 }
@@ -158,10 +185,12 @@ int sweep(const Options& opt, const std::vector<fuzz::Oracle>& set) {
     const fuzz::Scenario scenario = fuzz::generate_scenario(seed,
                                                             opt.generator());
     ++ran;
-    const auto verdict = check(scenario, set);
+    std::vector<std::string> skipped;
+    const auto verdict = check(scenario, set, &skipped);
     if (!verdict) {
       std::printf("ok   seed %" PRIu64 ": %s\n", seed,
                   scenario.summary().c_str());
+      print_skips(skipped);
       continue;
     }
     ++failures;

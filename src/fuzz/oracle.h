@@ -97,6 +97,13 @@ struct RunTrace {
   /// Edges still in the fault state after a phase drained ("phase P:
   /// A->B"); recovery should have cleared every one.
   std::vector<std::string> stuck_channel_faults;
+  /// Membership ops the runner skipped as meaningless ("phase P: <why>") —
+  /// a dead target group, a join of an existing member, a leave that would
+  /// empty a group, a create with no in-range members. The generator
+  /// validates churn targets at generation time, so generated scenarios
+  /// apply their batches near-fully; shrunk or mutated ones may skip. The
+  /// driver logs these so lost scenario weight is visible, not silent.
+  std::vector<std::string> skipped_membership_ops;
   bool threw = false;
   std::string exception_what;
 

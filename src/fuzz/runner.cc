@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <exception>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -102,14 +104,53 @@ void execute(const Scenario& s, const RunnerOptions& options,
       }
     }
     // kCreate ops claim scenario indices in traversal order; remember which
-    // ones actually ran so reconfigure()'s returned ids line up.
+    // ones actually ran so reconfigure()'s returned ids line up. A skipped
+    // op is recorded: the generator validates its batches, so for generated
+    // scenarios this list staying empty is itself a tested property.
+    const auto skip = [&trace, p](const MembershipOp& op, const char* why) {
+      std::ostringstream entry;
+      entry << "phase " << p << ": ";
+      switch (op.kind) {
+        case MembershipOp::Kind::kCreate: entry << "create"; break;
+        case MembershipOp::Kind::kRemove: entry << "remove g" << op.group;
+          break;
+        case MembershipOp::Kind::kJoin:
+          entry << "join g" << op.group << " n" << op.node;
+          break;
+        case MembershipOp::Kind::kLeave:
+          entry << "leave g" << op.group << " n" << op.node;
+          break;
+      }
+      entry << " (" << why << ")";
+      trace.skipped_membership_ops.push_back(entry.str());
+    };
     std::vector<std::uint32_t> created_indices;
+    // Effective member sets for groups touched earlier in this batch:
+    // reconfigure() applies ops sequentially, so validating each op
+    // against the pre-batch membership alone would let a duplicated
+    // join/leave pair both pass and the second CHECK-fail mid-batch.
+    std::map<std::uint32_t, std::set<unsigned>> batch_members;
+    const auto effective_members =
+        [&](std::uint32_t g) -> std::set<unsigned>& {
+      auto it = batch_members.find(g);
+      if (it == batch_members.end()) {
+        std::set<unsigned> members;
+        for (const NodeId n : system.membership().members(group_ids[g])) {
+          members.insert(n.value());
+        }
+        it = batch_members.emplace(g, std::move(members)).first;
+      }
+      return it->second;
+    };
     for (const MembershipOp& op : phase.reconfig) {
       switch (op.kind) {
         case MembershipOp::Kind::kCreate: {
           const std::uint32_t index = next_group_index++;
           auto members = normalize_members(op.members, s.num_hosts);
-          if (members.empty()) break;  // index stays claimed, id invalid
+          if (members.empty()) {  // index stays claimed, id invalid
+            skip(op, "no in-range members");
+            break;
+          }
           created_indices.push_back(index);
           batch.push_back(pubsub::PubSubSystem::MembershipChange::create(
               std::move(members)));
@@ -120,25 +161,41 @@ void execute(const Scenario& s, const RunnerOptions& options,
             batch.push_back(pubsub::PubSubSystem::MembershipChange::remove(
                 group_ids[op.group]));
             group_ids[op.group] = GroupId();
+          } else {
+            skip(op, "group not alive");
           }
           break;
         case MembershipOp::Kind::kJoin:
-          if (alive(op.group) && op.node < s.num_hosts &&
-              !system.membership().is_member(group_ids[op.group],
-                                             NodeId(op.node))) {
+          if (!alive(op.group) || op.node >= s.num_hosts) {
+            skip(op, !alive(op.group) ? "group not alive"
+                                      : "node out of range");
+            break;
+          }
+          if (std::set<unsigned>& members = effective_members(op.group);
+              members.insert(op.node).second) {
             batch.push_back(pubsub::PubSubSystem::MembershipChange::join(
                 group_ids[op.group], NodeId(op.node)));
+          } else {
+            skip(op, "already a member");
           }
           break;
         case MembershipOp::Kind::kLeave:
+          if (!alive(op.group) || op.node >= s.num_hosts) {
+            skip(op, !alive(op.group) ? "group not alive"
+                                      : "node out of range");
+            break;
+          }
           // Never leave down to an empty group: implicit group death would
           // make later ops' meaning depend on op order in surprising ways.
-          if (alive(op.group) && op.node < s.num_hosts &&
-              system.membership().is_member(group_ids[op.group],
-                                            NodeId(op.node)) &&
-              system.membership().members(group_ids[op.group]).size() > 1) {
+          if (std::set<unsigned>& members = effective_members(op.group);
+              members.contains(op.node) && members.size() > 1) {
+            members.erase(op.node);
             batch.push_back(pubsub::PubSubSystem::MembershipChange::leave(
                 group_ids[op.group], NodeId(op.node)));
+          } else {
+            skip(op, !effective_members(op.group).contains(op.node)
+                         ? "not a member"
+                         : "would empty the group");
           }
           break;
       }

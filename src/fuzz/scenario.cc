@@ -128,29 +128,46 @@ Scenario generate_scenario(std::uint64_t seed,
       }
     } else {
       // Churn: maybe remove a group, maybe add one, maybe join/leave.
+      // Groups created in this same batch are not valid join/leave targets:
+      // the runner resolves scenario indices to GroupIds only after the
+      // whole batch applies, so an op naming a same-batch create would be
+      // skipped at run time — dead scenario weight the sweep silently lost.
+      const std::uint32_t phase_first_new = total_group_count;
       if (!alive.empty() && rng.next_bool(0.4)) {
         const std::size_t pick = rng.next_below(alive.size());
         phase.reconfig.push_back(
             {MembershipOp::Kind::kRemove, alive[pick], 0, {}});
         alive.erase(alive.begin() + static_cast<long>(pick));
       }
-      if (rng.next_bool(0.6)) {
+      if (rng.next_bool(options.reconfigure_probability)) {
         phase.reconfig.push_back(
             {MembershipOp::Kind::kCreate, 0, 0,
              random_members(rng, s.num_hosts, s.num_hosts / 2 + 2)});
         alive.push_back(total_group_count++);
       }
-      const std::size_t churn = rng.next_below(3);
+      const std::size_t churn =
+          rng.next_below(options.max_churn_ops_per_phase + 1);
       for (std::size_t c = 0; c < churn && !alive.empty(); ++c) {
-        const std::uint32_t g =
-            alive[rng.next_below(alive.size())];
+        // Draw order (group, node, kind) is fixed; validation below must
+        // not consume draws, or it would reshuffle every later feature.
+        std::uint32_t g = alive[rng.next_below(alive.size())];
         const std::uint32_t node =
             static_cast<std::uint32_t>(rng.next_below(s.num_hosts));
-        phase.reconfig.push_back(rng.next_bool(0.5)
-                                     ? MembershipOp{MembershipOp::Kind::kJoin,
-                                                    g, node, {}}
-                                     : MembershipOp{MembershipOp::Kind::kLeave,
-                                                    g, node, {}});
+        const bool join = rng.next_bool(0.5);
+        if (g >= phase_first_new) {
+          // The draw landed on this batch's own create: retarget to a
+          // pre-batch group (deterministically, no extra draws), or drop
+          // the op when none survives.
+          std::vector<std::uint32_t> eligible;
+          for (const std::uint32_t a : alive) {
+            if (a < phase_first_new) eligible.push_back(a);
+          }
+          if (eligible.empty()) continue;
+          g = eligible[g % eligible.size()];
+        }
+        phase.reconfig.push_back(
+            join ? MembershipOp{MembershipOp::Kind::kJoin, g, node, {}}
+                 : MembershipOp{MembershipOp::Kind::kLeave, g, node, {}});
       }
     }
     live_group_count = static_cast<std::uint32_t>(alive.size());

@@ -167,6 +167,12 @@ struct GeneratorOptions {
   /// so ordinary crash/partition windows outlast it and the surfaced
   /// channel-fault path (not just the happy retransmit path) is exercised.
   double small_budget_probability = 0.25;
+  /// Chance a churn phase creates a new group at its boundary. The hostile
+  /// sweep's --churn mode cranks this (and the churn-op cap below) so most
+  /// phases reconfigure.
+  double reconfigure_probability = 0.6;
+  /// Per churn phase, up to this many join/leave ops at the boundary.
+  std::uint32_t max_churn_ops_per_phase = 2;
 };
 
 /// Deterministically derive a scenario from a 64-bit seed: same seed, same

@@ -125,6 +125,23 @@ ShrinkResult shrink(const Scenario& scenario,
           break;
         }
       }
+      if (progress) continue;
+      // Pair removal: group removal reshapes placement and jitter draws
+      // enough that dropping any *single* group can lose the repro while
+      // dropping two restores it — a local minimum the quadratic pass
+      // escapes. Groups are few by this point, so the pass stays cheap.
+      for (std::uint32_t g = static_cast<std::uint32_t>(best.num_groups());
+           !progress && g-- > 1;) {
+        for (std::uint32_t h = g; h-- > 0;) {
+          if (best.num_groups() <= 2 || !budget_left()) break;
+          // g > h, so removing g first leaves h's index unchanged.
+          if (accept(remove_scenario_group(
+                  remove_scenario_group(best, g), h))) {
+            shrank = progress = true;
+            break;
+          }
+        }
+      }
     }
     return shrank;
   };

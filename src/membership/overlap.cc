@@ -101,6 +101,67 @@ OverlapIndex::OverlapIndex(const GroupMembership& membership,
   build_adjacency_and_components(membership);
 }
 
+OverlapIndex::OverlapIndex(const OverlapIndex& previous,
+                           const GroupMembership& membership,
+                           const std::vector<GroupId>& dirty) {
+  by_group_.resize(membership.num_group_slots());
+  component_of_.assign(membership.num_group_slots(),
+                       std::numeric_limits<std::size_t>::max());
+
+  std::vector<char> is_dirty(membership.num_group_slots(), 0);
+  for (const GroupId g : dirty) {
+    if (g.valid() && g.value() < is_dirty.size()) is_dirty[g.value()] = 1;
+  }
+
+  // Survivors: overlaps touching no dirty group carry over verbatim —
+  // neither endpoint's membership changed, so the pair and its shared
+  // member list are unchanged. (Endpoints of `previous` overlaps always
+  // fit the new slot table: slots are never reused.)
+  for (const Overlap& o : previous.overlaps_) {
+    if (is_dirty[o.first.value()] || is_dirty[o.second.value()]) continue;
+    overlaps_.push_back(o);
+    ++stats_.delta_copied;
+  }
+
+  // Recompute each dirty live group's overlaps from the inverted index:
+  // count co-subscriptions of its members, confirm pairs with >= 2 shared
+  // nodes. A dirty-dirty pair is found from both sides; keep the
+  // lower-slot orientation only.
+  std::vector<char> recomputed(membership.num_group_slots(), 0);
+  for (const GroupId d : dirty) {
+    if (!d.valid() || !membership.is_alive(d)) continue;
+    if (recomputed[d.value()] != 0) continue;  // duplicate dirty entry
+    recomputed[d.value()] = 1;
+    std::unordered_map<std::uint32_t, std::uint32_t> counts;
+    for (const NodeId n : membership.members(d)) {
+      for (const GroupId g : membership.subscriptions(n)) {
+        if (g == d) continue;
+        ++counts[g.value()];
+        ++stats_.pair_increments;
+      }
+    }
+    for (const auto& [other_slot, count] : counts) {
+      if (count < 2) continue;
+      const GroupId other(static_cast<GroupId::underlying_type>(other_slot));
+      if (is_dirty[other_slot] && d.value() > other_slot) continue;
+      const GroupId a = d.value() < other_slot ? d : other;
+      const GroupId b = d.value() < other_slot ? other : d;
+      overlaps_.push_back({a, b, membership.intersect(a, b)});
+      ++stats_.delta_recomputed;
+    }
+  }
+  stats_.candidate_pairs = stats_.delta_recomputed;
+
+  // Restore the fresh build's (first, second) order; survivors and
+  // recomputed pairs are disjoint sets, so this is a pure reordering.
+  std::sort(overlaps_.begin(), overlaps_.end(),
+            [](const Overlap& x, const Overlap& y) {
+              if (x.first != y.first) return x.first.value() < y.first.value();
+              return x.second.value() < y.second.value();
+            });
+  build_adjacency_and_components(membership);
+}
+
 void OverlapIndex::build_streaming(const GroupMembership& membership) {
   // Phase 1 — streaming candidate generation: every node emits its
   // co-subscription pairs into the flat accumulator. Total work is

@@ -55,6 +55,18 @@ class OverlapIndex {
   explicit OverlapIndex(const GroupMembership& membership,
                         OverlapBuild mode = OverlapBuild::kStreaming);
 
+  /// Delta rebuild: recompute only the overlaps incident to `dirty` groups,
+  /// carrying every other overlap over from `previous` verbatim (a group's
+  /// overlaps and shared-member lists can only change when its own
+  /// membership does). `membership` is the post-change table; `previous`
+  /// must have been built against the same table before the dirty groups
+  /// changed. Produces an index identical to a fresh build — same overlaps
+  /// in the same order, same members, same components (asserted by a
+  /// differential test) — at cost O(E + Σ_{n ∈ members(dirty)} k_n) instead
+  /// of the full O(Σ_node k_node²) streaming pass.
+  OverlapIndex(const OverlapIndex& previous, const GroupMembership& membership,
+               const std::vector<GroupId>& dirty);
+
   [[nodiscard]] std::size_t num_overlaps() const { return overlaps_.size(); }
   [[nodiscard]] const std::vector<Overlap>& overlaps() const {
     return overlaps_;
@@ -88,6 +100,8 @@ class OverlapIndex {
     std::size_t pair_increments = 0;  ///< Σ_node k_node·(k_node-1)/2
     std::size_t rows_built = 0;       ///< succinct probe rows materialized
     std::size_t row_bytes = 0;        ///< their total heap bytes
+    std::size_t delta_copied = 0;     ///< overlaps carried over (delta build)
+    std::size_t delta_recomputed = 0; ///< overlaps recomputed (delta build)
   };
   [[nodiscard]] const BuildStats& build_stats() const { return stats_; }
 

@@ -4,6 +4,28 @@
 
 namespace decseq::placement {
 
+namespace {
+
+RouterId random_router(const topology::Graph& network, Rng& rng) {
+  return RouterId(static_cast<RouterId::underlying_type>(
+      rng.next_below(network.num_routers())));
+}
+
+/// "Neighboring machine": the router adjacent to `at` over the cheapest
+/// link, so consecutive path hops stay one short link apart.
+RouterId neighboring_router(const topology::Graph& network, RouterId at) {
+  const auto& edges = network.neighbors(at);
+  if (edges.empty()) return at;
+  const auto best = std::min_element(
+      edges.begin(), edges.end(),
+      [](const topology::Edge& a, const topology::Edge& b) {
+        return a.delay_ms < b.delay_ms;
+      });
+  return best->to;
+}
+
+}  // namespace
+
 std::vector<SeqNodeId> seq_node_path(const seqgraph::SequencingGraph& graph,
                                      const Colocation& colocation,
                                      GroupId g) {
@@ -23,23 +45,6 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
                            const AssignmentOptions& options, Rng& rng) {
   std::vector<RouterId> machine(colocation.num_nodes(), RouterId{});
 
-  auto random_router = [&] {
-    return RouterId(static_cast<RouterId::underlying_type>(
-        rng.next_below(network.num_routers())));
-  };
-  // "Neighboring machine": the router adjacent to `at` over the cheapest
-  // link, so consecutive path hops stay one short link apart.
-  auto neighboring_router = [&](RouterId at) {
-    const auto& edges = network.neighbors(at);
-    if (edges.empty()) return at;
-    const auto best = std::min_element(
-        edges.begin(), edges.end(),
-        [](const topology::Edge& a, const topology::Edge& b) {
-          return a.delay_ms < b.delay_ms;
-        });
-    return best->to;
-  };
-
   // Ingress-only sequencing nodes sit at a random member's attachment
   // router regardless of mode.
   for (const seqgraph::Atom& atom : graph.atoms()) {
@@ -52,7 +57,7 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
 
   if (options.mode == AssignmentMode::kAllRandom) {
     for (std::size_t n = 0; n < machine.size(); ++n) {
-      if (!machine[n].valid()) machine[n] = random_router();
+      if (!machine[n].valid()) machine[n] = random_router(network, rng);
     }
     return Assignment(std::move(machine));
   }
@@ -74,7 +79,7 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
       machine[path.front().value()] =
           options.seed == SeedPolicy::kGroupMember
               ? hosts.router_of(rng.pick(membership.members(g)))
-              : random_router();
+              : random_router(network, rng);
     }
 
     // Repeatedly place the unassigned node adjacent (on the path) to an
@@ -92,7 +97,7 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
           anchor = machine[path[i + 1].value()];
         }
         if (anchor.valid()) {
-          machine[path[i].value()] = neighboring_router(anchor);
+          machine[path[i].value()] = neighboring_router(network, anchor);
           progress = true;
         }
       }
@@ -107,6 +112,77 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
   }
 
   return Assignment(std::move(machine));
+}
+
+void extend_assignment(Assignment& assignment,
+                       const seqgraph::SequencingGraph& graph,
+                       const Colocation& colocation,
+                       const membership::GroupMembership& membership,
+                       const topology::HostMap& hosts,
+                       const topology::Graph& network,
+                       const AssignmentOptions& options, Rng& rng,
+                       const std::vector<GroupId>& affected,
+                       std::size_t first_new_atom) {
+  assignment.resize(colocation.num_nodes());
+
+  // Appended ingress-only sequencing nodes: random member's router, same as
+  // the full pass.
+  for (std::size_t i = first_new_atom; i < graph.num_atoms(); ++i) {
+    const seqgraph::Atom& atom = graph.atoms()[i];
+    if (!atom.is_ingress_only()) continue;
+    const SeqNodeId n = colocation.node_of(atom.id);
+    if (assignment.assigned(n)) continue;
+    const auto& members = membership.members(atom.group_a);
+    DECSEQ_CHECK(!members.empty());
+    assignment.place(n, hosts.router_of(rng.pick(members)));
+  }
+
+  if (options.mode == AssignmentMode::kAllRandom) {
+    for (std::size_t n = 0; n < colocation.num_nodes(); ++n) {
+      const SeqNodeId id(static_cast<SeqNodeId::underlying_type>(n));
+      if (!assignment.assigned(id)) {
+        assignment.place(id, random_router(network, rng));
+      }
+    }
+    return;
+  }
+
+  // §3.4 heuristic on behalf of each affected group only; paths of
+  // untouched groups are fully assigned already and are not revisited.
+  for (const GroupId g : affected) {
+    if (!graph.has_path(g)) continue;  // removed by this reconfiguration
+    const std::vector<SeqNodeId> path = seq_node_path(graph, colocation, g);
+    if (std::none_of(path.begin(), path.end(), [&](SeqNodeId n) {
+          return assignment.assigned(n);
+        })) {
+      assignment.place(path.front(),
+                       options.seed == SeedPolicy::kGroupMember
+                           ? hosts.router_of(rng.pick(membership.members(g)))
+                           : random_router(network, rng));
+    }
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        if (assignment.assigned(path[i])) continue;
+        RouterId anchor{};
+        if (i > 0 && assignment.assigned(path[i - 1])) {
+          anchor = assignment.machine_of(path[i - 1]);
+        } else if (i + 1 < path.size() && assignment.assigned(path[i + 1])) {
+          anchor = assignment.machine_of(path[i + 1]);
+        }
+        if (anchor.valid()) {
+          assignment.place(path[i], neighboring_router(network, anchor));
+          progress = true;
+        }
+      }
+    }
+    for (const SeqNodeId n : path) {
+      DECSEQ_CHECK_MSG(assignment.assigned(n),
+                       "unassigned sequencing node " << n << " for group "
+                                                     << g);
+    }
+  }
 }
 
 }  // namespace decseq::placement

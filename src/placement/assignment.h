@@ -58,6 +58,21 @@ class Assignment {
     return machine_of_node_.size();
   }
 
+  /// Delta-extension support: grow to `n` sequencing nodes, the new ones
+  /// unassigned (extend_assignment fills them in).
+  void resize(std::size_t n) {
+    if (n > machine_of_node_.size()) machine_of_node_.resize(n, RouterId{});
+  }
+  [[nodiscard]] bool assigned(SeqNodeId node) const {
+    return node.valid() && node.value() < machine_of_node_.size() &&
+           machine_of_node_[node.value()].valid();
+  }
+  void place(SeqNodeId node, RouterId machine) {
+    DECSEQ_CHECK(node.valid() && node.value() < machine_of_node_.size());
+    DECSEQ_CHECK(machine.valid());
+    machine_of_node_[node.value()] = machine;
+  }
+
  private:
   std::vector<RouterId> machine_of_node_;
 };
@@ -77,5 +92,20 @@ class Assignment {
 [[nodiscard]] std::vector<SeqNodeId> seq_node_path(
     const seqgraph::SequencingGraph& graph, const Colocation& colocation,
     GroupId g);
+
+/// Extend `assignment` in place after a delta graph rebuild: the sequencing
+/// nodes Colocation::extend appended for atoms >= `first_new_atom` get
+/// machines via the same §3.4 per-group heuristic, run only on behalf of
+/// the `affected` groups. Already-assigned nodes are never moved —
+/// old-epoch traffic keeps draining where it was.
+void extend_assignment(Assignment& assignment,
+                       const seqgraph::SequencingGraph& graph,
+                       const Colocation& colocation,
+                       const membership::GroupMembership& membership,
+                       const topology::HostMap& hosts,
+                       const topology::Graph& network,
+                       const AssignmentOptions& options, Rng& rng,
+                       const std::vector<GroupId>& affected,
+                       std::size_t first_new_atom);
 
 }  // namespace decseq::placement

@@ -122,6 +122,35 @@ Colocation::Colocation(std::vector<std::vector<AtomId>> nodes,
   }
 }
 
+void Colocation::extend(const SequencingGraph& graph,
+                        std::size_t first_new_atom,
+                        const std::vector<std::size_t>& labels) {
+  DECSEQ_CHECK_MSG(node_of_atom_.size() == first_new_atom,
+                   "colocation extension must start at the first appended "
+                   "atom");
+  node_of_atom_.resize(graph.num_atoms());
+  std::vector<std::size_t> dense(labels.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = first_new_atom; i < graph.num_atoms(); ++i) {
+    const Atom& atom = graph.atoms()[i];
+    std::size_t node;
+    if (atom.is_ingress_only()) {
+      node = nodes_.size();
+      nodes_.emplace_back();
+    } else {
+      DECSEQ_CHECK(atom.overlap_index < labels.size());
+      std::size_t& d = dense[labels[atom.overlap_index]];
+      if (d == static_cast<std::size_t>(-1)) {
+        d = nodes_.size();
+        nodes_.emplace_back();
+      }
+      node = d;
+    }
+    nodes_[node].push_back(atom.id);
+    node_of_atom_[i] =
+        SeqNodeId(static_cast<SeqNodeId::underlying_type>(node));
+  }
+}
+
 std::size_t Colocation::num_overlap_nodes(
     const SequencingGraph& graph) const {
   std::size_t count = 0;

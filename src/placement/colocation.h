@@ -68,6 +68,17 @@ class Colocation {
     return node_of_atom_[atom.value()];
   }
 
+  /// Delta-rebuild extension: absorb the atoms appended at or beyond
+  /// `first_new_atom` by a build_sequencing_graph_delta pass. Existing
+  /// atoms keep their sequencing nodes (old-epoch traffic still resolves
+  /// them); appended atoms cluster among themselves by the new overlap
+  /// labels — the same rule apply_labels() uses, restricted to the suffix —
+  /// on *fresh* sequencing nodes. (apply_labels itself cannot run on a
+  /// delta graph: retired atoms have no overlap index.)
+  void extend(const seqgraph::SequencingGraph& graph,
+              std::size_t first_new_atom,
+              const std::vector<std::size_t>& labels);
+
  private:
   std::vector<std::vector<AtomId>> nodes_;
   std::vector<SeqNodeId> node_of_atom_;

@@ -81,6 +81,14 @@ class PayloadBlock : public common::RefPooled<PayloadBlock> {
   /// sequence space. Sequencers that see it retire lazily; receivers close
   /// the group after delivering it.
   [[nodiscard]] bool is_fin() const { return is_fin_; }
+  /// Reconfiguration cutover fence: the *last* message of its group's old
+  /// routing epoch. It consumes a group sequence number and the old atoms'
+  /// stamps like a data message, so delivering it proves every old-epoch
+  /// message of the group has been delivered; receivers gate new-epoch
+  /// traffic on it (see protocol/network.h "Zero-downtime
+  /// reconfiguration"). A fence with is_fin() set additionally closes the
+  /// group (the group was removed by the reconfiguration).
+  [[nodiscard]] bool is_fence() const { return is_fence_; }
 
  private:
   friend class common::RefPooled<PayloadBlock>;
@@ -89,7 +97,7 @@ class PayloadBlock : public common::RefPooled<PayloadBlock> {
 
   void init(MsgId id, GroupId group, NodeId sender, sim::Time sent_at,
             std::uint64_t payload, const std::uint8_t* body,
-            std::size_t body_size, bool is_fin) {
+            std::size_t body_size, bool is_fin, bool is_fence = false) {
     id_ = id;
     group_ = group;
     sender_ = sender;
@@ -97,6 +105,7 @@ class PayloadBlock : public common::RefPooled<PayloadBlock> {
     payload_ = payload;
     body_.assign(body, body + body_size);  // the one ingress copy
     is_fin_ = is_fin;
+    is_fence_ = is_fence;
   }
 
   void recycle() {
@@ -110,6 +119,7 @@ class PayloadBlock : public common::RefPooled<PayloadBlock> {
   std::uint64_t payload_ = 0;
   BodyBytes body_;
   bool is_fin_ = false;
+  bool is_fence_ = false;
 };
 
 using PayloadRef = common::RefPtr<PayloadBlock>;
@@ -144,6 +154,13 @@ struct Message {
   /// per-hop forwarding decision two array loads (see
   /// SequencingNetwork::handle_at_atom). Reset to 0 by the codec on decode.
   std::uint32_t path_pos = 0;
+  /// Routing epoch whose compiled tables sequenced this message, assigned
+  /// with group_seq at ingress. During a zero-downtime reconfiguration a
+  /// group's old and new epochs drain concurrently: epoch selects the hop
+  /// span and fan-out plan (old messages finish on old routes), and
+  /// receivers gate new-epoch delivery on the old epoch's cutover fence.
+  /// Transient routing state, like path_pos.
+  std::uint32_t epoch = 0;
   /// Stamps collected along the group's sequencing path, in path order.
   StampVec stamps;
 

@@ -1,6 +1,7 @@
 #include "protocol/network.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/log.h"
@@ -32,6 +33,7 @@ class SharedMessage : public common::RefPooled<SharedMessage> {
     message_.stamps.clear();  // keeps any spilled stamp capacity
     message_.group_seq = 0;
     message_.path_pos = 0;
+    message_.epoch = 0;
   }
 
   Message message_;
@@ -98,12 +100,41 @@ SequencingNetwork::SequencingNetwork(
     if (subs.empty()) continue;
     receivers_[n] = std::make_unique<Receiver>(
         node, std::move(subs), relevant_atoms_for(node, graph),
-        [this, node](const Message& m, sim::Time at) {
-          tracer_.record({TraceEvent::Kind::kDelivered, m.id(), at, AtomId{},
-                          SeqNodeId{}, node, 0});
-          if (on_delivery_) on_delivery_(node, m, at);
-        });
+        local_delivery_fn(node));
   }
+}
+
+Receiver::DeliverFn SequencingNetwork::local_delivery_fn(NodeId node) {
+  return [this, node](const Message& m, sim::Time at) {
+    if (m.data->is_fence()) {
+      // A cutover fence is control plane: it drains the transition instead
+      // of surfacing as a delivery.
+      DECSEQ_CHECK(fences_outstanding_ > 0);
+      --fences_outstanding_;
+      return;
+    }
+    tracer_.record({TraceEvent::Kind::kDelivered, m.id(), at, AtomId{},
+                    SeqNodeId{}, node, 0});
+    if (on_delivery_) on_delivery_(node, m, at);
+  };
+}
+
+Receiver::DeliverFn SequencingNetwork::shard_delivery_fn(NodeId node,
+                                                         std::uint32_t s) {
+  return [this, node, s](const Message& m, sim::Time at) {
+    // Cross back to the coordinator as plain data: payload blocks are
+    // pooled per thread and must not leave this shard. An old-epoch
+    // delivery (sequenced before its group's cutover fence — the fence
+    // itself included) keeps the previous epoch's unit as its merge key:
+    // that is the stream it was sequenced in.
+    const GroupRoute& route = group_routes_[m.group().value()];
+    const std::uint32_t unit =
+        m.epoch != route.epoch ? route.prev_unit : route.unit;
+    engine_->push_delivery(s, {node, m.id(), m.group(), m.sender(),
+                               m.payload(), m.sent_at(), at, unit,
+                               engine_->next_unit_pos(unit), m.is_fin(),
+                               m.data->is_fence()});
+  };
 }
 
 void SequencingNetwork::build_shard_receivers() {
@@ -134,15 +165,7 @@ void SequencingNetwork::build_shard_receivers() {
       }
       shard_receivers_[s][n] = std::make_unique<Receiver>(
           node, std::move(shard_subs), std::move(shard_atoms),
-          [this, node, s](const Message& m, sim::Time at) {
-            // Cross back to the coordinator as plain data: payload blocks
-            // are pooled per thread and must not leave this shard.
-            const GroupRoute& route = group_routes_[m.group().value()];
-            engine_->push_delivery(
-                s, {node, m.id(), m.group(), m.sender(), m.payload(),
-                    m.sent_at(), at, route.unit,
-                    engine_->next_unit_pos(route.unit), m.is_fin()});
-          });
+          shard_delivery_fn(node, s));
     }
   }
 }
@@ -165,43 +188,7 @@ void SequencingNetwork::compile_routes() {
       channel_edges_.end());
   channels_.reserve(channel_edges_.size());
   for (const auto& [from, to] : channel_edges_) {
-    // A path edge joins two atoms of the same unit, so in sharded mode the
-    // channel lives wholly on the unit's shard: its timers run on that
-    // shard's simulator and its retransmit jitter draws from the unit's
-    // own RNG stream (shard-count-invariant by construction).
-    sim::Simulator* channel_sim = sim_;
-    Rng* channel_rng = rng_;
-    std::uint32_t shard = 0;
-    if (engine_ != nullptr) {
-      const std::uint32_t unit = engine_->plan().unit_of_atom[from.value()];
-      DECSEQ_CHECK(unit != runtime::kNoUnit &&
-                   unit == engine_->plan().unit_of_atom[to.value()]);
-      shard = engine_->plan().shard_of_unit[unit];
-      channel_sim = &engine_->shard_sim(shard);
-      channel_rng = &engine_->unit_rng(unit);
-    }
-    auto channel = std::make_unique<sim::Channel<Message>>(
-        *channel_sim, *channel_rng, machine_distance(from, to),
-        options_.channel);
-    channel->set_receiver([this, to](Message m) {
-      handle_at_atom(to, std::move(m));
-    });
-    // Exhaustion surfaces here as an edge-tagged fault record instead of
-    // killing the run; the channel keeps probing and recover_node /
-    // recover_link clear the state (see channel_faults()).
-    if (engine_ != nullptr) {
-      channel->set_fault_callback(
-          [this, from, to, shard](const sim::ChannelFault& f) {
-            shard_channel_faults_[shard].push_back(
-                {from, to, f.seq, f.attempts, f.at});
-          });
-    } else {
-      channel->set_fault_callback(
-          [this, from, to](const sim::ChannelFault& f) {
-            channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
-          });
-    }
-    channels_.push_back(std::move(channel));
+    channels_.push_back(make_channel(from, to));
   }
 
   // Flatten every group's path into the hop table. This is the state the
@@ -216,29 +203,74 @@ void SequencingNetwork::compile_routes() {
   group_routes_.resize(groups.empty() ? 0 : max_group + 1);
   route_hops_.reserve(total_hops);
   for (const GroupId g : groups) {
-    const auto& path = graph_->path(g);
-    GroupRoute& route = group_routes_[g.value()];
-    route.first_hop = static_cast<std::uint32_t>(route_hops_.size());
-    route.num_hops = static_cast<std::uint32_t>(path.size());
-    route.ingress = path.front();
-    route.ingress_node = colocation_->node_of(path.front());
-    route.ingress_router = machine_of_atom(path.front());
-    if (engine_ != nullptr) {
-      route.unit = engine_->plan().unit(g);
-      route.shard = engine_->plan().shard_of_unit[route.unit];
+    append_route_span(g, graph_->path(g), group_routes_[g.value()]);
+  }
+}
+
+std::unique_ptr<sim::Channel<Message>> SequencingNetwork::make_channel(
+    AtomId from, AtomId to) {
+  // A path edge joins two atoms of the same unit, so in sharded mode the
+  // channel lives wholly on the unit's shard: its timers run on that
+  // shard's simulator and its retransmit jitter draws from the unit's
+  // own RNG stream (shard-count-invariant by construction).
+  sim::Simulator* channel_sim = sim_;
+  Rng* channel_rng = rng_;
+  std::uint32_t shard = 0;
+  if (engine_ != nullptr) {
+    const std::uint32_t unit = engine_->plan().unit_of_atom[from.value()];
+    DECSEQ_CHECK(unit != runtime::kNoUnit &&
+                 unit == engine_->plan().unit_of_atom[to.value()]);
+    shard = engine_->plan().shard_of_unit[unit];
+    channel_sim = &engine_->shard_sim(shard);
+    channel_rng = &engine_->unit_rng(unit);
+  }
+  auto channel = std::make_unique<sim::Channel<Message>>(
+      *channel_sim, *channel_rng, machine_distance(from, to),
+      options_.channel);
+  channel->set_receiver([this, to](Message m) {
+    handle_at_atom(to, std::move(m));
+  });
+  // Exhaustion surfaces here as an edge-tagged fault record instead of
+  // killing the run; the channel keeps probing and recover_node /
+  // recover_link clear the state (see channel_faults()).
+  if (engine_ != nullptr) {
+    channel->set_fault_callback(
+        [this, from, to, shard](const sim::ChannelFault& f) {
+          shard_channel_faults_[shard].push_back(
+              {from, to, f.seq, f.attempts, f.at});
+        });
+  } else {
+    channel->set_fault_callback(
+        [this, from, to](const sim::ChannelFault& f) {
+          channel_faults_.push_back({from, to, f.seq, f.attempts, f.at});
+        });
+  }
+  return channel;
+}
+
+void SequencingNetwork::append_route_span(GroupId g,
+                                          const std::vector<AtomId>& path,
+                                          GroupRoute& route) {
+  route.first_hop = static_cast<std::uint32_t>(route_hops_.size());
+  route.num_hops = static_cast<std::uint32_t>(path.size());
+  route.ingress = path.front();
+  route.ingress_node = colocation_->node_of(path.front());
+  route.ingress_router = machine_of_atom(path.front());
+  if (engine_ != nullptr) {
+    route.unit = engine_->plan().unit(g);
+    route.shard = engine_->plan().shard_of_unit[route.unit];
+  }
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    RouteHop hop;
+    hop.atom = path[i];
+    hop.node = colocation_->node_of(path[i]);
+    hop.stamps = graph_->atom(path[i]).stamps(g);
+    if (i + 1 < path.size()) {
+      hop.forward = channels_[channel_index(path[i], path[i + 1])].get();
+      hop.next_node = colocation_->node_of(path[i + 1]);
+      hop.crosses_machine = hop.node != hop.next_node;
     }
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      RouteHop hop;
-      hop.atom = path[i];
-      hop.node = colocation_->node_of(path[i]);
-      hop.stamps = graph_->atom(path[i]).stamps(g);
-      if (i + 1 < path.size()) {
-        hop.forward = channels_[channel_index(path[i], path[i + 1])].get();
-        hop.next_node = colocation_->node_of(path[i + 1]);
-        hop.crosses_machine = hop.node != hop.next_node;
-      }
-      route_hops_.push_back(hop);
-    }
+    route_hops_.push_back(hop);
   }
 }
 
@@ -389,6 +421,25 @@ void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
                                           std::uint32_t attempts) {
   GroupRoute& route = group_route(payload->group());
   sim::Simulator& sim = route_sim(route);
+  if (route.num_hops > 0 && ingress != route.ingress) {
+    // The group's ingress moved (zero-downtime reconfiguration) while this
+    // message's ingress leg was in flight: redirect it from the old ingress
+    // machine to the new one. The extra leg is a constant per
+    // (old, new) machine pair, so each sender's publish order is preserved
+    // — and the message is sequenced post-fence, in the new epoch, which
+    // is exactly what its arrival after the cutover means. (Sharded mode
+    // never gets here: queued publishes are rerouted at the fence, and
+    // reconfiguration only happens with the engine idle.)
+    const RouterId from = machine_of_atom(ingress);
+    const double leg = from == route.ingress_router
+                           ? 0.0
+                           : oracle_->distance(from, route.ingress_router);
+    sim.schedule_after(leg, [this, target = route.ingress,
+                             payload = std::move(payload), attempts] {
+      arrive_at_ingress(target, payload, attempts);
+    });
+    return;
+  }
   const SeqNodeId node = route.ingress_node;
   if (node_down_[node.value()]) {
     MessageRecord& rec = records_[payload->id().value()];
@@ -422,10 +473,13 @@ void SequencingNetwork::arrive_at_ingress(AtomId ingress, PayloadRef payload,
     ++seqnode_load_[node.value()];
   }
   // Ingress: assign the group-local sequence number (paper §3.1). Only now
-  // does the message grow its mutable ordering header.
+  // does the message grow its mutable ordering header. The routing epoch is
+  // fixed here too: everything sequenced from now until the group's next
+  // cutover fence rides this epoch's span.
   Message message;
   message.data = std::move(payload);
   message.group_seq = route.next_seq++;
+  message.epoch = route.epoch;
   tracer_.record({TraceEvent::Kind::kIngress, message.id(), sim.now(),
                   ingress, node, NodeId{}, message.group_seq});
   handle_at_atom(ingress, std::move(message));
@@ -514,12 +568,19 @@ std::vector<std::pair<AtomId, AtomId>> SequencingNetwork::faulted_edges()
 
 void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
   // The whole forwarding decision: the group's compiled route plus the
-  // message's position on it. No hash maps, no graph walks.
+  // message's position on it. No hash maps, no graph walks. A message
+  // whose epoch predates the group's current span (sequenced before the
+  // last cutover fence) drains on the stashed previous span.
   const GroupRoute& route = group_routes_[message.group().value()];
-  DECSEQ_CHECK_MSG(message.path_pos < route.num_hops,
+  const bool old_epoch = message.epoch != route.epoch;
+  const std::uint32_t first_hop =
+      old_epoch ? route.prev_first_hop : route.first_hop;
+  const std::uint32_t num_hops =
+      old_epoch ? route.prev_num_hops : route.num_hops;
+  DECSEQ_CHECK_MSG(message.path_pos < num_hops,
                    "message " << message.id() << " at " << atom
                               << " off its compiled route");
-  const RouteHop& hop = route_hops_[route.first_hop + message.path_pos];
+  const RouteHop& hop = route_hops_[first_hop + message.path_pos];
   DECSEQ_CHECK_MSG(hop.atom == atom,
                    "message " << message.id() << " at " << atom
                               << " off its compiled route");
@@ -552,7 +613,10 @@ void SequencingNetwork::handle_at_atom(AtomId atom, Message message) {
   // on the same sequencing node.
   if (hop.crosses_machine) {
     if (engine_ != nullptr) {
-      ++shard_seqnode_load_[route.shard][hop.next_node.value()];
+      // Old-epoch events run on the previous span's shard; its counter
+      // vector is the one this thread owns.
+      ++shard_seqnode_load_[old_epoch ? route.prev_shard : route.shard]
+                           [hop.next_node.value()];
     } else {
       ++seqnode_load_[hop.next_node.value()];
     }
@@ -570,59 +634,71 @@ SequencingNetwork::FanOutPlan& SequencingNetwork::fanout_plan(
   const auto gv = group.value();
   if (gv >= fanout_plans_.size()) fanout_plans_.resize(gv + 1);
   auto& slot = fanout_plans_[gv];
-  if (slot != nullptr) return *slot;
+  if (slot == nullptr) {
+    slot = build_fanout_plan(group, last_atom, membership_->members(group),
+                             group_routes_[gv].shard);
+  }
+  return *slot;
+}
 
-  slot = std::make_unique<FanOutPlan>();
+std::unique_ptr<SequencingNetwork::FanOutPlan>
+SequencingNetwork::build_fanout_plan(GroupId group, AtomId last_atom,
+                                     const std::vector<NodeId>& members,
+                                     std::uint32_t shard) {
+  auto plan = std::make_unique<FanOutPlan>();
   const RouterId egress = machine_of_atom(last_atom);
   if (options_.tree_distribution) {
     // One copy flows down the group's shortest-path delivery tree; members
     // hear it at their unicast delay, the network carries far fewer copies.
     std::vector<RouterId> destinations;
-    for (const NodeId member : membership_->members(group)) {
+    for (const NodeId member : members) {
       destinations.push_back(hosts_->router_of(member));
     }
-    slot->tree = std::make_unique<topology::MulticastTree>(*physical_network_,
+    plan->tree = std::make_unique<topology::MulticastTree>(*physical_network_,
                                                            egress,
                                                            destinations);
   }
-  for (const NodeId member : membership_->members(group)) {
+  for (const NodeId member : members) {
     const RouterId router = hosts_->router_of(member);
-    const double delay = slot->tree != nullptr
-                             ? slot->tree->delay_to(router)
+    const double delay = plan->tree != nullptr
+                             ? plan->tree->delay_to(router)
                              : oracle_->distance(egress, router);
-    // Sharded mode resolves the member's sub-receiver on the group's
-    // shard: the fan-out runs on that shard's thread and the target's
-    // counters live there.
-    Receiver* receiver =
-        receiver_for(member, group_routes_[group.value()].shard);
+    // Sharded mode resolves the member's sub-receiver on the span's shard:
+    // the fan-out runs on that shard's thread and the target's counters
+    // live there.
+    Receiver* receiver = receiver_for(member, shard);
     DECSEQ_CHECK_MSG(receiver != nullptr,
                      "group member " << member << " has no receiver");
-    slot->targets.push_back({receiver, delay});
+    plan->targets.push_back({receiver, delay});
   }
   // Group the fan-out into spans of equal delay so distribution schedules
   // one simulator event per burst of same-time arrivals. The stable sort
   // keeps members of a span in membership order, and equal-delay targets
   // previously occupied consecutive event-queue slots anyway (FIFO
   // tie-break), so delivery order is bit-identical to per-target events.
-  std::stable_sort(slot->targets.begin(), slot->targets.end(),
+  std::stable_sort(plan->targets.begin(), plan->targets.end(),
                    [](const FanOutTarget& a, const FanOutTarget& b) {
                      return a.delay < b.delay;
                    });
-  for (std::uint32_t i = 0; i < slot->targets.size();) {
+  for (std::uint32_t i = 0; i < plan->targets.size();) {
     std::uint32_t j = i + 1;
-    while (j < slot->targets.size() &&
-           slot->targets[j].delay == slot->targets[i].delay) {
+    while (j < plan->targets.size() &&
+           plan->targets[j].delay == plan->targets[i].delay) {
       ++j;
     }
-    slot->spans.push_back({i, j, slot->targets[i].delay});
+    plan->spans.push_back({i, j, plan->targets[i].delay});
     i = j;
   }
-  return *slot;
+  return plan;
 }
 
 void SequencingNetwork::distribute(AtomId last_atom, Message message) {
   GroupRoute& route = group_routes_[message.group().value()];
-  sim::Simulator& sim = route_sim(route);
+  const bool old_epoch = message.epoch != route.epoch;
+  sim::Simulator& sim =
+      engine_ != nullptr
+          ? engine_->shard_sim(old_epoch ? route.prev_shard : route.shard)
+          : *sim_;
   MessageRecord& rec = records_[message.id().value()];
   rec.exited_at = sim.now();
   rec.stamps = message.stamps.size();
@@ -632,17 +708,35 @@ void SequencingNetwork::distribute(AtomId last_atom, Message message) {
                     last_atom, colocation_->node_of(last_atom), NodeId{}, 0});
   }
 
-  if (message.is_fin()) {
-    // The FIN exits last (FIFO channels: every pre-FIN message already
-    // cleared every hop), so the dead group's compiled route can be dropped
-    // whole — the epoch's tables hold no state for terminated groups.
-    for (std::uint32_t i = 0; i < route.num_hops; ++i) {
-      route_hops_[route.first_hop + i] = RouteHop{};
+  if (message.is_fin() || message.data->is_fence()) {
+    // The FIN — or a cutover fence, the last old-epoch message — exits last
+    // on its span (FIFO channels: every earlier message already cleared
+    // every hop), so that span can be dropped whole. The other epoch's
+    // span, if any, lives in a disjoint hop range and keeps draining.
+    if (old_epoch) {
+      for (std::uint32_t i = 0; i < route.prev_num_hops; ++i) {
+        route_hops_[route.prev_first_hop + i] = RouteHop{};
+      }
+      route.prev_num_hops = 0;
+    } else {
+      for (std::uint32_t i = 0; i < route.num_hops; ++i) {
+        route_hops_[route.first_hop + i] = RouteHop{};
+      }
+      route.num_hops = 0;
     }
-    route.num_hops = 0;
   }
 
-  FanOutPlan& plan = fanout_plan(message.group(), last_atom);
+  FanOutPlan* plan_ptr;
+  if (old_epoch) {
+    // Old-epoch traffic fans out to the *old* member set along the old
+    // delays (its span's shard owns the stashed plan).
+    plan_ptr = prev_fanout_plans_[message.group().value()].get();
+    DECSEQ_CHECK_MSG(plan_ptr != nullptr,
+                     "old-epoch exit without a stashed fan-out plan");
+  } else {
+    plan_ptr = &fanout_plan(message.group(), last_atom);
+  }
+  FanOutPlan& plan = *plan_ptr;
   if (plan.tree != nullptr) distribution_stress_.add_tree(*plan.tree);
   // The sequencing path is complete: freeze the message and share one copy
   // across the whole fan-out; each span wakes its whole same-time burst in
@@ -661,6 +755,373 @@ void SequencingNetwork::distribute(AtomId last_atom, Message message) {
                          }
                        });
   }
+}
+
+ReconfigureReport SequencingNetwork::begin_reconfigure(
+    const std::vector<GroupId>& affected,
+    const std::vector<std::vector<NodeId>>& old_members_by_slot) {
+  ReconfigureReport report;
+  DECSEQ_CHECK_MSG(fences_outstanding_ == 0,
+                   "begin_reconfigure while a transition is still draining");
+  DECSEQ_CHECK_MSG(!options_.tree_distribution,
+                   "zero-downtime reconfiguration with tree distribution");
+  if (engine_ != nullptr) {
+    // Sharded transitions happen between runs: no protocol event may be
+    // pending. Queued publishes are fine — the facade reroutes them right
+    // after this call via reroute_pending_publish().
+    DECSEQ_CHECK_MSG(engine_->idle(), "sharded reconfigure mid-run");
+  }
+  // Lazily retire the previous transition's plans: the final fence's
+  // fan-out events may still reference them at the instant that
+  // transition completes, so they are freed here, at the start of the
+  // next one.
+  for (auto& plan : prev_fanout_plans_) plan.reset();
+  ++epoch_;
+
+  std::vector<GroupId> affected_list = affected;
+  std::sort(affected_list.begin(), affected_list.end());
+  affected_list.erase(
+      std::unique(affected_list.begin(), affected_list.end()),
+      affected_list.end());
+
+  // Grow the dense per-atom / per-machine / per-group state for the delta
+  // rebuild's appended atoms and any newly created groups.
+  const std::size_t old_num_atoms = atom_next_seq_.size();
+  atom_next_seq_.resize(graph_->num_atoms(), 1);
+  seqnode_load_.resize(colocation_->num_nodes(), 0);
+  node_down_.resize(colocation_->num_nodes(), false);
+  for (auto& per_shard : shard_seqnode_load_) {
+    per_shard.resize(colocation_->num_nodes(), 0);
+  }
+  GroupId::underlying_type max_group = 0;
+  for (const GroupId g : affected_list) {
+    max_group = std::max(max_group, g.value());
+  }
+  if (!affected_list.empty() && group_routes_.size() < max_group + 1) {
+    group_routes_.resize(max_group + 1);
+  }
+  if (fanout_plans_.size() < group_routes_.size()) {
+    fanout_plans_.resize(group_routes_.size());
+  }
+  prev_fanout_plans_.resize(group_routes_.size());
+
+  // Channels for the appended path edges. Re-laid paths are built entirely
+  // from appended atoms, so every new edge sorts after every existing one
+  // (the edge order keys on the from-atom first): the sorted channel table
+  // extends by a plain append and the hot path's Channel* stay put.
+  std::vector<std::pair<AtomId, AtomId>> new_edges;
+  for (const GroupId g : affected_list) {
+    if (!graph_->has_path(g)) continue;
+    const auto& path = graph_->path(g);
+    if (path.front().value() < old_num_atoms) continue;  // preserved verbatim
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      new_edges.emplace_back(path[i], path[i + 1]);
+    }
+  }
+  std::sort(new_edges.begin(), new_edges.end());
+  new_edges.erase(std::unique(new_edges.begin(), new_edges.end()),
+                  new_edges.end());
+  for (const auto& edge : new_edges) {
+    DECSEQ_CHECK(channel_edges_.empty() || channel_edges_.back() < edge);
+    auto channel = make_channel(edge.first, edge.second);
+    // A channel born while its receiving machine is down must start in the
+    // held state, like the survivors fail_node() flipped.
+    if (node_down_[colocation_->node_of(edge.second).value()]) {
+      channel->set_receiver_down(true);
+    }
+    channel_edges_.push_back(edge);
+    channels_.push_back(std::move(channel));
+  }
+  report.channels_created = new_edges.size();
+
+  // Cut each affected group over: stash the old epoch's span + fan-out
+  // plan, compile the new span next to it, and flush the cutover fence
+  // down the old span to the old member set.
+  std::vector<GroupId> fenced;
+  std::vector<char> had_old_flag(group_routes_.size(), 0);
+  std::vector<std::vector<NodeId>> old_sorted(group_routes_.size());
+  for (const GroupId g : affected_list) {
+    DECSEQ_CHECK_MSG(!terminated_groups_.contains(g),
+                     "reconfigure touches terminated group " << g);
+    const auto gv = g.value();
+    GroupRoute& route = group_routes_[gv];
+    const bool had_old = route.num_hops > 0;
+    const bool has_new = graph_->has_path(g);
+    if (!had_old && !has_new) continue;
+    if (had_old) {
+      DECSEQ_CHECK_MSG(gv < old_members_by_slot.size() &&
+                           !old_members_by_slot[gv].empty(),
+                       "no old-member snapshot for group " << g);
+      had_old_flag[gv] = 1;
+      old_sorted[gv] = old_members_by_slot[gv];
+      std::sort(old_sorted[gv].begin(), old_sorted[gv].end());
+      // The cached plan (if any) predates the membership mutation, i.e. it
+      // is the old member set's; otherwise build it from the snapshot.
+      const AtomId old_last =
+          route_hops_[route.first_hop + route.num_hops - 1].atom;
+      if (fanout_plans_[gv] == nullptr) {
+        fanout_plans_[gv] = build_fanout_plan(
+            g, old_last, old_members_by_slot[gv], route.shard);
+      }
+      prev_fanout_plans_[gv] = std::move(fanout_plans_[gv]);
+      route.prev_first_hop = route.first_hop;
+      route.prev_num_hops = route.num_hops;
+      route.prev_unit = route.unit;
+      route.prev_shard = route.shard;
+      route.prev_ingress_router = route.ingress_router;
+    }
+    if (has_new) {
+      const auto& path = graph_->path(g);
+      append_route_span(g, path, route);
+      report.hops_appended += path.size();
+      route.epoch = epoch_;
+      if (had_old) {
+        sequence_fence(g, /*close_group=*/false,
+                       old_members_by_slot[gv].size());
+        fenced.push_back(g);
+        ++report.groups_refenced;
+      } else {
+        ++report.groups_created;
+      }
+    } else {
+      // Removed: the route dies behind a FIN-flagged fence. The stale
+      // ingress identity stays, so a racing in-flight publish still
+      // reaches the (now closed) old ingress and is rejected there.
+      route.first_hop = 0;
+      route.num_hops = 0;
+      route.epoch = epoch_;
+      sequence_fence(g, /*close_group=*/true,
+                     old_members_by_slot[gv].size());
+      fenced.push_back(g);
+      ++report.groups_removed;
+    }
+  }
+
+  // Receiver cutover: arm the epoch gates (every old member of a fenced
+  // group must observe that group's fence before any of its new-epoch
+  // traffic may deliver) and claim the new epoch's counter slots.
+  const std::uint32_t current_epoch = epoch_;
+  if (engine_ == nullptr) {
+    std::map<std::uint32_t, ReceiverReconfigure> per_node;
+    auto rc_of = [&](NodeId n) -> ReceiverReconfigure& {
+      auto [it, inserted] = per_node.try_emplace(n.value());
+      if (inserted) it->second.epoch = current_epoch;
+      return it->second;
+    };
+    for (const GroupId g : fenced) {
+      for (const NodeId m : old_members_by_slot[g.value()]) {
+        rc_of(m).awaited_fences.push_back(g);
+      }
+    }
+    for (const GroupId g : affected_list) {
+      const auto gv = g.value();
+      const GroupRoute& route = group_routes_[gv];
+      if (route.num_hops == 0) continue;
+      for (const NodeId m : membership_->members(g)) {
+        // A member that stays keeps its live counters; everyone else —
+        // new subscribers and rejoiners — starts at the first post-fence
+        // sequence number.
+        const bool continuing =
+            had_old_flag[gv] && receivers_[m.value()] != nullptr &&
+            std::binary_search(old_sorted[gv].begin(), old_sorted[gv].end(),
+                               m);
+        if (!continuing) rc_of(m).group_inits.emplace_back(g, route.next_seq);
+      }
+    }
+    for (auto& [nv, rc] : per_node) {
+      const NodeId node(static_cast<NodeId::underlying_type>(nv));
+      if (receivers_[nv] != nullptr) {
+        // Newly relevant atoms (appended by the delta rebuild) need fresh
+        // counters; a new receiver below gets them from its constructor.
+        for (const AtomId a : relevant_atoms_for(node, *graph_)) {
+          if (a.value() >= old_num_atoms) rc.new_atoms.push_back(a);
+        }
+        receivers_[nv]->apply_reconfigure(rc);
+      } else {
+        DECSEQ_CHECK(rc.awaited_fences.empty());
+        std::vector<GroupId> subs = membership_->groups_of(node);
+        DECSEQ_CHECK(!subs.empty());
+        receivers_[nv] = std::make_unique<Receiver>(
+            node, std::move(subs), relevant_atoms_for(node, *graph_),
+            local_delivery_fn(node));
+        // A fresh receiver seeds every slot at 1; rejoined groups must
+        // start at the post-fence sequence number instead.
+        ReceiverReconfigure fresh;
+        fresh.epoch = current_epoch;
+        fresh.group_inits = rc.group_inits;
+        receivers_[nv]->apply_reconfigure(fresh);
+      }
+    }
+  } else {
+    // Sharded: per-(shard, node) sub-receivers. The cutover gate is a
+    // *node*-wide condition — new-epoch traffic on any of the node's
+    // sub-receivers waits for all of the node's fences, which land on
+    // old-shard sub-receivers and are relayed at commit time by the
+    // coordinator (fence_delivery_committed).
+    const runtime::ShardPlan& plan = engine_->plan();
+    std::map<std::uint32_t, std::uint32_t> node_fences;
+    for (const GroupId g : fenced) {
+      for (const NodeId m : old_members_by_slot[g.value()]) {
+        ++node_fences[m.value()];
+      }
+    }
+    std::map<std::pair<std::uint32_t, std::uint32_t>, ReceiverReconfigure>
+        per_sub;
+    auto rc_of = [&](std::uint32_t s, NodeId n) -> ReceiverReconfigure& {
+      auto [it, inserted] = per_sub.try_emplace(std::pair{s, n.value()});
+      if (inserted) it->second.epoch = current_epoch;
+      return it->second;
+    };
+    for (const GroupId g : affected_list) {
+      const auto gv = g.value();
+      const GroupRoute& route = group_routes_[gv];
+      if (route.num_hops == 0) continue;
+      const std::uint32_t s_new = route.shard;
+      for (const NodeId m : membership_->members(g)) {
+        Receiver* sub = shard_receivers_[s_new][m.value()].get();
+        // Counters continue only if the same sub-receiver that held the
+        // group before the cut still owns it after (the group stayed on
+        // its shard); otherwise the slot (re)initializes post-fence.
+        const bool continuing =
+            had_old_flag[gv] && route.prev_shard == s_new &&
+            sub != nullptr &&
+            std::binary_search(old_sorted[gv].begin(), old_sorted[gv].end(),
+                               m);
+        ReceiverReconfigure& rc = rc_of(s_new, m);
+        if (!continuing) rc.group_inits.emplace_back(g, route.next_seq);
+      }
+    }
+    for (auto& [key, rc] : per_sub) {
+      const std::uint32_t s = key.first;
+      const std::uint32_t nv = key.second;
+      const NodeId node(static_cast<NodeId::underlying_type>(nv));
+      const auto fit = node_fences.find(nv);
+      if (fit != node_fences.end()) {
+        rc.external_fences = true;
+        rc.external_gate_fences = fit->second;
+      }
+      auto& sub = shard_receivers_[s][nv];
+      if (sub != nullptr) {
+        for (const AtomId a : relevant_atoms_for(node, *graph_)) {
+          if (a.value() < old_num_atoms) continue;
+          const std::uint32_t unit = plan.unit_of_atom[a.value()];
+          DECSEQ_CHECK(unit != runtime::kNoUnit);
+          if (plan.shard_of_unit[unit] == s) rc.new_atoms.push_back(a);
+        }
+        sub->apply_reconfigure(rc);
+      } else {
+        std::vector<GroupId> shard_subs;
+        for (const GroupId g2 : membership_->groups_of(node)) {
+          if (plan.shard(g2) == s) shard_subs.push_back(g2);
+        }
+        DECSEQ_CHECK(!shard_subs.empty());
+        std::vector<AtomId> shard_atoms;
+        for (const AtomId a : relevant_atoms_for(node, *graph_)) {
+          const std::uint32_t unit = plan.unit_of_atom[a.value()];
+          DECSEQ_CHECK(unit != runtime::kNoUnit);
+          if (plan.shard_of_unit[unit] == s) shard_atoms.push_back(a);
+        }
+        sub = std::make_unique<Receiver>(node, std::move(shard_subs),
+                                         std::move(shard_atoms),
+                                         shard_delivery_fn(node, s));
+        ReceiverReconfigure fresh;
+        fresh.epoch = current_epoch;
+        fresh.group_inits = rc.group_inits;
+        fresh.external_fences = rc.external_fences;
+        fresh.external_gate_fences = rc.external_gate_fences;
+        sub->apply_reconfigure(fresh);
+      }
+    }
+    // New-epoch distribution plans are built eagerly on the coordinator,
+    // like at construction (the first exit happens on a worker thread).
+    for (const GroupId g : affected_list) {
+      if (group_routes_[g.value()].num_hops == 0) continue;
+      (void)fanout_plan(g, graph_->path(g).back());
+    }
+  }
+
+  report.fences_outstanding = fences_outstanding_;
+  return report;
+}
+
+void SequencingNetwork::sequence_fence(GroupId group, bool close_group,
+                                       std::size_t old_member_count) {
+  GroupRoute& route = group_route(group);
+  DECSEQ_CHECK(route.prev_num_hops > 0);
+  sim::Simulator& sim = engine_ != nullptr
+                            ? engine_->shard_sim(route.prev_shard)
+                            : *sim_;
+  const MsgId id(static_cast<MsgId::underlying_type>(records_.size()));
+  records_.push_back({NodeId{}, group, sim.now(), std::nullopt, 0, 0});
+  if (close_group) {
+    terminated_groups_.insert(group);
+    route.ingress_closed = true;
+  }
+  // The fence is sequenced synchronously at the old ingress, as the last
+  // old-epoch message of the group: it consumes the next group sequence
+  // number, travels the previous span collecting stamps like any message,
+  // and fans out to the old member set. FIFO channels put everything
+  // sequenced before it ahead of it; everything after it is new-epoch.
+  Message message;
+  message.data =
+      PayloadBlock::create(id, group, NodeId{}, sim.now(), 0, nullptr, 0,
+                           /*is_fin=*/close_group, /*is_fence=*/true);
+  message.group_seq = route.next_seq++;
+  // Any value other than the new route epoch marks the fence old-epoch;
+  // the previous epoch number keeps it meaningful in traces.
+  message.epoch = epoch_ - 1;
+  fences_outstanding_ += old_member_count;
+  const RouteHop& first = route_hops_[route.prev_first_hop];
+  if (engine_ != nullptr) {
+    ++shard_seqnode_load_[route.prev_shard][first.node.value()];
+  } else {
+    ++seqnode_load_[first.node.value()];
+  }
+  tracer_.record({TraceEvent::Kind::kIngress, id, sim.now(), first.atom,
+                  first.node, NodeId{}, message.group_seq});
+  handle_at_atom(first.atom, std::move(message));
+}
+
+void SequencingNetwork::fence_delivery_committed(NodeId node, sim::Time at) {
+  DECSEQ_CHECK(engine_ != nullptr);
+  DECSEQ_CHECK_MSG(fences_outstanding_ > 0,
+                   "fence commit with no transition draining");
+  --fences_outstanding_;
+  for (auto& per_node : shard_receivers_) {
+    Receiver* r = per_node[node.value()].get();
+    if (r != nullptr && r->gated()) r->external_fence_delivered(at);
+  }
+}
+
+std::uint32_t SequencingNetwork::reroute_pending_publish(
+    runtime::IngressItem& item) {
+  const GroupRoute& route = group_route(item.group);
+  if (route.epoch == epoch_ && route.num_hops > 0 &&
+      route.prev_ingress_router.valid() &&
+      route.prev_ingress_router != route.ingress_router) {
+    // The group's ingress moved this transition: the queued publish was
+    // aimed at the old ingress machine, so it pays the same redirect leg
+    // an in-flight single-threaded message would travel.
+    item.delay +=
+        oracle_->distance(route.prev_ingress_router, route.ingress_router);
+  }
+  return route.shard;
+}
+
+std::vector<std::size_t> SequencingNetwork::gate_held_by_group() const {
+  std::vector<std::size_t> by_group(group_routes_.size(), 0);
+  if (engine_ != nullptr) {
+    for (const auto& per_node : shard_receivers_) {
+      for (const auto& r : per_node) {
+        if (r != nullptr) r->accumulate_gate_holds(by_group);
+      }
+    }
+  } else {
+    for (const auto& r : receivers_) {
+      if (r != nullptr) r->accumulate_gate_holds(by_group);
+    }
+  }
+  return by_group;
 }
 
 const std::vector<std::size_t>& SequencingNetwork::seqnode_load() const {

@@ -85,6 +85,19 @@ struct ChannelFaultRecord {
   sim::Time at = 0.0;
 };
 
+/// What one begin_reconfigure() call did (telemetry for the churn bench and
+/// the facade's reporting).
+struct ReconfigureReport {
+  std::size_t groups_refenced = 0;  ///< pre-existing groups cut over
+  std::size_t groups_created = 0;
+  std::size_t groups_removed = 0;   ///< fenced with FIN
+  /// Fence deliveries pending when the call returned; the transition is
+  /// drained when transition_active() goes false.
+  std::size_t fences_outstanding = 0;
+  std::size_t channels_created = 0;
+  std::size_t hops_appended = 0;
+};
+
 /// A full simulated deployment of the ordering protocol.
 class SequencingNetwork {
  public:
@@ -153,6 +166,61 @@ class SequencingNetwork {
   [[nodiscard]] bool group_terminated(GroupId group) const {
     return terminated_groups_.contains(group);
   }
+
+  // --- Zero-downtime reconfiguration (dual-epoch routing, PROTOCOL §9). ---
+  // The graph/colocation/assignment/membership objects this network holds
+  // references to have been extended in place (delta rebuild: old atom ids
+  // preserved, re-laid paths appended). begin_reconfigure() cuts the
+  // affected groups over *without quiescence*: each group's old compiled
+  // span and fan-out plan are stashed as the previous epoch, the new span
+  // is compiled next to them, and a cutover fence — a control message that
+  // takes the group's next sequence number — is flushed down the old span
+  // to the group's *old* members. Messages sequenced before the fence
+  // drain on the old routes; messages sequenced after it ride the new
+  // ones; receivers hold new-epoch messages until every fence they await
+  // has been delivered, which preserves per-receiver order. Untouched
+  // groups are never stalled.
+  //
+  // `old_members_by_slot[g.value()]` must hold every affected group's
+  // member list as of *before* the membership mutation (the facade
+  // snapshots all live groups pre-mutation). Only one transition may drain
+  // at a time: the caller must wait for transition_active() to go false
+  // before the next begin_reconfigure().
+  ReconfigureReport begin_reconfigure(
+      const std::vector<GroupId>& affected,
+      const std::vector<std::vector<NodeId>>& old_members_by_slot);
+
+  /// True while cutover fences from the last begin_reconfigure() are still
+  /// undelivered somewhere.
+  [[nodiscard]] bool transition_active() const {
+    return fences_outstanding_ > 0;
+  }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t fences_outstanding() const {
+    return fences_outstanding_;
+  }
+
+  /// Sharded mode only: the facade calls this when it *commits* a delivery
+  /// carrying DeliveryEvent::fence. Decrements the outstanding-fence count
+  /// and relays the fence to every gated sub-receiver of `node` (the gate
+  /// is cross-unit, so it cannot be released shard-locally; commit time is
+  /// shard-count-invariant under the lockstep the facade runs during a
+  /// transition).
+  void fence_delivery_committed(NodeId node, sim::Time at);
+
+  /// Sharded mode only: reroute hook for the engine's ingress
+  /// redistribution, called once per still-queued publish immediately after
+  /// begin_reconfigure(). Adds the old-ingress -> new-ingress redirect leg
+  /// to the item's delay when its group moved ingress this transition
+  /// (mirroring the in-flight redirect single-threaded mode performs), and
+  /// returns the owning shard.
+  [[nodiscard]] std::uint32_t reroute_pending_publish(
+      runtime::IngressItem& item);
+
+  /// Messages ever held by receiver cutover gates, per group id value
+  /// (cumulative across all transitions) — the "messages stalled by
+  /// reconfiguration" metric. Untouched groups must read 0 here.
+  [[nodiscard]] std::vector<std::size_t> gate_held_by_group() const;
 
   // --- Failure injection (beyond the paper's fail-free assumption). ---
   // Fail-stop model with synchronous state replication: a failed
@@ -295,6 +363,22 @@ class SequencingNetwork {
     /// message. Both 0 in single-threaded mode.
     std::uint32_t unit = 0;
     std::uint32_t shard = 0;
+    /// Dual-epoch routing (zero-downtime reconfiguration). The epoch the
+    /// *current* span belongs to; a message whose stamped epoch differs
+    /// was sequenced before this group's last cutover fence and routes on
+    /// the prev_* span below instead. The previous span drains behind its
+    /// fence and is zeroed when the fence exits.
+    std::uint32_t epoch = 0;
+    std::uint32_t prev_first_hop = 0;
+    std::uint32_t prev_num_hops = 0;  ///< 0: no old span draining
+    /// Merge/placement identity of the previous epoch's span (sharded
+    /// mode): old-epoch deliveries keep the old unit's merge keys and the
+    /// old span's events stay on the old shard.
+    std::uint32_t prev_unit = 0;
+    std::uint32_t prev_shard = 0;
+    /// Old ingress machine, kept for the redirect leg a stale in-flight
+    /// publish travels from the old ingress to the new one.
+    RouterId prev_ingress_router;
   };
 
   /// One distribution-leg destination: the member's receiver and its
@@ -339,6 +423,27 @@ class SequencingNetwork {
   [[nodiscard]] double ingress_backoff_delay(std::uint32_t attempts);
   void distribute(AtomId last_atom, Message message);
   [[nodiscard]] FanOutPlan& fanout_plan(GroupId group, AtomId last_atom);
+  /// Materialize a distribution plan for `group` from an explicit member
+  /// list and shard (fanout_plan() uses the current membership; the
+  /// reconfiguration path uses the old-member snapshot).
+  [[nodiscard]] std::unique_ptr<FanOutPlan> build_fanout_plan(
+      GroupId group, AtomId last_atom, const std::vector<NodeId>& members,
+      std::uint32_t shard);
+  /// Create the reliable FIFO channel for the path edge `from -> to`
+  /// (compile_routes() and the reconfiguration channel append share it).
+  [[nodiscard]] std::unique_ptr<sim::Channel<Message>> make_channel(
+      AtomId from, AtomId to);
+  /// Compile `path` as `route`'s current span at the end of route_hops_
+  /// (ingress identity, unit/shard in sharded mode, hop table entries).
+  void append_route_span(GroupId g, const std::vector<AtomId>& path,
+                         GroupRoute& route);
+  /// Sequence `group`'s cutover fence: synchronously take the next group
+  /// sequence number and enter the *previous* span as the last old-epoch
+  /// message. `close_group` additionally marks the fence as the group's FIN
+  /// (group removal). `old_member_count` fence deliveries are added to the
+  /// outstanding count.
+  void sequence_fence(GroupId group, bool close_group,
+                      std::size_t old_member_count);
   [[nodiscard]] double machine_distance(AtomId a, AtomId b);
   [[nodiscard]] RouterId machine_of_atom(AtomId a) const;
   /// Compile the per-group hop tables and the dense ingress state from the
@@ -363,6 +468,14 @@ class SequencingNetwork {
     return engine_ != nullptr ? shard_receivers_[shard][member.value()].get()
                               : receivers_[member.value()].get();
   }
+  /// Delivery callback for `node`'s receiver (single-threaded mode):
+  /// consumes cutover fences into the transition accounting, traces, and
+  /// forwards real deliveries to the delivery callback.
+  [[nodiscard]] Receiver::DeliverFn local_delivery_fn(NodeId node);
+  /// Delivery callback for `node`'s sub-receiver on shard `s`: crosses the
+  /// delivery back to the coordinator with the epoch's merge keys.
+  [[nodiscard]] Receiver::DeliverFn shard_delivery_fn(NodeId node,
+                                                      std::uint32_t s);
   /// Worker-side ingest hook (sharded mode): materialize the payload block
   /// on the owning shard's thread and schedule the ingress arrival.
   void ingest(std::uint32_t shard, runtime::IngressItem&& item);
@@ -421,6 +534,16 @@ class SequencingNetwork {
   Tracer tracer_;
   /// Lazily built distribution plans indexed by group id value.
   std::vector<std::unique_ptr<FanOutPlan>> fanout_plans_;
+  /// Previous-epoch distribution plans for groups draining behind a fence.
+  /// Retired lazily: freed at the *next* begin_reconfigure(), because the
+  /// last fence's in-flight fan-out events may still reference a plan at
+  /// the instant its transition completes.
+  std::vector<std::unique_ptr<FanOutPlan>> prev_fanout_plans_;
+  /// Current routing epoch; bumped once per begin_reconfigure().
+  std::uint32_t epoch_ = 0;
+  /// Cutover-fence deliveries still pending (sum over fenced groups of
+  /// their old member count); the transition is drained at 0.
+  std::size_t fences_outstanding_ = 0;
   topology::LinkStress distribution_stress_;
   const topology::Graph* physical_network_ = nullptr;
   runtime::ShardedEngine* engine_ = nullptr;

@@ -10,20 +10,64 @@ Receiver::Receiver(NodeId node, std::vector<GroupId> subscriptions,
                    std::vector<AtomId> relevant_atoms, DeliverFn on_deliver)
     : node_(node), on_deliver_(std::move(on_deliver)) {
   DECSEQ_CHECK(on_deliver_ != nullptr);
-  auto claim_slot = [this](std::vector<std::int32_t>& slots,
-                           std::uint32_t id_value) {
-    if (id_value >= slots.size()) slots.resize(id_value + 1, -1);
-    if (slots[id_value] >= 0) return;  // duplicate in the input list
-    slots[id_value] = static_cast<std::int32_t>(next_.size());
-    next_.push_back(1);
-  };
-  for (const GroupId g : subscriptions) claim_slot(group_slot_, g.value());
-  for (const AtomId a : relevant_atoms) claim_slot(atom_slot_, a.value());
-  closed_.resize(next_.size(), false);
-  wait_head_.resize(next_.size(), kNone);
+  for (const GroupId g : subscriptions) claim_slot(group_slot_, g.value(), 1);
+  for (const AtomId a : relevant_atoms) claim_slot(atom_slot_, a.value(), 1);
+}
+
+std::int32_t Receiver::claim_slot(std::vector<std::int32_t>& slots,
+                                  std::uint32_t id_value, SeqNo first) {
+  if (id_value >= slots.size()) slots.resize(id_value + 1, -1);
+  if (slots[id_value] >= 0) return slots[id_value];  // already claimed
+  slots[id_value] = static_cast<std::int32_t>(next_.size());
+  next_.push_back(first);
+  closed_.push_back(false);
+  wait_head_.push_back(kNone);
+  awaiting_fence_.push_back(0);
+  return slots[id_value];
+}
+
+void Receiver::apply_reconfigure(const ReceiverReconfigure& rc) {
+  gate_epoch_ = rc.epoch;
+  external_fences_ = rc.external_fences;
+  for (const auto& [g, first] : rc.group_inits) {
+    const std::int32_t s = claim_slot(group_slot_, g.value(), first);
+    // Rejoining a group whose slot survived from an earlier epoch: the node
+    // missed the interim traffic, so it resumes at the new epoch's first
+    // sequence number.
+    next_[static_cast<std::size_t>(s)] = first;
+  }
+  for (const AtomId a : rc.new_atoms) claim_slot(atom_slot_, a.value(), 1);
+  if (rc.external_fences) {
+    fence_wait_ += rc.external_gate_fences;
+    return;
+  }
+  for (const GroupId g : rc.awaited_fences) {
+    const std::int32_t s = group_slot(g);
+    DECSEQ_CHECK_MSG(s >= 0, "awaited fence for unknown group " << g);
+    if (awaiting_fence_[static_cast<std::size_t>(s)] == 0) {
+      awaiting_fence_[static_cast<std::size_t>(s)] = 1;
+      ++fence_wait_;
+    }
+  }
+}
+
+void Receiver::external_fence_delivered(sim::Time now) {
+  DECSEQ_CHECK_MSG(fence_wait_ > 0, "fence relay without an armed gate");
+  --fence_wait_;
+  maybe_release(now);
+}
+
+void Receiver::accumulate_gate_holds(std::vector<std::size_t>& by_group) const {
+  if (by_group.size() < gate_holds_by_group_.size()) {
+    by_group.resize(gate_holds_by_group_.size(), 0);
+  }
+  for (std::size_t i = 0; i < gate_holds_by_group_.size(); ++i) {
+    by_group[i] += gate_holds_by_group_[i];
+  }
 }
 
 bool Receiver::deliverable(const Message& message) const {
+  if (fence_wait_ > 0 && message.epoch == gate_epoch_) return false;
   const std::int32_t gs = group_slot(message.group());
   DECSEQ_CHECK_MSG(gs >= 0, "node " << node_
                                     << " got message for unsubscribed group "
@@ -57,6 +101,21 @@ std::pair<std::int32_t, SeqNo> Receiver::first_blocker(
 }
 
 void Receiver::receive(const Message& message, sim::Time now) {
+  if (fence_wait_ > 0 && message.epoch == gate_epoch_) {
+    // Epoch gate: a new-epoch message may not deliver until every fence of
+    // the old epoch has — otherwise this receiver could order it against a
+    // still-in-flight old-epoch message differently from a peer (the two
+    // share no sequencing atom across the epoch cut).
+    held_.push_back({message, now});
+    ++buffered_count_;
+    max_buffered_ = std::max(max_buffered_, buffered_count_);
+    const std::uint32_t gv = message.group().value();
+    if (gv >= gate_holds_by_group_.size()) {
+      gate_holds_by_group_.resize(gv + 1, 0);
+    }
+    ++gate_holds_by_group_[gv];
+    return;
+  }
   const std::int32_t gs = group_slot(message.group());
   DECSEQ_CHECK_MSG(!(gs >= 0 && closed_[static_cast<std::size_t>(gs)]),
                    "message for group " << message.group()
@@ -67,6 +126,19 @@ void Receiver::receive(const Message& message, sim::Time now) {
   }
   deliver(message, now);
   process_ready(now);
+  maybe_release(now);
+}
+
+void Receiver::maybe_release(sim::Time now) {
+  while (fence_wait_ == 0 && !held_.empty()) {
+    std::vector<std::pair<Message, sim::Time>> drain;
+    drain.swap(held_);
+    for (auto& [message, arrived_at] : drain) {
+      total_buffer_wait_ += now - arrived_at;
+      --buffered_count_;
+      receive(message, now);
+    }
+  }
 }
 
 void Receiver::park(const Message& message, sim::Time now) {
@@ -159,6 +231,12 @@ void Receiver::deliver(const Message& message, sim::Time now) {
     advance(as);
   }
   if (message.is_fin()) closed_[static_cast<std::size_t>(gs)] = true;
+  if (message.data->is_fence() && !external_fences_ &&
+      awaiting_fence_[static_cast<std::size_t>(gs)] != 0) {
+    awaiting_fence_[static_cast<std::size_t>(gs)] = 0;
+    DECSEQ_CHECK(fence_wait_ > 0);
+    --fence_wait_;  // gate opens at the end of the enclosing receive()
+  }
   ++delivered_count_;
   on_deliver_(message, now);
 }
@@ -184,7 +262,7 @@ std::vector<AtomId> relevant_atoms_for(NodeId node,
                                        const seqgraph::SequencingGraph& graph) {
   std::vector<AtomId> relevant;
   for (const seqgraph::Atom& atom : graph.atoms()) {
-    if (atom.is_ingress_only()) continue;
+    if (atom.is_ingress_only() || graph.is_retired(atom.id)) continue;
     if (std::binary_search(atom.overlap_members.begin(),
                            atom.overlap_members.end(), node)) {
       relevant.push_back(atom.id);

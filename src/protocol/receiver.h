@@ -46,6 +46,32 @@ namespace testhooks {
 inline bool g_skip_stamp_validation = false;
 }  // namespace testhooks
 
+/// One zero-downtime reconfiguration, as seen by a single receiver: which
+/// cutover fences it must observe before new-epoch traffic may deliver,
+/// plus the counter slots the new epoch adds. See "Zero-downtime
+/// reconfiguration" in protocol/network.h for the whole picture.
+struct ReceiverReconfigure {
+  /// The new routing epoch; messages tagged with it are gated until every
+  /// awaited fence has been delivered.
+  std::uint32_t epoch = 0;
+  /// Groups whose fence (or FIN+fence) this receiver itself delivers and
+  /// must wait for. The receiver already holds slots for them (it was an
+  /// old-epoch member). Ignored when external_fences is set.
+  std::vector<GroupId> awaited_fences;
+  /// Sharded mode: fences for this node land on *other* shard-slice
+  /// receivers, so the coordinator relays each delivery via
+  /// external_fence_delivered(); this is how many to wait for.
+  std::uint32_t external_gate_fences = 0;
+  bool external_fences = false;
+  /// Group slots to claim or re-initialize: (group, first expected seq).
+  /// A new or rejoining subscriber starts at the group's first new-epoch
+  /// sequence number (the fence consumed the last old one).
+  std::vector<std::pair<GroupId, SeqNo>> group_inits;
+  /// Newly relevant atoms (appended by the delta rebuild); counters start
+  /// at 1 like any fresh atom sequence space.
+  std::vector<AtomId> new_atoms;
+};
+
 /// Delivery state machine for one subscriber node.
 class Receiver {
  public:
@@ -62,6 +88,25 @@ class Receiver {
   /// counters line up, otherwise buffer it. Either way the decision is
   /// immediate. Cascades deliveries of previously buffered messages.
   void receive(const Message& message, sim::Time now);
+
+  /// Arm the epoch gate and claim the new epoch's counter slots. New-epoch
+  /// messages are held (in arrival order) until every awaited fence has
+  /// been delivered; old-epoch traffic flows untouched. Counter slots are
+  /// append-only: old slots keep draining the old epoch.
+  void apply_reconfigure(const ReceiverReconfigure& rc);
+
+  /// True while the epoch gate is armed (fences still outstanding).
+  [[nodiscard]] bool gated() const { return fence_wait_ > 0; }
+
+  /// Sharded relay: the coordinator committed one of this node's fences
+  /// (delivered on some shard-slice receiver). Opens the gate and replays
+  /// held messages once the count reaches zero.
+  void external_fence_delivered(sim::Time now);
+
+  /// Messages ever held at the epoch gate, per group — the bench's
+  /// "messages stalled by reconfiguration" metric (untouched groups are
+  /// never gated, so their count must stay 0).
+  void accumulate_gate_holds(std::vector<std::size_t>& by_group) const;
 
   /// True iff `message` would be delivered immediately — i.e. no prior
   /// message is still missing. This is the paper's "committed without
@@ -114,11 +159,19 @@ class Receiver {
   [[nodiscard]] std::pair<std::int32_t, SeqNo> first_blocker(
       const Message& message) const;
 
+  /// Map an id to its counter slot, creating the slot (with first expected
+  /// value `first`) if absent. Keeps next_/closed_/wait_head_/
+  /// awaiting_fence_ in tandem.
+  std::int32_t claim_slot(std::vector<std::int32_t>& slots,
+                          std::uint32_t id_value, SeqNo first);
+
   void park(const Message& message, sim::Time now);
   void index_waiter(std::uint32_t idx);
   void advance(std::int32_t slot);
   void deliver(const Message& message, sim::Time now);
   void process_ready(sim::Time now);
+  /// Replay gate-held messages once the last awaited fence is in.
+  void maybe_release(sim::Time now);
 
   NodeId node_;
   DeliverFn on_deliver_;
@@ -161,6 +214,21 @@ class Receiver {
   std::size_t delivered_count_ = 0;
   std::size_t max_buffered_ = 0;
   sim::Time total_buffer_wait_ = 0.0;
+
+  /// --- Epoch gate (zero-downtime reconfiguration) ---
+  /// Messages of gate_epoch_ are held while fence_wait_ > 0. Old-epoch
+  /// messages bypass the gate entirely (their counters are still live), so
+  /// a group untouched by the reconfiguration never waits here.
+  std::uint32_t gate_epoch_ = 0;
+  std::uint32_t fence_wait_ = 0;
+  bool external_fences_ = false;
+  /// Per-slot flag: delivering this group's fence decrements fence_wait_
+  /// (internal mode only; sharded relays via external_fence_delivered).
+  std::vector<char> awaiting_fence_;
+  /// Gate-held messages in arrival order (replayed in the same order).
+  std::vector<std::pair<Message, sim::Time>> held_;
+  /// Cumulative gate holds per group value (metric only).
+  std::vector<std::size_t> gate_holds_by_group_;
 };
 
 /// Build the receiver set for every subscriber in the membership snapshot,

@@ -32,16 +32,29 @@ PubSubSystem::PubSubSystem(const SystemConfig& config)
   rebuild();
 }
 
-void PubSubSystem::rebuild() {
-  DECSEQ_CHECK_MSG(sim_.idle(), "membership change while messages in flight");
-  DECSEQ_CHECK_MSG(engine_ == nullptr ||
-                       (engine_->idle() && !engine_->ingress_pending()),
-                   "membership change while messages in flight");
-  for (const auto& [sender, state] : causal_) {
-    DECSEQ_CHECK_MSG(!state.in_flight.has_value() && state.queue.empty(),
-                     "membership change while causal publishes from "
-                         << sender << " are pending");
+void PubSubSystem::require_quiescent(const char* op) const {
+  // Checked BEFORE any membership mutation: a failed quiescence check must
+  // leave the system exactly as it was, not with a half-applied membership
+  // table whose sequencing graph still reflects the old world.
+  DECSEQ_CHECK_MSG(sim_.idle(), op << " while " << sim_.pending()
+                                   << " simulator event(s) are in flight");
+  if (engine_ != nullptr) {
+    DECSEQ_CHECK_MSG(engine_->idle(),
+                     op << " while the sharded runtime has pending events");
+    DECSEQ_CHECK_MSG(!engine_->ingress_pending(),
+                     op << " while the sharded runtime has queued ingress");
   }
+  for (const auto& [sender, state] : causal_) {
+    const std::size_t pending =
+        state.queue.size() + (state.in_flight.has_value() ? 1u : 0u);
+    DECSEQ_CHECK_MSG(pending == 0, op << " while " << pending
+                                      << " causal publish(es) from " << sender
+                                      << " are pending");
+  }
+}
+
+void PubSubSystem::rebuild() {
+  require_quiescent("membership change");  // backstop; entry points check too
   if (network_ != nullptr) {
     epoch_base_ += static_cast<MsgId::underlying_type>(network_->published());
   }
@@ -99,6 +112,7 @@ void PubSubSystem::rebuild() {
 }
 
 GroupId PubSubSystem::create_group(std::vector<NodeId> members) {
+  require_quiescent("create_group");
   const GroupId g = membership_.add_group(std::move(members));
   rebuild();
   return g;
@@ -106,6 +120,7 @@ GroupId PubSubSystem::create_group(std::vector<NodeId> members) {
 
 std::vector<GroupId> PubSubSystem::create_groups(
     std::vector<std::vector<NodeId>> member_lists) {
+  require_quiescent("create_groups");
   std::vector<GroupId> ids;
   ids.reserve(member_lists.size());
   for (auto& members : member_lists) {
@@ -116,16 +131,19 @@ std::vector<GroupId> PubSubSystem::create_groups(
 }
 
 void PubSubSystem::join(GroupId group, NodeId node) {
+  require_quiescent("join");
   membership_.add_member(group, node);
   rebuild();
 }
 
 void PubSubSystem::leave(GroupId group, NodeId node) {
+  require_quiescent("leave");
   membership_.remove_member(group, node);
   rebuild();
 }
 
 void PubSubSystem::remove_group(GroupId group) {
+  require_quiescent("remove_group");
   membership_.remove_group(group);
   rebuild();
 }
@@ -191,6 +209,93 @@ std::vector<GroupId> PubSubSystem::reconfigure(
   return created;
 }
 
+PubSubSystem::ReconfigureResult PubSubSystem::reconfigure_async(
+    std::vector<MembershipChange> changes) {
+  DECSEQ_CHECK(network_ != nullptr);
+  DECSEQ_CHECK_MSG(!network_->transition_active(),
+                   "reconfigure_async while "
+                       << network_->fences_outstanding()
+                       << " cutover fence(s) from the previous transition "
+                          "are still draining");
+  ReconfigureResult result;
+
+  // 1. Snapshot every live group's member list *before* the mutation: the
+  //    cutover fences must reach the old membership (a leaver still gets
+  //    the fence that closes its subscription; a joiner does not).
+  std::vector<std::vector<NodeId>> old_members(membership_.num_group_slots());
+  for (const GroupId g : membership_.live_groups()) {
+    old_members[g.value()] = membership_.members(g);
+  }
+
+  // 2. Apply the batch; the directly-touched groups seed the delta.
+  std::vector<GroupId> dirty;
+  for (MembershipChange& change : changes) {
+    switch (change.kind) {
+      case MembershipChange::Kind::kCreateGroup: {
+        const GroupId g = membership_.add_group(std::move(change.members));
+        result.created.push_back(g);
+        dirty.push_back(g);
+        break;
+      }
+      case MembershipChange::Kind::kRemoveGroup:
+        membership_.remove_group(change.group);
+        dirty.push_back(change.group);
+        break;
+      case MembershipChange::Kind::kJoin:
+        membership_.add_member(change.group, change.node);
+        dirty.push_back(change.group);
+        break;
+      case MembershipChange::Kind::kLeave:
+        membership_.remove_member(change.group, change.node);
+        dirty.push_back(change.group);
+        break;
+    }
+  }
+
+  // 3. Extend the stack layer by layer, in place — the network holds
+  //    references to the graph/colocation/assignment objects, so each is
+  //    mutated or move-assigned at its existing address. Old atoms keep
+  //    their ids, sequencing nodes, and machines; re-laid paths append.
+  membership::OverlapIndex new_overlaps(*overlaps_, membership_, dirty);
+  const std::vector<std::size_t> labels =
+      placement::colocate_overlaps(new_overlaps, config_.colocation, rng_);
+  seqgraph::BuildOptions graph_options = config_.graph;
+  graph_options.colocation_labels = &labels;
+  seqgraph::SequencingGraph new_graph = seqgraph::build_sequencing_graph_delta(
+      *graph_, *overlaps_, membership_, new_overlaps, dirty, graph_options,
+      &result.delta);
+  const std::size_t first_new_atom = graph_->num_atoms();
+  *overlaps_ = std::move(new_overlaps);
+  *graph_ = std::move(new_graph);
+  colocation_->extend(*graph_, first_new_atom, labels);
+  placement::extend_assignment(*assignment_, *graph_, *colocation_,
+                               membership_, *hosts_, net_graph_,
+                               config_.assignment, rng_,
+                               result.delta.affected_groups, first_new_atom);
+  ++transition_counter_;
+  if (engine_ != nullptr) {
+    engine_->extend_plan(*graph_, membership_, result.delta.affected_groups,
+                         transition_counter_);
+  }
+
+  // 4. Cut over: compile the affected groups' new spans next to their old
+  //    ones and flush a fence down each old span. From here on the network
+  //    routes by epoch; run() drains the transition.
+  result.report = network_->begin_reconfigure(result.delta.affected_groups,
+                                              old_members);
+
+  // 5. Sharded mode: publishes still queued in the ingress rings were
+  //    routed under the old plan; re-route them (adding the old-ingress ->
+  //    new-ingress leg their single-threaded in-flight counterparts would
+  //    travel) onto the shards that now own their groups.
+  if (engine_ != nullptr) {
+    engine_->redistribute_ingress([this](runtime::IngressItem& item) {
+      return network_->reroute_pending_publish(item);
+    });
+  }
+  return result;
+}
+
 void PubSubSystem::terminate_group(GroupId group, NodeId initiator) {
   network_->terminate_group(group, initiator);
 }
@@ -234,34 +339,52 @@ void PubSubSystem::resolve_failed_causal() {
 }
 
 void PubSubSystem::commit_deliveries() {
-  batch_.clear();
-  engine_->drain_deliveries(batch_);
-  // The shard-count-invariant merge: time first; ties across units by unit
-  // id, within a unit by the unit's own delivery-stream position (which
-  // preserves the exact order a lone simulator would produce for it).
-  std::sort(batch_.begin(), batch_.end(),
-            [](const runtime::DeliveryEvent& a,
-               const runtime::DeliveryEvent& b) {
-              if (a.delivered_at != b.delivered_at) {
-                return a.delivered_at < b.delivered_at;
-              }
-              if (a.unit != b.unit) return a.unit < b.unit;
-              return a.unit_pos < b.unit_pos;
-            });
-  for (const runtime::DeliveryEvent& ev : batch_) {
-    if (!ev.fin) {
-      log_.push_back({ev.receiver, MsgId(epoch_base_ + ev.message.value()),
-                      ev.group, ev.sender, ev.payload, ev.sent_at,
-                      ev.delivered_at});
-    }
-    // A sender receiving its own message back releases its next queued
-    // causal publish; in lockstep the control clock sits at the delivery
-    // time, so the release publishes exactly when the callback would have.
-    if (ev.receiver == ev.sender) {
-      const auto it = causal_.find(ev.sender);
-      if (it != causal_.end() && it->second.in_flight == ev.message) {
-        it->second.in_flight.reset();
-        pump_causal_queue(ev.sender);
+  // A committed cutover fence is relayed to the node's gated receivers,
+  // which replay their gate-held messages *now* (workers are parked, so
+  // touching shard state is fence-legal) — producing fresh delivery events
+  // in the rings. Re-drain until a pass commits no fences; released
+  // messages are ordinary payload deliveries and cannot cascade further
+  // relays. During a transition run_sharded() holds lockstep, so every
+  // event in a pass (and every release) shares the slice's fence time and
+  // the (time, unit, unit_pos) merge stays shard-count-invariant.
+  bool relayed_fence = true;
+  while (relayed_fence) {
+    relayed_fence = false;
+    batch_.clear();
+    engine_->drain_deliveries(batch_);
+    // The shard-count-invariant merge: time first; ties across units by
+    // unit id, within a unit by the unit's own delivery-stream position
+    // (which preserves the exact order a lone simulator would produce).
+    std::sort(batch_.begin(), batch_.end(),
+              [](const runtime::DeliveryEvent& a,
+                 const runtime::DeliveryEvent& b) {
+                if (a.delivered_at != b.delivered_at) {
+                  return a.delivered_at < b.delivered_at;
+                }
+                if (a.unit != b.unit) return a.unit < b.unit;
+                return a.unit_pos < b.unit_pos;
+              });
+    for (const runtime::DeliveryEvent& ev : batch_) {
+      if (ev.fence) {
+        network_->fence_delivery_committed(ev.receiver, ev.delivered_at);
+        relayed_fence = true;
+        continue;  // control message: never reaches the application log
+      }
+      if (!ev.fin) {
+        log_.push_back({ev.receiver, MsgId(epoch_base_ + ev.message.value()),
+                        ev.group, ev.sender, ev.payload, ev.sent_at,
+                        ev.delivered_at});
+      }
+      // A sender receiving its own message back releases its next queued
+      // causal publish; in lockstep the control clock sits at the delivery
+      // time, so the release publishes exactly when the callback would
+      // have.
+      if (ev.receiver == ev.sender) {
+        const auto it = causal_.find(ev.sender);
+        if (it != causal_.end() && it->second.in_flight == ev.message) {
+          it->second.in_flight.reset();
+          pump_causal_queue(ev.sender);
+        }
       }
     }
   }
@@ -276,9 +399,13 @@ sim::Time PubSubSystem::run_sharded() {
         !causal_pending()) {
       break;
     }
-    if (!causal_pending()) {
+    if (!causal_pending() && !network_->transition_active()) {
       // Free-run: nothing on a shard can feed back into the control plane,
       // so every shard races ahead to the next control event in parallel.
+      // (During a cutover transition fences feed back — a fence commit
+      // relays to gated receivers on other shards — so lockstep holds
+      // until the transition drains, making the relay instant equal the
+      // fence's delivery time for every shard count.)
       // Exclusive fences (run_before) keep fence-time protocol events
       // after fence-time control events, like the FIFO tie-break would.
       const sim::Time fence = sim_.next_event_time();

@@ -16,8 +16,11 @@
 //                      is also a causal order.
 //
 // Membership changes rebuild the sequencing graph from the global picture
-// (§3.2) and are allowed between runs, while no messages are in flight —
-// the same static-membership regime the paper evaluates (§4).
+// (§3.2). The classic entry points (join/leave/reconfigure/...) are allowed
+// between runs, while no messages are in flight — the static-membership
+// regime the paper evaluates (§4). reconfigure_async() instead extends
+// every layer incrementally and cuts the affected groups over with in-band
+// fences, so untouched groups keep flowing with zero downtime.
 #pragma once
 
 #include <cstdint>
@@ -121,6 +124,39 @@ class PubSubSystem {
   /// whole batch, and rebuilds the graph once. Returns the ids of groups
   /// created by the batch, in order.
   std::vector<GroupId> reconfigure(std::vector<MembershipChange> changes);
+
+  /// What one reconfigure_async() call did.
+  struct ReconfigureResult {
+    /// Ids of groups created by the batch, in order.
+    std::vector<GroupId> created;
+    /// Network-level cutover telemetry (fences flushed, spans compiled).
+    protocol::ReconfigureReport report;
+    /// Delta-rebuild telemetry: the affected closure and how much of the
+    /// sequencing graph was actually re-laid.
+    seqgraph::DeltaBuildStats delta;
+  };
+
+  /// Zero-downtime reconfiguration: apply the batch *without* draining
+  /// in-flight traffic. The overlap index, sequencing graph, colocation,
+  /// machine assignment, and (sharded) shard plan are all extended
+  /// incrementally — untouched groups keep their atoms, routes, counters,
+  /// and jitter streams verbatim, and their messages are never stalled.
+  /// Each affected group is cut over by an in-band fence (see
+  /// protocol/network.h "Zero-downtime reconfiguration"): messages
+  /// sequenced before it drain on the old routes, messages sequenced after
+  /// it ride the new ones, and receivers gate new-epoch traffic until the
+  /// fence lands. The transition drains during subsequent run() calls;
+  /// only one may be in flight (wait for transition_active() before the
+  /// next). Publishing remains legal throughout — including from delivery
+  /// callbacks in single-threaded mode, where this may even be called with
+  /// messages mid-flight.
+  ReconfigureResult reconfigure_async(std::vector<MembershipChange> changes);
+
+  /// True while cutover fences from the last reconfigure_async() are still
+  /// undelivered (run() drains them).
+  [[nodiscard]] bool transition_active() const {
+    return network_->transition_active();
+  }
   void join(GroupId group, NodeId node);
   void leave(GroupId group, NodeId node);
   void remove_group(GroupId group);
@@ -236,12 +272,20 @@ class PubSubSystem {
   }
 
  private:
+  /// Assert nothing is in flight (simulator, sharded runtime, causal
+  /// queues), naming `op` and the offending counts. Every membership entry
+  /// point calls this BEFORE touching the membership table, so a violation
+  /// aborts with the system state unmodified.
+  void require_quiescent(const char* op) const;
   void rebuild();
   void pump_causal_queue(NodeId sender);
   sim::Time run_sharded();
   /// Drain the shards' delivery rings, merge by (time, unit, unit position)
   /// — the shard-count-invariant order — and append to the log; releases
-  /// causal chains whose head came back to its sender.
+  /// causal chains whose head came back to its sender. Cutover fences in
+  /// the batch are relayed to the node's gated receivers instead of being
+  /// logged, and the rings are re-drained until no fences remain (a relay
+  /// can release gate-held messages, which deliver at commit time).
   void commit_deliveries();
   [[nodiscard]] bool causal_pending() const;
   /// Drop causal chains whose in-flight head failed ingress (the publisher
@@ -265,6 +309,10 @@ class PubSubSystem {
   /// Membership epochs seen so far; parameterizes the per-unit RNG streams
   /// so channel jitter differs across epochs like the shared stream would.
   std::uint64_t epoch_counter_ = 0;
+  /// reconfigure_async() calls so far; mixed into the unit seeds of shard
+  /// units appended by a transition (units are never rebuilt in place, so
+  /// the ordinal keeps repeated transitions' jitter streams distinct).
+  std::uint64_t transition_counter_ = 0;
   /// Scratch for commit_deliveries (reused across fences).
   std::vector<runtime::DeliveryEvent> batch_;
 

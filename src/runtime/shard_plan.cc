@@ -105,4 +105,83 @@ ShardPlan build_shard_plan(const seqgraph::SequencingGraph& graph,
   return plan;
 }
 
+std::uint32_t extend_shard_plan(ShardPlan& plan,
+                                const seqgraph::SequencingGraph& graph,
+                                const membership::GroupMembership& membership,
+                                const std::vector<GroupId>& affected) {
+  const std::size_t old_atoms = plan.unit_of_atom.size();
+  DECSEQ_CHECK(graph.num_atoms() >= old_atoms);
+  plan.unit_of_atom.resize(graph.num_atoms(), kNoUnit);
+  if (membership.num_group_slots() > plan.unit_of_group.size()) {
+    plan.unit_of_group.resize(membership.num_group_slots(), kNoUnit);
+  }
+  const std::uint32_t first_new_unit = plan.num_units;
+  const std::size_t appended = graph.num_atoms() - old_atoms;
+
+  // Union the appended atoms along each re-laid path. Affected groups whose
+  // path was preserved verbatim (overlap-free groups keeping their ingress
+  // atom) stay in their old unit; removed groups keep their stale mapping
+  // (their route is dead, nothing consults it).
+  UnionFind uf(appended);
+  std::vector<GroupId> relaid;
+  for (const GroupId g : affected) {
+    if (!graph.has_path(g)) continue;
+    const auto& path = graph.path(g);
+    if (path.front().value() < old_atoms) continue;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      DECSEQ_CHECK(path[i].value() >= old_atoms);
+      uf.unite(path[0].value() - old_atoms, path[i].value() - old_atoms);
+    }
+    relaid.push_back(g);
+  }
+  std::sort(relaid.begin(), relaid.end(),
+            [](GroupId a, GroupId b) { return a.value() < b.value(); });
+  relaid.erase(std::unique(relaid.begin(), relaid.end()), relaid.end());
+
+  std::vector<std::uint32_t> unit_of_root(appended, kNoUnit);
+  for (const GroupId g : relaid) {
+    const std::size_t root =
+        uf.find(graph.path(g).front().value() - old_atoms);
+    if (unit_of_root[root] == kNoUnit) {
+      unit_of_root[root] = plan.num_units++;
+      plan.unit_key.push_back(static_cast<std::uint32_t>(g.value()));
+    }
+    plan.unit_of_group[g.value()] = unit_of_root[root];
+  }
+  for (std::size_t a = 0; a < appended; ++a) {
+    const std::uint32_t u = unit_of_root[uf.find(a)];
+    if (u != kNoUnit) plan.unit_of_atom[old_atoms + a] = u;
+  }
+
+  // LPT the new units onto the existing shards, against the load the
+  // current mapping already implies.
+  std::vector<std::uint64_t> unit_load(plan.num_units, 0);
+  for (const GroupId g : membership.live_groups()) {
+    if (!graph.has_path(g)) continue;
+    const std::uint32_t u = plan.unit_of_group[g.value()];
+    if (u == kNoUnit) continue;
+    unit_load[u] += graph.path(g).size() + membership.members(g).size();
+  }
+  std::vector<std::uint64_t> shard_load(plan.num_shards, 0);
+  for (std::uint32_t u = 0; u < first_new_unit; ++u) {
+    shard_load[plan.shard_of_unit[u]] += unit_load[u];
+  }
+  std::vector<std::uint32_t> order(plan.num_units - first_new_unit);
+  std::iota(order.begin(), order.end(), first_new_unit);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return unit_load[a] > unit_load[b];
+                   });
+  plan.shard_of_unit.resize(plan.num_units, 0);
+  for (const std::uint32_t u : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < plan.num_shards; ++s) {
+      if (shard_load[s] < shard_load[best]) best = s;
+    }
+    plan.shard_of_unit[u] = best;
+    shard_load[best] += unit_load[u];
+  }
+  return first_new_unit;
+}
+
 }  // namespace decseq::runtime

@@ -66,4 +66,19 @@ struct ShardPlan {
     const seqgraph::SequencingGraph& graph,
     const membership::GroupMembership& membership, std::uint32_t num_shards);
 
+/// Extend `plan` in place after a delta graph rebuild (zero-downtime
+/// reconfiguration): the re-laid paths of the `affected` groups — built
+/// entirely from appended atoms — are grouped into *fresh* units, numbered
+/// from plan.num_units up in ascending smallest-group-id order (still a
+/// pure function of the graph, never of the shard count). Old units keep
+/// their ids and shards, so in-flight old-epoch traffic keeps its merge
+/// keys; affected groups are remapped to their new unit. New units are
+/// spread by the same LPT greedy against the current estimated shard
+/// loads. num_shards never changes (workers are fixed at engine start).
+/// Returns the first new unit id.
+std::uint32_t extend_shard_plan(ShardPlan& plan,
+                                const seqgraph::SequencingGraph& graph,
+                                const membership::GroupMembership& membership,
+                                const std::vector<GroupId>& affected);
+
 }  // namespace decseq::runtime

@@ -26,7 +26,10 @@ std::uint64_t unit_seed(std::uint64_t seed, std::uint64_t epoch,
 
 ShardedEngine::ShardedEngine(ShardPlan plan, std::uint64_t seed,
                              std::uint64_t epoch)
-    : plan_(std::move(plan)), unit_pos_(plan_.num_units, 0) {
+    : plan_(std::move(plan)),
+      seed_(seed),
+      epoch_(epoch),
+      unit_pos_(plan_.num_units, 0) {
   unit_rngs_.reserve(plan_.num_units);
   for (std::uint32_t u = 0; u < plan_.num_units; ++u) {
     unit_rngs_.emplace_back(unit_seed(seed, epoch, plan_.unit_key[u]));
@@ -174,6 +177,42 @@ void ShardedEngine::worker_loop(std::uint32_t s) {
       ++done_;
     }
     done_cv_.notify_one();
+  }
+}
+
+std::uint32_t ShardedEngine::extend_plan(
+    const seqgraph::SequencingGraph& graph,
+    const membership::GroupMembership& membership,
+    const std::vector<GroupId>& affected, std::uint64_t transition) {
+  const std::uint32_t first_new =
+      extend_shard_plan(plan_, graph, membership, affected);
+  for (std::uint32_t u = first_new; u < plan_.num_units; ++u) {
+    // A new unit may reuse a retired unit's smallest-group key (the group
+    // rejoined a re-laid component); mixing the transition ordinal into the
+    // epoch keeps every unit's jitter stream distinct.
+    unit_rngs_.emplace_back(unit_seed(
+        seed_, epoch_ + 0x9e3779b97f4a7c15ULL * transition,
+        plan_.unit_key[u]));
+    unit_pos_.push_back(0);
+  }
+  return first_new;
+}
+
+void ShardedEngine::redistribute_ingress(
+    const std::function<std::uint32_t(IngressItem&)>& reroute) {
+  std::vector<IngressItem> pending;
+  for (auto& shard : shards_) {
+    IngressItem item;
+    while (shard->ingress.pop(item)) pending.push_back(std::move(item));
+    for (IngressItem& spilled : shard->ingress_spill) {
+      pending.push_back(std::move(spilled));
+    }
+    shard->ingress_spill.clear();
+  }
+  for (IngressItem& item : pending) {
+    const std::uint32_t s = reroute(item);
+    DECSEQ_CHECK(s < num_shards());
+    push_ingress(s, std::move(item));
   }
 }
 

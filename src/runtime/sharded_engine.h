@@ -77,10 +77,15 @@ struct DeliveryEvent {
   sim::Time sent_at = 0.0;
   sim::Time delivered_at = 0.0;
   /// Merge keys: the group's unit and the delivery's position in that
-  /// unit's delivery stream (both shard-count-invariant).
+  /// unit's delivery stream (both shard-count-invariant). During a
+  /// reconfiguration an old-epoch delivery carries the group's *previous*
+  /// unit — the stream it was sequenced in.
   std::uint32_t unit = 0;
   std::uint64_t unit_pos = 0;
   bool fin = false;
+  /// Reconfiguration cutover fence (protocol/message.h): the coordinator
+  /// relays these to the node's gated receivers at commit time.
+  bool fence = false;
 };
 
 class ShardedEngine {
@@ -138,6 +143,27 @@ class ShardedEngine {
   /// first, then overflow — the order the worker produced them.
   void drain_deliveries(std::vector<DeliveryEvent>& out);
 
+  /// Zero-downtime reconfiguration (between slices only): extend the shard
+  /// plan for a delta-rebuilt graph and materialize the appended units' RNG
+  /// streams and delivery-position counters. `transition` is the
+  /// reconfiguration ordinal, mixed into the unit seeds so repeated
+  /// reconfigurations never reuse a jitter stream. Returns the first new
+  /// unit id. The shard count never changes.
+  std::uint32_t extend_plan(const seqgraph::SequencingGraph& graph,
+                            const membership::GroupMembership& membership,
+                            const std::vector<GroupId>& affected,
+                            std::uint64_t transition);
+
+  /// Zero-downtime reconfiguration (between slices only): pass every
+  /// still-queued publish through `reroute` — which may adjust the item
+  /// (e.g. its ingress delay) and returns its owning shard — and re-enqueue
+  /// it there. Relative order of any one group's publishes is preserved.
+  /// Workers are parked, so consuming their rings here is race-free (the
+  /// dispatch mutex orders it against both the previous and the next
+  /// slice).
+  void redistribute_ingress(
+      const std::function<std::uint32_t(IngressItem&)>& reroute);
+
   /// Events fired across all shards (stats; read at a fence).
   [[nodiscard]] std::size_t events_fired() const;
 
@@ -171,6 +197,9 @@ class ShardedEngine {
   void worker_loop(std::uint32_t s);
 
   ShardPlan plan_;
+  /// Ctor seed/epoch, kept for extend_plan's unit-seed derivation.
+  std::uint64_t seed_ = 0;
+  std::uint64_t epoch_ = 0;
   std::vector<Rng> unit_rngs_;
   std::vector<std::uint64_t> unit_pos_;
   IngestFn ingest_;

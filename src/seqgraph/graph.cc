@@ -287,6 +287,205 @@ std::optional<TreeLayout> try_tree_layout(const std::vector<GroupId>& component,
   return layout;
 }
 
+/// Mutable views into a SequencingGraph under construction, so the
+/// per-component layout below is shared between the full builder and the
+/// delta builder (both are friends; internal-linkage helpers are not).
+struct GraphParts {
+  std::vector<Atom>& atoms;
+  std::vector<std::vector<AtomId>>& paths;
+  std::vector<std::vector<AtomId>>& tree;
+  std::vector<char>& retired;
+  std::size_t& num_overlap_atoms;
+  std::size_t& tree_components;
+  std::size_t& chain_components;
+};
+
+AtomId append_atom(GraphParts& gp, GroupId a, GroupId b,
+                   std::vector<NodeId> members, std::size_t overlap_index) {
+  const AtomId id(static_cast<AtomId::underlying_type>(gp.atoms.size()));
+  gp.atoms.push_back({id, a, b, std::move(members), overlap_index});
+  gp.tree.emplace_back();
+  gp.retired.push_back(0);
+  return id;
+}
+
+/// Lay out one overlap component: greedy tree when the strategy allows and
+/// the component admits one, otherwise the (ordered or unordered) chain.
+/// Appends atoms and tree edges and assigns every component group's path.
+/// Deterministic in the component's group order, its overlaps' relative
+/// order, and their contents — NOT in absolute overlap indices — which is
+/// what lets the delta builder reproduce a full rebuild's layout for
+/// untouched components without running it.
+void layout_component(GraphParts& gp, const std::vector<GroupId>& component,
+                      const OverlapIndex& overlaps,
+                      const BuildOptions& options) {
+  if (options.strategy == BuildStrategy::kGreedyTree) {
+    if (auto layout = try_tree_layout(component, overlaps)) {
+      // Materialize the tree: atoms in local order, adjacency, paths.
+      std::vector<AtomId> atom_of_local;
+      atom_of_local.reserve(layout->locals.size());
+      for (const std::size_t oi : layout->locals) {
+        const Overlap& o = overlaps.overlap(oi);
+        atom_of_local.push_back(
+            append_atom(gp, o.first, o.second, o.members, oi));
+        ++gp.num_overlap_atoms;
+      }
+      for (std::size_t a = 0; a < layout->adj.size(); ++a) {
+        for (const std::size_t b : layout->adj[a]) {
+          if (a < b) {
+            gp.tree[atom_of_local[a].value()].push_back(atom_of_local[b]);
+            gp.tree[atom_of_local[b].value()].push_back(atom_of_local[a]);
+          }
+        }
+      }
+      for (const auto& [g, locals] : layout->group_paths) {
+        auto& path = gp.paths[g.value()];
+        path.clear();
+        for (const std::size_t a : locals) {
+          path.push_back(atom_of_local[a]);
+        }
+      }
+      ++gp.tree_components;
+      return;
+    }
+    // Greedy tree failed for this component: fall through to the chain
+    // layout, which always works.
+  }
+  // 1. Order the component's groups by affinity (no-op for the ablation
+  //    strategy, which keeps discovery order).
+  const std::vector<GroupId> group_order =
+      options.strategy != BuildStrategy::kChainUnordered
+          ? order_groups(component, overlaps)
+          : component;
+
+  std::vector<std::size_t> pos_of_group;  // slot -> position in order
+  {
+    GroupId::underlying_type max_slot = 0;
+    for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
+    pos_of_group.assign(max_slot + 1, group_order.size());
+    for (std::size_t i = 0; i < group_order.size(); ++i) {
+      pos_of_group[group_order[i].value()] = i;
+    }
+  }
+
+  // 2. Collect the component's overlaps, keyed for the barycenter sort.
+  struct ChainEntry {
+    std::size_t overlap_index;
+    std::size_t lo, hi;     // positions of the two groups in group_order
+    std::size_t label = 0;  // co-location label (same label = same machine)
+    double label_key = 0.0; // mean barycenter of the label's atoms
+  };
+  std::vector<ChainEntry> chain;
+  for (const GroupId g : component) {
+    for (const std::size_t oi : overlaps.overlaps_of(g)) {
+      const Overlap& o = overlaps.overlap(oi);
+      if (o.first != g) continue;  // visit each overlap exactly once
+      const std::size_t pa = pos_of_group[o.first.value()];
+      const std::size_t pb = pos_of_group[o.second.value()];
+      const std::size_t label = options.colocation_labels != nullptr
+                                    ? (*options.colocation_labels)[oi]
+                                    : 0;
+      chain.push_back({oi, std::min(pa, pb), std::max(pa, pb), label, 0.0});
+    }
+  }
+  if (options.colocation_labels != nullptr) {
+    // Anchor each co-location cluster at the mean barycenter of its atoms
+    // so clusters sit where their groups want them, and lay each cluster
+    // out contiguously (a group's path then crosses each machine once).
+    std::map<std::size_t, std::pair<double, std::size_t>> acc;
+    for (const ChainEntry& e : chain) {
+      auto& [sum, count] = acc[e.label];
+      sum += static_cast<double>(e.lo + e.hi);
+      ++count;
+    }
+    for (ChainEntry& e : chain) {
+      const auto& [sum, count] = acc[e.label];
+      e.label_key = sum / static_cast<double>(count);
+    }
+  }
+  if (options.strategy != BuildStrategy::kChainUnordered) {
+    std::sort(chain.begin(), chain.end(),
+              [](const ChainEntry& x, const ChainEntry& y) {
+                // Cluster anchor first (machine-contiguous layout), then
+                // barycenter of the two group positions, ties broken
+                // lexicographically — keeps each group's atoms clustered.
+                if (x.label_key != y.label_key) return x.label_key < y.label_key;
+                if (x.label != y.label) return x.label < y.label;
+                const auto bx = x.lo + x.hi, by = y.lo + y.hi;
+                if (bx != by) return bx < by;
+                if (x.lo != y.lo) return x.lo < y.lo;
+                return x.hi < y.hi;
+              });
+  }
+
+  // 3. Local search: adjacent swaps that shrink the total group span.
+  if (options.strategy != BuildStrategy::kChainUnordered && chain.size() > 2) {
+    SpanTracker tracker(group_order.size());
+    for (std::size_t p = 0; p < chain.size(); ++p) {
+      tracker.insert(chain[p].lo, p);
+      tracker.insert(chain[p].hi, p);
+    }
+    for (std::size_t pass = 0; pass < options.local_search_passes; ++pass) {
+      bool improved = false;
+      for (std::size_t p = 0; p + 1 < chain.size(); ++p) {
+        // Swaps may not break machine contiguity.
+        if (chain[p].label != chain[p + 1].label) continue;
+        const std::size_t before = tracker.span(chain[p].lo) +
+                                   tracker.span(chain[p].hi) +
+                                   tracker.span(chain[p + 1].lo) +
+                                   tracker.span(chain[p + 1].hi);
+        tracker.move(chain[p].lo, p, p + 1);
+        tracker.move(chain[p].hi, p, p + 1);
+        tracker.move(chain[p + 1].lo, p + 1, p);
+        tracker.move(chain[p + 1].hi, p + 1, p);
+        const std::size_t after = tracker.span(chain[p].lo) +
+                                  tracker.span(chain[p].hi) +
+                                  tracker.span(chain[p + 1].lo) +
+                                  tracker.span(chain[p + 1].hi);
+        if (after < before) {
+          std::swap(chain[p], chain[p + 1]);
+          improved = true;
+        } else {
+          // Revert.
+          tracker.move(chain[p].lo, p + 1, p);
+          tracker.move(chain[p].hi, p + 1, p);
+          tracker.move(chain[p + 1].lo, p, p + 1);
+          tracker.move(chain[p + 1].hi, p, p + 1);
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  // 4. Materialize atoms, tree edges, and group paths.
+  std::vector<AtomId> chain_atoms;
+  chain_atoms.reserve(chain.size());
+  for (const ChainEntry& entry : chain) {
+    const Overlap& o = overlaps.overlap(entry.overlap_index);
+    chain_atoms.push_back(
+        append_atom(gp, o.first, o.second, o.members, entry.overlap_index));
+    ++gp.num_overlap_atoms;
+  }
+  for (std::size_t p = 0; p + 1 < chain_atoms.size(); ++p) {
+    gp.tree[chain_atoms[p].value()].push_back(chain_atoms[p + 1]);
+    gp.tree[chain_atoms[p + 1].value()].push_back(chain_atoms[p]);
+  }
+  ++gp.chain_components;
+  for (const GroupId g : component) {
+    std::size_t first = chain_atoms.size(), last = 0;
+    for (std::size_t p = 0; p < chain_atoms.size(); ++p) {
+      if (gp.atoms[chain_atoms[p].value()].stamps(g)) {
+        first = std::min(first, p);
+        last = std::max(last, p);
+      }
+    }
+    DECSEQ_CHECK_MSG(first <= last, "group " << g << " has no atoms");
+    auto& path = gp.paths[g.value()];
+    path.assign(chain_atoms.begin() + static_cast<long>(first),
+                chain_atoms.begin() + static_cast<long>(last) + 1);
+  }
+}
+
 }  // namespace
 
 std::vector<AtomId> SequencingGraph::stamping_atoms(GroupId g) const {
@@ -324,190 +523,22 @@ SequencingGraph build_sequencing_graph(const GroupMembership& membership,
                                        const BuildOptions& options) {
   SequencingGraph graph;
   graph.paths_.resize(membership.num_group_slots());
-
-  auto new_atom = [&graph](GroupId a, GroupId b, std::vector<NodeId> members,
-                           std::size_t overlap_index) -> AtomId {
-    const AtomId id(static_cast<AtomId::underlying_type>(graph.atoms_.size()));
-    graph.atoms_.push_back({id, a, b, std::move(members), overlap_index});
-    graph.tree_.emplace_back();
-    return id;
-  };
+  GraphParts gp{graph.atoms_,          graph.paths_,
+                graph.tree_,           graph.retired_,
+                graph.num_overlap_atoms_, graph.tree_components_,
+                graph.chain_components_};
 
   // One chain (or greedy tree) per connected component of the group
   // overlap graph.
   for (const std::vector<GroupId>& component : overlaps.components()) {
-    if (options.strategy == BuildStrategy::kGreedyTree) {
-      if (auto layout = try_tree_layout(component, overlaps)) {
-        // Materialize the tree: atoms in local order, adjacency, paths.
-        std::vector<AtomId> atom_of_local;
-        atom_of_local.reserve(layout->locals.size());
-        for (const std::size_t oi : layout->locals) {
-          const Overlap& o = overlaps.overlap(oi);
-          atom_of_local.push_back(new_atom(o.first, o.second, o.members, oi));
-          ++graph.num_overlap_atoms_;
-        }
-        for (std::size_t a = 0; a < layout->adj.size(); ++a) {
-          for (const std::size_t b : layout->adj[a]) {
-            if (a < b) {
-              graph.tree_[atom_of_local[a].value()].push_back(
-                  atom_of_local[b]);
-              graph.tree_[atom_of_local[b].value()].push_back(
-                  atom_of_local[a]);
-            }
-          }
-        }
-        for (const auto& [g, locals] : layout->group_paths) {
-          auto& path = graph.paths_[g.value()];
-          for (const std::size_t a : locals) {
-            path.push_back(atom_of_local[a]);
-          }
-        }
-        ++graph.tree_components_;
-        continue;
-      }
-      // Greedy tree failed for this component: fall through to the chain
-      // layout, which always works.
-    }
-    // 1. Order the component's groups by affinity (no-op for the ablation
-    //    strategy, which keeps discovery order).
-    const std::vector<GroupId> group_order =
-        options.strategy != BuildStrategy::kChainUnordered
-            ? order_groups(component, overlaps)
-            : component;
-
-    std::vector<std::size_t> pos_of_group;  // slot -> position in order
-    {
-      GroupId::underlying_type max_slot = 0;
-      for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
-      pos_of_group.assign(max_slot + 1, group_order.size());
-      for (std::size_t i = 0; i < group_order.size(); ++i) {
-        pos_of_group[group_order[i].value()] = i;
-      }
-    }
-
-    // 2. Collect the component's overlaps, keyed for the barycenter sort.
-    struct ChainEntry {
-      std::size_t overlap_index;
-      std::size_t lo, hi;     // positions of the two groups in group_order
-      std::size_t label = 0;  // co-location label (same label = same machine)
-      double label_key = 0.0; // mean barycenter of the label's atoms
-    };
-    std::vector<ChainEntry> chain;
-    for (const GroupId g : component) {
-      for (const std::size_t oi : overlaps.overlaps_of(g)) {
-        const Overlap& o = overlaps.overlap(oi);
-        if (o.first != g) continue;  // visit each overlap exactly once
-        const std::size_t pa = pos_of_group[o.first.value()];
-        const std::size_t pb = pos_of_group[o.second.value()];
-        const std::size_t label = options.colocation_labels != nullptr
-                                      ? (*options.colocation_labels)[oi]
-                                      : 0;
-        chain.push_back({oi, std::min(pa, pb), std::max(pa, pb), label, 0.0});
-      }
-    }
-    if (options.colocation_labels != nullptr) {
-      // Anchor each co-location cluster at the mean barycenter of its atoms
-      // so clusters sit where their groups want them, and lay each cluster
-      // out contiguously (a group's path then crosses each machine once).
-      std::map<std::size_t, std::pair<double, std::size_t>> acc;
-      for (const ChainEntry& e : chain) {
-        auto& [sum, count] = acc[e.label];
-        sum += static_cast<double>(e.lo + e.hi);
-        ++count;
-      }
-      for (ChainEntry& e : chain) {
-        const auto& [sum, count] = acc[e.label];
-        e.label_key = sum / static_cast<double>(count);
-      }
-    }
-    if (options.strategy != BuildStrategy::kChainUnordered) {
-      std::sort(chain.begin(), chain.end(),
-                [](const ChainEntry& x, const ChainEntry& y) {
-                  // Cluster anchor first (machine-contiguous layout), then
-                  // barycenter of the two group positions, ties broken
-                  // lexicographically — keeps each group's atoms clustered.
-                  if (x.label_key != y.label_key) return x.label_key < y.label_key;
-                  if (x.label != y.label) return x.label < y.label;
-                  const auto bx = x.lo + x.hi, by = y.lo + y.hi;
-                  if (bx != by) return bx < by;
-                  if (x.lo != y.lo) return x.lo < y.lo;
-                  return x.hi < y.hi;
-                });
-    }
-
-    // 3. Local search: adjacent swaps that shrink the total group span.
-    if (options.strategy != BuildStrategy::kChainUnordered && chain.size() > 2) {
-      SpanTracker tracker(group_order.size());
-      for (std::size_t p = 0; p < chain.size(); ++p) {
-        tracker.insert(chain[p].lo, p);
-        tracker.insert(chain[p].hi, p);
-      }
-      for (std::size_t pass = 0; pass < options.local_search_passes; ++pass) {
-        bool improved = false;
-        for (std::size_t p = 0; p + 1 < chain.size(); ++p) {
-          // Swaps may not break machine contiguity.
-          if (chain[p].label != chain[p + 1].label) continue;
-          const std::size_t before = tracker.span(chain[p].lo) +
-                                     tracker.span(chain[p].hi) +
-                                     tracker.span(chain[p + 1].lo) +
-                                     tracker.span(chain[p + 1].hi);
-          tracker.move(chain[p].lo, p, p + 1);
-          tracker.move(chain[p].hi, p, p + 1);
-          tracker.move(chain[p + 1].lo, p + 1, p);
-          tracker.move(chain[p + 1].hi, p + 1, p);
-          const std::size_t after = tracker.span(chain[p].lo) +
-                                    tracker.span(chain[p].hi) +
-                                    tracker.span(chain[p + 1].lo) +
-                                    tracker.span(chain[p + 1].hi);
-          if (after < before) {
-            std::swap(chain[p], chain[p + 1]);
-            improved = true;
-          } else {
-            // Revert.
-            tracker.move(chain[p].lo, p + 1, p);
-            tracker.move(chain[p].hi, p + 1, p);
-            tracker.move(chain[p + 1].lo, p, p + 1);
-            tracker.move(chain[p + 1].hi, p, p + 1);
-          }
-        }
-        if (!improved) break;
-      }
-    }
-
-    // 4. Materialize atoms, tree edges, and group paths.
-    std::vector<AtomId> chain_atoms;
-    chain_atoms.reserve(chain.size());
-    for (const ChainEntry& entry : chain) {
-      const Overlap& o = overlaps.overlap(entry.overlap_index);
-      chain_atoms.push_back(
-          new_atom(o.first, o.second, o.members, entry.overlap_index));
-      ++graph.num_overlap_atoms_;
-    }
-    for (std::size_t p = 0; p + 1 < chain_atoms.size(); ++p) {
-      graph.tree_[chain_atoms[p].value()].push_back(chain_atoms[p + 1]);
-      graph.tree_[chain_atoms[p + 1].value()].push_back(chain_atoms[p]);
-    }
-    ++graph.chain_components_;
-    for (const GroupId g : component) {
-      std::size_t first = chain_atoms.size(), last = 0;
-      for (std::size_t p = 0; p < chain_atoms.size(); ++p) {
-        if (graph.atoms_[chain_atoms[p].value()].stamps(g)) {
-          first = std::min(first, p);
-          last = std::max(last, p);
-        }
-      }
-      DECSEQ_CHECK_MSG(first <= last, "group " << g << " has no atoms");
-      auto& path = graph.paths_[g.value()];
-      path.assign(chain_atoms.begin() + static_cast<long>(first),
-                  chain_atoms.begin() + static_cast<long>(last) + 1);
-    }
+    layout_component(gp, component, overlaps, options);
   }
 
   // Ingress-only atoms for live groups with no double overlaps.
   for (const GroupId g : membership.live_groups()) {
     if (!overlaps.has_overlaps(g)) {
       const AtomId id =
-          new_atom(g, GroupId{}, {}, static_cast<std::size_t>(-1));
+          append_atom(gp, g, GroupId{}, {}, static_cast<std::size_t>(-1));
       graph.paths_[g.value()] = {id};
     }
   }
@@ -518,6 +549,162 @@ SequencingGraph build_sequencing_graph(const GroupMembership& membership,
                       << graph.num_atoms() - graph.num_overlap_atoms_
                       << " ingress-only) for " << membership.num_groups()
                       << " groups");
+  return graph;
+}
+
+SequencingGraph build_sequencing_graph_delta(
+    const SequencingGraph& old_graph, const OverlapIndex& old_overlaps,
+    const GroupMembership& membership, const OverlapIndex& new_overlaps,
+    const std::vector<GroupId>& dirty, const BuildOptions& options,
+    DeltaBuildStats* stats) {
+  const std::size_t slots = membership.num_group_slots();
+
+  // Affected closure, computed in one pass: seeds are the dirty groups plus
+  // every group sharing an OLD overlap component with one; a new component
+  // is re-laid iff it contains a seed, and all its groups join the closure.
+  // One pass suffices because overlap edges only change incident to dirty
+  // groups: a new component without a seed is *equal* to an old component
+  // that contained no dirty group, so nothing outside the closure can have
+  // gained, lost, or re-laid an atom.
+  std::vector<char> affected(slots, 0);
+  for (const GroupId g : dirty) {
+    if (!g.valid() || g.value() >= slots) continue;
+    affected[g.value()] = 1;
+    // overlaps_of is range-safe for slots the old index never saw.
+    if (!old_overlaps.overlaps_of(g).empty()) {
+      const std::size_t c = old_overlaps.component_of(g);
+      for (const GroupId m : old_overlaps.components()[c]) {
+        affected[m.value()] = 1;
+      }
+    }
+  }
+  const auto& new_components = new_overlaps.components();
+  std::vector<char> relay(new_components.size(), 0);
+  for (std::size_t c = 0; c < new_components.size(); ++c) {
+    for (const GroupId g : new_components[c]) {
+      if (affected[g.value()] != 0) {
+        relay[c] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < new_components.size(); ++c) {
+    if (relay[c] == 0) continue;
+    for (const GroupId g : new_components[c]) affected[g.value()] = 1;
+  }
+
+  // Start from the old graph verbatim: same atoms, same AtomIds, same tree.
+  SequencingGraph graph;
+  graph.atoms_ = old_graph.atoms_;
+  graph.tree_ = old_graph.tree_;
+  graph.retired_ = old_graph.retired_;
+  graph.retired_.resize(graph.atoms_.size(), 0);
+  graph.num_retired_ = old_graph.num_retired_;
+  graph.num_overlap_atoms_ = old_graph.num_overlap_atoms_;
+  graph.tree_components_ = old_graph.tree_components_;
+  graph.chain_components_ = old_graph.chain_components_;
+  graph.paths_.resize(slots);
+
+  // Retire the closure's atoms; remap every surviving overlap atom's index
+  // into the new OverlapIndex (both lists are (first, second)-sorted, so a
+  // binary search finds it). Retired atoms keep their groups — in-flight
+  // old-epoch stamps still validate against them — but sequence nothing.
+  const auto& new_list = new_overlaps.overlaps();
+  const auto retire = [&](Atom& atom) {
+    graph.retired_[atom.id.value()] = 1;
+    ++graph.num_retired_;
+    if (!atom.is_ingress_only()) {
+      DECSEQ_CHECK(graph.num_overlap_atoms_ > 0);
+      --graph.num_overlap_atoms_;
+    }
+    atom.overlap_index = static_cast<std::size_t>(-1);
+    if (stats != nullptr) ++stats->atoms_retired;
+  };
+  for (Atom& atom : graph.atoms_) {
+    if (graph.retired_[atom.id.value()] != 0) continue;
+    if (atom.is_ingress_only()) {
+      const GroupId g = atom.group_a;
+      if (!membership.is_alive(g) || new_overlaps.has_overlaps(g)) {
+        retire(atom);
+      }
+      continue;
+    }
+    if (affected[atom.group_a.value()] != 0 ||
+        affected[atom.group_b.value()] != 0) {
+      retire(atom);
+      continue;
+    }
+    const auto it = std::lower_bound(
+        new_list.begin(), new_list.end(),
+        std::make_pair(atom.group_a, atom.group_b),
+        [](const Overlap& o, const std::pair<GroupId, GroupId>& key) {
+          if (o.first != key.first) return o.first.value() < key.first.value();
+          return o.second.value() < key.second.value();
+        });
+    DECSEQ_CHECK_MSG(it != new_list.end() && it->first == atom.group_a &&
+                         it->second == atom.group_b,
+                     "surviving atom " << atom.id << " (" << atom.group_a
+                                       << "," << atom.group_b
+                                       << ") lost its overlap");
+    atom.overlap_index = static_cast<std::size_t>(it - new_list.begin());
+  }
+
+  // Paths: groups outside the closure keep their old path verbatim (the
+  // AtomIds are still valid — zero disruption); an affected group keeps its
+  // path only if it is its own surviving ingress-only atom (alive and
+  // overlap-free before and after).
+  for (const GroupId g : membership.live_groups()) {
+    if (!old_graph.has_path(g)) continue;
+    const auto& old_path = old_graph.paths_[g.value()];
+    if (affected[g.value()] == 0) {
+      graph.paths_[g.value()] = old_path;
+    } else if (old_path.size() == 1 &&
+               graph.retired_[old_path[0].value()] == 0 &&
+               graph.atoms_[old_path[0].value()].is_ingress_only()) {
+      graph.paths_[g.value()] = old_path;
+    }
+  }
+
+  // Re-lay the affected components with the shared layout — identical
+  // output to a full rebuild for the same component content.
+  GraphParts gp{graph.atoms_,          graph.paths_,
+                graph.tree_,           graph.retired_,
+                graph.num_overlap_atoms_, graph.tree_components_,
+                graph.chain_components_};
+  for (std::size_t c = 0; c < new_components.size(); ++c) {
+    if (relay[c] != 0) {
+      layout_component(gp, new_components[c], new_overlaps, options);
+      if (stats != nullptr) ++stats->components_relaid;
+    } else if (stats != nullptr) {
+      ++stats->components_copied;
+    }
+  }
+
+  // Fresh ingress-only atoms for live overlap-free groups left pathless
+  // (newly created, or their overlaps all dissolved).
+  for (const GroupId g : membership.live_groups()) {
+    if (!new_overlaps.has_overlaps(g) && graph.paths_[g.value()].empty()) {
+      const AtomId id =
+          append_atom(gp, g, GroupId{}, {}, static_cast<std::size_t>(-1));
+      graph.paths_[g.value()] = {id};
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->atoms_created = graph.atoms_.size() - old_graph.atoms_.size();
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (affected[s] != 0) {
+        stats->affected_groups.push_back(
+            GroupId(static_cast<GroupId::underlying_type>(s)));
+      }
+    }
+  }
+  DECSEQ_LOG(kDebug, "seqgraph",
+             "delta rebuilt " << (graph.atoms_.size() - old_graph.atoms_.size())
+                              << " atoms, retired "
+                              << (graph.num_retired_ - old_graph.num_retired_)
+                              << " (total " << graph.num_atoms() << " atoms, "
+                              << graph.num_retired_ << " retired)");
   return graph;
 }
 

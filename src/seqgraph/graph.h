@@ -47,6 +47,7 @@ struct Atom {
 };
 
 struct BuildOptions;
+struct DeltaBuildStats;
 
 /// Immutable sequencing graph: atoms, per-group directed paths, and the
 /// undirected forest of inter-atom links. Built by build_sequencing_graph().
@@ -61,13 +62,26 @@ class SequencingGraph {
     return atoms_[id.value()];
   }
 
-  /// Number of atoms that sequence a double overlap (excludes ingress-only).
+  /// Number of atoms that sequence a double overlap (excludes ingress-only
+  /// and retired atoms).
   [[nodiscard]] std::size_t num_overlap_atoms() const {
     return num_overlap_atoms_;
   }
 
+  /// True if the atom was retired by a delta rebuild: it still exists (its
+  /// AtomId stays allocated so in-flight old-epoch traffic can keep
+  /// draining through it) but lies on no live group's path and sequences no
+  /// current overlap. Full builds have no retired atoms.
+  [[nodiscard]] bool is_retired(AtomId id) const {
+    return id.valid() && id.value() < retired_.size() &&
+           retired_[id.value()] != 0;
+  }
+  [[nodiscard]] std::size_t num_retired_atoms() const { return num_retired_; }
+
   /// How each overlap component was laid out (kGreedyTree only): components
-  /// the greedy tree handled vs components that fell back to a chain.
+  /// the greedy tree handled vs components that fell back to a chain. The
+  /// counters accumulate across delta rebuilds (a retired component stays
+  /// counted until the next full build).
   [[nodiscard]] std::size_t tree_components() const {
     return tree_components_;
   }
@@ -113,11 +127,20 @@ class SequencingGraph {
   friend SequencingGraph build_sequencing_graph(
       const membership::GroupMembership& membership,
       const membership::OverlapIndex& overlaps, const BuildOptions& options);
+  friend SequencingGraph build_sequencing_graph_delta(
+      const SequencingGraph& old_graph,
+      const membership::OverlapIndex& old_overlaps,
+      const membership::GroupMembership& membership,
+      const membership::OverlapIndex& new_overlaps,
+      const std::vector<GroupId>& dirty, const BuildOptions& options,
+      DeltaBuildStats* stats);
 
   std::vector<Atom> atoms_;
   std::vector<std::vector<AtomId>> paths_;  // indexed by GroupId slot
   std::vector<std::vector<AtomId>> tree_;   // undirected adjacency
+  std::vector<char> retired_;               // indexed by AtomId; empty => none
   std::size_t num_overlap_atoms_ = 0;
+  std::size_t num_retired_ = 0;
   std::size_t tree_components_ = 0;
   std::size_t chain_components_ = 0;
 };
@@ -159,5 +182,39 @@ struct BuildOptions {
 [[nodiscard]] SequencingGraph build_sequencing_graph(
     const membership::GroupMembership& membership,
     const membership::OverlapIndex& overlaps, const BuildOptions& options = {});
+
+/// Instrumentation of one delta rebuild.
+struct DeltaBuildStats {
+  /// Groups in the affected closure — the only groups whose sequencing
+  /// paths may differ from the old graph (dirty groups, their old
+  /// component-mates, and every group of a re-laid new component). Sorted
+  /// by slot.
+  std::vector<GroupId> affected_groups;
+  std::size_t components_relaid = 0;  ///< new components laid out afresh
+  std::size_t components_copied = 0;  ///< new components carried verbatim
+  std::size_t atoms_created = 0;      ///< atoms appended by this delta
+  std::size_t atoms_retired = 0;      ///< atoms retired by this delta
+};
+
+/// Incremental rebuild after a membership delta (paper §3.2's global
+/// recomputation, restricted to the overlap components the delta actually
+/// touched). Old atoms are preserved in place — same AtomIds — so a graph
+/// produced here serves both epochs at once: untouched groups keep their
+/// exact old paths (zero disruption), touched components' old atoms are
+/// flagged retired (in-flight old-epoch traffic drains through them) and
+/// fresh atoms are appended for the re-laid components. `old_overlaps` /
+/// `new_overlaps` are the indexes the old graph was built from and the
+/// post-change index (see OverlapIndex's delta constructor); `dirty` lists
+/// the groups whose membership changed (created, removed, joined, or left).
+/// For every group outside the affected closure the resulting path is
+/// *identical* — same AtomIds, same order — and for affected groups the
+/// layout equals what a full rebuild would produce (differentially tested).
+[[nodiscard]] SequencingGraph build_sequencing_graph_delta(
+    const SequencingGraph& old_graph,
+    const membership::OverlapIndex& old_overlaps,
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& new_overlaps,
+    const std::vector<GroupId>& dirty, const BuildOptions& options = {},
+    DeltaBuildStats* stats = nullptr);
 
 }  // namespace decseq::seqgraph

@@ -12,26 +12,34 @@ namespace {
 using GroupPair = std::pair<GroupId, GroupId>;
 
 /// Overlap pairs present in a graph (ingress-only atoms are keyed by the
-/// group alone, with an invalid partner).
+/// group alone, with an invalid partner). Retired atoms sequence nothing
+/// and are excluded.
 std::set<GroupPair> atom_pairs(const SequencingGraph& graph) {
   std::set<GroupPair> pairs;
   for (const Atom& atom : graph.atoms()) {
+    if (graph.is_retired(atom.id)) continue;
     pairs.insert({atom.group_a, atom.group_b});
   }
   return pairs;
 }
 
-/// Per-group path fingerprints as sequences of overlap pairs.
+/// One group's path as a sequence of overlap pairs (AtomIds are
+/// rebuild-dependent; the pair sequence is the stable fingerprint).
+std::vector<GroupPair> path_pairs(const SequencingGraph& graph, GroupId g) {
+  std::vector<GroupPair> pairs;
+  for (const AtomId id : graph.path(g)) {
+    const Atom& a = graph.atom(id);
+    pairs.push_back({a.group_a, a.group_b});
+  }
+  return pairs;
+}
+
+/// Per-group path fingerprints for the full-rebuild diff.
 std::map<GroupId, std::vector<GroupPair>> path_fingerprints(
     const SequencingGraph& graph) {
   std::map<GroupId, std::vector<GroupPair>> fp;
   for (const GroupId g : graph.groups()) {
-    std::vector<GroupPair> pairs;
-    for (const AtomId id : graph.path(g)) {
-      const Atom& a = graph.atom(id);
-      pairs.push_back({a.group_a, a.group_b});
-    }
-    fp[g] = std::move(pairs);
+    fp[g] = path_pairs(graph, g);
   }
   return fp;
 }
@@ -39,13 +47,33 @@ std::map<GroupId, std::vector<GroupPair>> path_fingerprints(
 }  // namespace
 
 SequencingGraphManager::SequencingGraphManager(
-    membership::GroupMembership membership, BuildOptions options)
+    membership::GroupMembership membership, BuildOptions options,
+    bool incremental)
     : membership_(std::move(membership)),
       options_(options),
+      incremental_(incremental),
       overlaps_(membership_),
       graph_(build_sequencing_graph(membership_, overlaps_, options_)) {}
 
+void SequencingGraphManager::apply(GroupId dirty, ChangeStats* stats) {
+  if (!incremental_) {
+    rebuild(stats);
+    return;
+  }
+  rebuild_delta(dirty, stats);
+  // Compaction: retired atoms accumulate across deltas (their AtomIds must
+  // stay allocated while old-epoch traffic can reference them). Once they
+  // outnumber the live atoms, fold them away with one global rebuild —
+  // AtomIds are rebuild-dependent by contract, so holders must not cache
+  // them across changes anyway.
+  const std::size_t live = graph_.num_atoms() - graph_.num_retired_atoms();
+  if (graph_.num_retired_atoms() > live) {
+    rebuild(nullptr);
+  }
+}
+
 void SequencingGraphManager::rebuild(ChangeStats* stats) {
+  ++full_rebuilds_;
   const std::set<GroupPair> old_pairs = atom_pairs(graph_);
   const auto old_fp = path_fingerprints(graph_);
 
@@ -67,28 +95,71 @@ void SequencingGraphManager::rebuild(ChangeStats* stats) {
   }
 }
 
+void SequencingGraphManager::rebuild_delta(GroupId dirty, ChangeStats* stats) {
+  ++delta_rebuilds_;
+  membership::OverlapIndex new_overlaps(overlaps_, membership_, {dirty});
+  DeltaBuildStats delta;
+  SequencingGraph new_graph = build_sequencing_graph_delta(
+      graph_, overlaps_, membership_, new_overlaps, {dirty}, options_, &delta);
+
+  if (stats != nullptr) {
+    stats->used_delta = true;
+    // The full-rebuild diff, restricted to this delta's affected region —
+    // equal to the global diff, since nothing outside it changed. A pair
+    // both retired and re-created was merely re-laid, not created.
+    std::set<GroupPair> retired_pairs;
+    std::set<GroupPair> created_pairs;
+    const std::size_t old_count = graph_.num_atoms();
+    for (std::size_t i = 0; i < old_count; ++i) {
+      const Atom& a = new_graph.atoms()[i];
+      if (new_graph.is_retired(a.id) && !graph_.is_retired(a.id)) {
+        retired_pairs.insert({a.group_a, a.group_b});
+      }
+    }
+    for (std::size_t i = old_count; i < new_graph.num_atoms(); ++i) {
+      const Atom& a = new_graph.atoms()[i];
+      created_pairs.insert({a.group_a, a.group_b});
+    }
+    for (const GroupPair& p : created_pairs) {
+      if (!retired_pairs.contains(p)) ++stats->atoms_created;
+    }
+    for (const GroupPair& p : retired_pairs) {
+      if (!created_pairs.contains(p)) ++stats->atoms_retired;
+    }
+    for (const GroupId g : delta.affected_groups) {
+      if (!graph_.has_path(g) || !new_graph.has_path(g)) continue;
+      if (path_pairs(graph_, g) != path_pairs(new_graph, g)) {
+        ++stats->groups_repathed;
+      }
+    }
+  }
+
+  overlaps_ = std::move(new_overlaps);
+  graph_ = std::move(new_graph);
+}
+
 GroupId SequencingGraphManager::add_group(std::vector<NodeId> members,
                                           ChangeStats* stats) {
   const GroupId g = membership_.add_group(std::move(members));
-  rebuild(stats);
+  apply(g, stats);
   return g;
 }
 
 void SequencingGraphManager::remove_group(GroupId g, ChangeStats* stats) {
   membership_.remove_group(g);
-  rebuild(stats);
+  apply(g, stats);
 }
 
 void SequencingGraphManager::add_subscription(GroupId g, NodeId node,
                                               ChangeStats* stats) {
   membership_.add_member(g, node);
-  rebuild(stats);
+  apply(g, stats);
 }
 
 void SequencingGraphManager::remove_subscription(GroupId g, NodeId node,
                                                  ChangeStats* stats) {
   membership_.remove_member(g, node);
-  rebuild(stats);
+  apply(g, stats);
 }
 
 }  // namespace decseq::seqgraph

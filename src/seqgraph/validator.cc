@@ -77,7 +77,10 @@ ValidationReport validate_sequencing_graph(
   {
     std::map<std::pair<GroupId, GroupId>, std::size_t> atom_count;
     for (const Atom& atom : graph.atoms()) {
-      if (atom.is_ingress_only()) continue;
+      // Retired atoms (delta rebuilds) sequence nothing: a re-laid
+      // component legitimately holds both the retired and the fresh atom
+      // of a surviving pair.
+      if (atom.is_ingress_only() || graph.is_retired(atom.id)) continue;
       ++atom_count[{atom.group_a, atom.group_b}];
     }
     for (const membership::Overlap& o : overlaps.overlaps()) {
@@ -119,6 +122,14 @@ ValidationReport validate_sequencing_graph(
       std::ostringstream err;
       err << "path of group " << g << " revisits an atom";
       report.fail(err.str());
+    }
+
+    for (const AtomId id : path) {
+      if (graph.is_retired(id)) {
+        std::ostringstream err;
+        err << "path of group " << g << " visits retired atom " << id;
+        report.fail(err.str());
+      }
     }
 
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {

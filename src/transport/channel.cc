@@ -112,7 +112,16 @@ bool RecvChannel::on_data(std::uint64_t seq, std::uint8_t flags,
     return true;
   }
   const std::uint64_t ahead = seq - next_deliver_seq_;
-  if (ahead >= kMaxReorderWindow) return false;  // insane seq; see header
+  if (ahead >= kMaxReorderWindow) {
+    // Beyond the reorder window: drop, but still send the cumulative ack.
+    // A sender that legitimately ran a full window ahead of a stalled head
+    // learns where the receiver actually is and stops retransmitting the
+    // packets below it; staying silent here turned one stall into a
+    // full-window retransmit storm (every dropped packet kept its timer).
+    ++window_overruns_;
+    send_ack();
+    return false;
+  }
   // Fast path: the next expected packet with nothing parked behind it.
   if (ahead == 0 && reorder_.empty()) {
     ++next_deliver_seq_;

@@ -24,7 +24,9 @@
 //  * The receiver bounds its reorder window (kMaxReorderWindow): a valid
 //    CRC does not make a sequence number sane, and an attacker-controlled
 //    (or wildly corrupted) seq must not size an allocation. Packets beyond
-//    the window are dropped — the retransmit machinery re-delivers them
+//    the window are dropped but still acked with the highest-contiguous
+//    cumulative seq — the sender's window advances past everything already
+//    received and the retransmit machinery re-delivers the dropped packets
 //    once the window has advanced.
 //
 // ChannelSet is the per-endpoint demultiplexer: it owns the map from edge
@@ -148,7 +150,9 @@ class RecvChannel {
   RecvChannel& operator=(const RecvChannel&) = delete;
 
   /// A DATA frame for this edge arrived. Returns false iff the packet was
-  /// dropped for being beyond the reorder window.
+  /// dropped for being beyond the reorder window (the drop is still acked
+  /// with the highest-contiguous cumulative seq, so the sender's window
+  /// advances instead of retransmitting everything below the drop).
   bool on_data(std::uint64_t seq, std::uint8_t flags,
                const std::uint8_t* payload, std::size_t size);
 
@@ -158,6 +162,11 @@ class RecvChannel {
   }
   [[nodiscard]] std::size_t delivered() const { return delivered_; }
   [[nodiscard]] std::size_t duplicates() const { return duplicates_; }
+  /// Packets dropped for landing beyond the reorder window (each one was
+  /// still acked cumulatively; see on_data).
+  [[nodiscard]] std::size_t window_overruns() const {
+    return window_overruns_;
+  }
   [[nodiscard]] std::uint64_t next_deliver_seq() const {
     return next_deliver_seq_;
   }
@@ -179,6 +188,7 @@ class RecvChannel {
   std::size_t reorder_buffered_ = 0;
   std::size_t delivered_ = 0;
   std::size_t duplicates_ = 0;
+  std::size_t window_overruns_ = 0;
 };
 
 /// Per-endpoint datagram demultiplexer: edge id → channel half.

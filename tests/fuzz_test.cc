@@ -62,6 +62,39 @@ TEST(FuzzScenario, DistinctSeedsDiverge) {
   EXPECT_NE(generate_scenario(1), generate_scenario(2));
 }
 
+TEST(FuzzScenario, ChurnOpsNeverTargetSameBatchCreates) {
+  // Regression: churn join/leave draws used to include the group created
+  // earlier in the same phase's batch — an index the runner cannot resolve
+  // to a GroupId yet, so the op was silently skipped and the sweep lost
+  // that scenario weight. The generator must validate targets itself.
+  GeneratorOptions churny;
+  churny.max_phases = 5;
+  churny.reconfigure_probability = 0.95;
+  churny.max_churn_ops_per_phase = 4;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario scenario =
+        seed % 2 == 0 ? generate_scenario(seed, churny)
+                      : generate_scenario(seed);
+    std::uint32_t groups_before_phase = 0;
+    for (std::size_t p = 0; p < scenario.phases.size(); ++p) {
+      std::uint32_t created_this_phase = 0;
+      for (const MembershipOp& op : scenario.phases[p].reconfig) {
+        if (op.kind == MembershipOp::Kind::kCreate) {
+          ++created_this_phase;
+          continue;
+        }
+        if (op.kind == MembershipOp::Kind::kJoin ||
+            op.kind == MembershipOp::Kind::kLeave) {
+          EXPECT_LT(op.group, groups_before_phase)
+              << "seed " << seed << " phase " << p
+              << " churn op targets a group created in the same batch";
+        }
+      }
+      groups_before_phase += created_this_phase;
+    }
+  }
+}
+
 TEST(FuzzRunner, RunIsBitDeterministic) {
   for (const std::uint64_t seed : {3ULL, 11ULL, 29ULL}) {
     const Scenario scenario = generate_scenario(seed);

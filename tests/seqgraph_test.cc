@@ -212,6 +212,108 @@ TEST(Incremental, SubscriptionChangeCanCreateOverlap) {
   EXPECT_EQ(mgr.graph().num_overlap_atoms(), 0u);
 }
 
+// 200-seed differential: the delta-maintained manager must track the
+// global-recompute oracle exactly — same overlaps in the same order, same
+// per-group path fingerprints, same ChangeStats — across random op
+// sequences, under both layout strategies.
+TEST(Incremental, DeltaMatchesGlobalRecomputeAcross200Seeds) {
+  const auto fingerprint = [](const SequencingGraph& graph, GroupId g) {
+    std::vector<std::pair<GroupId, GroupId>> pairs;
+    for (const AtomId id : graph.path(g)) {
+      const Atom& a = graph.atom(id);
+      pairs.push_back({a.group_a, a.group_b});
+    }
+    return pairs;
+  };
+  constexpr std::uint32_t kNodes = 20;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const auto m = membership::zipf_membership(
+        {.num_nodes = kNodes, .num_groups = 6, .scale = 1.3}, rng);
+    BuildOptions options;
+    options.strategy = (seed % 2 == 0) ? BuildStrategy::kGreedyTree
+                                       : BuildStrategy::kChain;
+    SequencingGraphManager inc(m, options, /*incremental=*/true);
+    SequencingGraphManager ref(m, options, /*incremental=*/false);
+
+    for (int op = 0; op < 10; ++op) {
+      const auto live = inc.membership().live_groups();
+      const std::size_t kind = rng.next_below(4);
+      ChangeStats si, sr;
+      if (kind == 0 || live.empty()) {
+        const std::size_t size = 2 + rng.next_below(4);
+        std::set<std::uint32_t> picks;
+        while (picks.size() < size) {
+          picks.insert(static_cast<std::uint32_t>(rng.next_below(kNodes)));
+        }
+        std::vector<NodeId> members;
+        for (const std::uint32_t p : picks) members.push_back(N(p));
+        inc.add_group(members, &si);
+        ref.add_group(members, &sr);
+      } else if (kind == 1) {
+        const GroupId g = live[rng.next_below(live.size())];
+        inc.remove_group(g, &si);
+        ref.remove_group(g, &sr);
+      } else {
+        const GroupId g = live[rng.next_below(live.size())];
+        const auto members = inc.membership().members(g);
+        if (kind == 2) {
+          const std::uint32_t start =
+              static_cast<std::uint32_t>(rng.next_below(kNodes));
+          std::uint32_t node = kNodes;
+          for (std::uint32_t probe = 0; probe < kNodes; ++probe) {
+            const NodeId cand = N((start + probe) % kNodes);
+            if (std::find(members.begin(), members.end(), cand) ==
+                members.end()) {
+              node = (start + probe) % kNodes;
+              break;
+            }
+          }
+          if (node == kNodes) continue;  // group spans every node
+          inc.add_subscription(g, N(node), &si);
+          ref.add_subscription(g, N(node), &sr);
+        } else {
+          if (members.size() <= 1) continue;  // never empty a group
+          const NodeId node = members[rng.next_below(members.size())];
+          inc.remove_subscription(g, node, &si);
+          ref.remove_subscription(g, node, &sr);
+        }
+      }
+      EXPECT_TRUE(si.used_delta) << "seed " << seed << " op " << op;
+      EXPECT_FALSE(sr.used_delta);
+      EXPECT_EQ(si.atoms_created, sr.atoms_created)
+          << "seed " << seed << " op " << op;
+      EXPECT_EQ(si.atoms_retired, sr.atoms_retired)
+          << "seed " << seed << " op " << op;
+      EXPECT_EQ(si.groups_repathed, sr.groups_repathed)
+          << "seed " << seed << " op " << op;
+
+      ASSERT_EQ(inc.overlaps().num_overlaps(), ref.overlaps().num_overlaps())
+          << "seed " << seed << " op " << op;
+      for (std::size_t i = 0; i < ref.overlaps().num_overlaps(); ++i) {
+        const auto& oi = inc.overlaps().overlap(i);
+        const auto& orf = ref.overlaps().overlap(i);
+        ASSERT_EQ(oi.first, orf.first) << "seed " << seed << " op " << op;
+        ASSERT_EQ(oi.second, orf.second) << "seed " << seed << " op " << op;
+        ASSERT_EQ(oi.members, orf.members) << "seed " << seed << " op " << op;
+      }
+
+      const auto groups = ref.graph().groups();
+      ASSERT_EQ(inc.graph().groups(), groups)
+          << "seed " << seed << " op " << op;
+      for (const GroupId g : groups) {
+        ASSERT_EQ(fingerprint(inc.graph(), g), fingerprint(ref.graph(), g))
+            << "seed " << seed << " op " << op << " group " << g;
+      }
+
+      const auto report = validate_sequencing_graph(
+          inc.graph(), inc.membership(), inc.overlaps());
+      EXPECT_TRUE(report.ok) << "seed " << seed << " op " << op;
+      for (const auto& e : report.errors) ADD_FAILURE() << e;
+    }
+  }
+}
+
 TEST(Incremental, UnrelatedChangeLeavesPathsAlone) {
   SequencingGraphManager mgr(test::make_membership(
       12, {{0, 1, 2}, {1, 2, 3}, {8, 9, 10}}));

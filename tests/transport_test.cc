@@ -313,6 +313,55 @@ TEST(Channel, InsaneSequenceNumberCannotSizeAnAllocation) {
   EXPECT_EQ(link.receiver->reorder_buffered(), 1u);
 }
 
+TEST(Channel, BeyondWindowDropIsStillAckedCumulatively) {
+  SimLink link(SimEdgeOptions{});
+  // Advance the channel a little so the cumulative ack is distinguishable
+  // from the initial zero.
+  link.send_value(0);
+  link.send_value(1);
+  link.send_value(2);
+  link.sim.run();
+  ASSERT_EQ(link.receiver->next_deliver_seq(), 3u);
+
+  // Capture every frame the receiver's endpoint sends back to the sender.
+  std::vector<std::uint64_t> acks;
+  link.net.endpoint(0).set_datagram_sink(
+      [&acks](const std::uint8_t* d, std::size_t n, const Origin&) {
+        const auto frame = decode_frame(d, n);
+        ASSERT_TRUE(frame.has_value());
+        if (frame->type == FrameType::kAck) acks.push_back(frame->seq);
+      });
+
+  // A packet a full window beyond the head must be dropped (never sized
+  // into the reorder ring) — but the drop still produces a cumulative ack
+  // of the highest-contiguous seq, so a sender stalled behind a lost head
+  // learns where the receiver actually is instead of retransmitting its
+  // whole window forever.
+  std::vector<std::uint8_t> payload = {0x01};
+  const auto beyond =
+      encode_frame(FrameType::kData, 0, 1, 3 + RecvChannel::kMaxReorderWindow,
+                   payload.data(), payload.size());
+  Origin origin;
+  EXPECT_FALSE(link.set_b.handle(beyond.data(), beyond.size(), origin));
+  link.sim.run();
+  EXPECT_EQ(link.receiver->window_overruns(), 1u);
+  EXPECT_EQ(link.receiver->reorder_buffered(), 0u);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0], 3u);
+
+  // The overrun desynced nothing: restore the ack path and the channel
+  // keeps delivering in order.
+  link.net.endpoint(0).set_datagram_sink(
+      [&link](const std::uint8_t* d, std::size_t n, const Origin& o) {
+        link.set_a.handle(d, n, o);
+      });
+  link.send_value(3);
+  link.sim.run();
+  ASSERT_EQ(link.received.size(), 4u);
+  EXPECT_EQ(link.received.back(), 3u);
+  EXPECT_EQ(link.sender->unacked(), 0u);
+}
+
 // --- Real-UDP loopback channel -------------------------------------------
 
 TEST(UdpChannel, LoopbackDeliversInOrder) {
