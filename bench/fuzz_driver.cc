@@ -138,12 +138,16 @@ Options parse_args(int argc, char** argv) {
 }
 
 /// Run one scenario and report the first violated oracle. When `skipped` is
-/// given, it receives the runner's skipped-membership-op log.
+/// given, it receives the runner's skipped-membership-op log; `atom_paths`
+/// receives the scenario's atom-path diversity (distinct atom sequences
+/// across all epochs' compiled graphs).
 std::optional<fuzz::OracleVerdict> check(
     const fuzz::Scenario& scenario, const std::vector<fuzz::Oracle>& set,
-    std::vector<std::string>* skipped = nullptr) {
+    std::vector<std::string>* skipped = nullptr,
+    std::size_t* atom_paths = nullptr) {
   const fuzz::RunTrace trace = fuzz::run_scenario(scenario);
   if (skipped != nullptr) *skipped = trace.skipped_membership_ops;
+  if (atom_paths != nullptr) *atom_paths = trace.distinct_atom_paths;
   return fuzz::check_oracles(trace, set);
 }
 
@@ -158,12 +162,14 @@ int replay_files(const Options& opt, const std::vector<fuzz::Oracle>& set) {
   for (const std::string& path : opt.replays) {
     const fuzz::Scenario scenario = fuzz::load_repro(path);
     std::vector<std::string> skipped;
-    if (const auto verdict = check(scenario, set, &skipped)) {
+    std::size_t atom_paths = 0;
+    if (const auto verdict = check(scenario, set, &skipped, &atom_paths)) {
       std::printf("FAIL %s: [%s] %s\n", path.c_str(),
                   verdict->oracle.c_str(), verdict->detail.c_str());
       ++failures;
     } else {
-      std::printf("PASS %s: %s\n", path.c_str(), scenario.summary().c_str());
+      std::printf("PASS %s: %s, atom-paths %zu\n", path.c_str(),
+                  scenario.summary().c_str(), atom_paths);
     }
     print_skips(skipped);
   }
@@ -186,10 +192,11 @@ int sweep(const Options& opt, const std::vector<fuzz::Oracle>& set) {
                                                             opt.generator());
     ++ran;
     std::vector<std::string> skipped;
-    const auto verdict = check(scenario, set, &skipped);
+    std::size_t atom_paths = 0;
+    const auto verdict = check(scenario, set, &skipped, &atom_paths);
     if (!verdict) {
-      std::printf("ok   seed %" PRIu64 ": %s\n", seed,
-                  scenario.summary().c_str());
+      std::printf("ok   seed %" PRIu64 ": %s, atom-paths %zu\n", seed,
+                  scenario.summary().c_str(), atom_paths);
       print_skips(skipped);
       continue;
     }

@@ -97,6 +97,14 @@ struct RunTrace {
   /// Edges still in the fault state after a phase drained ("phase P:
   /// A->B"); recovery should have cleared every one.
   std::vector<std::string> stuck_channel_faults;
+  /// Atom-path diversity: how many distinct atom sequences (each live
+  /// group's ordered sequencing path, as built for some epoch) the scenario
+  /// exercised across all of its membership epochs. A churn-heavy scenario
+  /// that keeps recompiling the same few paths scores low; one whose epochs
+  /// route messages through genuinely different atom chains scores high.
+  /// Reported per scenario by fuzz_driver so sweep coverage of the path
+  /// space is visible, not inferred.
+  std::size_t distinct_atom_paths = 0;
   /// Membership ops the runner skipped as meaningless ("phase P: <why>") —
   /// a dead target group, a join of an existing member, a leave that would
   /// empty a group, a create with no in-range members. The generator

@@ -91,6 +91,12 @@ void execute(const Scenario& s, const RunnerOptions& options,
            system.membership().is_alive(group_ids[g]);
   };
 
+  // Distinct atom sequences observed across every epoch's compiled graph
+  // (the diversity metric in RunTrace). Raw atom-id sequences: within an
+  // epoch two groups sharing a path collapse, and across epochs a delta
+  // rebuild that leaves a group's path untouched adds nothing new.
+  std::set<std::vector<std::uint32_t>> atom_paths;
+
   for (std::size_t p = 0; p < s.phases.size(); ++p) {
     const Phase& phase = s.phases[p];
 
@@ -205,6 +211,17 @@ void execute(const Scenario& s, const RunnerOptions& options,
     for (std::size_t i = 0; i < created.size(); ++i) {
       group_ids[created_indices[i]] = created[i];
     }
+
+    for (const GroupId g : system.graph().groups()) {
+      const std::vector<AtomId>& path = system.graph().path(g);
+      std::vector<std::uint32_t> key;
+      key.reserve(path.size());
+      for (const AtomId a : path) key.push_back(a.value());
+      atom_paths.insert(std::move(key));
+    }
+    // Updated per epoch so a run that throws mid-scenario still reports the
+    // diversity it reached.
+    trace.distinct_atom_paths = atom_paths.size();
 
     if (options.validate_graphs) {
       const seqgraph::ValidationReport report =

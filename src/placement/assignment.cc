@@ -1,6 +1,7 @@
 #include "placement/assignment.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace decseq::placement {
 
@@ -62,7 +63,20 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
     return Assignment(std::move(machine));
   }
 
-  // §3.4 heuristic, run on behalf of each group.
+  // §3.4 heuristic, run on behalf of each group. The reference form is an
+  // ascending-scan fixpoint ("place any node whose path neighbor has a
+  // machine, next to that machine") repeated until no progress — O(path²)
+  // when a long unassigned prefix fills one position per pass. With all
+  // path nodes distinct, that fixpoint has a closed form: the prefix before
+  // the first assigned position f fills leftward (m[t] = neighbor(m[t+1])),
+  // then everything after f fills in one rightward cascade with the left
+  // anchor winning (m[i] = neighbor(m[i-1])), because by the time the
+  // ascending scan reaches an unassigned i > f its left neighbor is always
+  // live. Duplicate nodes on a path alias writes in pass order, so those
+  // (rare) paths take the verbatim reference loop instead. Same machines
+  // either way; no RNG involved.
+  std::vector<std::uint32_t> dup_stamp(machine.size(), 0);
+  std::uint32_t dup_gen = 0;
   for (const GroupId g : graph.groups()) {
     const std::vector<SeqNodeId> path = seq_node_path(graph, colocation, g);
 
@@ -82,23 +96,47 @@ Assignment assign_machines(const seqgraph::SequencingGraph& graph,
               : random_router(network, rng);
     }
 
-    // Repeatedly place the unassigned node adjacent (on the path) to an
-    // assigned one, next to its neighbor's machine. Every pass assigns at
-    // least one node, so this terminates.
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (std::size_t i = 0; i < path.size(); ++i) {
+    ++dup_gen;
+    bool unique_nodes = true;
+    for (const SeqNodeId n : path) {
+      if (dup_stamp[n.value()] == dup_gen) {
+        unique_nodes = false;
+        break;
+      }
+      dup_stamp[n.value()] = dup_gen;
+    }
+
+    if (unique_nodes) {
+      std::size_t first = 0;
+      while (!assigned(first)) ++first;  // seeded above, so this terminates
+      for (std::size_t t = first; t-- > 0;) {
+        machine[path[t].value()] =
+            neighboring_router(network, machine[path[t + 1].value()]);
+      }
+      for (std::size_t i = first + 1; i < path.size(); ++i) {
         if (assigned(i)) continue;
-        RouterId anchor{};
-        if (i > 0 && assigned(i - 1)) {
-          anchor = machine[path[i - 1].value()];
-        } else if (i + 1 < path.size() && assigned(i + 1)) {
-          anchor = machine[path[i + 1].value()];
-        }
-        if (anchor.valid()) {
-          machine[path[i].value()] = neighboring_router(network, anchor);
-          progress = true;
+        machine[path[i].value()] =
+            neighboring_router(network, machine[path[i - 1].value()]);
+      }
+    } else {
+      // Repeatedly place the unassigned node adjacent (on the path) to an
+      // assigned one, next to its neighbor's machine. Every pass assigns at
+      // least one node, so this terminates.
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          if (assigned(i)) continue;
+          RouterId anchor{};
+          if (i > 0 && assigned(i - 1)) {
+            anchor = machine[path[i - 1].value()];
+          } else if (i + 1 < path.size() && assigned(i + 1)) {
+            anchor = machine[path[i + 1].value()];
+          }
+          if (anchor.valid()) {
+            machine[path[i].value()] = neighboring_router(network, anchor);
+            progress = true;
+          }
         }
       }
     }

@@ -1,7 +1,9 @@
 #include "placement/colocation.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <optional>
 
 namespace decseq::placement {
 
@@ -12,16 +14,52 @@ using membership::OverlapIndex;
 using seqgraph::Atom;
 using seqgraph::SequencingGraph;
 
-/// True if `inner` ⊆ `outer`; both sorted.
-bool is_subset(const std::vector<NodeId>& inner,
-               const std::vector<NodeId>& outer) {
-  return std::includes(outer.begin(), outer.end(), inner.begin(),
-                       inner.end());
-}
+/// Inverted index: subscriber node value -> overlap indices containing it
+/// (CSR, overlap index ascending per node). Both co-location steps are
+/// member-driven — a subset candidate shares every member with its seed, a
+/// step-2 merge candidate contains the drawn pivot member — so candidate
+/// sets come from these lists instead of scans over all overlaps/clusters.
+struct MemberIndex {
+  std::vector<std::uint32_t> off;
+  std::vector<std::uint32_t> oi;
+  std::size_t node_limit = 0;
 
-bool contains_member(const std::vector<NodeId>& members, NodeId v) {
-  return std::binary_search(members.begin(), members.end(), v);
-}
+  explicit MemberIndex(const OverlapIndex& overlaps) {
+    const std::size_t n = overlaps.num_overlaps();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const NodeId v : overlaps.overlap(i).members) {
+        node_limit = std::max(node_limit,
+                              static_cast<std::size_t>(v.value()) + 1);
+      }
+    }
+    std::vector<std::uint32_t> count(node_limit + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const NodeId v : overlaps.overlap(i).members) ++count[v.value()];
+    }
+    off.resize(node_limit + 1, 0);
+    std::uint32_t total = 0;
+    for (std::size_t v = 0; v < node_limit; ++v) {
+      off[v] = total;
+      total += count[v];
+    }
+    off[node_limit] = total;
+    oi.resize(total);
+    std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const NodeId v : overlaps.overlap(i).members) {
+        oi[cursor[v.value()]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void for_each_overlap_of(NodeId v, Fn&& fn) const {
+    if (static_cast<std::size_t>(v.value()) >= node_limit) return;
+    for (std::uint32_t e = off[v.value()]; e < off[v.value() + 1]; ++e) {
+      fn(static_cast<std::size_t>(oi[e]));
+    }
+  }
+};
 
 }  // namespace
 
@@ -48,23 +86,56 @@ std::vector<std::size_t> colocate_overlaps(const OverlapIndex& overlaps,
     if (sx != sy) return sx > sy;
     return x < y;
   });
+  std::vector<std::uint32_t> pos_in_order(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    pos_in_order[order[p]] = static_cast<std::uint32_t>(p);
+  }
+
+  const bool need_index = options.mode != ColocationMode::kNone && n > 0;
+  std::optional<MemberIndex> index;
+  if (need_index) index.emplace(overlaps);
 
   if (options.mode == ColocationMode::kNone) {
     for (const std::size_t oi : order) clusters.push_back({{oi}, false});
   } else {
-    // --- Step 1: subset rule. ---
+    // --- Step 1: subset rule. A subset of the seed contains only seed
+    //     members, so candidates come from the seed members' inverted
+    //     lists; the subset test walks stamped member marks. Selected
+    //     candidates join the cluster in `order` position order — exactly
+    //     the legacy full scan's visit order.
     std::vector<bool> clustered(n, false);
+    std::vector<std::uint32_t> member_mark(index->node_limit, 0);
+    std::vector<std::uint32_t> overlap_seen(n, 0);
+    std::uint32_t gen = 0;
+    std::vector<std::size_t> cand;
     for (const std::size_t seed : order) {
       if (clustered[seed]) continue;
       Cluster cluster{{seed}, false};
       clustered[seed] = true;
       const auto& seed_members = overlaps.overlap(seed).members;
-      for (const std::size_t other : order) {
-        if (clustered[other]) continue;
-        if (is_subset(overlaps.overlap(other).members, seed_members)) {
-          cluster.overlaps.push_back(other);
-          clustered[other] = true;
-        }
+      ++gen;
+      for (const NodeId v : seed_members) member_mark[v.value()] = gen;
+      cand.clear();
+      for (const NodeId v : seed_members) {
+        index->for_each_overlap_of(v, [&](std::size_t other) {
+          if (overlap_seen[other] == gen) return;
+          overlap_seen[other] = gen;
+          if (clustered[other]) return;
+          const auto& members = overlaps.overlap(other).members;
+          const bool subset =
+              std::all_of(members.begin(), members.end(), [&](NodeId m) {
+                return member_mark[m.value()] == gen;
+              });
+          if (subset) cand.push_back(other);
+        });
+      }
+      std::sort(cand.begin(), cand.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return pos_in_order[x] < pos_in_order[y];
+                });
+      for (const std::size_t other : cand) {
+        cluster.overlaps.push_back(other);
+        clustered[other] = true;
       }
       clusters.push_back(std::move(cluster));
     }
@@ -73,11 +144,24 @@ std::vector<std::size_t> colocate_overlaps(const OverlapIndex& overlaps,
   // --- Step 2: shared-member rule — merge clusters containing a randomly
   //     chosen member of the pivot cluster's defining overlap. The
   //     "co-located only once" restriction: merged clusters are final.
+  //     Merge candidates (clusters with an overlap containing v) come from
+  //     v's inverted list, visited in cluster-index order like the legacy
+  //     full scan. The RNG draw sequence (shuffle + one pick per unmerged
+  //     pivot) is unchanged.
   std::vector<std::vector<std::size_t>> final_nodes;
   if (options.mode == ColocationMode::kFull) {
+    std::vector<std::uint32_t> cluster_of(n, 0);
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      for (const std::size_t oi : clusters[c].overlaps) {
+        cluster_of[oi] = static_cast<std::uint32_t>(c);
+      }
+    }
     std::vector<std::size_t> visit(clusters.size());
     std::iota(visit.begin(), visit.end(), std::size_t{0});
     rng.shuffle(visit);
+    std::vector<std::uint32_t> cluster_seen(clusters.size(), 0);
+    std::uint32_t gen = 0;
+    std::vector<std::uint32_t> cand;
     for (const std::size_t ci : visit) {
       if (clusters[ci].merged_in_step2) continue;
       clusters[ci].merged_in_step2 = true;
@@ -85,18 +169,19 @@ std::vector<std::size_t> colocate_overlaps(const OverlapIndex& overlaps,
       const auto& pivot_members =
           overlaps.overlap(clusters[ci].overlaps.front()).members;
       const NodeId v = rng.pick(pivot_members);
-      for (std::size_t cj = 0; cj < clusters.size(); ++cj) {
-        if (clusters[cj].merged_in_step2) continue;
-        const bool shares_v = std::any_of(
-            clusters[cj].overlaps.begin(), clusters[cj].overlaps.end(),
-            [&](std::size_t oi) {
-              return contains_member(overlaps.overlap(oi).members, v);
-            });
-        if (shares_v) {
-          clusters[cj].merged_in_step2 = true;
-          merged.insert(merged.end(), clusters[cj].overlaps.begin(),
-                        clusters[cj].overlaps.end());
-        }
+      ++gen;
+      cand.clear();
+      index->for_each_overlap_of(v, [&](std::size_t oi) {
+        const std::uint32_t cj = cluster_of[oi];
+        if (cluster_seen[cj] == gen) return;
+        cluster_seen[cj] = gen;
+        if (!clusters[cj].merged_in_step2) cand.push_back(cj);
+      });
+      std::sort(cand.begin(), cand.end());
+      for (const std::uint32_t cj : cand) {
+        clusters[cj].merged_in_step2 = true;
+        merged.insert(merged.end(), clusters[cj].overlaps.begin(),
+                      clusters[cj].overlaps.end());
       }
       final_nodes.push_back(std::move(merged));
     }

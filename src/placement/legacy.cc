@@ -1,0 +1,196 @@
+// Verbatim copies of the pre-rework placement passes (see legacy.h). Do not
+// "improve" this file: its value is that it is exactly what the reworked
+// passes must reproduce — same output, same RNG draw sequence.
+#include "placement/legacy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace decseq::placement {
+
+namespace {
+
+using membership::Overlap;
+using membership::OverlapIndex;
+
+/// True if `inner` ⊆ `outer`; both sorted.
+bool is_subset(const std::vector<NodeId>& inner,
+               const std::vector<NodeId>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+bool contains_member(const std::vector<NodeId>& members, NodeId v) {
+  return std::binary_search(members.begin(), members.end(), v);
+}
+
+RouterId random_router(const topology::Graph& network, Rng& rng) {
+  return RouterId(static_cast<RouterId::underlying_type>(
+      rng.next_below(network.num_routers())));
+}
+
+/// "Neighboring machine": the router adjacent to `at` over the cheapest
+/// link, so consecutive path hops stay one short link apart.
+RouterId neighboring_router(const topology::Graph& network, RouterId at) {
+  const auto& edges = network.neighbors(at);
+  if (edges.empty()) return at;
+  const auto best = std::min_element(
+      edges.begin(), edges.end(),
+      [](const topology::Edge& a, const topology::Edge& b) {
+        return a.delay_ms < b.delay_ms;
+      });
+  return best->to;
+}
+
+}  // namespace
+
+std::vector<std::size_t> legacy_colocate_overlaps(
+    const OverlapIndex& overlaps, const ColocationOptions& options, Rng& rng) {
+  const std::size_t n = overlaps.num_overlaps();
+
+  struct Cluster {
+    std::vector<std::size_t> overlaps;  // first = defining (largest) overlap
+    bool merged_in_step2 = false;
+  };
+  std::vector<Cluster> clusters;
+
+  // Overlap indices, largest member set first, so each subset chain
+  // collapses onto its largest overlap.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const auto sx = overlaps.overlap(x).members.size();
+    const auto sy = overlaps.overlap(y).members.size();
+    if (sx != sy) return sx > sy;
+    return x < y;
+  });
+
+  if (options.mode == ColocationMode::kNone) {
+    for (const std::size_t oi : order) clusters.push_back({{oi}, false});
+  } else {
+    // --- Step 1: subset rule. ---
+    std::vector<bool> clustered(n, false);
+    for (const std::size_t seed : order) {
+      if (clustered[seed]) continue;
+      Cluster cluster{{seed}, false};
+      clustered[seed] = true;
+      const auto& seed_members = overlaps.overlap(seed).members;
+      for (const std::size_t other : order) {
+        if (clustered[other]) continue;
+        if (is_subset(overlaps.overlap(other).members, seed_members)) {
+          cluster.overlaps.push_back(other);
+          clustered[other] = true;
+        }
+      }
+      clusters.push_back(std::move(cluster));
+    }
+  }
+
+  // --- Step 2: shared-member rule. ---
+  std::vector<std::vector<std::size_t>> final_nodes;
+  if (options.mode == ColocationMode::kFull) {
+    std::vector<std::size_t> visit(clusters.size());
+    std::iota(visit.begin(), visit.end(), std::size_t{0});
+    rng.shuffle(visit);
+    for (const std::size_t ci : visit) {
+      if (clusters[ci].merged_in_step2) continue;
+      clusters[ci].merged_in_step2 = true;
+      std::vector<std::size_t> merged = clusters[ci].overlaps;
+      const auto& pivot_members =
+          overlaps.overlap(clusters[ci].overlaps.front()).members;
+      const NodeId v = rng.pick(pivot_members);
+      for (std::size_t cj = 0; cj < clusters.size(); ++cj) {
+        if (clusters[cj].merged_in_step2) continue;
+        const bool shares_v = std::any_of(
+            clusters[cj].overlaps.begin(), clusters[cj].overlaps.end(),
+            [&](std::size_t oi) {
+              return contains_member(overlaps.overlap(oi).members, v);
+            });
+        if (shares_v) {
+          clusters[cj].merged_in_step2 = true;
+          merged.insert(merged.end(), clusters[cj].overlaps.begin(),
+                        clusters[cj].overlaps.end());
+        }
+      }
+      final_nodes.push_back(std::move(merged));
+    }
+  } else {
+    for (Cluster& c : clusters) final_nodes.push_back(std::move(c.overlaps));
+  }
+
+  std::vector<std::size_t> labels(n, 0);
+  for (std::size_t node = 0; node < final_nodes.size(); ++node) {
+    for (const std::size_t oi : final_nodes[node]) labels[oi] = node;
+  }
+  return labels;
+}
+
+Assignment legacy_assign_machines(const seqgraph::SequencingGraph& graph,
+                                  const Colocation& colocation,
+                                  const membership::GroupMembership& membership,
+                                  const topology::HostMap& hosts,
+                                  const topology::Graph& network,
+                                  const AssignmentOptions& options, Rng& rng) {
+  std::vector<RouterId> machine(colocation.num_nodes(), RouterId{});
+
+  // Ingress-only sequencing nodes sit at a random member's attachment
+  // router regardless of mode.
+  for (const seqgraph::Atom& atom : graph.atoms()) {
+    if (!atom.is_ingress_only()) continue;
+    const SeqNodeId n = colocation.node_of(atom.id);
+    const auto& members = membership.members(atom.group_a);
+    DECSEQ_CHECK(!members.empty());
+    machine[n.value()] = hosts.router_of(rng.pick(members));
+  }
+
+  if (options.mode == AssignmentMode::kAllRandom) {
+    for (std::size_t n = 0; n < machine.size(); ++n) {
+      if (!machine[n].valid()) machine[n] = random_router(network, rng);
+    }
+    return Assignment(std::move(machine));
+  }
+
+  // §3.4 heuristic, run on behalf of each group.
+  for (const GroupId g : graph.groups()) {
+    const std::vector<SeqNodeId> path = seq_node_path(graph, colocation, g);
+
+    auto assigned = [&](std::size_t i) {
+      return machine[path[i].value()].valid();
+    };
+    if (std::none_of(path.begin(), path.end(), [&](SeqNodeId n) {
+          return machine[n.value()].valid();
+        })) {
+      machine[path.front().value()] =
+          options.seed == SeedPolicy::kGroupMember
+              ? hosts.router_of(rng.pick(membership.members(g)))
+              : random_router(network, rng);
+    }
+
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        if (assigned(i)) continue;
+        RouterId anchor{};
+        if (i > 0 && assigned(i - 1)) {
+          anchor = machine[path[i - 1].value()];
+        } else if (i + 1 < path.size() && assigned(i + 1)) {
+          anchor = machine[path[i + 1].value()];
+        }
+        if (anchor.valid()) {
+          machine[path[i].value()] = neighboring_router(network, anchor);
+          progress = true;
+        }
+      }
+    }
+    for (const SeqNodeId n : path) {
+      DECSEQ_CHECK_MSG(machine[n.value()].valid(),
+                       "unassigned sequencing node " << n << " for group "
+                                                     << g);
+    }
+  }
+
+  return Assignment(std::move(machine));
+}
+
+}  // namespace decseq::placement

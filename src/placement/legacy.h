@@ -1,0 +1,26 @@
+// Reference implementations of overlap co-location and machine assignment:
+// the original quadratic-scan versions, kept verbatim so the inverted-index
+// rewrites in colocation.cc / assignment.cc can be differentially tested
+// (tests/routing_scale_test.cc pins exact equality — including identical
+// RNG draw sequences — over 200 seeds) and benchmarked. Not used by the
+// production pipeline.
+#pragma once
+
+#include "placement/assignment.h"
+#include "placement/colocation.h"
+
+namespace decseq::placement {
+
+/// Exactly colocate_overlaps, pre-rework (O(n^2) subset and merge scans).
+[[nodiscard]] std::vector<std::size_t> legacy_colocate_overlaps(
+    const membership::OverlapIndex& overlaps, const ColocationOptions& options,
+    Rng& rng);
+
+/// Exactly assign_machines, pre-rework (O(path^2) anchor fixpoint).
+[[nodiscard]] Assignment legacy_assign_machines(
+    const seqgraph::SequencingGraph& graph, const Colocation& colocation,
+    const membership::GroupMembership& membership,
+    const topology::HostMap& hosts, const topology::Graph& network,
+    const AssignmentOptions& options, Rng& rng);
+
+}  // namespace decseq::placement

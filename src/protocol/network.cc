@@ -102,6 +102,17 @@ SequencingNetwork::SequencingNetwork(
         node, std::move(subs), relevant_atoms_for(node, graph),
         local_delivery_fn(node));
   }
+  // Build every distribution plan at construction here too. Deferring them
+  // to first exit pushed their oracle work (one full row per uncached
+  // lower-id member router) into whatever window the first exit happened to
+  // land in — measurably, the first reconfigure_async: its cutover fences
+  // need the old member set's plans, so a transition on a freshly built
+  // system paid ~10x its steady-state control cost (churn_bench's
+  // cold-first gate pins this down).
+  fanout_plans_.resize(group_routes_.size());
+  for (const GroupId g : graph_->groups()) {
+    (void)fanout_plan(g, graph_->path(g).back());
+  }
 }
 
 Receiver::DeliverFn SequencingNetwork::local_delivery_fn(NodeId node) {
@@ -111,6 +122,12 @@ Receiver::DeliverFn SequencingNetwork::local_delivery_fn(NodeId node) {
       // of surfacing as a delivery.
       DECSEQ_CHECK(fences_outstanding_ > 0);
       --fences_outstanding_;
+      if (fences_outstanding_ == 0) {
+        // Transition drained. The span event delivering this fence is
+        // still iterating its stashed fan-out plan, so compact one
+        // zero-delay event later, once the stack is clear.
+        sim_->schedule_after(0.0, [this] { compact_transition_state(); });
+      }
       return;
     }
     tracer_.record({TraceEvent::Kind::kDelivered, m.id(), at, AtomId{},
@@ -301,7 +318,10 @@ RouterId SequencingNetwork::machine_of_atom(AtomId a) const {
 double SequencingNetwork::machine_distance(AtomId a, AtomId b) {
   const RouterId ra = machine_of_atom(a), rb = machine_of_atom(b);
   if (ra == rb) return 0.0;
-  return oracle_->distance(ra, rb);
+  // Channel delays are compiled once per channel and stored; distance_once
+  // answers a cold machine pair with an early-terminating point query
+  // instead of caching a full row nothing will read again.
+  return oracle_->distance_once(ra, rb);
 }
 
 MsgId SequencingNetwork::publish(NodeId sender, GroupId group,
@@ -658,11 +678,23 @@ SequencingNetwork::build_fanout_plan(GroupId group, AtomId last_atom,
                                                            egress,
                                                            destinations);
   }
-  for (const NodeId member : members) {
-    const RouterId router = hosts_->router_of(member);
+  // Unicast delays come from one batched oracle query: a single Dijkstra
+  // run from the egress settles the whole member set instead of one
+  // point query (or full row) per member.
+  std::vector<double> delays;
+  if (plan->tree == nullptr) {
+    std::vector<RouterId> routers;
+    routers.reserve(members.size());
+    for (const NodeId member : members) {
+      routers.push_back(hosts_->router_of(member));
+    }
+    oracle_->distances_between(egress, routers, delays);
+  }
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    const NodeId member = members[m];
     const double delay = plan->tree != nullptr
-                             ? plan->tree->delay_to(router)
-                             : oracle_->distance(egress, router);
+                             ? plan->tree->delay_to(hosts_->router_of(member))
+                             : delays[m];
     // Sharded mode resolves the member's sub-receiver on the span's shard:
     // the fan-out runs on that shard's thread and the target's counters
     // live there.
@@ -1091,6 +1123,86 @@ void SequencingNetwork::fence_delivery_committed(NodeId node, sim::Time at) {
     Receiver* r = per_node[node.value()].get();
     if (r != nullptr && r->gated()) r->external_fence_delivered(at);
   }
+  // Transition drained: compact synchronously. Commits happen with the
+  // workers parked, and the fence's span event completed when its delivery
+  // was pushed, so nothing references the stashed plans or old hop spans.
+  if (fences_outstanding_ == 0) compact_transition_state();
+}
+
+void SequencingNetwork::compact_transition_state() {
+  // A new transition may have begun before the deferred zero-delay event
+  // fired (single-threaded mode); its own drain will compact instead.
+  if (fences_outstanding_ != 0) return;
+
+  // The drained transition's stashed fan-out plans: every fence has
+  // delivered, so no span event references them any more.
+  for (auto& plan : prev_fanout_plans_) plan.reset();
+
+  // Channels serving only retired atoms carry no live route. Destroy the
+  // quiescent ones; a channel whose final ack is still in flight (or that
+  // surfaced a fault) stays until a later pass. Removal keeps the edge
+  // table sorted, and live hops hold Channel* directly, so nothing
+  // position-dependent breaks.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto& [from, to] = channel_edges_[i];
+    if (graph_->is_retired(from) && graph_->is_retired(to) &&
+        channels_[i]->quiescent()) {
+      ++channels_reclaimed_;
+      continue;
+    }
+    if (w != i) {
+      channel_edges_[w] = channel_edges_[i];
+      channels_[w] = std::move(channels_[i]);
+    }
+    ++w;
+  }
+  channel_edges_.resize(w);
+  channels_.resize(w);
+
+  // Fold the hop table down to the live spans. Every prev span was zeroed
+  // when its fence exited, so the live spans are exactly the current ones;
+  // in-flight messages locate hops as first_hop + path_pos at event time,
+  // so remapping first_hop here is invisible to them.
+  std::size_t live = 0;
+  for (const GroupRoute& route : group_routes_) {
+    DECSEQ_CHECK(route.prev_num_hops == 0);
+    live += route.num_hops;
+  }
+  std::vector<RouteHop> folded;
+  folded.reserve(live);
+  for (GroupRoute& route : group_routes_) {
+    if (route.num_hops == 0) {
+      route.first_hop = 0;
+      continue;
+    }
+    const auto new_first = static_cast<std::uint32_t>(folded.size());
+    folded.insert(folded.end(), route_hops_.begin() + route.first_hop,
+                  route_hops_.begin() + route.first_hop + route.num_hops);
+    route.first_hop = new_first;
+  }
+  route_hops_ = std::move(folded);
+  ++compactions_run_;
+}
+
+std::size_t SequencingNetwork::routing_table_bytes() const {
+  std::size_t bytes = route_hops_.capacity() * sizeof(RouteHop) +
+                      group_routes_.capacity() * sizeof(GroupRoute) +
+                      channel_edges_.capacity() * sizeof(channel_edges_[0]) +
+                      channels_.capacity() * sizeof(channels_[0]) +
+                      channels_.size() * sizeof(sim::Channel<Message>) +
+                      fanout_plans_.capacity() * sizeof(fanout_plans_[0]) +
+                      prev_fanout_plans_.capacity() *
+                          sizeof(prev_fanout_plans_[0]);
+  const auto plan_bytes = [](const std::unique_ptr<FanOutPlan>& plan) {
+    if (plan == nullptr) return std::size_t{0};
+    return sizeof(FanOutPlan) +
+           plan->targets.capacity() * sizeof(FanOutTarget) +
+           plan->spans.capacity() * sizeof(FanOutPlan::Span);
+  };
+  for (const auto& plan : fanout_plans_) bytes += plan_bytes(plan);
+  for (const auto& plan : prev_fanout_plans_) bytes += plan_bytes(plan);
+  return bytes;
 }
 
 std::uint32_t SequencingNetwork::reroute_pending_publish(

@@ -222,6 +222,22 @@ class SequencingNetwork {
   /// reconfiguration" metric. Untouched groups must read 0 here.
   [[nodiscard]] std::vector<std::size_t> gate_held_by_group() const;
 
+  /// Bytes held by the compiled routing tables: the hop table, the
+  /// per-group route headers, the channel table, and the (current and
+  /// stashed) fan-out plans. Epoch compaction folds this back to the live
+  /// working set when a transition drains, so a churn loop of
+  /// reconfigurations holds it steady instead of growing per transition
+  /// (asserted by bench/churn_bench).
+  [[nodiscard]] std::size_t routing_table_bytes() const;
+  /// Epoch compactions run (one per fully drained transition).
+  [[nodiscard]] std::size_t compactions_run() const {
+    return compactions_run_;
+  }
+  /// Retired-epoch channels destroyed by compaction so far.
+  [[nodiscard]] std::size_t channels_reclaimed() const {
+    return channels_reclaimed_;
+  }
+
   // --- Failure injection (beyond the paper's fail-free assumption). ---
   // Fail-stop model with synchronous state replication: a failed
   // sequencing machine stops receiving — upstream retransmission buffers
@@ -444,6 +460,16 @@ class SequencingNetwork {
   /// outstanding count.
   void sequence_fence(GroupId group, bool close_group,
                       std::size_t old_member_count);
+  /// Epoch compaction, run when a transition's last cutover fence delivers
+  /// (fences_outstanding_ back to 0): free the stashed previous-epoch
+  /// fan-out plans, destroy quiescent channels whose endpoints the delta
+  /// rebuild retired, and fold the hop table down to the live spans
+  /// (remapping every route's first_hop). Single-threaded mode reaches
+  /// here via a zero-delay event — the span lambda delivering the final
+  /// fence still iterates a stashed plan — so the fence count is
+  /// re-checked in case a new transition began first. Sharded mode calls
+  /// it directly from fence_delivery_committed (workers parked).
+  void compact_transition_state();
   [[nodiscard]] double machine_distance(AtomId a, AtomId b);
   [[nodiscard]] RouterId machine_of_atom(AtomId a) const;
   /// Compile the per-group hop tables and the dense ingress state from the
@@ -535,15 +561,18 @@ class SequencingNetwork {
   /// Lazily built distribution plans indexed by group id value.
   std::vector<std::unique_ptr<FanOutPlan>> fanout_plans_;
   /// Previous-epoch distribution plans for groups draining behind a fence.
-  /// Retired lazily: freed at the *next* begin_reconfigure(), because the
-  /// last fence's in-flight fan-out events may still reference a plan at
-  /// the instant its transition completes.
+  /// Freed by epoch compaction once the transition drains (one zero-delay
+  /// event after the final fence delivery in single-threaded mode, because
+  /// that fence's fan-out event still references its plan), and defensively
+  /// again at the next begin_reconfigure().
   std::vector<std::unique_ptr<FanOutPlan>> prev_fanout_plans_;
   /// Current routing epoch; bumped once per begin_reconfigure().
   std::uint32_t epoch_ = 0;
   /// Cutover-fence deliveries still pending (sum over fenced groups of
   /// their old member count); the transition is drained at 0.
   std::size_t fences_outstanding_ = 0;
+  std::size_t compactions_run_ = 0;
+  std::size_t channels_reclaimed_ = 0;
   topology::LinkStress distribution_stress_;
   const topology::Graph* physical_network_ = nullptr;
   runtime::ShardedEngine* engine_ = nullptr;

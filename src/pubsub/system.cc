@@ -28,7 +28,17 @@ PubSubSystem::PubSubSystem(const SystemConfig& config)
       break;
     }
   }
-  oracle_ = std::make_unique<topology::DistanceOracle>(net_graph_);
+  // Paper-scale topologies keep the oracle's legacy unbounded-cache mode
+  // (steady-state publishes are then pure row lookups — allocation-free);
+  // larger topologies switch to the bounded/point-query mode so the compile
+  // never accumulates dense all-pairs state. Distances are bit-identical
+  // either way.
+  const topology::DistanceOracleOptions oracle_options =
+      net_graph_.num_routers() > kScaledOracleRouterThreshold
+          ? topology::DistanceOracleOptions::scaled()
+          : topology::DistanceOracleOptions{};
+  oracle_ =
+      std::make_unique<topology::DistanceOracle>(net_graph_, oracle_options);
   rebuild();
 }
 
@@ -66,6 +76,7 @@ void PubSubSystem::rebuild() {
       placement::colocate_overlaps(*overlaps_, config_.colocation, rng_);
   seqgraph::BuildOptions graph_options = config_.graph;
   graph_options.colocation_labels = &labels;
+  graph_options.scratch = &graph_scratch_;
   graph_ = std::make_unique<seqgraph::SequencingGraph>(
       build_sequencing_graph(membership_, *overlaps_, graph_options));
   colocation_ = std::make_unique<placement::Colocation>(
@@ -261,6 +272,7 @@ PubSubSystem::ReconfigureResult PubSubSystem::reconfigure_async(
       placement::colocate_overlaps(new_overlaps, config_.colocation, rng_);
   seqgraph::BuildOptions graph_options = config_.graph;
   graph_options.colocation_labels = &labels;
+  graph_options.scratch = &graph_scratch_;
   seqgraph::SequencingGraph new_graph = seqgraph::build_sequencing_graph_delta(
       *graph_, *overlaps_, membership_, new_overlaps, dirty, graph_options,
       &result.delta);

@@ -272,6 +272,12 @@ class PubSubSystem {
   }
 
  private:
+  /// Router count above which the oracle switches from the unbounded
+  /// legacy cache to the bounded/point-query scaled mode (bit-identical
+  /// distances; see DistanceOracleOptions::scaled). Paper-scale transit-stub
+  /// topologies (10k routers) stay below it.
+  static constexpr std::size_t kScaledOracleRouterThreshold = 20'000;
+
   /// Assert nothing is in flight (simulator, sharded runtime, causal
   /// queues), naming `op` and the offending counts. Every membership entry
   /// point calls this BEFORE touching the membership table, so a violation
@@ -300,6 +306,10 @@ class PubSubSystem {
   membership::GroupMembership membership_;
   std::unique_ptr<membership::OverlapIndex> overlaps_;
   std::unique_ptr<seqgraph::SequencingGraph> graph_;
+  /// Reused across every graph compile (initial rebuild and each
+  /// reconfigure_async delta) so repeated transitions — including the first
+  /// after construction — run against warm, pre-sized layout buffers.
+  seqgraph::BuildScratch graph_scratch_;
   std::unique_ptr<placement::Colocation> colocation_;
   std::unique_ptr<placement::Assignment> assignment_;
 

@@ -1,12 +1,30 @@
+// CSR/flat-scratch implementation of the sequencing-graph build.
+//
+// The construction itself (affinity ordering, barycenter chain sort, local
+// search, greedy tree) is the same algorithm as seqgraph/legacy.cc — the
+// differential test pins bit-identical output — but every map/set has been
+// replaced by stamped flat arrays and pooled buffers (a BuildScratch), and
+// component layout is computed in parallel:
+//
+//   - Layout of one overlap component is a pure function of the component's
+//     group list, its overlaps, and the options (no RNG, no global state),
+//     so components are computed concurrently into per-component result
+//     slots and then *materialized serially in component order* — AtomIds,
+//     tree-edge order, and path contents are identical for any thread count,
+//     including the serial fallback (see runtime/parallel.h).
+//   - Stamped arrays (value valid iff stamp matches the current generation)
+//     make per-component "clears" O(1) over group-slot- and overlap-indexed
+//     maps, so a 100k-group compile never pays per-component O(slots) work.
 #include "seqgraph/graph.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
-#include <map>
-#include <optional>
-#include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "common/log.h"
+#include "runtime/parallel.h"
 
 namespace decseq::seqgraph {
 
@@ -16,175 +34,276 @@ using membership::GroupMembership;
 using membership::Overlap;
 using membership::OverlapIndex;
 
-/// Greedy affinity ordering of one component's groups: start from the group
-/// with the largest total overlap mass, then repeatedly append the unplaced
-/// group most strongly overlapped with the current tail (falling back to the
-/// strongest link to any placed group). Groups that overlap heavily end up
-/// adjacent, which shortens chain spans.
-std::vector<GroupId> order_groups(const std::vector<GroupId>& component,
-                                  const OverlapIndex& overlaps) {
-  const std::size_t n = component.size();
-  std::vector<std::size_t> index_of_group;  // slot -> dense index
-  {
-    GroupId::underlying_type max_slot = 0;
-    for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
-    index_of_group.assign(max_slot + 1, n);
-    for (std::size_t i = 0; i < n; ++i) {
-      index_of_group[component[i].value()] = i;
+constexpr std::uint32_t kNone32 = 0xffffffffu;
+
+/// Total component-group count below which layout runs serially: tiny
+/// rebuilds (the fuzz corpus, most delta compiles) lose more to thread
+/// spawn than they gain.
+constexpr std::size_t kParallelGroupThreshold = 512;
+
+/// Stamped flat map over a dense key space (group slots, overlap indices):
+/// bump() invalidates every entry in O(1).
+struct StampedMap {
+  std::vector<std::uint32_t> val;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t cur = 0;
+
+  void ensure(std::size_t n) {
+    if (val.size() < n) {
+      val.resize(n);
+      stamp.resize(n, 0);
     }
   }
+  void bump() {
+    if (++cur == 0) {  // wraparound: everything stale again
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      cur = 1;
+    }
+  }
+  void set(std::size_t k, std::uint32_t v) {
+    val[k] = v;
+    stamp[k] = cur;
+  }
+  [[nodiscard]] bool has(std::size_t k) const {
+    return k < stamp.size() && stamp[k] == cur;
+  }
+  [[nodiscard]] std::uint32_t get(std::size_t k) const { return val[k]; }
+};
 
-  // weight[i][j] = size of overlap between component[i] and component[j].
-  std::vector<std::vector<std::size_t>> weight(n, std::vector<std::size_t>(n));
+struct ChainEntry {
+  std::size_t overlap_index;
+  std::size_t lo, hi;     // positions of the two groups in group_order
+  std::size_t label = 0;  // co-location label (same label = same machine)
+  double label_key = 0.0; // mean barycenter of the label's atoms
+};
+
+/// One component's computed layout, in *local* atom indices (0..k-1 in
+/// emission order); materialization turns locals into AtomIds.
+struct ComponentLayout {
+  bool tree = false;
+  /// Overlap index of each atom, in emission order.
+  std::vector<std::size_t> atom_overlaps;
+  /// Undirected tree edges (local, local) in the exact order the legacy
+  /// builder appended adjacency entries — tree_neighbors order is part of
+  /// the pinned output.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  /// Tree strategy: per-group full paths, in group layout order.
+  std::vector<std::pair<GroupId, std::vector<std::uint32_t>>> tree_paths;
+  /// Chain strategy: per-group [first, last] emission-index range, in
+  /// component order.
+  std::vector<std::pair<GroupId, std::pair<std::uint32_t, std::uint32_t>>>
+      chain_ranges;
+
+  void reset() {
+    tree = false;
+    atom_overlaps.clear();
+    edges.clear();
+    tree_paths.clear();
+    chain_ranges.clear();
+  }
+};
+
+/// Per-worker layout scratch. Every container is reused across components
+/// and builds; stamped maps never need clearing.
+struct WorkerScratch {
+  StampedMap dense_of_slot;  ///< group slot -> dense index in component
+  StampedMap pos_of_slot;    ///< group slot -> position in group_order
+  StampedMap visited_slot;   ///< BFS visited flags (value unused)
+  StampedMap local_of_oi;    ///< overlap index -> local atom index
+
+  // order_groups
+  std::vector<std::uint32_t> adj_off;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> adj;  // (j, weight)
+  std::vector<char> placed;
+  std::vector<char> exhausted;
+  std::vector<std::uint32_t> order;  // dense indices
+  std::vector<GroupId> group_order;
+
+  // chain layout
+  std::vector<ChainEntry> chain;
+  std::vector<std::pair<std::size_t, std::uint32_t>> label_pairs;
+  std::vector<std::vector<std::uint32_t>> span_pos;
+  std::vector<std::uint32_t> range_first, range_last;
+
+  // tree layout
+  std::vector<std::vector<std::uint32_t>> atoms_of_group;  // dense-indexed
+  std::vector<GroupId> bfs_order;
+  std::vector<std::vector<std::uint32_t>> tree_adj;
+  std::vector<char> tree_placed;
+  std::unordered_map<std::uint64_t, int> edge_dir;
+  std::vector<std::uint32_t> parent, bfs_queue;
+  std::vector<std::uint32_t> path_buf, best_buf, full_path;
+  std::vector<std::uint32_t> placed_atoms, new_atoms;
+
+  void ensure(std::size_t group_slots, std::size_t num_overlaps) {
+    dense_of_slot.ensure(group_slots);
+    pos_of_slot.ensure(group_slots);
+    visited_slot.ensure(group_slots);
+    local_of_oi.ensure(num_overlaps);
+  }
+};
+
+/// Greedy affinity ordering of one component's groups — same selection and
+/// tie rules as the legacy dense-matrix version (seed: max total mass,
+/// first-wins; step: strongest unplaced link from the tail scanning dense
+/// neighbor index ascending; fallback: the first placed dense index with
+/// any unplaced positive-weight neighbor, its max-weight first neighbor) —
+/// but on a per-component CSR adjacency, so a component never allocates
+/// O(n^2).
+void order_groups(const std::vector<GroupId>& component,
+                  const OverlapIndex& overlaps, WorkerScratch& ws,
+                  std::vector<GroupId>& out) {
+  const std::size_t n = component.size();
+  ws.dense_of_slot.bump();
   for (std::size_t i = 0; i < n; ++i) {
+    ws.dense_of_slot.set(component[i].value(),
+                         static_cast<std::uint32_t>(i));
+  }
+
+  // CSR adjacency in dense indices, each row sorted by neighbor index so
+  // "first j with the maximum weight" matches the legacy ascending scan.
+  ws.adj.clear();
+  ws.adj_off.resize(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.adj_off[i] = static_cast<std::uint32_t>(ws.adj.size());
     for (const std::size_t oi : overlaps.overlaps_of(component[i])) {
       const Overlap& o = overlaps.overlap(oi);
       const GroupId other = o.other(component[i]);
-      if (other.value() < index_of_group.size()) {
-        const std::size_t j = index_of_group[other.value()];
-        if (j < n) weight[i][j] = o.members.size();
+      if (ws.dense_of_slot.has(other.value())) {
+        ws.adj.emplace_back(ws.dense_of_slot.get(other.value()),
+                            static_cast<std::uint64_t>(o.members.size()));
       }
     }
+    std::sort(ws.adj.begin() + ws.adj_off[i], ws.adj.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
   }
+  ws.adj_off[n] = static_cast<std::uint32_t>(ws.adj.size());
 
-  std::vector<bool> placed(n, false);
-  std::vector<GroupId> order;
-  order.reserve(n);
+  ws.placed.assign(n, 0);
+  ws.exhausted.assign(n, 0);
+  out.clear();
+  out.reserve(n);
 
-  // Seed: heaviest total overlap mass.
-  std::size_t seed = 0, best_mass = 0;
+  // Seed: heaviest total overlap mass (strict >, first index wins).
+  std::size_t seed = 0;
+  std::uint64_t best_mass = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::size_t mass = 0;
-    for (std::size_t j = 0; j < n; ++j) mass += weight[i][j];
+    std::uint64_t mass = 0;
+    for (std::uint32_t e = ws.adj_off[i]; e < ws.adj_off[i + 1]; ++e) {
+      mass += ws.adj[e].second;
+    }
     if (mass > best_mass) {
       best_mass = mass;
       seed = i;
     }
   }
-  placed[seed] = true;
-  order.push_back(component[seed]);
+  ws.placed[seed] = 1;
+  out.push_back(component[seed]);
   std::size_t tail = seed;
 
   for (std::size_t step = 1; step < n; ++step) {
-    std::size_t best = n, best_w = 0;
+    std::size_t best = n;
+    std::uint64_t best_w = 0;
     // Prefer the strongest link from the tail...
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!placed[j] && weight[tail][j] > best_w) {
+    for (std::uint32_t e = ws.adj_off[tail]; e < ws.adj_off[tail + 1]; ++e) {
+      const auto [j, w] = ws.adj[e];
+      if (ws.placed[j] == 0 && w > best_w) {
         best = j;
-        best_w = weight[tail][j];
+        best_w = w;
       }
     }
-    // ...otherwise the strongest link to anything placed (the component is
-    // connected, so one exists).
+    // ...otherwise the strongest link from the first placed group (dense
+    // order) that still has unplaced neighbors. Once a group's neighbors
+    // are all placed it can never un-exhaust, so the memo keeps the
+    // fallback scan amortized linear.
     if (best == n) {
       for (std::size_t i = 0; i < n && best == n; ++i) {
-        if (!placed[i]) continue;
-        for (std::size_t j = 0; j < n; ++j) {
-          if (!placed[j] && weight[i][j] > best_w) {
-            best = j;
-            best_w = weight[i][j];
+        if (ws.placed[i] == 0 || ws.exhausted[i] != 0) continue;
+        bool any_unplaced = false;
+        for (std::uint32_t e = ws.adj_off[i]; e < ws.adj_off[i + 1]; ++e) {
+          const auto [j, w] = ws.adj[e];
+          if (ws.placed[j] == 0) {
+            any_unplaced = true;
+            if (w > best_w) {
+              best = j;
+              best_w = w;
+            }
           }
         }
+        if (!any_unplaced) ws.exhausted[i] = 1;
       }
     }
     DECSEQ_CHECK_MSG(best != n, "component not connected");
-    placed[best] = true;
-    order.push_back(component[best]);
+    ws.placed[best] = 1;
+    out.push_back(component[best]);
     tail = best;
   }
-  return order;
 }
 
-/// Tracks, for each group of a component, the chain positions of its
-/// stamping atoms, to evaluate span costs during local search. A multiset
-/// because adjacent atoms may share a group (a swap then cancels out).
-class SpanTracker {
- public:
-  explicit SpanTracker(std::size_t num_groups) : positions_(num_groups) {}
+/// Span positions as per-group sorted vectors (the legacy multiset, flat).
+/// Local-search moves shift one occurrence by +-1; replacing the last
+/// (resp. first) occurrence keeps the vector sorted without re-sorting.
+struct SpanTracker {
+  std::vector<std::vector<std::uint32_t>>& pos;
 
-  void insert(std::size_t group, std::size_t pos) {
-    positions_[group].insert(pos);
+  void insert_ascending(std::size_t group, std::uint32_t p) {
+    pos[group].push_back(p);  // caller inserts in ascending order
   }
-  void move(std::size_t group, std::size_t from, std::size_t to) {
-    auto it = positions_[group].find(from);
-    DECSEQ_CHECK(it != positions_[group].end());
-    positions_[group].erase(it);
-    positions_[group].insert(to);
+  void move(std::size_t group, std::uint32_t from, std::uint32_t to) {
+    auto& v = pos[group];
+    if (to > from) {
+      auto it = std::upper_bound(v.begin(), v.end(), from);
+      DECSEQ_CHECK(it != v.begin() && *(it - 1) == from);
+      *(it - 1) = to;
+    } else {
+      auto it = std::lower_bound(v.begin(), v.end(), from);
+      DECSEQ_CHECK(it != v.end() && *it == from);
+      *it = to;
+    }
   }
-  /// Span length (atoms transited) of a group's chain segment.
   [[nodiscard]] std::size_t span(std::size_t group) const {
-    const auto& p = positions_[group];
-    if (p.empty()) return 0;
-    return *p.rbegin() - *p.begin() + 1;
+    const auto& v = pos[group];
+    if (v.empty()) return 0;
+    return v.back() - v.front() + 1;
   }
-  [[nodiscard]] std::size_t total_span() const {
-    std::size_t total = 0;
-    for (std::size_t g = 0; g < positions_.size(); ++g) total += span(g);
-    return total;
-  }
-
- private:
-  std::vector<std::multiset<std::size_t>> positions_;
 };
 
-/// A component laid out as a tree: local indices into `locals` (which maps
-/// to overlap indices), undirected adjacency, and per-group ordered paths.
-struct TreeLayout {
-  std::vector<std::size_t> locals;
-  std::vector<std::vector<std::size_t>> adj;
-  std::vector<std::pair<GroupId, std::vector<std::size_t>>> group_paths;
-};
+/// Greedy tree layout; false => caller falls back to the chain strategy.
+bool try_tree_layout(const std::vector<GroupId>& component,
+                     const OverlapIndex& overlaps, WorkerScratch& ws,
+                     ComponentLayout& out) {
+  const std::size_t n = component.size();
 
-/// BFS path between two locals in the current forest; empty if
-/// disconnected.
-std::vector<std::size_t> forest_path(
-    const std::vector<std::vector<std::size_t>>& adj, std::size_t from,
-    std::size_t to) {
-  if (from == to) return {from};
-  std::vector<std::size_t> parent(adj.size(), SIZE_MAX);
-  std::vector<std::size_t> queue{from};
-  parent[from] = from;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const std::size_t u = queue[head];
-    for (const std::size_t v : adj[u]) {
-      if (parent[v] != SIZE_MAX) continue;
-      parent[v] = u;
-      if (v == to) {
-        std::vector<std::size_t> path{to};
-        for (std::size_t cur = to; cur != from; cur = parent[cur]) {
-          path.push_back(parent[cur]);
-        }
-        std::reverse(path.begin(), path.end());
-        return path;
+  // Local indexing of the component's overlaps (first-seen order over
+  // (component order, overlaps_of order) — emission order) and per-group
+  // local atom lists.
+  ws.dense_of_slot.bump();
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.dense_of_slot.set(component[i].value(),
+                         static_cast<std::uint32_t>(i));
+  }
+  ws.local_of_oi.bump();
+  if (ws.atoms_of_group.size() < n) ws.atoms_of_group.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ws.atoms_of_group[i].clear();
+  out.atom_overlaps.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t oi : overlaps.overlaps_of(component[i])) {
+      if (!ws.local_of_oi.has(oi)) {
+        ws.local_of_oi.set(
+            oi, static_cast<std::uint32_t>(out.atom_overlaps.size()));
+        out.atom_overlaps.push_back(oi);
       }
-      queue.push_back(v);
+      ws.atoms_of_group[i].push_back(ws.local_of_oi.get(oi));
     }
   }
-  return {};
-}
+  const std::size_t num_locals = out.atom_overlaps.size();
+  if (ws.tree_adj.size() < num_locals) ws.tree_adj.resize(num_locals);
+  for (std::size_t a = 0; a < num_locals; ++a) ws.tree_adj[a].clear();
 
-/// Greedy tree layout of one component; nullopt => caller falls back to the
-/// chain strategy.
-std::optional<TreeLayout> try_tree_layout(const std::vector<GroupId>& component,
-                                          const OverlapIndex& overlaps) {
-  TreeLayout layout;
-
-  // Local indexing of the component's overlaps and per-group atom sets.
-  std::map<std::size_t, std::size_t> local_of;
-  std::map<GroupId, std::vector<std::size_t>> atoms_of_group;
-  for (const GroupId g : component) {
-    for (const std::size_t oi : overlaps.overlaps_of(g)) {
-      auto [it, inserted] = local_of.try_emplace(oi, layout.locals.size());
-      if (inserted) layout.locals.push_back(oi);
-      atoms_of_group[g].push_back(it->second);
-    }
-  }
-  layout.adj.resize(layout.locals.size());
-
-  // Process groups in BFS order over the overlap graph from the
-  // highest-degree group, so each group after the first already has placed
-  // atoms (shared with its BFS parent).
-  std::vector<GroupId> order;
+  // Groups in BFS order over the overlap graph from the highest-degree
+  // group (strict >, component order wins ties), so each group after the
+  // first already has placed atoms.
+  ws.bfs_order.clear();
   {
     GroupId seed = component.front();
     for (const GroupId g : component) {
@@ -193,103 +312,323 @@ std::optional<TreeLayout> try_tree_layout(const std::vector<GroupId>& component,
         seed = g;
       }
     }
-    std::set<GroupId> visited{seed};
-    order.push_back(seed);
-    for (std::size_t head = 0; head < order.size(); ++head) {
-      for (const std::size_t oi : overlaps.overlaps_of(order[head])) {
-        const GroupId next = overlaps.overlap(oi).other(order[head]);
-        if (visited.insert(next).second) order.push_back(next);
+    ws.visited_slot.bump();
+    ws.visited_slot.set(seed.value(), 1);
+    ws.bfs_order.push_back(seed);
+    for (std::size_t head = 0; head < ws.bfs_order.size(); ++head) {
+      for (const std::size_t oi :
+           overlaps.overlaps_of(ws.bfs_order[head])) {
+        const GroupId next = overlaps.overlap(oi).other(ws.bfs_order[head]);
+        if (!ws.visited_slot.has(next.value())) {
+          ws.visited_slot.set(next.value(), 1);
+          ws.bfs_order.push_back(next);
+        }
       }
     }
-    if (order.size() != component.size()) return std::nullopt;
+    if (ws.bfs_order.size() != n) return false;
   }
 
-  std::vector<bool> placed(layout.locals.size(), false);
-  // Canonical edge direction: +1 means traversal low-local -> high-local.
-  std::map<std::pair<std::size_t, std::size_t>, int> edge_dir;
-
-  auto link = [&](std::size_t a, std::size_t b) {
-    layout.adj[a].push_back(b);
-    layout.adj[b].push_back(a);
+  ws.tree_placed.assign(num_locals, 0);
+  ws.edge_dir.clear();
+  const auto edge_key = [](std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
   };
-  auto record_direction = [&](const std::vector<std::size_t>& path) -> bool {
+
+  auto link = [&](std::uint32_t a, std::uint32_t b) {
+    ws.tree_adj[a].push_back(b);
+    ws.tree_adj[b].push_back(a);
+  };
+  auto record_direction = [&](const std::vector<std::uint32_t>& path) {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const std::size_t lo = std::min(path[i], path[i + 1]);
-      const std::size_t hi = std::max(path[i], path[i + 1]);
+      const std::uint32_t lo = std::min(path[i], path[i + 1]);
+      const std::uint32_t hi = std::max(path[i], path[i + 1]);
       const int dir = path[i] < path[i + 1] ? +1 : -1;
-      const auto [it, inserted] = edge_dir.insert({{lo, hi}, dir});
+      const auto [it, inserted] = ws.edge_dir.insert({edge_key(lo, hi), dir});
       if (!inserted && it->second != dir) return false;
     }
     return true;
   };
-  auto direction_compatible = [&](const std::vector<std::size_t>& path) {
+  auto direction_compatible = [&](const std::vector<std::uint32_t>& path) {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const std::size_t lo = std::min(path[i], path[i + 1]);
-      const std::size_t hi = std::max(path[i], path[i + 1]);
+      const std::uint32_t lo = std::min(path[i], path[i + 1]);
+      const std::uint32_t hi = std::max(path[i], path[i + 1]);
       const int dir = path[i] < path[i + 1] ? +1 : -1;
-      const auto it = edge_dir.find({lo, hi});
-      if (it != edge_dir.end() && it->second != dir) return false;
+      const auto it = ws.edge_dir.find(edge_key(lo, hi));
+      if (it != ws.edge_dir.end() && it->second != dir) return false;
     }
     return true;
   };
+  // BFS path between two locals in the current forest; false (and an empty
+  // out buffer) if disconnected.
+  auto forest_path = [&](std::uint32_t from, std::uint32_t to,
+                         std::vector<std::uint32_t>& path) {
+    path.clear();
+    if (from == to) {
+      path.push_back(from);
+      return true;
+    }
+    ws.parent.assign(num_locals, kNone32);
+    ws.bfs_queue.clear();
+    ws.bfs_queue.push_back(from);
+    ws.parent[from] = from;
+    for (std::size_t head = 0; head < ws.bfs_queue.size(); ++head) {
+      const std::uint32_t u = ws.bfs_queue[head];
+      for (const std::uint32_t v : ws.tree_adj[u]) {
+        if (ws.parent[v] != kNone32) continue;
+        ws.parent[v] = u;
+        if (v == to) {
+          path.push_back(to);
+          for (std::uint32_t cur = to; cur != from; cur = ws.parent[cur]) {
+            path.push_back(ws.parent[cur]);
+          }
+          std::reverse(path.begin(), path.end());
+          return true;
+        }
+        ws.bfs_queue.push_back(v);
+      }
+    }
+    return false;
+  };
 
-  for (const GroupId g : order) {
-    const std::vector<std::size_t>& atoms = atoms_of_group.at(g);
-    std::vector<std::size_t> placed_atoms, new_atoms;
-    for (const std::size_t a : atoms) {
-      (placed[a] ? placed_atoms : new_atoms).push_back(a);
+  out.tree_paths.clear();
+  for (const GroupId g : ws.bfs_order) {
+    const auto& atoms =
+        ws.atoms_of_group[ws.dense_of_slot.get(g.value())];
+    ws.placed_atoms.clear();
+    ws.new_atoms.clear();
+    for (const std::uint32_t a : atoms) {
+      (ws.tree_placed[a] != 0 ? ws.placed_atoms : ws.new_atoms).push_back(a);
     }
 
-    std::vector<std::size_t> full_path;
-    if (placed_atoms.empty()) {
+    ws.full_path.clear();
+    if (ws.placed_atoms.empty()) {
       // First group of the component: its atoms form a fresh chain.
-      full_path = new_atoms;
-      for (std::size_t i = 0; i + 1 < full_path.size(); ++i) {
-        link(full_path[i], full_path[i + 1]);
+      ws.full_path = ws.new_atoms;
+      for (std::size_t i = 0; i + 1 < ws.full_path.size(); ++i) {
+        link(ws.full_path[i], ws.full_path[i + 1]);
       }
     } else {
       // Minimal covering path of the placed atoms: the longest pairwise
       // path must contain them all (otherwise they span a branching
       // subtree and no single path covers them).
-      std::vector<std::size_t> best;
-      for (std::size_t i = 0; i < placed_atoms.size(); ++i) {
-        for (std::size_t j = i; j < placed_atoms.size(); ++j) {
-          std::vector<std::size_t> p =
-              forest_path(layout.adj, placed_atoms[i], placed_atoms[j]);
-          if (p.empty()) return std::nullopt;  // different trees
-          if (p.size() > best.size()) best = std::move(p);
+      ws.best_buf.clear();
+      for (std::size_t i = 0; i < ws.placed_atoms.size(); ++i) {
+        for (std::size_t j = i; j < ws.placed_atoms.size(); ++j) {
+          if (!forest_path(ws.placed_atoms[i], ws.placed_atoms[j],
+                           ws.path_buf)) {
+            return false;  // different trees
+          }
+          if (ws.path_buf.size() > ws.best_buf.size()) {
+            std::swap(ws.best_buf, ws.path_buf);
+          }
         }
       }
-      for (const std::size_t a : placed_atoms) {
-        if (std::find(best.begin(), best.end(), a) == best.end()) {
-          return std::nullopt;  // branching: not on one path
+      for (const std::uint32_t a : ws.placed_atoms) {
+        if (std::find(ws.best_buf.begin(), ws.best_buf.end(), a) ==
+            ws.best_buf.end()) {
+          return false;  // branching: not on one path
         }
       }
       // Orient so FIFO edge directions stay consistent; try both ways.
-      if (!direction_compatible(best)) {
-        std::reverse(best.begin(), best.end());
-        if (!direction_compatible(best)) return std::nullopt;
+      if (!direction_compatible(ws.best_buf)) {
+        std::reverse(ws.best_buf.begin(), ws.best_buf.end());
+        if (!direction_compatible(ws.best_buf)) return false;
       }
       // Append the new atoms as a chain at the path's end.
-      full_path = best;
-      for (const std::size_t a : new_atoms) {
-        link(full_path.back(), a);
-        full_path.push_back(a);
+      ws.full_path = ws.best_buf;
+      for (const std::uint32_t a : ws.new_atoms) {
+        link(ws.full_path.back(), a);
+        ws.full_path.push_back(a);
       }
     }
-    if (!record_direction(full_path)) return std::nullopt;
-    for (const std::size_t a : new_atoms) placed[a] = true;
-    if (placed_atoms.empty()) {
-      for (const std::size_t a : full_path) placed[a] = true;
+    if (!record_direction(ws.full_path)) return false;
+    for (const std::uint32_t a : ws.new_atoms) ws.tree_placed[a] = 1;
+    if (ws.placed_atoms.empty()) {
+      for (const std::uint32_t a : ws.full_path) ws.tree_placed[a] = 1;
     }
-    layout.group_paths.emplace_back(g, std::move(full_path));
+    out.tree_paths.emplace_back(g, ws.full_path);
   }
-  return layout;
+
+  // Edges in the legacy materialization order: local index ascending,
+  // adjacency (link push) order, each undirected edge at its a < b visit.
+  out.edges.clear();
+  for (std::uint32_t a = 0; a < num_locals; ++a) {
+    for (const std::uint32_t b : ws.tree_adj[a]) {
+      if (a < b) out.edges.emplace_back(a, b);
+    }
+  }
+  out.tree = true;
+  return true;
+}
+
+/// Chain layout of one component (the always-works fallback and the default
+/// strategy): affinity order, barycenter sort, local search.
+void chain_layout(const std::vector<GroupId>& component,
+                  const OverlapIndex& overlaps, const BuildOptions& options,
+                  WorkerScratch& ws, ComponentLayout& out) {
+  // 1. Order the component's groups by affinity (no-op for the ablation
+  //    strategy, which keeps discovery order).
+  const bool ordered = options.strategy != BuildStrategy::kChainUnordered;
+  const std::vector<GroupId>* group_order = &component;
+  if (ordered) {
+    order_groups(component, overlaps, ws, ws.group_order);
+    group_order = &ws.group_order;
+  }
+  const std::size_t n = group_order->size();
+  ws.pos_of_slot.bump();
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.pos_of_slot.set((*group_order)[i].value(),
+                       static_cast<std::uint32_t>(i));
+  }
+
+  // 2. Collect the component's overlaps, keyed for the barycenter sort.
+  ws.chain.clear();
+  for (const GroupId g : component) {
+    for (const std::size_t oi : overlaps.overlaps_of(g)) {
+      const Overlap& o = overlaps.overlap(oi);
+      if (o.first != g) continue;  // visit each overlap exactly once
+      const std::size_t pa = ws.pos_of_slot.get(o.first.value());
+      const std::size_t pb = ws.pos_of_slot.get(o.second.value());
+      const std::size_t label = options.colocation_labels != nullptr
+                                    ? (*options.colocation_labels)[oi]
+                                    : 0;
+      ws.chain.push_back(
+          {oi, std::min(pa, pb), std::max(pa, pb), label, 0.0});
+    }
+  }
+  if (options.colocation_labels != nullptr) {
+    // Anchor each co-location cluster at the mean barycenter of its atoms.
+    // Stable-sorting (label, chain position) keeps each label's terms in
+    // chain order, so the double sums match the legacy map accumulation
+    // bit for bit.
+    ws.label_pairs.clear();
+    ws.label_pairs.reserve(ws.chain.size());
+    for (std::size_t p = 0; p < ws.chain.size(); ++p) {
+      ws.label_pairs.emplace_back(ws.chain[p].label,
+                                  static_cast<std::uint32_t>(p));
+    }
+    std::stable_sort(
+        ws.label_pairs.begin(), ws.label_pairs.end(),
+        [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t start = 0; start < ws.label_pairs.size();) {
+      std::size_t end = start;
+      double sum = 0.0;
+      while (end < ws.label_pairs.size() &&
+             ws.label_pairs[end].first == ws.label_pairs[start].first) {
+        const ChainEntry& e = ws.chain[ws.label_pairs[end].second];
+        sum += static_cast<double>(e.lo + e.hi);
+        ++end;
+      }
+      const double key = sum / static_cast<double>(end - start);
+      for (std::size_t k = start; k < end; ++k) {
+        ws.chain[ws.label_pairs[k].second].label_key = key;
+      }
+      start = end;
+    }
+  }
+  if (ordered) {
+    std::sort(ws.chain.begin(), ws.chain.end(),
+              [](const ChainEntry& x, const ChainEntry& y) {
+                // Cluster anchor first (machine-contiguous layout), then
+                // barycenter of the two group positions, ties broken
+                // lexicographically — keeps each group's atoms clustered.
+                if (x.label_key != y.label_key) return x.label_key < y.label_key;
+                if (x.label != y.label) return x.label < y.label;
+                const auto bx = x.lo + x.hi, by = y.lo + y.hi;
+                if (bx != by) return bx < by;
+                if (x.lo != y.lo) return x.lo < y.lo;
+                return x.hi < y.hi;
+              });
+  }
+
+  // 3. Local search: adjacent swaps that shrink the total group span.
+  if (ordered && ws.chain.size() > 2) {
+    if (ws.span_pos.size() < n) ws.span_pos.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ws.span_pos[i].clear();
+    SpanTracker tracker{ws.span_pos};
+    for (std::size_t p = 0; p < ws.chain.size(); ++p) {
+      tracker.insert_ascending(ws.chain[p].lo, static_cast<std::uint32_t>(p));
+      tracker.insert_ascending(ws.chain[p].hi, static_cast<std::uint32_t>(p));
+    }
+    for (std::size_t pass = 0; pass < options.local_search_passes; ++pass) {
+      bool improved = false;
+      for (std::size_t p = 0; p + 1 < ws.chain.size(); ++p) {
+        // Swaps may not break machine contiguity.
+        if (ws.chain[p].label != ws.chain[p + 1].label) continue;
+        const auto up = static_cast<std::uint32_t>(p);
+        const std::size_t before = tracker.span(ws.chain[p].lo) +
+                                   tracker.span(ws.chain[p].hi) +
+                                   tracker.span(ws.chain[p + 1].lo) +
+                                   tracker.span(ws.chain[p + 1].hi);
+        tracker.move(ws.chain[p].lo, up, up + 1);
+        tracker.move(ws.chain[p].hi, up, up + 1);
+        tracker.move(ws.chain[p + 1].lo, up + 1, up);
+        tracker.move(ws.chain[p + 1].hi, up + 1, up);
+        const std::size_t after = tracker.span(ws.chain[p].lo) +
+                                  tracker.span(ws.chain[p].hi) +
+                                  tracker.span(ws.chain[p + 1].lo) +
+                                  tracker.span(ws.chain[p + 1].hi);
+        if (after < before) {
+          std::swap(ws.chain[p], ws.chain[p + 1]);
+          improved = true;
+        } else {
+          // Revert.
+          tracker.move(ws.chain[p].lo, up + 1, up);
+          tracker.move(ws.chain[p].hi, up + 1, up);
+          tracker.move(ws.chain[p + 1].lo, up, up + 1);
+          tracker.move(ws.chain[p + 1].hi, up, up + 1);
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  // 4. Emit: atoms in chain order, consecutive edges, per-group ranges in
+  //    one pass (first/last emission index of each group's stamping atoms).
+  out.atom_overlaps.clear();
+  out.edges.clear();
+  out.chain_ranges.clear();
+  const std::uint32_t k = static_cast<std::uint32_t>(ws.chain.size());
+  ws.range_first.assign(n, k);
+  ws.range_last.assign(n, 0);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    const ChainEntry& e = ws.chain[p];
+    out.atom_overlaps.push_back(e.overlap_index);
+    if (p + 1 < k) out.edges.emplace_back(p, p + 1);
+    const Overlap& o = overlaps.overlap(e.overlap_index);
+    for (const GroupId g : {o.first, o.second}) {
+      const std::uint32_t i = ws.pos_of_slot.get(g.value());
+      ws.range_first[i] = std::min(ws.range_first[i], p);
+      ws.range_last[i] = std::max(ws.range_last[i], p);
+    }
+  }
+  for (const GroupId g : component) {
+    const std::uint32_t i = ws.pos_of_slot.get(g.value());
+    DECSEQ_CHECK_MSG(ws.range_first[i] <= ws.range_last[i],
+                     "group " << g << " has no atoms");
+    out.chain_ranges.emplace_back(
+        g, std::make_pair(ws.range_first[i], ws.range_last[i]));
+  }
+}
+
+/// Layout of one component into its result slot: a pure function of
+/// (component, overlaps, options) — safe to run on any worker.
+void compute_component_layout(const std::vector<GroupId>& component,
+                              const OverlapIndex& overlaps,
+                              const BuildOptions& options, WorkerScratch& ws,
+                              ComponentLayout& out) {
+  out.reset();
+  if (options.strategy == BuildStrategy::kGreedyTree &&
+      try_tree_layout(component, overlaps, ws, out)) {
+    return;
+  }
+  // Greedy tree failed (or the strategy is a chain): the chain always works.
+  chain_layout(component, overlaps, options, ws, out);
 }
 
 /// Mutable views into a SequencingGraph under construction, so the
-/// per-component layout below is shared between the full builder and the
-/// delta builder (both are friends; internal-linkage helpers are not).
+/// per-component layout is shared between the full builder and the delta
+/// builder (both are friends; internal-linkage helpers are not).
 struct GraphParts {
   std::vector<Atom>& atoms;
   std::vector<std::vector<AtomId>>& paths;
@@ -309,184 +648,95 @@ AtomId append_atom(GraphParts& gp, GroupId a, GroupId b,
   return id;
 }
 
-/// Lay out one overlap component: greedy tree when the strategy allows and
-/// the component admits one, otherwise the (ordered or unordered) chain.
-/// Appends atoms and tree edges and assigns every component group's path.
-/// Deterministic in the component's group order, its overlaps' relative
-/// order, and their contents — NOT in absolute overlap indices — which is
-/// what lets the delta builder reproduce a full rebuild's layout for
-/// untouched components without running it.
-void layout_component(GraphParts& gp, const std::vector<GroupId>& component,
-                      const OverlapIndex& overlaps,
-                      const BuildOptions& options) {
-  if (options.strategy == BuildStrategy::kGreedyTree) {
-    if (auto layout = try_tree_layout(component, overlaps)) {
-      // Materialize the tree: atoms in local order, adjacency, paths.
-      std::vector<AtomId> atom_of_local;
-      atom_of_local.reserve(layout->locals.size());
-      for (const std::size_t oi : layout->locals) {
-        const Overlap& o = overlaps.overlap(oi);
-        atom_of_local.push_back(
-            append_atom(gp, o.first, o.second, o.members, oi));
-        ++gp.num_overlap_atoms;
-      }
-      for (std::size_t a = 0; a < layout->adj.size(); ++a) {
-        for (const std::size_t b : layout->adj[a]) {
-          if (a < b) {
-            gp.tree[atom_of_local[a].value()].push_back(atom_of_local[b]);
-            gp.tree[atom_of_local[b].value()].push_back(atom_of_local[a]);
-          }
-        }
-      }
-      for (const auto& [g, locals] : layout->group_paths) {
-        auto& path = gp.paths[g.value()];
-        path.clear();
-        for (const std::size_t a : locals) {
-          path.push_back(atom_of_local[a]);
-        }
-      }
-      ++gp.tree_components;
-      return;
-    }
-    // Greedy tree failed for this component: fall through to the chain
-    // layout, which always works.
-  }
-  // 1. Order the component's groups by affinity (no-op for the ablation
-  //    strategy, which keeps discovery order).
-  const std::vector<GroupId> group_order =
-      options.strategy != BuildStrategy::kChainUnordered
-          ? order_groups(component, overlaps)
-          : component;
-
-  std::vector<std::size_t> pos_of_group;  // slot -> position in order
-  {
-    GroupId::underlying_type max_slot = 0;
-    for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
-    pos_of_group.assign(max_slot + 1, group_order.size());
-    for (std::size_t i = 0; i < group_order.size(); ++i) {
-      pos_of_group[group_order[i].value()] = i;
-    }
-  }
-
-  // 2. Collect the component's overlaps, keyed for the barycenter sort.
-  struct ChainEntry {
-    std::size_t overlap_index;
-    std::size_t lo, hi;     // positions of the two groups in group_order
-    std::size_t label = 0;  // co-location label (same label = same machine)
-    double label_key = 0.0; // mean barycenter of the label's atoms
+/// Serial materialization of one computed layout: assigns AtomIds (emission
+/// order), appends tree adjacency in the pinned order, writes paths.
+void materialize_layout(GraphParts& gp, const ComponentLayout& layout,
+                        const OverlapIndex& overlaps) {
+  const std::size_t base = gp.atoms.size();
+  const auto atom_of_local = [base](std::uint32_t local) {
+    return AtomId(static_cast<AtomId::underlying_type>(base + local));
   };
-  std::vector<ChainEntry> chain;
-  for (const GroupId g : component) {
-    for (const std::size_t oi : overlaps.overlaps_of(g)) {
-      const Overlap& o = overlaps.overlap(oi);
-      if (o.first != g) continue;  // visit each overlap exactly once
-      const std::size_t pa = pos_of_group[o.first.value()];
-      const std::size_t pb = pos_of_group[o.second.value()];
-      const std::size_t label = options.colocation_labels != nullptr
-                                    ? (*options.colocation_labels)[oi]
-                                    : 0;
-      chain.push_back({oi, std::min(pa, pb), std::max(pa, pb), label, 0.0});
-    }
-  }
-  if (options.colocation_labels != nullptr) {
-    // Anchor each co-location cluster at the mean barycenter of its atoms
-    // so clusters sit where their groups want them, and lay each cluster
-    // out contiguously (a group's path then crosses each machine once).
-    std::map<std::size_t, std::pair<double, std::size_t>> acc;
-    for (const ChainEntry& e : chain) {
-      auto& [sum, count] = acc[e.label];
-      sum += static_cast<double>(e.lo + e.hi);
-      ++count;
-    }
-    for (ChainEntry& e : chain) {
-      const auto& [sum, count] = acc[e.label];
-      e.label_key = sum / static_cast<double>(count);
-    }
-  }
-  if (options.strategy != BuildStrategy::kChainUnordered) {
-    std::sort(chain.begin(), chain.end(),
-              [](const ChainEntry& x, const ChainEntry& y) {
-                // Cluster anchor first (machine-contiguous layout), then
-                // barycenter of the two group positions, ties broken
-                // lexicographically — keeps each group's atoms clustered.
-                if (x.label_key != y.label_key) return x.label_key < y.label_key;
-                if (x.label != y.label) return x.label < y.label;
-                const auto bx = x.lo + x.hi, by = y.lo + y.hi;
-                if (bx != by) return bx < by;
-                if (x.lo != y.lo) return x.lo < y.lo;
-                return x.hi < y.hi;
-              });
-  }
-
-  // 3. Local search: adjacent swaps that shrink the total group span.
-  if (options.strategy != BuildStrategy::kChainUnordered && chain.size() > 2) {
-    SpanTracker tracker(group_order.size());
-    for (std::size_t p = 0; p < chain.size(); ++p) {
-      tracker.insert(chain[p].lo, p);
-      tracker.insert(chain[p].hi, p);
-    }
-    for (std::size_t pass = 0; pass < options.local_search_passes; ++pass) {
-      bool improved = false;
-      for (std::size_t p = 0; p + 1 < chain.size(); ++p) {
-        // Swaps may not break machine contiguity.
-        if (chain[p].label != chain[p + 1].label) continue;
-        const std::size_t before = tracker.span(chain[p].lo) +
-                                   tracker.span(chain[p].hi) +
-                                   tracker.span(chain[p + 1].lo) +
-                                   tracker.span(chain[p + 1].hi);
-        tracker.move(chain[p].lo, p, p + 1);
-        tracker.move(chain[p].hi, p, p + 1);
-        tracker.move(chain[p + 1].lo, p + 1, p);
-        tracker.move(chain[p + 1].hi, p + 1, p);
-        const std::size_t after = tracker.span(chain[p].lo) +
-                                  tracker.span(chain[p].hi) +
-                                  tracker.span(chain[p + 1].lo) +
-                                  tracker.span(chain[p + 1].hi);
-        if (after < before) {
-          std::swap(chain[p], chain[p + 1]);
-          improved = true;
-        } else {
-          // Revert.
-          tracker.move(chain[p].lo, p + 1, p);
-          tracker.move(chain[p].hi, p + 1, p);
-          tracker.move(chain[p + 1].lo, p, p + 1);
-          tracker.move(chain[p + 1].hi, p, p + 1);
-        }
-      }
-      if (!improved) break;
-    }
-  }
-
-  // 4. Materialize atoms, tree edges, and group paths.
-  std::vector<AtomId> chain_atoms;
-  chain_atoms.reserve(chain.size());
-  for (const ChainEntry& entry : chain) {
-    const Overlap& o = overlaps.overlap(entry.overlap_index);
-    chain_atoms.push_back(
-        append_atom(gp, o.first, o.second, o.members, entry.overlap_index));
+  for (const std::size_t oi : layout.atom_overlaps) {
+    const Overlap& o = overlaps.overlap(oi);
+    (void)append_atom(gp, o.first, o.second, o.members, oi);
     ++gp.num_overlap_atoms;
   }
-  for (std::size_t p = 0; p + 1 < chain_atoms.size(); ++p) {
-    gp.tree[chain_atoms[p].value()].push_back(chain_atoms[p + 1]);
-    gp.tree[chain_atoms[p + 1].value()].push_back(chain_atoms[p]);
+  for (const auto& [a, b] : layout.edges) {
+    gp.tree[atom_of_local(a).value()].push_back(atom_of_local(b));
+    gp.tree[atom_of_local(b).value()].push_back(atom_of_local(a));
   }
-  ++gp.chain_components;
-  for (const GroupId g : component) {
-    std::size_t first = chain_atoms.size(), last = 0;
-    for (std::size_t p = 0; p < chain_atoms.size(); ++p) {
-      if (gp.atoms[chain_atoms[p].value()].stamps(g)) {
-        first = std::min(first, p);
-        last = std::max(last, p);
+  if (layout.tree) {
+    for (const auto& [g, locals] : layout.tree_paths) {
+      auto& path = gp.paths[g.value()];
+      path.clear();
+      path.reserve(locals.size());
+      for (const std::uint32_t a : locals) path.push_back(atom_of_local(a));
+    }
+    ++gp.tree_components;
+  } else {
+    for (const auto& [g, range] : layout.chain_ranges) {
+      auto& path = gp.paths[g.value()];
+      path.clear();
+      path.reserve(range.second - range.first + 1);
+      for (std::uint32_t p = range.first; p <= range.second; ++p) {
+        path.push_back(atom_of_local(p));
       }
     }
-    DECSEQ_CHECK_MSG(first <= last, "group " << g << " has no atoms");
-    auto& path = gp.paths[g.value()];
-    path.assign(chain_atoms.begin() + static_cast<long>(first),
-                chain_atoms.begin() + static_cast<long>(last) + 1);
+    ++gp.chain_components;
   }
 }
 
 }  // namespace
+
+struct BuildScratch::Impl {
+  std::vector<WorkerScratch> workers;
+  std::vector<ComponentLayout> layouts;
+  std::vector<std::size_t> todo;
+
+  /// Lay out and materialize the components selected by `todo` (already
+  /// filled; indices into `components`): parallel compute into per-
+  /// component slots, serial materialization in component order.
+  void compile(GraphParts& gp,
+               const std::vector<std::vector<GroupId>>& components,
+               const OverlapIndex& overlaps, const BuildOptions& options,
+               std::size_t group_slots) {
+    std::size_t total_groups = 0;
+    for (const std::size_t c : todo) total_groups += components[c].size();
+    std::size_t threads = 1;
+    if (todo.size() >= 2 && total_groups >= kParallelGroupThreshold) {
+      threads = std::min(runtime::compile_threads(), todo.size());
+    }
+    if (workers.size() < threads) workers.resize(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      workers[w].ensure(group_slots, overlaps.overlaps().size());
+    }
+    if (layouts.size() < todo.size()) layouts.resize(todo.size());
+
+    runtime::parallel_for(
+        todo.size(), threads, [&](std::size_t i, std::size_t worker) {
+          compute_component_layout(components[todo[i]], overlaps, options,
+                                   workers[worker], layouts[i]);
+        });
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      materialize_layout(gp, layouts[i], overlaps);
+    }
+  }
+};
+
+BuildScratch::BuildScratch() : impl_(std::make_unique<Impl>()) {}
+BuildScratch::~BuildScratch() = default;
+// A moved-from scratch re-arms on next use instead of holding a null impl.
+BuildScratch::BuildScratch(BuildScratch&& other) noexcept
+    : impl_(std::move(other.impl_)) {
+  other.impl_ = std::make_unique<Impl>();
+}
+BuildScratch& BuildScratch::operator=(BuildScratch&& other) noexcept {
+  if (this != &other) {
+    impl_ = std::move(other.impl_);
+    other.impl_ = std::make_unique<Impl>();
+  }
+  return *this;
+}
 
 std::vector<AtomId> SequencingGraph::stamping_atoms(GroupId g) const {
   std::vector<AtomId> result;
@@ -530,9 +780,14 @@ SequencingGraph build_sequencing_graph(const GroupMembership& membership,
 
   // One chain (or greedy tree) per connected component of the group
   // overlap graph.
-  for (const std::vector<GroupId>& component : overlaps.components()) {
-    layout_component(gp, component, overlaps, options);
-  }
+  BuildScratch transient;
+  BuildScratch::Impl& impl =
+      (options.scratch != nullptr ? *options.scratch : transient).impl();
+  const auto& components = overlaps.components();
+  impl.todo.clear();
+  for (std::size_t c = 0; c < components.size(); ++c) impl.todo.push_back(c);
+  impl.compile(gp, components, overlaps, options,
+               membership.num_group_slots());
 
   // Ingress-only atoms for live groups with no double overlaps.
   for (const GroupId g : membership.live_groups()) {
@@ -671,13 +926,17 @@ SequencingGraph build_sequencing_graph_delta(
                 graph.tree_,           graph.retired_,
                 graph.num_overlap_atoms_, graph.tree_components_,
                 graph.chain_components_};
+  BuildScratch transient;
+  BuildScratch::Impl& impl =
+      (options.scratch != nullptr ? *options.scratch : transient).impl();
+  impl.todo.clear();
   for (std::size_t c = 0; c < new_components.size(); ++c) {
-    if (relay[c] != 0) {
-      layout_component(gp, new_components[c], new_overlaps, options);
-      if (stats != nullptr) ++stats->components_relaid;
-    } else if (stats != nullptr) {
-      ++stats->components_copied;
-    }
+    if (relay[c] != 0) impl.todo.push_back(c);
+  }
+  impl.compile(gp, new_components, new_overlaps, options, slots);
+  if (stats != nullptr) {
+    stats->components_relaid = impl.todo.size();
+    stats->components_copied = new_components.size() - impl.todo.size();
   }
 
   // Fresh ingress-only atoms for live overlap-free groups left pathless

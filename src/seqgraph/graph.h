@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -48,6 +49,30 @@ struct Atom {
 
 struct BuildOptions;
 struct DeltaBuildStats;
+
+/// Reusable compile scratch for the graph builder: per-worker stamped slot
+/// maps, chain/tree layout buffers, and component result slots. Optional —
+/// the builder allocates a transient one when none is supplied — but a
+/// caller that compiles repeatedly (PubSubSystem's rebuild and
+/// reconfigure_async) should own one so later compiles, including the first
+/// after construction, run against warm, pre-sized buffers. Not thread-safe
+/// across concurrent build calls; one build uses it from multiple layout
+/// workers internally.
+class BuildScratch {
+ public:
+  BuildScratch();
+  ~BuildScratch();
+  BuildScratch(const BuildScratch&) = delete;
+  BuildScratch& operator=(const BuildScratch&) = delete;
+  BuildScratch(BuildScratch&&) noexcept;
+  BuildScratch& operator=(BuildScratch&&) noexcept;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Immutable sequencing graph: atoms, per-group directed paths, and the
 /// undirected forest of inter-atom links. Built by build_sequencing_graph().
@@ -134,6 +159,16 @@ class SequencingGraph {
       const membership::OverlapIndex& new_overlaps,
       const std::vector<GroupId>& dirty, const BuildOptions& options,
       DeltaBuildStats* stats);
+  friend SequencingGraph legacy_build_sequencing_graph(
+      const membership::GroupMembership& membership,
+      const membership::OverlapIndex& overlaps, const BuildOptions& options);
+  friend SequencingGraph legacy_build_sequencing_graph_delta(
+      const SequencingGraph& old_graph,
+      const membership::OverlapIndex& old_overlaps,
+      const membership::GroupMembership& membership,
+      const membership::OverlapIndex& new_overlaps,
+      const std::vector<GroupId>& dirty, const BuildOptions& options,
+      DeltaBuildStats* stats);
 
   std::vector<Atom> atoms_;
   std::vector<std::vector<AtomId>> paths_;  // indexed by GroupId slot
@@ -176,6 +211,9 @@ struct BuildOptions {
   /// crosses each machine once instead of ping-ponging between machines.
   /// Not owned; must outlive the build call.
   const std::vector<std::size_t>* colocation_labels = nullptr;
+  /// Optional reusable compile scratch (see BuildScratch). Not owned; must
+  /// outlive the build call. The legacy reference builder ignores it.
+  BuildScratch* scratch = nullptr;
 };
 
 /// Construct a sequencing graph for the given membership snapshot.

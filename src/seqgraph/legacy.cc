@@ -1,0 +1,638 @@
+// Verbatim copy of the pre-CSR builder (see legacy.h). Do not "improve"
+// this file: its value is that it is exactly the construction the reworked
+// builder must reproduce bit-for-bit.
+#include "seqgraph/legacy.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/log.h"
+
+namespace decseq::seqgraph {
+
+namespace {
+
+using membership::GroupMembership;
+using membership::Overlap;
+using membership::OverlapIndex;
+
+/// Greedy affinity ordering of one component's groups: start from the group
+/// with the largest total overlap mass, then repeatedly append the unplaced
+/// group most strongly overlapped with the current tail (falling back to the
+/// strongest link to any placed group). Groups that overlap heavily end up
+/// adjacent, which shortens chain spans.
+std::vector<GroupId> order_groups(const std::vector<GroupId>& component,
+                                  const OverlapIndex& overlaps) {
+  const std::size_t n = component.size();
+  std::vector<std::size_t> index_of_group;  // slot -> dense index
+  {
+    GroupId::underlying_type max_slot = 0;
+    for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
+    index_of_group.assign(max_slot + 1, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      index_of_group[component[i].value()] = i;
+    }
+  }
+
+  // weight[i][j] = size of overlap between component[i] and component[j].
+  std::vector<std::vector<std::size_t>> weight(n, std::vector<std::size_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t oi : overlaps.overlaps_of(component[i])) {
+      const Overlap& o = overlaps.overlap(oi);
+      const GroupId other = o.other(component[i]);
+      if (other.value() < index_of_group.size()) {
+        const std::size_t j = index_of_group[other.value()];
+        if (j < n) weight[i][j] = o.members.size();
+      }
+    }
+  }
+
+  std::vector<bool> placed(n, false);
+  std::vector<GroupId> order;
+  order.reserve(n);
+
+  // Seed: heaviest total overlap mass.
+  std::size_t seed = 0, best_mass = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t mass = 0;
+    for (std::size_t j = 0; j < n; ++j) mass += weight[i][j];
+    if (mass > best_mass) {
+      best_mass = mass;
+      seed = i;
+    }
+  }
+  placed[seed] = true;
+  order.push_back(component[seed]);
+  std::size_t tail = seed;
+
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = n, best_w = 0;
+    // Prefer the strongest link from the tail...
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!placed[j] && weight[tail][j] > best_w) {
+        best = j;
+        best_w = weight[tail][j];
+      }
+    }
+    // ...otherwise the strongest link to anything placed (the component is
+    // connected, so one exists).
+    if (best == n) {
+      for (std::size_t i = 0; i < n && best == n; ++i) {
+        if (!placed[i]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!placed[j] && weight[i][j] > best_w) {
+            best = j;
+            best_w = weight[i][j];
+          }
+        }
+      }
+    }
+    DECSEQ_CHECK_MSG(best != n, "component not connected");
+    placed[best] = true;
+    order.push_back(component[best]);
+    tail = best;
+  }
+  return order;
+}
+
+/// Tracks, for each group of a component, the chain positions of its
+/// stamping atoms, to evaluate span costs during local search. A multiset
+/// because adjacent atoms may share a group (a swap then cancels out).
+class SpanTracker {
+ public:
+  explicit SpanTracker(std::size_t num_groups) : positions_(num_groups) {}
+
+  void insert(std::size_t group, std::size_t pos) {
+    positions_[group].insert(pos);
+  }
+  void move(std::size_t group, std::size_t from, std::size_t to) {
+    auto it = positions_[group].find(from);
+    DECSEQ_CHECK(it != positions_[group].end());
+    positions_[group].erase(it);
+    positions_[group].insert(to);
+  }
+  /// Span length (atoms transited) of a group's chain segment.
+  [[nodiscard]] std::size_t span(std::size_t group) const {
+    const auto& p = positions_[group];
+    if (p.empty()) return 0;
+    return *p.rbegin() - *p.begin() + 1;
+  }
+
+ private:
+  std::vector<std::multiset<std::size_t>> positions_;
+};
+
+/// A component laid out as a tree: local indices into `locals` (which maps
+/// to overlap indices), undirected adjacency, and per-group ordered paths.
+struct TreeLayout {
+  std::vector<std::size_t> locals;
+  std::vector<std::vector<std::size_t>> adj;
+  std::vector<std::pair<GroupId, std::vector<std::size_t>>> group_paths;
+};
+
+/// BFS path between two locals in the current forest; empty if
+/// disconnected.
+std::vector<std::size_t> forest_path(
+    const std::vector<std::vector<std::size_t>>& adj, std::size_t from,
+    std::size_t to) {
+  if (from == to) return {from};
+  std::vector<std::size_t> parent(adj.size(), SIZE_MAX);
+  std::vector<std::size_t> queue{from};
+  parent[from] = from;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t u = queue[head];
+    for (const std::size_t v : adj[u]) {
+      if (parent[v] != SIZE_MAX) continue;
+      parent[v] = u;
+      if (v == to) {
+        std::vector<std::size_t> path{to};
+        for (std::size_t cur = to; cur != from; cur = parent[cur]) {
+          path.push_back(parent[cur]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+/// Greedy tree layout of one component; nullopt => caller falls back to the
+/// chain strategy.
+std::optional<TreeLayout> try_tree_layout(const std::vector<GroupId>& component,
+                                          const OverlapIndex& overlaps) {
+  TreeLayout layout;
+
+  // Local indexing of the component's overlaps and per-group atom sets.
+  std::map<std::size_t, std::size_t> local_of;
+  std::map<GroupId, std::vector<std::size_t>> atoms_of_group;
+  for (const GroupId g : component) {
+    for (const std::size_t oi : overlaps.overlaps_of(g)) {
+      auto [it, inserted] = local_of.try_emplace(oi, layout.locals.size());
+      if (inserted) layout.locals.push_back(oi);
+      atoms_of_group[g].push_back(it->second);
+    }
+  }
+  layout.adj.resize(layout.locals.size());
+
+  // Process groups in BFS order over the overlap graph from the
+  // highest-degree group, so each group after the first already has placed
+  // atoms (shared with its BFS parent).
+  std::vector<GroupId> order;
+  {
+    GroupId seed = component.front();
+    for (const GroupId g : component) {
+      if (overlaps.overlaps_of(g).size() >
+          overlaps.overlaps_of(seed).size()) {
+        seed = g;
+      }
+    }
+    std::set<GroupId> visited{seed};
+    order.push_back(seed);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      for (const std::size_t oi : overlaps.overlaps_of(order[head])) {
+        const GroupId next = overlaps.overlap(oi).other(order[head]);
+        if (visited.insert(next).second) order.push_back(next);
+      }
+    }
+    if (order.size() != component.size()) return std::nullopt;
+  }
+
+  std::vector<bool> placed(layout.locals.size(), false);
+  // Canonical edge direction: +1 means traversal low-local -> high-local.
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_dir;
+
+  auto link = [&](std::size_t a, std::size_t b) {
+    layout.adj[a].push_back(b);
+    layout.adj[b].push_back(a);
+  };
+  auto record_direction = [&](const std::vector<std::size_t>& path) -> bool {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::size_t lo = std::min(path[i], path[i + 1]);
+      const std::size_t hi = std::max(path[i], path[i + 1]);
+      const int dir = path[i] < path[i + 1] ? +1 : -1;
+      const auto [it, inserted] = edge_dir.insert({{lo, hi}, dir});
+      if (!inserted && it->second != dir) return false;
+    }
+    return true;
+  };
+  auto direction_compatible = [&](const std::vector<std::size_t>& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::size_t lo = std::min(path[i], path[i + 1]);
+      const std::size_t hi = std::max(path[i], path[i + 1]);
+      const int dir = path[i] < path[i + 1] ? +1 : -1;
+      const auto it = edge_dir.find({lo, hi});
+      if (it != edge_dir.end() && it->second != dir) return false;
+    }
+    return true;
+  };
+
+  for (const GroupId g : order) {
+    const std::vector<std::size_t>& atoms = atoms_of_group.at(g);
+    std::vector<std::size_t> placed_atoms, new_atoms;
+    for (const std::size_t a : atoms) {
+      (placed[a] ? placed_atoms : new_atoms).push_back(a);
+    }
+
+    std::vector<std::size_t> full_path;
+    if (placed_atoms.empty()) {
+      // First group of the component: its atoms form a fresh chain.
+      full_path = new_atoms;
+      for (std::size_t i = 0; i + 1 < full_path.size(); ++i) {
+        link(full_path[i], full_path[i + 1]);
+      }
+    } else {
+      // Minimal covering path of the placed atoms: the longest pairwise
+      // path must contain them all (otherwise they span a branching
+      // subtree and no single path covers them).
+      std::vector<std::size_t> best;
+      for (std::size_t i = 0; i < placed_atoms.size(); ++i) {
+        for (std::size_t j = i; j < placed_atoms.size(); ++j) {
+          std::vector<std::size_t> p =
+              forest_path(layout.adj, placed_atoms[i], placed_atoms[j]);
+          if (p.empty()) return std::nullopt;  // different trees
+          if (p.size() > best.size()) best = std::move(p);
+        }
+      }
+      for (const std::size_t a : placed_atoms) {
+        if (std::find(best.begin(), best.end(), a) == best.end()) {
+          return std::nullopt;  // branching: not on one path
+        }
+      }
+      // Orient so FIFO edge directions stay consistent; try both ways.
+      if (!direction_compatible(best)) {
+        std::reverse(best.begin(), best.end());
+        if (!direction_compatible(best)) return std::nullopt;
+      }
+      // Append the new atoms as a chain at the path's end.
+      full_path = best;
+      for (const std::size_t a : new_atoms) {
+        link(full_path.back(), a);
+        full_path.push_back(a);
+      }
+    }
+    if (!record_direction(full_path)) return std::nullopt;
+    for (const std::size_t a : new_atoms) placed[a] = true;
+    if (placed_atoms.empty()) {
+      for (const std::size_t a : full_path) placed[a] = true;
+    }
+    layout.group_paths.emplace_back(g, std::move(full_path));
+  }
+  return layout;
+}
+
+/// Mutable views into a SequencingGraph under construction.
+struct GraphParts {
+  std::vector<Atom>& atoms;
+  std::vector<std::vector<AtomId>>& paths;
+  std::vector<std::vector<AtomId>>& tree;
+  std::vector<char>& retired;
+  std::size_t& num_overlap_atoms;
+  std::size_t& tree_components;
+  std::size_t& chain_components;
+};
+
+AtomId append_atom(GraphParts& gp, GroupId a, GroupId b,
+                   std::vector<NodeId> members, std::size_t overlap_index) {
+  const AtomId id(static_cast<AtomId::underlying_type>(gp.atoms.size()));
+  gp.atoms.push_back({id, a, b, std::move(members), overlap_index});
+  gp.tree.emplace_back();
+  gp.retired.push_back(0);
+  return id;
+}
+
+/// Lay out one overlap component: greedy tree when the strategy allows and
+/// the component admits one, otherwise the (ordered or unordered) chain.
+void layout_component(GraphParts& gp, const std::vector<GroupId>& component,
+                      const OverlapIndex& overlaps,
+                      const BuildOptions& options) {
+  if (options.strategy == BuildStrategy::kGreedyTree) {
+    if (auto layout = try_tree_layout(component, overlaps)) {
+      // Materialize the tree: atoms in local order, adjacency, paths.
+      std::vector<AtomId> atom_of_local;
+      atom_of_local.reserve(layout->locals.size());
+      for (const std::size_t oi : layout->locals) {
+        const Overlap& o = overlaps.overlap(oi);
+        atom_of_local.push_back(
+            append_atom(gp, o.first, o.second, o.members, oi));
+        ++gp.num_overlap_atoms;
+      }
+      for (std::size_t a = 0; a < layout->adj.size(); ++a) {
+        for (const std::size_t b : layout->adj[a]) {
+          if (a < b) {
+            gp.tree[atom_of_local[a].value()].push_back(atom_of_local[b]);
+            gp.tree[atom_of_local[b].value()].push_back(atom_of_local[a]);
+          }
+        }
+      }
+      for (const auto& [g, locals] : layout->group_paths) {
+        auto& path = gp.paths[g.value()];
+        path.clear();
+        for (const std::size_t a : locals) {
+          path.push_back(atom_of_local[a]);
+        }
+      }
+      ++gp.tree_components;
+      return;
+    }
+    // Greedy tree failed for this component: fall through to the chain
+    // layout, which always works.
+  }
+  // 1. Order the component's groups by affinity (no-op for the ablation
+  //    strategy, which keeps discovery order).
+  const std::vector<GroupId> group_order =
+      options.strategy != BuildStrategy::kChainUnordered
+          ? order_groups(component, overlaps)
+          : component;
+
+  std::vector<std::size_t> pos_of_group;  // slot -> position in order
+  {
+    GroupId::underlying_type max_slot = 0;
+    for (const GroupId g : component) max_slot = std::max(max_slot, g.value());
+    pos_of_group.assign(max_slot + 1, group_order.size());
+    for (std::size_t i = 0; i < group_order.size(); ++i) {
+      pos_of_group[group_order[i].value()] = i;
+    }
+  }
+
+  // 2. Collect the component's overlaps, keyed for the barycenter sort.
+  struct ChainEntry {
+    std::size_t overlap_index;
+    std::size_t lo, hi;     // positions of the two groups in group_order
+    std::size_t label = 0;  // co-location label (same label = same machine)
+    double label_key = 0.0; // mean barycenter of the label's atoms
+  };
+  std::vector<ChainEntry> chain;
+  for (const GroupId g : component) {
+    for (const std::size_t oi : overlaps.overlaps_of(g)) {
+      const Overlap& o = overlaps.overlap(oi);
+      if (o.first != g) continue;  // visit each overlap exactly once
+      const std::size_t pa = pos_of_group[o.first.value()];
+      const std::size_t pb = pos_of_group[o.second.value()];
+      const std::size_t label = options.colocation_labels != nullptr
+                                    ? (*options.colocation_labels)[oi]
+                                    : 0;
+      chain.push_back({oi, std::min(pa, pb), std::max(pa, pb), label, 0.0});
+    }
+  }
+  if (options.colocation_labels != nullptr) {
+    // Anchor each co-location cluster at the mean barycenter of its atoms
+    // so clusters sit where their groups want them, and lay each cluster
+    // out contiguously (a group's path then crosses each machine once).
+    std::map<std::size_t, std::pair<double, std::size_t>> acc;
+    for (const ChainEntry& e : chain) {
+      auto& [sum, count] = acc[e.label];
+      sum += static_cast<double>(e.lo + e.hi);
+      ++count;
+    }
+    for (ChainEntry& e : chain) {
+      const auto& [sum, count] = acc[e.label];
+      e.label_key = sum / static_cast<double>(count);
+    }
+  }
+  if (options.strategy != BuildStrategy::kChainUnordered) {
+    std::sort(chain.begin(), chain.end(),
+              [](const ChainEntry& x, const ChainEntry& y) {
+                // Cluster anchor first (machine-contiguous layout), then
+                // barycenter of the two group positions, ties broken
+                // lexicographically — keeps each group's atoms clustered.
+                if (x.label_key != y.label_key) return x.label_key < y.label_key;
+                if (x.label != y.label) return x.label < y.label;
+                const auto bx = x.lo + x.hi, by = y.lo + y.hi;
+                if (bx != by) return bx < by;
+                if (x.lo != y.lo) return x.lo < y.lo;
+                return x.hi < y.hi;
+              });
+  }
+
+  // 3. Local search: adjacent swaps that shrink the total group span.
+  if (options.strategy != BuildStrategy::kChainUnordered && chain.size() > 2) {
+    SpanTracker tracker(group_order.size());
+    for (std::size_t p = 0; p < chain.size(); ++p) {
+      tracker.insert(chain[p].lo, p);
+      tracker.insert(chain[p].hi, p);
+    }
+    for (std::size_t pass = 0; pass < options.local_search_passes; ++pass) {
+      bool improved = false;
+      for (std::size_t p = 0; p + 1 < chain.size(); ++p) {
+        // Swaps may not break machine contiguity.
+        if (chain[p].label != chain[p + 1].label) continue;
+        const std::size_t before = tracker.span(chain[p].lo) +
+                                   tracker.span(chain[p].hi) +
+                                   tracker.span(chain[p + 1].lo) +
+                                   tracker.span(chain[p + 1].hi);
+        tracker.move(chain[p].lo, p, p + 1);
+        tracker.move(chain[p].hi, p, p + 1);
+        tracker.move(chain[p + 1].lo, p + 1, p);
+        tracker.move(chain[p + 1].hi, p + 1, p);
+        const std::size_t after = tracker.span(chain[p].lo) +
+                                  tracker.span(chain[p].hi) +
+                                  tracker.span(chain[p + 1].lo) +
+                                  tracker.span(chain[p + 1].hi);
+        if (after < before) {
+          std::swap(chain[p], chain[p + 1]);
+          improved = true;
+        } else {
+          // Revert.
+          tracker.move(chain[p].lo, p + 1, p);
+          tracker.move(chain[p].hi, p + 1, p);
+          tracker.move(chain[p + 1].lo, p, p + 1);
+          tracker.move(chain[p + 1].hi, p, p + 1);
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  // 4. Materialize atoms, tree edges, and group paths.
+  std::vector<AtomId> chain_atoms;
+  chain_atoms.reserve(chain.size());
+  for (const ChainEntry& entry : chain) {
+    const Overlap& o = overlaps.overlap(entry.overlap_index);
+    chain_atoms.push_back(
+        append_atom(gp, o.first, o.second, o.members, entry.overlap_index));
+    ++gp.num_overlap_atoms;
+  }
+  for (std::size_t p = 0; p + 1 < chain_atoms.size(); ++p) {
+    gp.tree[chain_atoms[p].value()].push_back(chain_atoms[p + 1]);
+    gp.tree[chain_atoms[p + 1].value()].push_back(chain_atoms[p]);
+  }
+  ++gp.chain_components;
+  for (const GroupId g : component) {
+    std::size_t first = chain_atoms.size(), last = 0;
+    for (std::size_t p = 0; p < chain_atoms.size(); ++p) {
+      if (gp.atoms[chain_atoms[p].value()].stamps(g)) {
+        first = std::min(first, p);
+        last = std::max(last, p);
+      }
+    }
+    DECSEQ_CHECK_MSG(first <= last, "group " << g << " has no atoms");
+    auto& path = gp.paths[g.value()];
+    path.assign(chain_atoms.begin() + static_cast<long>(first),
+                chain_atoms.begin() + static_cast<long>(last) + 1);
+  }
+}
+
+}  // namespace
+
+SequencingGraph legacy_build_sequencing_graph(const GroupMembership& membership,
+                                              const OverlapIndex& overlaps,
+                                              const BuildOptions& options) {
+  SequencingGraph graph;
+  graph.paths_.resize(membership.num_group_slots());
+  GraphParts gp{graph.atoms_,          graph.paths_,
+                graph.tree_,           graph.retired_,
+                graph.num_overlap_atoms_, graph.tree_components_,
+                graph.chain_components_};
+
+  // One chain (or greedy tree) per connected component of the group
+  // overlap graph.
+  for (const std::vector<GroupId>& component : overlaps.components()) {
+    layout_component(gp, component, overlaps, options);
+  }
+
+  // Ingress-only atoms for live groups with no double overlaps.
+  for (const GroupId g : membership.live_groups()) {
+    if (!overlaps.has_overlaps(g)) {
+      const AtomId id =
+          append_atom(gp, g, GroupId{}, {}, static_cast<std::size_t>(-1));
+      graph.paths_[g.value()] = {id};
+    }
+  }
+  return graph;
+}
+
+SequencingGraph legacy_build_sequencing_graph_delta(
+    const SequencingGraph& old_graph, const OverlapIndex& old_overlaps,
+    const GroupMembership& membership, const OverlapIndex& new_overlaps,
+    const std::vector<GroupId>& dirty, const BuildOptions& options,
+    DeltaBuildStats* stats) {
+  const std::size_t slots = membership.num_group_slots();
+
+  std::vector<char> affected(slots, 0);
+  for (const GroupId g : dirty) {
+    if (!g.valid() || g.value() >= slots) continue;
+    affected[g.value()] = 1;
+    if (!old_overlaps.overlaps_of(g).empty()) {
+      const std::size_t c = old_overlaps.component_of(g);
+      for (const GroupId m : old_overlaps.components()[c]) {
+        affected[m.value()] = 1;
+      }
+    }
+  }
+  const auto& new_components = new_overlaps.components();
+  std::vector<char> relay(new_components.size(), 0);
+  for (std::size_t c = 0; c < new_components.size(); ++c) {
+    for (const GroupId g : new_components[c]) {
+      if (affected[g.value()] != 0) {
+        relay[c] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < new_components.size(); ++c) {
+    if (relay[c] == 0) continue;
+    for (const GroupId g : new_components[c]) affected[g.value()] = 1;
+  }
+
+  SequencingGraph graph;
+  graph.atoms_ = old_graph.atoms_;
+  graph.tree_ = old_graph.tree_;
+  graph.retired_ = old_graph.retired_;
+  graph.retired_.resize(graph.atoms_.size(), 0);
+  graph.num_retired_ = old_graph.num_retired_;
+  graph.num_overlap_atoms_ = old_graph.num_overlap_atoms_;
+  graph.tree_components_ = old_graph.tree_components_;
+  graph.chain_components_ = old_graph.chain_components_;
+  graph.paths_.resize(slots);
+
+  const auto& new_list = new_overlaps.overlaps();
+  const auto retire = [&](Atom& atom) {
+    graph.retired_[atom.id.value()] = 1;
+    ++graph.num_retired_;
+    if (!atom.is_ingress_only()) {
+      DECSEQ_CHECK(graph.num_overlap_atoms_ > 0);
+      --graph.num_overlap_atoms_;
+    }
+    atom.overlap_index = static_cast<std::size_t>(-1);
+    if (stats != nullptr) ++stats->atoms_retired;
+  };
+  for (Atom& atom : graph.atoms_) {
+    if (graph.retired_[atom.id.value()] != 0) continue;
+    if (atom.is_ingress_only()) {
+      const GroupId g = atom.group_a;
+      if (!membership.is_alive(g) || new_overlaps.has_overlaps(g)) {
+        retire(atom);
+      }
+      continue;
+    }
+    if (affected[atom.group_a.value()] != 0 ||
+        affected[atom.group_b.value()] != 0) {
+      retire(atom);
+      continue;
+    }
+    const auto it = std::lower_bound(
+        new_list.begin(), new_list.end(),
+        std::make_pair(atom.group_a, atom.group_b),
+        [](const Overlap& o, const std::pair<GroupId, GroupId>& key) {
+          if (o.first != key.first) return o.first.value() < key.first.value();
+          return o.second.value() < key.second.value();
+        });
+    DECSEQ_CHECK_MSG(it != new_list.end() && it->first == atom.group_a &&
+                         it->second == atom.group_b,
+                     "surviving atom " << atom.id << " (" << atom.group_a
+                                       << "," << atom.group_b
+                                       << ") lost its overlap");
+    atom.overlap_index = static_cast<std::size_t>(it - new_list.begin());
+  }
+
+  for (const GroupId g : membership.live_groups()) {
+    if (!old_graph.has_path(g)) continue;
+    const auto& old_path = old_graph.paths_[g.value()];
+    if (affected[g.value()] == 0) {
+      graph.paths_[g.value()] = old_path;
+    } else if (old_path.size() == 1 &&
+               graph.retired_[old_path[0].value()] == 0 &&
+               graph.atoms_[old_path[0].value()].is_ingress_only()) {
+      graph.paths_[g.value()] = old_path;
+    }
+  }
+
+  GraphParts gp{graph.atoms_,          graph.paths_,
+                graph.tree_,           graph.retired_,
+                graph.num_overlap_atoms_, graph.tree_components_,
+                graph.chain_components_};
+  for (std::size_t c = 0; c < new_components.size(); ++c) {
+    if (relay[c] != 0) {
+      layout_component(gp, new_components[c], new_overlaps, options);
+      if (stats != nullptr) ++stats->components_relaid;
+    } else if (stats != nullptr) {
+      ++stats->components_copied;
+    }
+  }
+
+  for (const GroupId g : membership.live_groups()) {
+    if (!new_overlaps.has_overlaps(g) && graph.paths_[g.value()].empty()) {
+      const AtomId id =
+          append_atom(gp, g, GroupId{}, {}, static_cast<std::size_t>(-1));
+      graph.paths_[g.value()] = {id};
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->atoms_created = graph.atoms_.size() - old_graph.atoms_.size();
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (affected[s] != 0) {
+        stats->affected_groups.push_back(
+            GroupId(static_cast<GroupId::underlying_type>(s)));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace decseq::seqgraph

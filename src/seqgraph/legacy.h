@@ -1,0 +1,28 @@
+// Reference implementation of the sequencing-graph build: the original
+// map/set-based, single-threaded construction, kept verbatim so the CSR +
+// parallel builder in graph.cc can be differentially tested against it
+// (tests/routing_scale_test.cc pins exact equality over 200 seeds) and
+// benchmarked (bench/routing_scale_bench reports the speedup). Not used by
+// the production pipeline.
+#pragma once
+
+#include "seqgraph/graph.h"
+
+namespace decseq::seqgraph {
+
+/// Exactly build_sequencing_graph, pre-CSR. Output must stay bit-identical
+/// to the current builder — any divergence is a bug in the rework, not here.
+[[nodiscard]] SequencingGraph legacy_build_sequencing_graph(
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& overlaps, const BuildOptions& options = {});
+
+/// Exactly build_sequencing_graph_delta, pre-CSR.
+[[nodiscard]] SequencingGraph legacy_build_sequencing_graph_delta(
+    const SequencingGraph& old_graph,
+    const membership::OverlapIndex& old_overlaps,
+    const membership::GroupMembership& membership,
+    const membership::OverlapIndex& new_overlaps,
+    const std::vector<GroupId>& dirty, const BuildOptions& options = {},
+    DeltaBuildStats* stats = nullptr);
+
+}  // namespace decseq::seqgraph

@@ -189,6 +189,17 @@ class Channel {
   }
   [[nodiscard]] Time delay_ms() const { return delay_ms_; }
 
+  /// No unacked packets, no armed retransmit timer, no in-flight data or
+  /// ack events, and no surfaced fault: every scheduled lambda capturing
+  /// `this` has fired, so the channel can be destroyed safely. Lets the
+  /// control plane reclaim channels whose endpoints were retired by a
+  /// reconfiguration (a still-returning final ack just postpones the
+  /// reclaim to a later compaction pass).
+  [[nodiscard]] bool quiescent() const {
+    return out_.empty() && !timer_.valid() && pending_events_ == 0 &&
+           !fault_.has_value();
+  }
+
  private:
   struct OutPacket {
     T payload;
@@ -213,7 +224,11 @@ class Channel {
         rng_->next_bool(options_.loss_probability)) {
       return;  // dropped
     }
-    sim_->schedule_after(delay_ms_, [this, seq] { on_data(seq); });
+    ++pending_events_;
+    sim_->schedule_after(delay_ms_, [this, seq] {
+      --pending_events_;
+      on_data(seq);
+    });
   }
 
   /// Delay before retransmission `attempts` of a packet fires again:
@@ -335,7 +350,9 @@ class Channel {
         rng_->next_bool(options_.loss_probability)) {
       return;  // the ack dropped
     }
+    ++pending_events_;
     sim_->schedule_after(delay_ms_, [this, cumulative] {
+      --pending_events_;
       if (link_down_) return;  // the ack died inside the partition
       // Release every packet the receiver has consumed; once nothing is
       // left unacked, disarm the retransmit timer — acked packets never
@@ -381,6 +398,9 @@ class Channel {
   std::optional<ChannelFault> fault_;
   std::size_t faults_entered_ = 0;
   std::size_t reorder_buffered_ = 0;
+  /// Scheduled data/ack events that have not fired yet (each captures
+  /// `this`); part of the quiescent() destruction-safety predicate.
+  std::size_t pending_events_ = 0;
   std::size_t transmissions_ = 0;
   std::size_t retransmit_timer_fires_ = 0;
 };

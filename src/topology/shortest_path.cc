@@ -1,6 +1,6 @@
 #include "topology/shortest_path.h"
 
-#include <limits>
+#include <algorithm>
 #include <queue>
 #include <utility>
 
@@ -29,6 +29,160 @@ std::vector<double> dijkstra(const Graph& g, RouterId source) {
   return dist;
 }
 
+DistanceOracle::DistanceOracle(const Graph& g, DistanceOracleOptions options)
+    : options_(options), num_routers_(g.num_routers()) {
+  // CSR copy of the adjacency, preserving per-router edge order so every
+  // relaxation happens in the same order (and on the same doubles) as a
+  // walk of the source graph.
+  adj_offset_.resize(num_routers_ + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < num_routers_; ++v) {
+    adj_offset_[v] = static_cast<std::uint32_t>(total);
+    total += g.neighbors(RouterId(static_cast<RouterId::underlying_type>(v)))
+                 .size();
+  }
+  adj_offset_[num_routers_] = static_cast<std::uint32_t>(total);
+  adj_target_.reserve(total);
+  adj_delay_.reserve(total);
+  for (std::size_t v = 0; v < num_routers_; ++v) {
+    for (const Edge& e :
+         g.neighbors(RouterId(static_cast<RouterId::underlying_type>(v)))) {
+      adj_target_.push_back(e.to.value());
+      adj_delay_.push_back(e.delay_ms);
+    }
+  }
+
+  dist_.resize(num_routers_, kInf);
+  dist_stamp_.resize(num_routers_, 0);
+  settled_.resize(num_routers_, 0);
+  target_stamp_.resize(num_routers_, 0);
+  slot_of_.resize(num_routers_, kNoSlot);
+  miss_count_.resize(num_routers_, 0);
+}
+
+void DistanceOracle::heap_push(double dist, std::uint32_t node) {
+  heap_.push_back({dist, node});
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (heap_[parent].dist <= heap_[i].dist) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+DistanceOracle::HeapEntry DistanceOracle::heap_pop() {
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = i * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].dist < heap_[best].dist) best = c;
+    }
+    if (heap_[i].dist <= heap_[best].dist) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+bool DistanceOracle::mark_target(std::uint32_t node) {
+  if (target_stamp_[node] == target_gen_) return false;
+  target_stamp_[node] = target_gen_;
+  return true;
+}
+
+std::size_t DistanceOracle::run_dijkstra(std::uint32_t source,
+                                         std::vector<double>* row,
+                                         std::size_t pending) {
+  if (++stamp_ == 0) {
+    // uint32 wraparound: every stamp is stale again — reset explicitly.
+    std::fill(dist_stamp_.begin(), dist_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+  heap_.clear();
+  dist_[source] = 0.0;
+  dist_stamp_[source] = stamp_;
+  settled_[source] = 0;
+  heap_push(0.0, source);
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_pop();
+    const std::uint32_t u = top.node;
+    if (top.dist > dist_[u]) continue;  // stale entry (lazy deletion)
+    settled_[u] = 1;
+    if (row == nullptr && target_stamp_[u] == target_gen_) {
+      ++stats_.settled;
+      if (--pending == 0) return 0;
+    }
+    const std::uint32_t begin = adj_offset_[u];
+    const std::uint32_t end = adj_offset_[u + 1];
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::uint32_t v = adj_target_[e];
+      const double nd = top.dist + adj_delay_[e];
+      if (dist_stamp_[v] != stamp_) {
+        dist_stamp_[v] = stamp_;
+        settled_[v] = 0;
+        dist_[v] = nd;
+        heap_push(nd, v);
+      } else if (nd < dist_[v]) {
+        dist_[v] = nd;
+        heap_push(nd, v);
+      }
+    }
+  }
+  if (row != nullptr) {
+    row->resize(num_routers_);
+    for (std::size_t v = 0; v < num_routers_; ++v) {
+      (*row)[v] = dist_stamp_[v] == stamp_ ? dist_[v] : kInf;
+    }
+  }
+  return pending;
+}
+
+const std::vector<double>& DistanceOracle::cache_row(std::uint32_t source) {
+  // Evict least-recently-used rows past the byte budget (always keeping
+  // room for this one); reuse the evicted storage — rows are all the same
+  // size, so the buffer swap costs nothing.
+  std::unique_ptr<std::vector<double>> storage;
+  while (!rows_.empty() &&
+         (rows_.size() + 1) * row_bytes() > options_.max_cache_bytes) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < rows_.size(); ++i) {
+      if (rows_[i].last_used < rows_[victim].last_used) victim = i;
+    }
+    slot_of_[rows_[victim].source] = kNoSlot;
+    storage = std::move(rows_[victim].data);
+    if (victim != rows_.size() - 1) {
+      rows_[victim] = std::move(rows_.back());
+      slot_of_[rows_[victim].source] = static_cast<std::uint32_t>(victim);
+    }
+    rows_.pop_back();
+    ++stats_.evictions;
+  }
+  if (storage == nullptr) storage = std::make_unique<std::vector<double>>();
+  (void)run_dijkstra(source, storage.get(), 0);
+  ++stats_.full_rows;
+  slot_of_[source] = static_cast<std::uint32_t>(rows_.size());
+  rows_.push_back({source, ++use_tick_, std::move(storage)});
+  return *rows_.back().data;
+}
+
+const std::vector<double>& DistanceOracle::distances_from(RouterId source) {
+  DECSEQ_CHECK(source.valid() && source.value() < num_routers_);
+  const std::uint32_t slot = slot_of_[source.value()];
+  if (slot != kNoSlot) {
+    rows_[slot].last_used = ++use_tick_;
+    return *rows_[slot].data;
+  }
+  return cache_row(source.value());
+}
+
 double DistanceOracle::distance(RouterId a, RouterId b) {
   // Canonical orientation: the same (a, b) query must return the exact
   // same double every time, independent of cache state. Graph distances
@@ -39,39 +193,124 @@ double DistanceOracle::distance(RouterId a, RouterId b) {
   // lower-id endpoint.
   const RouterId lo = std::min(a, b);
   const RouterId hi = std::max(a, b);
-  return distances_from(lo)[hi.value()];
-}
-
-const std::vector<double>& DistanceOracle::distances_from(RouterId source) {
-  DECSEQ_CHECK(source.valid() && source.value() < slot_of_.size());
-  std::uint32_t& slot = slot_of_[source.value()];
-  if (slot == kNoSlot) {
-    rows_.push_back(
-        std::make_unique<std::vector<double>>(dijkstra(*graph_, source)));
-    slot = static_cast<std::uint32_t>(rows_.size() - 1);
+  DECSEQ_CHECK(lo.valid() && hi.value() < num_routers_);
+  const std::uint32_t lov = lo.value();
+  const std::uint32_t slot = slot_of_[lov];
+  if (slot != kNoSlot) {
+    rows_[slot].last_used = ++use_tick_;
+    return (*rows_[slot].data)[hi.value()];
   }
-  return *rows_[slot];
+  if (miss_count_[lov] >= options_.promote_after) {
+    return cache_row(lov)[hi.value()];
+  }
+  ++miss_count_[lov];
+  // Early-terminating point query: stop once `hi` settles. Its settled
+  // distance is exactly what the full row would hold.
+  ++target_gen_;
+  (void)mark_target(hi.value());
+  ++stats_.point_queries;
+  (void)run_dijkstra(lov, nullptr, 1);
+  return settled_dist(hi.value());
 }
 
-void DistanceOracle::prime(const std::vector<RouterId>& sources) {
-  for (const RouterId s : sources) (void)distances_from(s);
+double DistanceOracle::distance_once(RouterId a, RouterId b) {
+  const RouterId lo = std::min(a, b);
+  const RouterId hi = std::max(a, b);
+  DECSEQ_CHECK(lo.valid() && hi.value() < num_routers_);
+  const std::uint32_t lov = lo.value();
+  const std::uint32_t slot = slot_of_[lov];
+  if (slot != kNoSlot) {
+    rows_[slot].last_used = ++use_tick_;
+    return (*rows_[slot].data)[hi.value()];
+  }
+  ++target_gen_;
+  (void)mark_target(hi.value());
+  ++stats_.point_queries;
+  (void)run_dijkstra(lov, nullptr, 1);
+  return settled_dist(hi.value());
 }
 
 RouterId DistanceOracle::closest(const std::vector<RouterId>& candidates,
                                  RouterId target) {
   DECSEQ_CHECK(!candidates.empty());
+  DECSEQ_CHECK(target.valid() && target.value() < num_routers_);
   // One Dijkstra from the target answers every candidate; never cache a
-  // per-candidate row for this query.
-  const auto& dist = distances_from(target);
+  // per-candidate row for this query. From a cached target row this is a
+  // pure lookup; otherwise one run settles the whole candidate set.
+  const double* row = nullptr;
+  const std::uint32_t slot = slot_of_[target.value()];
+  if (slot != kNoSlot) {
+    rows_[slot].last_used = ++use_tick_;
+    row = rows_[slot].data->data();
+  } else {
+    ++target_gen_;
+    std::size_t pending = 0;
+    for (const RouterId c : candidates) {
+      DECSEQ_CHECK(c.valid() && c.value() < num_routers_);
+      if (mark_target(c.value())) ++pending;
+    }
+    ++stats_.point_queries;
+    (void)run_dijkstra(target.value(), nullptr, pending);
+  }
   RouterId best = candidates.front();
-  double best_d = dist[best.value()];
+  double best_d = row != nullptr ? row[best.value()]
+                                 : settled_dist(best.value());
   for (const RouterId c : candidates) {
-    if (dist[c.value()] < best_d) {
+    const double d =
+        row != nullptr ? row[c.value()] : settled_dist(c.value());
+    if (d < best_d) {
       best = c;
-      best_d = dist[c.value()];
+      best_d = d;
     }
   }
   return best;
+}
+
+void DistanceOracle::distances_between(RouterId common,
+                                       const std::vector<RouterId>& targets,
+                                       std::vector<double>& out) {
+  DECSEQ_CHECK(common.valid() && common.value() < num_routers_);
+  const std::uint32_t cv = common.value();
+  out.resize(targets.size());
+  // Targets on `common`'s canonical side (id >= common) all read from
+  // common's row: one early-terminating run settles them together. Lower-id
+  // targets must answer from their own side (see distance()) and go through
+  // the point-query path one by one — repeated sources promote themselves
+  // to cached rows.
+  const std::uint32_t slot = slot_of_[cv];
+  bool from_workspace = false;
+  if (slot != kNoSlot) {
+    rows_[slot].last_used = ++use_tick_;
+  } else {
+    ++target_gen_;
+    std::size_t pending = 0;
+    for (const RouterId t : targets) {
+      DECSEQ_CHECK(t.valid() && t.value() < num_routers_);
+      if (t.value() >= cv && mark_target(t.value())) ++pending;
+    }
+    if (pending > 0) {
+      ++stats_.point_queries;
+      (void)run_dijkstra(cv, nullptr, pending);
+      from_workspace = true;
+    }
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::uint32_t tv = targets[i].value();
+    if (tv < cv) continue;  // second pass below (it may run Dijkstras)
+    if (from_workspace) {
+      out[i] = settled_dist(tv);
+    } else {
+      const std::uint32_t s = slot_of_[cv];
+      out[i] = s != kNoSlot ? (*rows_[s].data)[tv] : settled_dist(tv);
+    }
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i].value() < cv) out[i] = distance(targets[i], common);
+  }
+}
+
+void DistanceOracle::prime(const std::vector<RouterId>& sources) {
+  for (const RouterId s : sources) (void)distances_from(s);
 }
 
 }  // namespace decseq::topology

@@ -1,14 +1,28 @@
 // Shortest-path machinery. Messages in the evaluation travel on shortest
 // unicast paths (paper §4.1); the sequencing overlay's performance is
-// measured against those. A DistanceOracle memoizes per-source Dijkstra
-// runs, since experiments query distances from a small set of routers
-// (hosts' attachment points and sequencing machines) on a 10,000-router
-// graph. The cache is a flat array indexed by router id — the hot source
-// set is small, so a direct slot table beats hashing on every distance
-// lookup in the simulation hot path.
+// measured against those. A DistanceOracle answers pairwise and per-source
+// distance queries off a CSR copy of the adjacency with a pooled Dijkstra
+// workspace (versioned visited stamps, a reusable 4-ary heap — no per-query
+// allocation):
+//
+//   - Full per-source rows are cached in a flat slot table under a byte
+//     budget (LRU eviction), so a large topology never accumulates dense
+//     all-pairs state. At paper scale (10k routers) the default budget
+//     never evicts and behavior matches the original unbounded cache.
+//   - Point queries from a cold source run an early-terminating Dijkstra
+//     that stops once the endpoint settles — the settled distance is exactly
+//     the full row's value — and the source is promoted to a cached full
+//     row only after repeated misses. closest() and the batched
+//     distances_between() settle a whole target set in one such run.
+//
+// Every query is bit-identical to the original full-row implementation:
+// a settled Dijkstra distance does not depend on when the run stops or on
+// heap tie order, and distance(a, b) keeps its canonical lower-id
+// orientation (see the comment in distance()).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -21,43 +35,153 @@ namespace decseq::topology {
 /// Unreachable routers get +infinity.
 [[nodiscard]] std::vector<double> dijkstra(const Graph& g, RouterId source);
 
-/// Caches distance vectors per source. Not thread-safe by design: each
+struct DistanceOracleOptions {
+  /// Byte budget for cached full rows (8 bytes per router per row). The
+  /// least-recently-used row is evicted when exceeded; one row is always
+  /// allowed so distances_from() works under any budget. The default is
+  /// unbounded — the original behavior, and what paper-scale simulations
+  /// rely on for their steady-state allocation discipline (a cached row is
+  /// never silently dropped and recomputed mid-measurement).
+  std::size_t max_cache_bytes = static_cast<std::size_t>(-1);
+  /// Point-query misses from one source before it is promoted to a cached
+  /// full row. 0 = promote immediately: every query computes (and caches)
+  /// the source's full row, the original behavior. Nonzero defers the O(V)
+  /// row to sources that are actually hot, so a cold source costs one
+  /// early-terminating Dijkstra instead of a full row.
+  std::uint32_t promote_after = 0;
+
+  /// Preset for large topologies (the 100k+ control-plane compile): bounded
+  /// row cache, point queries promoted after repeated misses. Distances are
+  /// bit-identical to the default — only memory and work scheduling differ.
+  [[nodiscard]] static DistanceOracleOptions scaled() {
+    return {/*max_cache_bytes=*/128ull << 20, /*promote_after=*/4};
+  }
+};
+
+/// Caches distance state per source. Not thread-safe by design: each
 /// experiment run owns its oracle.
 class DistanceOracle {
  public:
-  explicit DistanceOracle(const Graph& g)
-      : graph_(&g), slot_of_(g.num_routers(), kNoSlot) {}
+  explicit DistanceOracle(const Graph& g, DistanceOracleOptions options = {});
 
   /// Distance in ms from `a` to `b` (symmetric).
   [[nodiscard]] double distance(RouterId a, RouterId b);
 
-  /// Full distance vector from a source. Computed by one Dijkstra on first
-  /// use, then served from the flat per-source cache; the reference stays
-  /// valid for the oracle's lifetime.
+  /// distance() for one-shot compile queries (channel delays: each pair is
+  /// asked exactly once, at span-compile time). Bit-identical value, same
+  /// canonical orientation, and a cached row is still used when present —
+  /// but a cold source runs one early-terminating Dijkstra and is neither
+  /// cached nor advanced toward promotion, so compiling a transition's new
+  /// channels costs settled-prefix work instead of one full O(V log V) row
+  /// per previously-unseen machine (the 10k-router cold-reconfigure spike).
+  [[nodiscard]] double distance_once(RouterId a, RouterId b);
+
+  /// Full distance vector from a source, computed by one Dijkstra and
+  /// cached. The reference stays valid until the row is evicted by a later
+  /// query past the cache budget (never, under the default budget, for
+  /// paper-scale topologies); do not hold it across other oracle calls on
+  /// budget-constrained oracles.
   [[nodiscard]] const std::vector<double>& distances_from(RouterId source);
 
   /// Among `candidates`, the one closest to `target` (ties: first). Runs
-  /// (at most) one Dijkstra — from the target — regardless of how many
-  /// candidates there are.
+  /// (at most) one Dijkstra — from the target, stopping once every
+  /// candidate settled — regardless of how many candidates there are.
   [[nodiscard]] RouterId closest(const std::vector<RouterId>& candidates,
                                  RouterId target);
+
+  /// Batched pairwise queries: fills out[i] = distance(common, targets[i]),
+  /// bit-identical to individual calls, settling all targets on `common`'s
+  /// canonical side in a single early-terminating run instead of one
+  /// Dijkstra per pair (the fan-out compile's per-member loop).
+  void distances_between(RouterId common, const std::vector<RouterId>& targets,
+                         std::vector<double>& out);
 
   /// Precompute rows for a known hot source set (e.g. every host attachment
   /// router) in id order, so later queries never interleave Dijkstra runs.
   void prime(const std::vector<RouterId>& sources);
 
   [[nodiscard]] std::size_t cached_sources() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cache_bytes() const {
+    return rows_.size() * row_bytes();
+  }
+
+  /// Query-mix instrumentation (bench/telemetry).
+  struct Stats {
+    std::uint64_t full_rows = 0;      ///< full Dijkstra rows computed
+    std::uint64_t point_queries = 0;  ///< early-terminating runs
+    std::uint64_t settled = 0;        ///< nodes settled by point queries
+    std::uint64_t evictions = 0;      ///< rows evicted under the budget
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  const Graph* graph_;
-  /// Router id -> index into rows_, kNoSlot when not yet computed. A flat
+  struct HeapEntry {
+    double dist;
+    std::uint32_t node;
+  };
+
+  [[nodiscard]] std::size_t row_bytes() const {
+    return num_routers_ * sizeof(double) + sizeof(std::vector<double>);
+  }
+  /// Dijkstra from `source` on the pooled workspace. With `row` non-null,
+  /// runs to completion and fills the complete distance vector. Otherwise
+  /// stops once `pending` marked targets (target_stamp_ == target_gen_)
+  /// have settled; callers read settled values out of dist_ before the next
+  /// run. Returns the number of marked targets left unsettled (unreachable).
+  std::size_t run_dijkstra(std::uint32_t source, std::vector<double>* row,
+                           std::size_t pending);
+  void heap_push(double dist, std::uint32_t node);
+  [[nodiscard]] HeapEntry heap_pop();
+  /// Compute-and-cache `source`'s full row, evicting LRU rows past the
+  /// budget. Returns the cached row.
+  const std::vector<double>& cache_row(std::uint32_t source);
+  /// Mark `node` as a pending target for the next run; returns true if it
+  /// was not already marked (distinct-target accounting).
+  bool mark_target(std::uint32_t node);
+  /// dist_ value of `node` after a run: settled distance or +inf.
+  [[nodiscard]] double settled_dist(std::uint32_t node) const {
+    return dist_stamp_[node] == stamp_ ? dist_[node] : kInf;
+  }
+
+  DistanceOracleOptions options_;
+  std::size_t num_routers_ = 0;
+
+  /// CSR adjacency: neighbors of router v are adj_target_/adj_delay_
+  /// [adj_offset_[v], adj_offset_[v + 1]), in the source graph's edge order
+  /// (same relaxation order as the original per-vector walk).
+  std::vector<std::uint32_t> adj_offset_;
+  std::vector<std::uint32_t> adj_target_;
+  std::vector<double> adj_delay_;
+
+  // Pooled Dijkstra workspace. dist_[v] is valid iff dist_stamp_[v] ==
+  // stamp_; bumping stamp_ resets the whole workspace in O(1).
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> dist_stamp_;
+  std::vector<char> settled_;  ///< valid under the same stamp
+  std::uint32_t stamp_ = 0;
+  std::vector<HeapEntry> heap_;  ///< reusable 4-ary heap, lazy deletion
+  std::vector<std::uint32_t> target_stamp_;  ///< multi-target marks
+  std::uint32_t target_gen_ = 0;
+
+  /// Router id -> index into rows_, kNoSlot when not cached. A flat
   /// 4-byte-per-router table: O(1) lookups with no hashing.
   std::vector<std::uint32_t> slot_of_;
-  /// Cached distance rows, in computation order. unique_ptr keeps row
-  /// storage stable while rows_ grows (distances_from returns references).
-  std::vector<std::unique_ptr<std::vector<double>>> rows_;
+  struct Row {
+    std::uint32_t source;
+    std::uint64_t last_used;
+    /// unique_ptr keeps row storage stable while rows_ grows or reorders
+    /// (distances_from returns references into it).
+    std::unique_ptr<std::vector<double>> data;
+  };
+  std::vector<Row> rows_;
+  std::uint64_t use_tick_ = 0;
+  /// Point-query misses per source, for promotion to a full row.
+  std::vector<std::uint16_t> miss_count_;
+
+  Stats stats_;
 };
 
 }  // namespace decseq::topology
